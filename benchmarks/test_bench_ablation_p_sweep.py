@@ -1,0 +1,84 @@
+"""Ablation A1 — sensitivity of smart-alloc to the parameter P.
+
+The paper evaluates smart-alloc with P in {0.25, 0.75, 2, 4, 6} percent and
+finds that the best value is scenario-dependent (0.75% for Scenario 1, 6%
+for Scenario 2) while a value that is too small (0.25%) adapts too slowly
+and hurts performance everywhere.  This ablation sweeps P over Scenario 2
+(the staggered-start scenario, where adaptation speed matters most) and
+reports running times and fairness for each setting.
+"""
+
+import pytest
+
+from repro.analysis.metrics import mean_fairness
+from repro.analysis.report import format_table
+
+from conftest import BENCH_SEED, print_section
+
+SCENARIO = "scenario-2"
+P_VALUES = (0.25, 0.75, 2.0, 4.0, 6.0, 8.0)
+
+
+@pytest.fixture(scope="module")
+def sweep(scenario_cache):
+    return {
+        p: scenario_cache.result(SCENARIO, f"smart-alloc:P={p:g}")
+        for p in P_VALUES
+    }
+
+
+@pytest.fixture(scope="module")
+def greedy(scenario_cache):
+    return scenario_cache.result(SCENARIO, "greedy")
+
+
+def test_ablation_p_sweep(sweep, greedy):
+    print_section("Ablation A1 — smart-alloc P sweep on Scenario 2")
+    rows = []
+    for p, result in sweep.items():
+        rows.append([
+            f"P={p:g}%",
+            f"{result.runtime_of('VM1'):.1f}",
+            f"{result.runtime_of('VM2'):.1f}",
+            f"{result.runtime_of('VM3'):.1f}",
+            f"{result.mean_runtime_s():.1f}",
+            f"{mean_fairness(result, skip_leading=35):.3f}",
+            f"{result.target_updates}",
+        ])
+    rows.append([
+        "greedy",
+        f"{greedy.runtime_of('VM1'):.1f}",
+        f"{greedy.runtime_of('VM2'):.1f}",
+        f"{greedy.runtime_of('VM3'):.1f}",
+        f"{greedy.mean_runtime_s():.1f}",
+        f"{mean_fairness(greedy, skip_leading=35):.3f}",
+        "0",
+    ])
+    print(format_table(
+        ["policy", "VM1 (s)", "VM2 (s)", "VM3 (s)", "mean (s)", "fairness", "target msgs"],
+        rows,
+    ))
+
+    # Shape: a P that is far too small adapts too slowly and is never the
+    # best mean runtime of the sweep.
+    means = {p: sweep[p].mean_runtime_s() for p in P_VALUES}
+    assert means[0.25] >= min(means.values())
+    # Larger P values help the starved VM3 relative to greedy.
+    assert sweep[6.0].runtime_of("VM3") < greedy.runtime_of("VM3")
+    # Fairness of the adaptive settings is at least as good as greedy's.
+    assert mean_fairness(sweep[6.0], skip_leading=35) >= mean_fairness(
+        greedy, skip_leading=35
+    ) - 0.05
+
+
+def test_ablation_p_sweep_benchmark(benchmark):
+    """Time one smart-alloc run of the sweep (P=6%, the paper's best here)."""
+    from repro.scenarios.library import scenario_by_name
+    from repro.scenarios.runner import run_scenario
+
+    spec = scenario_by_name(SCENARIO, scale=1.0)
+    result = benchmark.pedantic(
+        lambda: run_scenario(spec, "smart-alloc:P=6", seed=BENCH_SEED),
+        iterations=1, rounds=1,
+    )
+    assert result.target_updates > 0

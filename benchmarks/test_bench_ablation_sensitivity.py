@@ -1,0 +1,95 @@
+"""Ablation A2 — sampling interval and decrement-threshold sensitivity.
+
+Two design choices of SmarTmem are fixed in the paper without exploration:
+the one-second sampling interval of the statistics VIRQ and the threshold
+that keeps smart-alloc from decrementing targets prematurely (the paper
+only notes that it "avoids premature target decrements ... resulting in an
+unstable policy").  This ablation varies both on a reduced-scale
+Scenario 2 and reports their effect on running time, fairness and the
+amount of control traffic (target updates), quantifying the stability
+argument the paper makes qualitatively.
+"""
+
+import pytest
+
+from repro.analysis.metrics import mean_fairness
+from repro.analysis.report import format_table
+from repro.config import SamplingConfig, SimulationConfig
+from repro.scenarios.library import scenario_by_name
+from repro.scenarios.runner import run_scenario
+from repro.units import SCENARIO_UNITS
+
+from conftest import BENCH_SEED, print_section
+
+SCALE = 0.5   # reduced scale keeps the full sensitivity grid fast
+SCENARIO = "scenario-2"
+
+
+def run_with(interval_s=1.0, threshold_fraction=0.05):
+    spec = scenario_by_name(SCENARIO, scale=SCALE)
+    config = SimulationConfig(
+        units=SCENARIO_UNITS,
+        sampling=SamplingConfig(interval_s=interval_s),
+        seed=BENCH_SEED,
+    )
+    policy = f"smart-alloc:P=6,threshold_fraction={threshold_fraction}"
+    return run_scenario(spec, policy, config=config)
+
+
+@pytest.fixture(scope="module")
+def interval_sweep():
+    return {interval: run_with(interval_s=interval) for interval in (0.5, 1.0, 2.0, 4.0)}
+
+
+@pytest.fixture(scope="module")
+def threshold_sweep():
+    return {
+        fraction: run_with(threshold_fraction=fraction)
+        for fraction in (0.0, 0.01, 0.05, 0.2)
+    }
+
+
+def test_ablation_sampling_interval(interval_sweep):
+    print_section("Ablation A2a — sampling interval sensitivity (Scenario 2, scale 0.5)")
+    rows = []
+    for interval, result in interval_sweep.items():
+        rows.append([
+            f"{interval:g}s",
+            f"{result.mean_runtime_s():.1f}",
+            f"{mean_fairness(result, skip_leading=10):.3f}",
+            f"{result.target_updates}",
+            f"{result.snapshots}",
+        ])
+    print(format_table(
+        ["interval", "mean runtime (s)", "fairness", "target msgs", "snapshots"], rows
+    ))
+    # Faster sampling never sends fewer control messages than slower sampling.
+    assert interval_sweep[0.5].snapshots > interval_sweep[4.0].snapshots
+    # The policy still functions across the whole range.
+    for result in interval_sweep.values():
+        assert result.target_updates > 0
+        assert result.mean_runtime_s() > 0
+
+
+def test_ablation_decrement_threshold(threshold_sweep):
+    print_section("Ablation A2b — decrement threshold sensitivity (Scenario 2, scale 0.5)")
+    rows = []
+    for fraction, result in threshold_sweep.items():
+        rows.append([
+            f"{fraction:g}",
+            f"{result.mean_runtime_s():.1f}",
+            f"{mean_fairness(result, skip_leading=10):.3f}",
+            f"{result.target_updates}",
+        ])
+    print(format_table(
+        ["threshold fraction", "mean runtime (s)", "fairness", "target msgs"], rows
+    ))
+    # The stability argument: a zero threshold produces at least as much
+    # target churn (control traffic) as the default threshold.
+    assert threshold_sweep[0.0].target_updates >= threshold_sweep[0.05].target_updates
+
+
+def test_ablation_sensitivity_benchmark(benchmark):
+    """Time one reduced-scale configuration of the sensitivity grid."""
+    result = benchmark.pedantic(lambda: run_with(), iterations=1, rounds=1)
+    assert result.mean_runtime_s() > 0

@@ -1,0 +1,77 @@
+"""Figure 3 — running times for Scenario 1.
+
+Scenario 1 runs in-memory-analytics twice in each of three 1 GB VMs with
+1 GB of tmem.  The paper reports per-VM running times (less is better) for
+no-tmem, greedy, static-alloc, reconf-static and smart-alloc with several
+values of P, with smart-alloc(P=0.75%) the fastest configuration.
+"""
+
+import pytest
+
+from repro.analysis.figures import runtime_figure
+from repro.analysis.report import render_comparison, render_runtime_table
+
+from conftest import BENCH_SEED, print_improvements, print_section
+
+SCENARIO = "scenario-1"
+POLICIES = (
+    "no-tmem",
+    "greedy",
+    "static-alloc",
+    "reconf-static",
+    "smart-alloc:P=0.25",
+    "smart-alloc:P=0.75",
+    "smart-alloc:P=2",
+)
+
+
+@pytest.fixture(scope="module")
+def results(scenario_cache):
+    return scenario_cache.results(SCENARIO, POLICIES)
+
+
+def test_fig03_running_times(results):
+    """Print the Figure 3 rows and check the qualitative shape."""
+    print_section("Figure 3 — Scenario 1 running times (simulated seconds)")
+    print(render_runtime_table(results))
+    print()
+    print(render_comparison(results, baseline="no-tmem", vm_name="VM3", run_index=0))
+    print_improvements(results, baseline="greedy", candidate="smart-alloc:P=0.75")
+    print_improvements(results, baseline="no-tmem", candidate="smart-alloc:P=0.75")
+
+    figure = runtime_figure(results)
+    assert set(figure) == set(POLICIES)
+    for series in figure.values():
+        assert len(series.y) == 6  # 3 VMs x 2 runs
+
+    # Shape checks (paper: every tmem policy beats no-tmem; smart-alloc with
+    # a too-small P adapts too slowly and is the worst smart-alloc setting).
+    no_tmem = results["no-tmem"].mean_runtime_s()
+    for policy in POLICIES:
+        if policy == "no-tmem":
+            continue
+        assert results[policy].mean_runtime_s() < no_tmem
+    assert (
+        results["smart-alloc:P=0.75"].mean_runtime_s()
+        <= results["smart-alloc:P=0.25"].mean_runtime_s()
+    )
+    # The best tmem policy improves on no-tmem by a double-digit percentage
+    # (paper reports 28-35.7% for smart-alloc(0.75%)).
+    best = min(
+        results[p].mean_runtime_s() for p in POLICIES if p != "no-tmem"
+    )
+    assert (no_tmem - best) / no_tmem > 0.10
+
+
+def test_fig03_benchmark_single_run(benchmark, scenario_cache):
+    """Time one full Scenario 1 simulation under smart-alloc(0.75%)."""
+    from repro.scenarios.library import scenario_by_name
+    from repro.scenarios.runner import run_scenario
+
+    spec = scenario_by_name(SCENARIO, scale=1.0)
+
+    def run():
+        return run_scenario(spec, "smart-alloc:P=0.75", seed=BENCH_SEED)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert result.mean_runtime_s() > 0

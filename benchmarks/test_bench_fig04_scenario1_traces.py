@@ -1,0 +1,73 @@
+"""Figure 4 — tmem capacity used by each VM over time in Scenario 1.
+
+The paper plots the number of tmem pages held by each VM for (a) greedy
+and (b) smart-alloc(P=0.75%), including the enforced target line for VM3.
+Under greedy the shares are uneven (one VM peaks while the others cannot
+reach a fair share); under smart-alloc the shares stay close together and
+track the targets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import tmem_usage_figure
+from repro.analysis.metrics import mean_fairness
+from repro.analysis.report import render_figure_series
+
+from conftest import print_section
+
+SCENARIO = "scenario-1"
+
+
+@pytest.fixture(scope="module")
+def greedy(scenario_cache):
+    return scenario_cache.result(SCENARIO, "greedy")
+
+
+@pytest.fixture(scope="module")
+def smart(scenario_cache):
+    return scenario_cache.result(SCENARIO, "smart-alloc:P=0.75")
+
+
+def test_fig04a_greedy_trace(greedy):
+    print_section("Figure 4(a) — Scenario 1 tmem usage under greedy")
+    series = tmem_usage_figure(greedy)
+    print(render_figure_series(series))
+    for vm in ("VM1", "VM2", "VM3"):
+        usage = greedy.tmem_usage_series(vm)
+        assert len(usage) > 0
+        assert usage.values.max() > 0          # every VM used tmem at some point
+    # The pool is never over-committed at any sampling instant.
+    names = list(greedy.vm_names())
+    stacked = np.stack(
+        [greedy.tmem_usage_series(n).values[: min(
+            len(greedy.tmem_usage_series(m)) for m in names)] for n in names]
+    )
+    assert stacked.sum(axis=0).max() <= greedy.total_tmem_pages
+
+
+def test_fig04b_smart_alloc_trace(smart):
+    print_section("Figure 4(b) — Scenario 1 tmem usage under smart-alloc(0.75%)")
+    series = tmem_usage_figure(smart)
+    print(render_figure_series(series))
+    # Targets are recorded for every VM (the figure's target-VM3 line).
+    for vm in ("VM1", "VM2", "VM3"):
+        target = smart.target_series(vm)
+        assert target is not None and len(target) > 0
+        assert target.values.max() <= smart.total_tmem_pages
+
+
+def test_fig04_fairness_comparison(greedy, smart):
+    """smart-alloc keeps the per-VM shares at least as even as greedy."""
+    print_section("Figure 4 — fairness of tmem shares (Jain index)")
+    g = mean_fairness(greedy, skip_leading=10)
+    s = mean_fairness(smart, skip_leading=10)
+    print(f"greedy:              {g:.3f}")
+    print(f"smart-alloc(0.75%):  {s:.3f}")
+    assert s >= g - 0.10
+
+
+def test_fig04_benchmark_trace_extraction(benchmark, greedy):
+    """Time the figure-data extraction itself (pure post-processing)."""
+    result = benchmark(lambda: tmem_usage_figure(greedy))
+    assert result

@@ -1,0 +1,79 @@
+"""Figure 8 — tmem usage of each VM over time in the Usemem scenario.
+
+The paper plots greedy, reconf-static and smart-alloc(P=2%): under greedy
+VM3 struggles to obtain pages while the pool is under pressure; under
+reconf-static every VM converges to an equal share; smart-alloc lets
+VM1/VM2 take more than the reconf-static limit (more adaptive) while still
+moving capacity towards VM3 as it starts swapping.
+"""
+
+import pytest
+
+from repro.analysis.figures import tmem_usage_figure
+from repro.analysis.metrics import mean_fairness
+from repro.analysis.report import render_figure_series
+
+from conftest import print_section
+
+SCENARIO = "usemem-scenario"
+
+
+@pytest.fixture(scope="module")
+def greedy(scenario_cache):
+    return scenario_cache.result(SCENARIO, "greedy")
+
+
+@pytest.fixture(scope="module")
+def reconf(scenario_cache):
+    return scenario_cache.result(SCENARIO, "reconf-static")
+
+
+@pytest.fixture(scope="module")
+def smart(scenario_cache):
+    return scenario_cache.result(SCENARIO, "smart-alloc:P=2")
+
+
+def test_fig08a_greedy(greedy):
+    print_section("Figure 8(a) — usemem tmem usage under greedy")
+    print(render_figure_series(tmem_usage_figure(greedy)))
+    # VM3 starts later and struggles: its peak stays below the early VMs'.
+    assert greedy.vm("VM3").peak_tmem_pages <= greedy.vm("VM1").peak_tmem_pages
+    assert greedy.vm("VM3").failed_tmem_puts > 0
+
+
+def test_fig08b_reconf_static(reconf):
+    print_section("Figure 8(b) — usemem tmem usage under reconf-static")
+    print(render_figure_series(tmem_usage_figure(reconf)))
+    # Once active, every VM is limited to (at most) an equal share.
+    equal_share = reconf.total_tmem_pages / 2  # at most 2 VMs active initially
+    for vm in ("VM1", "VM2", "VM3"):
+        assert reconf.vm(vm).peak_tmem_pages <= equal_share + 1
+
+
+def test_fig08c_smart_alloc(reconf, smart):
+    print_section("Figure 8(c) — usemem tmem usage under smart-alloc(2%)")
+    print(render_figure_series(tmem_usage_figure(smart)))
+    # smart-alloc is more adaptive: VM1/VM2 may take more than the equal
+    # share reconf-static would ever allow them once three VMs are active.
+    reconf_cap = reconf.total_tmem_pages / 3
+    assert max(
+        smart.vm("VM1").peak_tmem_pages, smart.vm("VM2").peak_tmem_pages
+    ) > reconf_cap
+
+
+def test_fig08_fairness_ordering(greedy, reconf, smart):
+    """The fairness-oriented policies hold shares at least as even as greedy."""
+    print_section("Figure 8 — mean Jain fairness of tmem shares")
+    values = {
+        "greedy": mean_fairness(greedy, skip_leading=5),
+        "reconf-static": mean_fairness(reconf, skip_leading=5),
+        "smart-alloc:P=2": mean_fairness(smart, skip_leading=5),
+    }
+    for name, value in values.items():
+        print(f"  {name:18s} {value:.3f}")
+    assert values["reconf-static"] >= values["greedy"] - 0.05
+
+
+def test_fig08_benchmark_trace_extraction(benchmark, smart):
+    series = benchmark(lambda: tmem_usage_figure(smart))
+    assert "VM3" in series

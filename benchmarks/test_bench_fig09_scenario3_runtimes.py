@@ -1,0 +1,76 @@
+"""Figure 9 — running times for Scenario 3.
+
+Scenario 3 is heterogeneous: VM1/VM2 (512 MB) run graph-analytics from
+t = 0 and VM3 (1 GB) runs in-memory-analytics from t = 30 s, with 1 GB of
+tmem.  The paper reports that greedy leaves almost no memory for VM3 (so
+it runs very slowly), that static-alloc helps VM3 by a large margin, and
+that smart-alloc(P=4%) is the best setting for VM1/VM2 — exposing the
+adaptiveness-versus-fairness trade-off.
+"""
+
+import pytest
+
+from repro.analysis.report import render_comparison, render_runtime_table
+
+from conftest import BENCH_SEED, print_improvements, print_section
+
+SCENARIO = "scenario-3"
+POLICIES = (
+    "no-tmem",
+    "greedy",
+    "static-alloc",
+    "reconf-static",
+    "smart-alloc:P=4",
+)
+
+
+@pytest.fixture(scope="module")
+def results(scenario_cache):
+    return scenario_cache.results(SCENARIO, POLICIES)
+
+
+def test_fig09_running_times(results):
+    print_section("Figure 9 — Scenario 3 running times (simulated seconds)")
+    print(render_runtime_table(results))
+    print()
+    print(render_comparison(results, baseline="greedy", vm_name="VM3"))
+    print_improvements(results, baseline="greedy", candidate="static-alloc")
+    print_improvements(results, baseline="no-tmem", candidate="smart-alloc:P=4")
+
+    greedy = results["greedy"]
+    static = results["static-alloc"]
+    smart = results["smart-alloc:P=4"]
+    no_tmem = results["no-tmem"]
+
+    # Every tmem policy beats no-tmem for every VM.
+    for policy in POLICIES:
+        if policy == "no-tmem":
+            continue
+        for vm in ("VM1", "VM2", "VM3"):
+            assert results[policy].runtime_of(vm) < no_tmem.runtime_of(vm)
+
+    # Greedy starves the late, large VM3: it swaps to disk far more than
+    # the early VMs and is the slowest VM of that run.
+    assert greedy.vm("VM3").faults_from_disk > greedy.vm("VM1").faults_from_disk
+    assert greedy.runtime_of("VM3") > greedy.runtime_of("VM1")
+
+    # static-alloc rescues VM3 (paper: the best policy for VM3 by a large
+    # margin, up to 35% over greedy).
+    assert static.runtime_of("VM3") < greedy.runtime_of("VM3")
+
+    # The trade-off: smart-alloc favours the adaptive early VMs more than
+    # static-alloc does, while static-alloc favours VM3.
+    assert smart.runtime_of("VM1") < static.runtime_of("VM1")
+    assert static.runtime_of("VM3") <= smart.runtime_of("VM3") * 1.05
+
+
+def test_fig09_benchmark_single_run(benchmark):
+    from repro.scenarios.library import scenario_by_name
+    from repro.scenarios.runner import run_scenario
+
+    spec = scenario_by_name(SCENARIO, scale=1.0)
+    result = benchmark.pedantic(
+        lambda: run_scenario(spec, "smart-alloc:P=4", seed=BENCH_SEED),
+        iterations=1, rounds=1,
+    )
+    assert result.runtime_of("VM3") > 0

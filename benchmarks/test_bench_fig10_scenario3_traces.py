@@ -1,0 +1,83 @@
+"""Figure 10 — tmem usage of each VM over time in Scenario 3.
+
+The paper shows four panels: greedy (VM1/VM2 split the pool, VM3 gets
+almost nothing), static-alloc (a rigid equal cap for all three),
+reconf-static (VM1/VM2 share half each until VM3 starts swapping, then the
+targets are reconfigured but pages are released slowly) and
+smart-alloc(P=4%) (VM1/VM2 take a greedy-like share at first and shrink as
+soon as VM3 begins to swap).
+"""
+
+import pytest
+
+from repro.analysis.figures import tmem_usage_figure
+from repro.analysis.report import render_figure_series
+
+from conftest import print_section
+
+SCENARIO = "scenario-3"
+
+
+@pytest.fixture(scope="module")
+def traces(scenario_cache):
+    return {
+        policy: scenario_cache.result(SCENARIO, policy)
+        for policy in ("greedy", "static-alloc", "reconf-static", "smart-alloc:P=4")
+    }
+
+
+def test_fig10a_greedy(traces):
+    result = traces["greedy"]
+    print_section("Figure 10(a) — Scenario 3 tmem usage under greedy")
+    print(render_figure_series(tmem_usage_figure(result)))
+    # VM1 and VM2 each approach half of the pool...
+    half = result.total_tmem_pages / 2
+    assert result.vm("VM1").peak_tmem_pages > 0.6 * half
+    assert result.vm("VM2").peak_tmem_pages > 0.6 * half
+    # ...leaving VM3 with far less than a fair share at its peak.
+    assert result.vm("VM3").peak_tmem_pages < result.vm("VM1").peak_tmem_pages
+
+
+def test_fig10b_static_alloc(traces):
+    result = traces["static-alloc"]
+    print_section("Figure 10(b) — Scenario 3 tmem usage under static-alloc")
+    print(render_figure_series(tmem_usage_figure(result)))
+    # The rigid cap: nobody exceeds a third of the pool.
+    third = result.total_tmem_pages / 3
+    for vm in ("VM1", "VM2", "VM3"):
+        assert result.vm(vm).peak_tmem_pages <= third + 1
+
+
+def test_fig10c_reconf_static(traces):
+    result = traces["reconf-static"]
+    print_section("Figure 10(c) — Scenario 3 tmem usage under reconf-static")
+    print(render_figure_series(tmem_usage_figure(result)))
+    # Before VM3 becomes active, VM1/VM2 may hold up to half of the pool
+    # each; their peaks therefore exceed the one-third cap of static-alloc.
+    third = result.total_tmem_pages / 3
+    assert max(
+        result.vm("VM1").peak_tmem_pages, result.vm("VM2").peak_tmem_pages
+    ) > third
+    # Once VM3 is active its target becomes an equal share, so it obtains
+    # some capacity, but never more than that share.
+    assert 0 < result.vm("VM3").peak_tmem_pages <= third + 1
+
+
+def test_fig10d_smart_alloc(traces):
+    result = traces["smart-alloc:P=4"]
+    print_section("Figure 10(d) — Scenario 3 tmem usage under smart-alloc(4%)")
+    print(render_figure_series(tmem_usage_figure(result)))
+    greedy = traces["greedy"]
+    # VM1/VM2 behave greedy-like initially (large peaks)...
+    assert result.vm("VM1").peak_tmem_pages > result.total_tmem_pages / 3
+    # ...but VM3 ends up with at least as much capacity as it gets under
+    # greedy, because the targets shift once it starts swapping.
+    assert result.vm("VM3").peak_tmem_pages >= greedy.vm("VM3").peak_tmem_pages * 0.9
+    # Targets were actively managed throughout the run.
+    assert result.target_updates > 0
+
+
+def test_fig10_benchmark_trace_extraction(benchmark, traces):
+    result = traces["smart-alloc:P=4"]
+    series = benchmark(lambda: tmem_usage_figure(result))
+    assert len(series) >= 3

@@ -1,0 +1,87 @@
+"""Micro-benchmark M1 — throughput of the tmem backend operations.
+
+Not a figure from the paper, but a sanity check on the substrate: put, get
+and flush on the simulated tmem backend must be cheap enough (hundreds of
+thousands of operations per second in pure Python) that full-scale
+scenario simulations stay interactive, and admission control (targets) and
+the key--value store must not change the asymptotic cost of an operation.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.hypervisor.pages import PageKey
+from repro.hypervisor.xen import Hypervisor
+from repro.sim.engine import SimulationEngine
+
+OPS = 2000
+
+
+def build_backend(tmem_pages=4096, with_target=False):
+    engine = SimulationEngine()
+    hv = Hypervisor(engine, SimulationConfig(), host_memory_pages=16384,
+                    tmem_pool_pages=tmem_pages)
+    record = hv.create_domain("vm", ram_pages=1024)
+    hv.register_tmem_client(record.vm_id)
+    if with_target:
+        hv.accounting.set_target(record.vm_id, tmem_pages // 2)
+    return hv, record
+
+
+@pytest.mark.parametrize("with_target", [False, True],
+                         ids=["greedy-admission", "target-admission"])
+def test_micro_put_throughput(benchmark, with_target):
+    hv, record = build_backend(with_target=with_target)
+
+    def put_batch():
+        for i in range(OPS):
+            hv.backend.put(record.vm_id, record.frontswap_pool_id,
+                           PageKey(0, 0, i), version=i, now=0.0)
+        hv.backend.flush_object(record.vm_id, record.frontswap_pool_id, 0)
+
+    benchmark(put_batch)
+    hv.check_invariants()
+
+
+def test_micro_put_get_cycle(benchmark):
+    """The frontswap steady-state pattern: put an evicted page, get it back."""
+    hv, record = build_backend()
+
+    def cycle():
+        for i in range(OPS):
+            hv.backend.put(record.vm_id, record.frontswap_pool_id,
+                           PageKey(0, 0, i % 256), version=i, now=0.0)
+            hv.backend.get(record.vm_id, record.frontswap_pool_id,
+                           PageKey(0, 0, i % 256))
+
+    benchmark(cycle)
+    assert hv.host_memory.tmem_used_pages == 0
+
+
+def test_micro_failed_puts_are_cheap(benchmark):
+    """Failed puts (the starvation path) must not be slower than successes."""
+    hv, record = build_backend(tmem_pages=1)
+    hv.backend.put(record.vm_id, record.frontswap_pool_id, PageKey(0, 0, 0),
+                   version=1, now=0.0)
+
+    def failing_puts():
+        for i in range(1, OPS):
+            hv.backend.put(record.vm_id, record.frontswap_pool_id,
+                           PageKey(0, 0, i), version=i, now=0.0)
+
+    benchmark(failing_puts)
+    assert hv.accounting.account(record.vm_id).cumul_puts_failed > 0
+
+
+def test_micro_flush_object_scales_with_pages(benchmark):
+    hv, record = build_backend()
+
+    def put_then_flush():
+        for i in range(OPS):
+            hv.backend.put(record.vm_id, record.frontswap_pool_id,
+                           PageKey(0, 5, i), version=i, now=0.0)
+        result = hv.backend.flush_object(record.vm_id, record.frontswap_pool_id, 5)
+        return result
+
+    result = benchmark(put_then_flush)
+    assert result.pages_flushed == min(OPS, 4096)

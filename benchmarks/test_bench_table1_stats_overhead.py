@@ -1,0 +1,59 @@
+"""Table I — the statistics SmarTmem collects, and their collection cost.
+
+Table I is structural (it lists the per-VM and node-wide statistics the
+hypervisor samples every second).  The bench regenerates the table from
+the implementation — so it cannot drift from the code — and measures the
+cost of one sampling interval (snapshot + counter reset) as the number of
+VMs grows, which is the overhead the one-second VIRQ adds to the node.
+"""
+
+import pytest
+
+from repro.analysis.tables import table1_statistics
+from repro.config import SimulationConfig
+from repro.hypervisor.pages import PageKey
+from repro.hypervisor.xen import Hypervisor
+from repro.sim.engine import SimulationEngine
+
+from conftest import print_section
+
+
+def build_node(vm_count: int) -> Hypervisor:
+    engine = SimulationEngine()
+    config = SimulationConfig()
+    hv = Hypervisor(
+        engine, config,
+        host_memory_pages=vm_count * 256 + 4096,
+        tmem_pool_pages=2048,
+    )
+    for i in range(vm_count):
+        record = hv.create_domain(f"vm{i+1}", ram_pages=256)
+        hv.register_tmem_client(record.vm_id)
+        # Leave a little per-VM state behind so snapshots are non-trivial.
+        hv.backend.put(record.vm_id, record.frontswap_pool_id,
+                       PageKey(0, 0, i), version=1, now=0.0)
+    return hv
+
+
+def test_table1_rows_match_implementation():
+    print_section("Table I — memory statistics used in SmarTmem")
+    rows = table1_statistics()
+    for row in rows:
+        print(f"  {row['statistic']:34s} {row['description']}")
+        if row["implemented_by"]:
+            print(f"  {'':34s} -> {row['implemented_by']}")
+    names = {row["statistic"] for row in rows}
+    # The table covers the hypervisor-side, MM-side and output structures.
+    assert any(name.startswith("vm_data_hyp") for name in names)
+    assert any(name.startswith("memstats") for name in names)
+    assert any(name.startswith("mm_out") for name in names)
+    assert len(rows) >= 12
+
+
+@pytest.mark.parametrize("vm_count", [3, 16, 64])
+def test_table1_sampling_overhead(benchmark, vm_count):
+    """Cost of one statistics snapshot as the VM population grows."""
+    hv = build_node(vm_count)
+    snapshot = benchmark(hv.sampler.sample_now)
+    assert snapshot.vm_count == vm_count
+    assert len(snapshot.vms) == vm_count

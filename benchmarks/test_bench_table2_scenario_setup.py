@@ -1,0 +1,52 @@
+"""Table II — the benchmark scenarios, regenerated from the scenario library.
+
+Table II is the scenario definition table (VM parameters, tmem sizes and
+the execution comments).  The bench prints the table as built from
+:mod:`repro.scenarios.library`, checks the values stated in the paper, and
+measures the cost of constructing a fully-wired scenario (hypervisor, VMs,
+control plane) — the set-up overhead a user pays before any simulation.
+"""
+
+import pytest
+
+from repro.analysis.tables import table2_scenarios
+from repro.scenarios.library import all_scenarios, scenario_by_name
+from repro.scenarios.runner import ScenarioRunner
+
+from conftest import BENCH_SEED, print_section
+
+
+def test_table2_rows():
+    print_section("Table II — list of scenarios used for benchmarking")
+    rows = table2_scenarios()
+    for row in rows:
+        vms = "; ".join(f"{k}: {v}" for k, v in row["vm_parameters"].items())
+        print(f"  {row['scenario']:18s} tmem={row['tmem_mb']:4d}MB  {vms}")
+        print(f"    {row['comments']}")
+
+    by_name = {row["scenario"]: row for row in rows}
+    assert set(by_name) == {"scenario-1", "scenario-2", "usemem-scenario", "scenario-3"}
+
+    # Values stated in Table II of the paper.
+    assert all(v.startswith("1024MB") for v in by_name["scenario-1"]["vm_parameters"].values())
+    assert all(v.startswith("512MB") for v in by_name["scenario-2"]["vm_parameters"].values())
+    assert by_name["usemem-scenario"]["tmem_mb"] == 384
+    assert by_name["scenario-3"]["vm_parameters"]["VM3"].startswith("1024MB")
+    for name in ("scenario-1", "scenario-2", "scenario-3"):
+        assert by_name[name]["tmem_mb"] == 1024
+    # Every scenario deploys three VMs.
+    for row in rows:
+        assert len(row["vm_parameters"]) == 3
+
+
+@pytest.mark.parametrize("scenario", sorted(all_scenarios()))
+def test_table2_scenario_setup_cost(benchmark, scenario):
+    """Time the construction of a fully-wired scenario at paper scale."""
+    spec = scenario_by_name(scenario, scale=1.0)
+
+    def build():
+        runner = ScenarioRunner(spec, "smart-alloc:P=2", seed=BENCH_SEED)
+        return runner
+
+    runner = benchmark(build)
+    assert len(runner.vms) == 3

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's full evaluation sweep (Figures 3, 5, 7 and 9).
+
+Runs every Table II scenario under every policy the paper evaluates and
+prints, per scenario, the running-time table, the improvement of the best
+smart-alloc configuration over greedy and no-tmem, and the mean Jain
+fairness of the tmem shares.
+
+This is the programmatic equivalent of ``pytest benchmarks/``; it is
+useful when you want the numbers without the benchmarking machinery, e.g.
+to regenerate EXPERIMENTS.md after changing a policy.
+
+Run with::
+
+    python examples/scenario_sweep.py [--scale 0.5] [--scenario scenario-2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import PAPER_POLICIES, all_scenarios
+from repro.analysis.metrics import improvement_percent, mean_fairness
+from repro.analysis.report import render_runtime_table
+from repro.scenarios.runner import run_scenario
+
+#: The smart-alloc setting the paper highlights for each scenario.
+BEST_SMART = {
+    "scenario-1": "smart-alloc:P=0.75",
+    "scenario-2": "smart-alloc:P=6",
+    "usemem-scenario": "smart-alloc:P=2",
+    "scenario-3": "smart-alloc:P=4",
+}
+
+
+def sweep_one(name, spec, policies, seed):
+    print("=" * 78)
+    print(f"{name}: {spec.description}")
+    print("=" * 78)
+    results = {}
+    for policy in policies:
+        start = time.perf_counter()
+        results[policy] = run_scenario(spec, policy, seed=seed)
+        print(f"  ran {policy:22s} in {time.perf_counter() - start:5.1f}s wall clock",
+              file=sys.stderr)
+
+    print(render_runtime_table(results))
+
+    best = BEST_SMART.get(name, "smart-alloc:P=2")
+    if best in results:
+        for baseline in ("greedy", "no-tmem"):
+            if baseline not in results:
+                continue
+            gains = [
+                improvement_percent(
+                    results[baseline].runtime_of(vm, run.run_index),
+                    results[best].runtime_of(vm, run.run_index),
+                )
+                for vm in results[baseline].vm_names()
+                for run in results[baseline].vm(vm).runs
+            ]
+            print(f"\n{best} vs {baseline}: best {max(gains):+.1f}%, "
+                  f"worst {min(gains):+.1f}%")
+
+    print("\nMean Jain fairness of tmem shares:")
+    for policy, result in results.items():
+        if policy == "no-tmem":
+            continue
+        print(f"  {policy:22s} {mean_fairness(result):.3f}")
+    print()
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="size scale factor (1.0 = paper sizes)")
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="restrict to one or more scenarios (repeatable)")
+    parser.add_argument("--policy", action="append", default=None,
+                        help="restrict to one or more policies (repeatable)")
+    args = parser.parse_args()
+
+    scenarios = all_scenarios(scale=args.scale)
+    if args.scenario:
+        scenarios = {k: v for k, v in scenarios.items() if k in set(args.scenario)}
+    policies = args.policy if args.policy else list(PAPER_POLICIES)
+
+    for name, spec in scenarios.items():
+        sweep_one(name, spec, policies, args.seed)
+
+
+if __name__ == "__main__":
+    main()

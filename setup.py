@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file only
+exists so that legacy (non-PEP-517) editable installs work on machines
+without the ``wheel`` package, e.g.::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

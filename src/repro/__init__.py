@@ -1,0 +1,168 @@
+"""SmarTmem reproduction: intelligent Transcendent Memory management.
+
+This package is a simulation-based reproduction of *SmarTmem: Intelligent
+Management of Transcendent Memory in a Virtualized Server* (Garrido,
+Nishtala, Carpenter — 2019).  It provides:
+
+* a discrete-event model of a virtualized node with a Xen-like tmem
+  backend (:mod:`repro.hypervisor`), guest kernels with frontswap /
+  cleancache and an LRU/CLOCK reclaim path (:mod:`repro.guest`), a shared
+  swap disk (:mod:`repro.devices`), and the netlink/TKM control plane
+  (:mod:`repro.channels`, :mod:`repro.guest.tkm`);
+* the SmarTmem Memory Manager and the paper's tmem policies — greedy,
+  static-alloc, reconf-static, smart-alloc(P) — in :mod:`repro.core`;
+* workload models reproducing the paper's benchmarks (usemem, CloudSuite
+  in-memory-analytics and graph-analytics stand-ins) in
+  :mod:`repro.workloads`;
+* the four evaluation scenarios (Table II) and a scenario runner in
+  :mod:`repro.scenarios`;
+* metrics, figure/table data extraction and text reports in
+  :mod:`repro.analysis`.
+
+Quickstart
+----------
+
+>>> from repro import scenario_1, run_scenario
+>>> spec = scenario_1(scale=0.25)           # small, fast configuration
+>>> greedy = run_scenario(spec, "greedy", seed=1)
+>>> smart = run_scenario(spec, "smart-alloc:P=2", seed=1)
+>>> isinstance(smart.mean_runtime_s(), float)
+True
+"""
+
+from .config import (
+    DiskConfig,
+    GuestConfig,
+    SamplingConfig,
+    SimulationConfig,
+    TmemConfig,
+    exact_config,
+)
+from .units import (
+    GIB,
+    KIB,
+    MIB,
+    XEN_PAGE_BYTES,
+    DEFAULT_UNITS,
+    SCENARIO_UNITS,
+    MemoryUnits,
+)
+from .errors import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    TmemError,
+    PolicyError,
+    ScenarioError,
+    WorkloadError,
+)
+from .core import (
+    MemoryManager,
+    TmemPolicy,
+    PolicyDecision,
+    TargetVector,
+    GreedyPolicy,
+    StaticAllocPolicy,
+    ReconfStaticPolicy,
+    SmartAllocPolicy,
+    create_policy,
+    available_policies,
+    register_policy,
+)
+from .hypervisor import Hypervisor
+from .guest import VirtualMachine
+from .sim import SimulationEngine, TraceRecorder
+from .scenarios import (
+    ScenarioSpec,
+    VMSpec,
+    WorkloadSpec,
+    ScenarioRunner,
+    ScenarioResult,
+    run_scenario,
+    scenario_1,
+    scenario_2,
+    scenario_3,
+    usemem_scenario,
+    all_scenarios,
+    PAPER_POLICIES,
+)
+from .workloads import (
+    UsememWorkload,
+    InMemoryAnalyticsWorkload,
+    GraphAnalyticsWorkload,
+)
+from .analysis import (
+    jain_fairness,
+    improvement_percent,
+    runtime_figure,
+    tmem_usage_figure,
+    render_runtime_table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimulationConfig",
+    "DiskConfig",
+    "TmemConfig",
+    "GuestConfig",
+    "SamplingConfig",
+    "exact_config",
+    "MemoryUnits",
+    "DEFAULT_UNITS",
+    "SCENARIO_UNITS",
+    "KIB",
+    "MIB",
+    "GIB",
+    "XEN_PAGE_BYTES",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "TmemError",
+    "PolicyError",
+    "ScenarioError",
+    "WorkloadError",
+    # core
+    "MemoryManager",
+    "TmemPolicy",
+    "PolicyDecision",
+    "TargetVector",
+    "GreedyPolicy",
+    "StaticAllocPolicy",
+    "ReconfStaticPolicy",
+    "SmartAllocPolicy",
+    "create_policy",
+    "available_policies",
+    "register_policy",
+    # system components
+    "Hypervisor",
+    "VirtualMachine",
+    "SimulationEngine",
+    "TraceRecorder",
+    # scenarios
+    "ScenarioSpec",
+    "VMSpec",
+    "WorkloadSpec",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "run_scenario",
+    "scenario_1",
+    "scenario_2",
+    "scenario_3",
+    "usemem_scenario",
+    "all_scenarios",
+    "PAPER_POLICIES",
+    # workloads
+    "UsememWorkload",
+    "InMemoryAnalyticsWorkload",
+    "GraphAnalyticsWorkload",
+    # analysis
+    "jain_fairness",
+    "improvement_percent",
+    "runtime_figure",
+    "tmem_usage_figure",
+    "render_runtime_table",
+]

@@ -1,0 +1,34 @@
+"""Post-processing: metrics, figure/table data and text reports."""
+
+from .metrics import (
+    jain_fairness,
+    speedup,
+    improvement_percent,
+    runtime_summary,
+    fairness_over_time,
+)
+from .figures import (
+    FigureSeries,
+    runtime_figure,
+    tmem_usage_figure,
+    usemem_phase_figure,
+)
+from .tables import table1_statistics, table2_scenarios
+from .report import render_runtime_table, render_figure_series, render_comparison
+
+__all__ = [
+    "jain_fairness",
+    "speedup",
+    "improvement_percent",
+    "runtime_summary",
+    "fairness_over_time",
+    "FigureSeries",
+    "runtime_figure",
+    "tmem_usage_figure",
+    "usemem_phase_figure",
+    "table1_statistics",
+    "table2_scenarios",
+    "render_runtime_table",
+    "render_figure_series",
+    "render_comparison",
+]

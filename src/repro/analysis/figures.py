@@ -1,0 +1,121 @@
+"""Data series for the paper's figures.
+
+Each helper turns one or more :class:`~repro.scenarios.results.ScenarioResult`
+objects into the plain numeric series a plotting tool (or the text report)
+needs to redraw a figure:
+
+* Figures 3, 5 and 9 — per-VM running-time bars, one group per policy.
+* Figure 7 — per-allocation-size running times of usemem.
+* Figures 4, 6, 8 and 10 — per-VM tmem usage over time for one policy,
+  plus the target line where the policy installs targets.
+
+No plotting library is used; the benchmark harness renders the series as
+text tables and EXPERIMENTS.md records the shape comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..scenarios.results import ScenarioResult
+
+__all__ = [
+    "FigureSeries",
+    "runtime_figure",
+    "tmem_usage_figure",
+    "usemem_phase_figure",
+]
+
+
+@dataclass
+class FigureSeries:
+    """One named series of (x, y) points of a reproduced figure."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+    #: Optional categorical x labels (e.g. VM/run names for bar charts).
+    x_labels: Sequence[str] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if self.x.shape != self.y.shape:
+            raise AnalysisError(
+                f"series {self.label!r}: x and y have different shapes"
+            )
+
+
+def runtime_figure(
+    results: Mapping[str, ScenarioResult],
+) -> Dict[str, FigureSeries]:
+    """Running-time bars (Figures 3, 5, 9): one series per policy.
+
+    The x axis enumerates (VM, run) pairs in VM order; the y axis is the
+    running time in simulated seconds.
+    """
+    if not results:
+        raise AnalysisError("no results supplied")
+    series: Dict[str, FigureSeries] = {}
+    for policy, result in results.items():
+        labels: List[str] = []
+        values: List[float] = []
+        for vm_name in result.vm_names():
+            for run in result.vm(vm_name).runs:
+                labels.append(f"{vm_name}/run{run.run_index + 1}")
+                values.append(run.duration_s)
+        series[policy] = FigureSeries(
+            label=policy,
+            x=np.arange(len(values), dtype=np.float64),
+            y=np.asarray(values),
+            x_labels=tuple(labels),
+        )
+    return series
+
+
+def tmem_usage_figure(
+    result: ScenarioResult, *, include_targets: bool = True
+) -> Dict[str, FigureSeries]:
+    """Per-VM tmem usage over time (Figures 4, 6, 8, 10) for one policy."""
+    series: Dict[str, FigureSeries] = {}
+    for vm_name in result.vm_names():
+        usage = result.tmem_usage_series(vm_name)
+        series[vm_name] = FigureSeries(
+            label=f"{vm_name} tmem used", x=usage.times, y=usage.values
+        )
+        if include_targets:
+            target = result.target_series(vm_name)
+            if target is not None and len(target):
+                series[f"target-{vm_name}"] = FigureSeries(
+                    label=f"{vm_name} target", x=target.times, y=target.values
+                )
+    return series
+
+
+def usemem_phase_figure(
+    results: Mapping[str, ScenarioResult],
+    *,
+    phase_prefix: str = "alloc-",
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-allocation-size running times for the Usemem scenario (Figure 7).
+
+    Returns ``{policy: {vm: {phase: seconds}}}`` restricted to the
+    allocation phases, preserving allocation order.
+    """
+    figure: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for policy, result in results.items():
+        per_vm: Dict[str, Dict[str, float]] = {}
+        for vm_name in result.vm_names():
+            vm_result = result.vm(vm_name)
+            phases: Dict[str, float] = {}
+            for run in vm_result.runs:
+                for phase in run.phase_order:
+                    if phase.startswith(phase_prefix):
+                        phases[phase] = run.phase_durations.get(phase, 0.0)
+            per_vm[vm_name] = phases
+        figure[policy] = per_vm
+    return figure

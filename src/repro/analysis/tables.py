@@ -1,0 +1,104 @@
+"""Reproductions of the paper's tables.
+
+Table I lists the statistics SmarTmem collects; Table II lists the
+benchmark scenarios.  Both are structural (they describe the system rather
+than report measurements), so their "reproduction" is a programmatic
+cross-check: Table I is generated from the actual fields of the accounting
+and snapshot classes, and Table II from the scenario library, so the
+tables stay true to the code by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping
+
+from ..hypervisor.accounting import NodeInfo, VmTmemAccount
+from ..hypervisor.virq import StatsSnapshot, VmStatsSample
+from ..scenarios.library import all_scenarios
+from ..scenarios.spec import ScenarioSpec
+
+__all__ = ["table1_statistics", "table2_scenarios"]
+
+#: Descriptions of the Table I entries, keyed by the paper's names.
+_TABLE1_DESCRIPTIONS: Mapping[str, str] = {
+    "node_info.free_tmem": "Number of free pages available for tmem.",
+    "node_info.vm_count": "Number of VMs registered.",
+    "vm_data_hyp[id].vm_id": "Identifier of the VM within Xen.",
+    "vm_data_hyp[id].tmem_used": "Pages of tmem currently used by the VM.",
+    "vm_data_hyp[id].mm_target": "Target number of pages allocated to the VM.",
+    "vm_data_hyp[id].puts_total": "Puts issued by the VM in the sampling interval.",
+    "vm_data_hyp[id].puts_succ": "Successful puts in the sampling interval.",
+    "memstats.vm_count": "Active VMs as seen by the MM.",
+    "memstats.vm[i].vm_id": "Identifier of the VM within the MM.",
+    "memstats.vm[i].puts_total": "Puts issued by a VM in the sampling interval.",
+    "memstats.vm[i].puts_succ": "Successful puts in the sampling interval.",
+    "mm_out[i].vm_id": "VM identifier mapping a VM to its target allocation.",
+    "mm_out[i].mm_target": "Memory allocation target calculated by the MM policy.",
+}
+
+#: Mapping from the paper's statistic names to (class, attribute) in this
+#: code base, used to verify the fields really exist.
+_TABLE1_FIELDS = {
+    "node_info.free_tmem": (NodeInfo, "free_tmem"),
+    "node_info.vm_count": (NodeInfo, "vm_count"),
+    "vm_data_hyp[id].vm_id": (VmTmemAccount, "vm_id"),
+    "vm_data_hyp[id].tmem_used": (VmTmemAccount, "tmem_used"),
+    "vm_data_hyp[id].mm_target": (VmTmemAccount, "mm_target"),
+    "vm_data_hyp[id].puts_total": (VmTmemAccount, "puts_total"),
+    "vm_data_hyp[id].puts_succ": (VmTmemAccount, "puts_succ"),
+    "memstats.vm_count": (StatsSnapshot, "vm_count"),
+    "memstats.vm[i].vm_id": (VmStatsSample, "vm_id"),
+    "memstats.vm[i].puts_total": (VmStatsSample, "puts_total"),
+    "memstats.vm[i].puts_succ": (VmStatsSample, "puts_succ"),
+}
+
+
+def table1_statistics() -> List[Dict[str, str]]:
+    """Rows of Table I: statistic name, description, implementing attribute.
+
+    Raises ``AttributeError`` at call time if a listed field no longer
+    exists in the implementation, which keeps the table honest.
+    """
+    rows: List[Dict[str, str]] = []
+    for name, description in _TABLE1_DESCRIPTIONS.items():
+        implemented_by = ""
+        if name in _TABLE1_FIELDS:
+            cls, attr = _TABLE1_FIELDS[name]
+            field_names = {f.name for f in dataclasses.fields(cls)}
+            if attr not in field_names and not hasattr(cls, attr):
+                raise AttributeError(
+                    f"Table I field {name!r} maps to missing attribute "
+                    f"{cls.__name__}.{attr}"
+                )
+            implemented_by = f"{cls.__module__}.{cls.__name__}.{attr}"
+        elif name.startswith("mm_out"):
+            implemented_by = "repro.core.stats.TargetVector"
+        rows.append(
+            {
+                "statistic": name,
+                "description": description,
+                "implemented_by": implemented_by,
+            }
+        )
+    return rows
+
+
+def table2_scenarios(*, scale: float = 1.0) -> List[Dict[str, object]]:
+    """Rows of Table II, generated from the scenario library."""
+    rows: List[Dict[str, object]] = []
+    for name, spec in all_scenarios(scale=scale).items():
+        rows.append(_scenario_row(spec))
+    return rows
+
+
+def _scenario_row(spec: ScenarioSpec) -> Dict[str, object]:
+    vm_params = {
+        vm.name: f"{vm.ram_mb}MB RAM, {vm.vcpus} CPU" for vm in spec.vms
+    }
+    return {
+        "scenario": spec.name,
+        "vm_parameters": vm_params,
+        "tmem_mb": spec.tmem_mb,
+        "comments": spec.description,
+    }

@@ -1,0 +1,5 @@
+"""Communication channels between kernel space and user space."""
+
+from .netlink import NetlinkChannel, NetlinkMessage
+
+__all__ = ["NetlinkChannel", "NetlinkMessage"]

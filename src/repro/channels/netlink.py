@@ -1,0 +1,115 @@
+"""Netlink-style channel between the TKM and the Memory Manager.
+
+In the real SmarTmem stack the Tmem Kernel Module relays each statistics
+snapshot to the user-space Memory Manager over a netlink socket, and the
+MM's reply (the new target vector) travels back the same way before being
+pushed into the hypervisor via a custom hypercall.
+
+The simulated channel preserves the two properties that matter to the
+policies: the one-sampling-interval cadence of messages, and a small,
+configurable delivery latency (the statistics the MM acts on are always a
+little stale).  Messages are delivered through the simulation engine so
+the latency is part of simulated time, not wall-clock time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..sim.engine import SimulationEngine
+from ..sim.events import EventPriority
+
+__all__ = ["NetlinkMessage", "NetlinkChannel"]
+
+_msg_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class NetlinkMessage:
+    """One message on the channel."""
+
+    seq: int
+    kind: str
+    payload: Any
+    sent_at: float
+    delivered_at: float
+
+
+class NetlinkChannel:
+    """A unidirectional, latency-modelled message channel.
+
+    Two instances are used per node: ``kernel -> user`` for statistics and
+    ``user -> kernel`` for target vectors.  Delivery order is FIFO.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        *,
+        latency_s: float = 0.0,
+        name: str = "netlink",
+    ) -> None:
+        self._engine = engine
+        self._latency = float(latency_s)
+        self._name = name
+        self._receivers: List[Callable[[NetlinkMessage], None]] = []
+        self._log: List[NetlinkMessage] = []
+        self._dropped = 0
+        self._fault_predicate: Optional[Callable[[NetlinkMessage], bool]] = None
+
+    # -- wiring -------------------------------------------------------------
+    def subscribe(self, receiver: Callable[[NetlinkMessage], None]) -> None:
+        self._receivers.append(receiver)
+
+    def inject_fault(
+        self, predicate: Optional[Callable[[NetlinkMessage], bool]]
+    ) -> None:
+        """Drop messages for which *predicate* returns True (tests only)."""
+        self._fault_predicate = predicate
+
+    # -- sending -------------------------------------------------------------
+    def send(self, kind: str, payload: Any) -> NetlinkMessage:
+        """Send a message; it is delivered after the channel latency."""
+        now = self._engine.now
+        message = NetlinkMessage(
+            seq=next(_msg_counter),
+            kind=kind,
+            payload=payload,
+            sent_at=now,
+            delivered_at=now + self._latency,
+        )
+        if self._fault_predicate is not None and self._fault_predicate(message):
+            self._dropped += 1
+            return message
+        self._log.append(message)
+
+        def _deliver() -> None:
+            for receiver in self._receivers:
+                receiver(message)
+
+        if self._latency > 0:
+            self._engine.schedule_after(
+                self._latency,
+                _deliver,
+                priority=EventPriority.HYPERVISOR,
+                label=f"{self._name}:{kind}",
+            )
+        else:
+            _deliver()
+        return message
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def messages_sent(self) -> int:
+        return len(self._log)
+
+    @property
+    def messages_dropped(self) -> int:
+        return self._dropped
+
+    def history(self, kind: Optional[str] = None) -> List[NetlinkMessage]:
+        if kind is None:
+            return list(self._log)
+        return [m for m in self._log if m.kind == kind]

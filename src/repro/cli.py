@@ -1,0 +1,159 @@
+"""Command-line front end.
+
+``python -m repro`` (or the ``smartmem`` console script) runs one of the
+paper's scenarios under one or more policies and prints the reproduced
+running-time table, tmem usage traces and policy comparison.
+
+Examples
+--------
+Run Scenario 1 at a quarter scale under the default policy set::
+
+    smartmem run scenario-1 --scale 0.25
+
+Run the Usemem scenario under greedy and smart-alloc(2%) only::
+
+    smartmem run usemem-scenario --policy greedy --policy smart-alloc:P=2
+
+List scenarios and policies::
+
+    smartmem list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .analysis.figures import tmem_usage_figure
+from .analysis.metrics import mean_fairness
+from .analysis.report import render_figure_series, render_runtime_table
+from .analysis.tables import table1_statistics, table2_scenarios
+from .core.policy import available_policies
+from .scenarios.library import PAPER_POLICIES, all_scenarios, scenario_by_name
+from .scenarios.results import ScenarioResult
+from .scenarios.runner import run_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="smartmem",
+        description="SmarTmem reproduction: run tmem-policy scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a scenario under one or more policies")
+    run_p.add_argument("scenario", help="scenario name (see 'smartmem list')")
+    run_p.add_argument(
+        "--policy",
+        action="append",
+        dest="policies",
+        default=None,
+        help="policy spec, repeatable (default: the paper's policy set)",
+    )
+    run_p.add_argument("--scale", type=float, default=0.25,
+                       help="size scale factor (1.0 = paper sizes)")
+    run_p.add_argument("--seed", type=int, default=2019, help="simulation seed")
+    run_p.add_argument("--traces", action="store_true",
+                       help="also print per-VM tmem usage traces")
+    run_p.add_argument("--fairness", action="store_true",
+                       help="also print the mean Jain fairness per policy")
+
+    sub.add_parser("list", help="list scenarios and registered policies")
+
+    tables_p = sub.add_parser("tables", help="print Tables I and II")
+    tables_p.add_argument("--scale", type=float, default=1.0)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Scenarios:")
+    for name, spec in all_scenarios(scale=1.0).items():
+        print(f"  {name:18s} {spec.description}")
+    print()
+    print("Policies:")
+    for name in available_policies():
+        print(f"  {name}")
+    print("  no-tmem            (baseline: tmem disabled in every guest)")
+    return 0
+
+
+def _cmd_tables(scale: float) -> int:
+    print("Table I — statistics collected by the hypervisor / MM")
+    for row in table1_statistics():
+        print(f"  {row['statistic']:32s} {row['description']}")
+    print()
+    print("Table II — benchmark scenarios")
+    for row in table2_scenarios(scale=scale):
+        vms = "; ".join(f"{k}: {v}" for k, v in row["vm_parameters"].items())
+        print(f"  {row['scenario']:18s} tmem={row['tmem_mb']}MB  {vms}")
+        print(f"    {row['comments']}")
+    return 0
+
+
+def _cmd_run(
+    scenario: str,
+    policies: Optional[List[str]],
+    scale: float,
+    seed: int,
+    show_traces: bool,
+    show_fairness: bool,
+) -> int:
+    spec = scenario_by_name(scenario, scale=scale)
+    selected = policies if policies else list(PAPER_POLICIES)
+
+    results: Dict[str, ScenarioResult] = {}
+    for policy in selected:
+        print(f"running {scenario} under {policy} ...", file=sys.stderr)
+        results[policy] = run_scenario(spec, policy, seed=seed)
+
+    print()
+    print(render_runtime_table(results, title=f"Running times — {scenario} (scale={scale})"))
+
+    if show_fairness:
+        print()
+        print("Mean Jain fairness of tmem shares:")
+        for policy, result in results.items():
+            if policy == "no-tmem":
+                continue
+            print(f"  {policy:22s} {mean_fairness(result):.3f}")
+
+    if show_traces:
+        for policy, result in results.items():
+            if policy == "no-tmem":
+                continue
+            print()
+            print(
+                render_figure_series(
+                    tmem_usage_figure(result),
+                    title=f"Tmem usage over time — {policy}",
+                )
+            )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "tables":
+        return _cmd_tables(args.scale)
+    if args.command == "run":
+        return _cmd_run(
+            args.scenario,
+            args.policies,
+            args.scale,
+            args.seed,
+            args.traces,
+            args.fairness,
+        )
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""The tmem management policies evaluated in the paper."""
+
+from .greedy import GreedyPolicy
+from .static_alloc import StaticAllocPolicy
+from .reconf_static import ReconfStaticPolicy
+from .smart_alloc import SmartAllocPolicy
+
+__all__ = [
+    "GreedyPolicy",
+    "StaticAllocPolicy",
+    "ReconfStaticPolicy",
+    "SmartAllocPolicy",
+]

@@ -1,0 +1,29 @@
+"""The default greedy allocation (no management at all).
+
+This is the baseline the paper argues against: the stock Xen tmem backend
+admits every put while free pages remain, so whichever VM generates memory
+pressure first can monopolise the pool.  As a policy object it simply
+never installs any targets; the hypervisor's admission check then reduces
+to "is there a free page?".
+"""
+
+from __future__ import annotations
+
+from ..policy import PolicyDecision, TmemPolicy, register_policy
+from ..stats import MemStatsView
+
+__all__ = ["GreedyPolicy"]
+
+
+@register_policy("greedy")
+class GreedyPolicy(TmemPolicy):
+    """First-come-first-served tmem allocation (the Xen default)."""
+
+    manages_targets = False
+
+    def decide(self, memstats: MemStatsView) -> PolicyDecision:
+        del memstats  # the greedy baseline ignores the statistics entirely
+        return PolicyDecision.no_change(note="greedy: no targets")
+
+    def describe(self) -> str:
+        return "greedy (default Xen behaviour, no targets)"

@@ -1,0 +1,6 @@
+"""Device models: host DRAM frame pool and the virtual swap disk."""
+
+from .dram import HostMemory
+from .disk import VirtualDisk, DiskStats
+
+__all__ = ["HostMemory", "VirtualDisk", "DiskStats"]

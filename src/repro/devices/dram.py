@@ -1,0 +1,138 @@
+"""Host physical memory model.
+
+The hypervisor carves the node's DRAM into two regions:
+
+* memory statically assigned to VMs at creation time (their "RAM"), and
+* the remaining idle/fallow pages which back the tmem pool.
+
+We only need frame-counting semantics — the simulator never stores page
+contents — but the accounting must be exact, because the central question
+of the paper is *which VM holds how many tmem frames at each instant*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, TmemPoolError
+
+__all__ = ["HostMemory"]
+
+
+@dataclass
+class _Region:
+    total: int
+    used: int = 0
+
+    @property
+    def free(self) -> int:
+        return self.total - self.used
+
+
+class HostMemory:
+    """Frame-count accounting of the node's physical memory.
+
+    Parameters
+    ----------
+    total_pages:
+        Total DRAM of the node, in simulated pages.
+    """
+
+    def __init__(self, total_pages: int) -> None:
+        if total_pages <= 0:
+            raise ConfigurationError(
+                f"total_pages must be > 0, got {total_pages}"
+            )
+        self._total = int(total_pages)
+        self._vm_reserved = 0
+        self._tmem = _Region(total=0)
+
+    # -- static VM memory -------------------------------------------------
+    @property
+    def total_pages(self) -> int:
+        return self._total
+
+    @property
+    def vm_reserved_pages(self) -> int:
+        """Pages statically assigned to VMs as their RAM."""
+        return self._vm_reserved
+
+    def reserve_vm_memory(self, pages: int) -> None:
+        """Assign *pages* frames to a VM at creation time."""
+        if pages <= 0:
+            raise ConfigurationError(f"VM memory must be > 0 pages, got {pages}")
+        if self._vm_reserved + self._tmem.total + pages > self._total:
+            raise ConfigurationError(
+                f"cannot reserve {pages} pages: only "
+                f"{self.unassigned_pages} unassigned pages remain"
+            )
+        self._vm_reserved += pages
+
+    def release_vm_memory(self, pages: int) -> None:
+        """Return a destroyed VM's frames to the unassigned pool."""
+        if pages < 0 or pages > self._vm_reserved:
+            raise ConfigurationError(
+                f"cannot release {pages} pages (reserved={self._vm_reserved})"
+            )
+        self._vm_reserved -= pages
+
+    @property
+    def unassigned_pages(self) -> int:
+        """Fallow pages: not given to any VM and not in the tmem pool."""
+        return self._total - self._vm_reserved - self._tmem.total
+
+    # -- tmem pool ---------------------------------------------------------
+    def grow_tmem_pool(self, pages: int) -> None:
+        """Move *pages* fallow frames into the tmem pool."""
+        if pages <= 0:
+            raise ConfigurationError(f"tmem pool growth must be > 0, got {pages}")
+        if pages > self.unassigned_pages:
+            raise ConfigurationError(
+                f"cannot grow tmem pool by {pages}: only "
+                f"{self.unassigned_pages} fallow pages remain"
+            )
+        self._tmem.total += pages
+
+    @property
+    def tmem_total_pages(self) -> int:
+        return self._tmem.total
+
+    @property
+    def tmem_used_pages(self) -> int:
+        return self._tmem.used
+
+    @property
+    def tmem_free_pages(self) -> int:
+        return self._tmem.free
+
+    def allocate_tmem_page(self) -> None:
+        """Take one free frame from the tmem pool (a successful put)."""
+        if self._tmem.free <= 0:
+            raise TmemPoolError("tmem pool exhausted")
+        self._tmem.used += 1
+
+    def free_tmem_page(self) -> None:
+        """Return one frame to the tmem pool (flush or get-and-invalidate)."""
+        if self._tmem.used <= 0:
+            raise TmemPoolError("tmem pool underflow: freeing an unused page")
+        self._tmem.used -= 1
+
+    # -- invariants ----------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise if the frame accounting ever becomes inconsistent."""
+        if self._tmem.used < 0 or self._tmem.used > self._tmem.total:
+            raise TmemPoolError(
+                f"tmem accounting broken: used={self._tmem.used} "
+                f"total={self._tmem.total}"
+            )
+        if self._vm_reserved + self._tmem.total > self._total:
+            raise TmemPoolError(
+                "assigned memory exceeds physical memory: "
+                f"{self._vm_reserved} + {self._tmem.total} > {self._total}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"HostMemory(total={self._total}, vm={self._vm_reserved}, "
+            f"tmem={self._tmem.used}/{self._tmem.total})"
+        )

@@ -1,0 +1,112 @@
+"""Exception hierarchy for the SmarTmem reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause.  Errors are split
+by subsystem (simulation engine, hypervisor/tmem, guest kernel, policy
+layer, scenario configuration) which mirrors the package layout.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ClockError",
+    "EventError",
+    "TmemError",
+    "TmemPoolError",
+    "TmemKeyError",
+    "HypercallError",
+    "GuestError",
+    "PageFaultError",
+    "SwapError",
+    "PolicyError",
+    "UnknownPolicyError",
+    "ScenarioError",
+    "WorkloadError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+# --------------------------------------------------------------------------
+# Simulation engine
+# --------------------------------------------------------------------------
+class SimulationError(ReproError):
+    """Base class for discrete-event engine errors."""
+
+
+class ClockError(SimulationError):
+    """The simulated clock was asked to move backwards."""
+
+
+class EventError(SimulationError):
+    """An event was scheduled or cancelled incorrectly."""
+
+
+# --------------------------------------------------------------------------
+# Hypervisor / tmem backend
+# --------------------------------------------------------------------------
+class TmemError(ReproError):
+    """Base class for tmem backend errors."""
+
+
+class TmemPoolError(TmemError):
+    """A tmem pool operation referenced an unknown or closed pool."""
+
+
+class TmemKeyError(TmemError):
+    """A tmem key (pool, object, index) was malformed or missing."""
+
+
+class HypercallError(ReproError):
+    """A hypercall was issued by an unregistered domain or with bad args."""
+
+
+# --------------------------------------------------------------------------
+# Guest kernel
+# --------------------------------------------------------------------------
+class GuestError(ReproError):
+    """Base class for guest-kernel model errors."""
+
+
+class PageFaultError(GuestError):
+    """A page fault could not be serviced consistently."""
+
+
+class SwapError(GuestError):
+    """The guest swap area overflowed or was addressed out of range."""
+
+
+# --------------------------------------------------------------------------
+# Policy / memory manager
+# --------------------------------------------------------------------------
+class PolicyError(ReproError):
+    """A policy produced an invalid target vector."""
+
+
+class UnknownPolicyError(PolicyError):
+    """A policy name was not found in the registry."""
+
+
+# --------------------------------------------------------------------------
+# Scenarios / workloads / analysis
+# --------------------------------------------------------------------------
+class ScenarioError(ReproError):
+    """A scenario specification is invalid."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured with impossible parameters."""
+
+
+class AnalysisError(ReproError):
+    """Post-processing was asked for data that was never recorded."""

@@ -1,0 +1,117 @@
+"""Cleancache front end: tmem as a victim cache for clean page-cache pages.
+
+Cleancache is the second tmem mode described in the paper: when the guest
+kernel's reclaim path evicts a *clean* page that was read from a file, the
+page can be put into an ephemeral tmem pool instead of being discarded.
+A later read of the same file page consults cleancache first and, on a
+hit, avoids the disk read.
+
+The paper's experiments use frontswap only (the CloudSuite workloads
+allocate anonymous memory), but cleancache is part of the tmem interface
+SmarTmem manages, so the client is provided and exercised by the test
+suite and by the optional file-backed access mode of the workload layer.
+
+Unlike frontswap, cleancache is *ephemeral*: the hypervisor may drop pages
+at any time, so a miss is never an error, and gets are non-exclusive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..hypervisor.hypercalls import HypercallInterface
+from .addressing import SwapEntryAddresser
+
+__all__ = ["CleancacheStats", "CleancacheClient"]
+
+
+@dataclass
+class CleancacheStats:
+    """Lifetime cleancache counters for one VM."""
+
+    puts: int = 0
+    failed_puts: int = 0
+    hits: int = 0
+    misses: int = 0
+    invalidates: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CleancacheClient:
+    """Guest-side cleancache implementation backed by tmem hypercalls."""
+
+    def __init__(
+        self,
+        vm_id: int,
+        pool_id: int,
+        hypercalls: HypercallInterface,
+    ) -> None:
+        self._vm_id = vm_id
+        self._pool_id = pool_id
+        self._hypercalls = hypercalls
+        self._addresser = SwapEntryAddresser(pool_id=pool_id)
+        self._version_clock = 0
+        #: best-effort guest-side view; the hypervisor may drop pages.
+        self._maybe_cached: Dict[int, int] = {}
+        self.stats = CleancacheStats()
+
+    @property
+    def vm_id(self) -> int:
+        return self._vm_id
+
+    @property
+    def pool_id(self) -> int:
+        return self._pool_id
+
+    def put_page(self, file_page: int, *, now: float) -> Tuple[bool, float]:
+        """Offer an evicted clean page to cleancache."""
+        self._version_clock += 1
+        key = self._addresser.key_for(file_page)
+        result, latency = self._hypercalls.tmem_put(
+            self._vm_id, self._pool_id, key, version=self._version_clock, now=now
+        )
+        if result.succeeded:
+            self._maybe_cached[file_page] = self._version_clock
+            self.stats.puts += 1
+        else:
+            self.stats.failed_puts += 1
+        return result.succeeded, latency
+
+    def get_page(self, file_page: int) -> Tuple[bool, float]:
+        """Look a file page up on a page-cache miss."""
+        key = self._addresser.key_for(file_page)
+        result, latency = self._hypercalls.tmem_get(self._vm_id, self._pool_id, key)
+        if result.succeeded:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            self._maybe_cached.pop(file_page, None)
+        return result.succeeded, latency
+
+    def invalidate_page(self, file_page: int) -> Tuple[bool, float]:
+        """Invalidate a cached file page (the file was written/truncated)."""
+        key = self._addresser.key_for(file_page)
+        result, latency = self._hypercalls.tmem_flush_page(
+            self._vm_id, self._pool_id, key
+        )
+        self._maybe_cached.pop(file_page, None)
+        self.stats.invalidates += 1
+        return result.succeeded, latency
+
+    def invalidate_inode(self, object_id: int) -> Tuple[int, float]:
+        """Invalidate every cached page of one file (inode)."""
+        result, latency = self._hypercalls.tmem_flush_object(
+            self._vm_id, self._pool_id, object_id
+        )
+        doomed = [
+            p for p in self._maybe_cached if self._addresser.object_of(p) == object_id
+        ]
+        for p in doomed:
+            del self._maybe_cached[p]
+        self.stats.invalidates += result.pages_flushed
+        return result.pages_flushed, latency

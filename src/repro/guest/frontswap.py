@@ -1,0 +1,158 @@
+"""Frontswap front end: tmem as a cache in front of the swap device.
+
+When the guest kernel's reclaim path decides to swap out an anonymous
+page, frontswap first offers the page to tmem via a put hypercall.  If the
+put succeeds the disk write (and the later disk read) is avoided; if it
+fails the page goes to the swap device as usual.  On a page fault for a
+swapped page, frontswap is consulted first (get hypercall); only on a miss
+does the kernel issue the disk read.
+
+This module is a thin, accounted wrapper around the hypercall interface:
+it tracks which guest pages are currently stored in tmem, assigns the
+monotonically increasing versions used to verify store consistency, and
+exposes store/load/invalidate operations in the vocabulary the guest
+kernel uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import GuestError
+from ..hypervisor.hypercalls import HypercallInterface
+from .addressing import SwapEntryAddresser
+
+__all__ = ["FrontswapStats", "FrontswapClient"]
+
+
+@dataclass
+class FrontswapStats:
+    """Lifetime frontswap counters for one VM (mirrors /sys/kernel/debug)."""
+
+    succ_stores: int = 0
+    failed_stores: int = 0
+    loads: int = 0
+    failed_loads: int = 0
+    invalidates: int = 0
+
+    @property
+    def total_stores(self) -> int:
+        return self.succ_stores + self.failed_stores
+
+
+class FrontswapClient:
+    """Guest-side frontswap implementation backed by tmem hypercalls."""
+
+    def __init__(
+        self,
+        vm_id: int,
+        pool_id: int,
+        hypercalls: HypercallInterface,
+        *,
+        pages_per_object: Optional[int] = None,
+    ) -> None:
+        self._vm_id = vm_id
+        self._pool_id = pool_id
+        self._hypercalls = hypercalls
+        kwargs = {}
+        if pages_per_object is not None:
+            kwargs["pages_per_object"] = pages_per_object
+        self._addresser = SwapEntryAddresser(pool_id=pool_id, **kwargs)
+        #: guest page number -> version stored in tmem
+        self._stored: Dict[int, int] = {}
+        self._version_clock = 0
+        self.stats = FrontswapStats()
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def vm_id(self) -> int:
+        return self._vm_id
+
+    @property
+    def pool_id(self) -> int:
+        return self._pool_id
+
+    @property
+    def pages_in_tmem(self) -> int:
+        return len(self._stored)
+
+    def holds(self, page: int) -> bool:
+        return page in self._stored
+
+    # -- operations ------------------------------------------------------------
+    def store(self, page: int, *, now: float) -> Tuple[bool, float]:
+        """Try to put *page* into tmem.
+
+        Returns ``(succeeded, latency_s)``.  On success the page is tracked
+        as tmem-resident; on failure the caller must fall back to the swap
+        device.
+        """
+        self._version_clock += 1
+        key = self._addresser.key_for(page)
+        result, latency = self._hypercalls.tmem_put(
+            self._vm_id, self._pool_id, key, version=self._version_clock, now=now
+        )
+        if result.succeeded:
+            self._stored[page] = self._version_clock
+            self.stats.succ_stores += 1
+            return True, latency
+        self.stats.failed_stores += 1
+        return False, latency
+
+    def load(self, page: int) -> Tuple[bool, float]:
+        """Try to get *page* back from tmem.
+
+        Returns ``(hit, latency_s)``.  A hit removes the page from tmem
+        (frontswap gets are exclusive) and verifies that the version
+        returned matches the last stored version.
+        """
+        key = self._addresser.key_for(page)
+        result, latency = self._hypercalls.tmem_get(self._vm_id, self._pool_id, key)
+        if not result.succeeded:
+            self.stats.failed_loads += 1
+            # The guest believed the page was in tmem but it is gone; that
+            # would be data loss for a persistent pool, so surface it.
+            if page in self._stored:
+                raise GuestError(
+                    f"VM {self._vm_id}: frontswap page {page} vanished from "
+                    "a persistent tmem pool"
+                )
+            return False, latency
+        expected = self._stored.pop(page, None)
+        if expected is not None and result.version != expected:
+            raise GuestError(
+                f"VM {self._vm_id}: frontswap page {page} returned stale data "
+                f"(version {result.version} != {expected})"
+            )
+        self.stats.loads += 1
+        return True, latency
+
+    def invalidate(self, page: int) -> Tuple[bool, float]:
+        """Flush *page* from tmem (the guest freed or re-dirtied it)."""
+        if page not in self._stored:
+            return False, 0.0
+        key = self._addresser.key_for(page)
+        result, latency = self._hypercalls.tmem_flush_page(
+            self._vm_id, self._pool_id, key
+        )
+        self._stored.pop(page, None)
+        self.stats.invalidates += 1
+        return result.succeeded, latency
+
+    def invalidate_area(self) -> Tuple[int, float]:
+        """Flush everything (swapoff / guest shutdown).
+
+        Returns ``(pages_flushed, total_latency_s)``.
+        """
+        total_latency = 0.0
+        flushed = 0
+        for object_id in sorted({self._addresser.object_of(p) for p in self._stored}):
+            result, latency = self._hypercalls.tmem_flush_object(
+                self._vm_id, self._pool_id, object_id
+            )
+            total_latency += latency
+            flushed += result.pages_flushed
+        self._stored.clear()
+        self.stats.invalidates += flushed
+        return flushed, total_latency

@@ -1,0 +1,285 @@
+"""Guest kernel memory-management model.
+
+:class:`GuestKernel` tracks the resident set of a VM's anonymous pages and
+services the page-access bursts produced by workloads:
+
+* An access to a resident page is a cheap hit (``resident_access_latency``).
+* An access to a non-resident page is a major fault.  The fault is served,
+  in order of preference, from tmem via frontswap (a get hypercall), from
+  the guest swap area on the virtual disk, or by zero-filling a page that
+  was never evicted (first touch).
+* When the resident set would exceed the usable RAM, the page-frame
+  reclaim algorithm selects victims.  Each victim is offered to tmem via a
+  frontswap put; if the put fails the page is written to the swap disk.
+
+The kernel returns the total latency of every burst so the VM driver can
+advance its virtual time; the latency breakdown and the fault counters are
+kept in :class:`GuestMemStats` for analysis.  This is exactly the coupling
+through which the SmarTmem policies affect application running time: a
+policy that lets a VM keep more pages in tmem converts multi-millisecond
+disk faults into microsecond hypercalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..config import SimulationConfig
+from ..devices.disk import VirtualDisk
+from ..errors import ConfigurationError
+from .frontswap import FrontswapClient
+from .pfra import make_reclaimer
+from .swap import SwapArea
+
+__all__ = ["AccessOutcome", "GuestMemStats", "GuestKernel"]
+
+
+@dataclass
+class AccessOutcome:
+    """Result of servicing one page-access burst."""
+
+    latency_s: float = 0.0
+    pages_accessed: int = 0
+    minor_hits: int = 0
+    major_faults: int = 0
+    faults_from_tmem: int = 0
+    faults_from_disk: int = 0
+    first_touches: int = 0
+    evictions: int = 0
+    evictions_to_tmem: int = 0
+    evictions_to_disk: int = 0
+    failed_tmem_puts: int = 0
+
+
+@dataclass
+class GuestMemStats:
+    """Cumulative memory-management statistics for one VM."""
+
+    accesses: int = 0
+    minor_hits: int = 0
+    major_faults: int = 0
+    faults_from_tmem: int = 0
+    faults_from_disk: int = 0
+    first_touches: int = 0
+    evictions: int = 0
+    evictions_to_tmem: int = 0
+    evictions_to_disk: int = 0
+    failed_tmem_puts: int = 0
+    time_in_tmem_ops_s: float = 0.0
+    time_in_disk_io_s: float = 0.0
+    time_in_resident_access_s: float = 0.0
+    freed_pages: int = 0
+
+    def absorb(self, outcome: AccessOutcome) -> None:
+        self.accesses += outcome.pages_accessed
+        self.minor_hits += outcome.minor_hits
+        self.major_faults += outcome.major_faults
+        self.faults_from_tmem += outcome.faults_from_tmem
+        self.faults_from_disk += outcome.faults_from_disk
+        self.first_touches += outcome.first_touches
+        self.evictions += outcome.evictions
+        self.evictions_to_tmem += outcome.evictions_to_tmem
+        self.evictions_to_disk += outcome.evictions_to_disk
+        self.failed_tmem_puts += outcome.failed_tmem_puts
+
+    @property
+    def fault_ratio(self) -> float:
+        return self.major_faults / self.accesses if self.accesses else 0.0
+
+
+class GuestKernel:
+    """Memory management of one guest operating system."""
+
+    def __init__(
+        self,
+        vm_id: int,
+        *,
+        ram_pages: int,
+        swap_pages: int,
+        config: SimulationConfig,
+        disk: VirtualDisk,
+        frontswap: Optional[FrontswapClient] = None,
+    ) -> None:
+        if ram_pages <= 0:
+            raise ConfigurationError(f"ram_pages must be > 0, got {ram_pages}")
+        self.vm_id = vm_id
+        self._config = config
+        self._disk = disk
+        self._frontswap = frontswap
+        reserved = int(ram_pages * config.guest.kernel_reserved_fraction)
+        self._usable_ram = max(1, ram_pages - reserved)
+        self._ram_pages = ram_pages
+        self._resident = make_reclaimer(config.guest.reclaim_algorithm)
+        self._swap = SwapArea(swap_pages)
+        self._known_pages: set[int] = set()
+        self.stats = GuestMemStats()
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def ram_pages(self) -> int:
+        return self._ram_pages
+
+    @property
+    def usable_ram_pages(self) -> int:
+        """RAM available to workload pages after the kernel's own share."""
+        return self._usable_ram
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    @property
+    def swap(self) -> SwapArea:
+        return self._swap
+
+    @property
+    def frontswap(self) -> Optional[FrontswapClient]:
+        return self._frontswap
+
+    @property
+    def tmem_pages(self) -> int:
+        return self._frontswap.pages_in_tmem if self._frontswap else 0
+
+    def is_resident(self, page: int) -> bool:
+        return page in self._resident
+
+    def memory_footprint_pages(self) -> int:
+        """Pages the workload has touched and not freed (any location)."""
+        return len(self._known_pages)
+
+    # -- the reclaim path --------------------------------------------------------
+    def _evict_one(self, now: float, outcome: AccessOutcome) -> None:
+        """Evict one victim page: try tmem first, then the swap disk."""
+        victim = self._resident.select_victim()
+        outcome.evictions += 1
+        # Anonymous pages being reclaimed are treated as dirty: they must be
+        # preserved somewhere (this is the frontswap path of the paper).
+        if self._frontswap is not None:
+            stored, latency = self._frontswap.store(victim, now=now)
+            outcome.latency_s += latency
+            self.stats.time_in_tmem_ops_s += latency
+            if stored:
+                outcome.evictions_to_tmem += 1
+                return
+            outcome.failed_tmem_puts += 1
+        # Tmem refused the page (no capacity or over target): swap to disk.
+        # The request is issued after the latency already accumulated in
+        # this burst — the guest has one swap I/O outstanding at a time.
+        disk_latency = self._disk.write(
+            now + outcome.latency_s, 1, vm_id=self.vm_id
+        )
+        self._swap.store(victim)
+        outcome.latency_s += disk_latency
+        self.stats.time_in_disk_io_s += disk_latency
+        outcome.evictions_to_disk += 1
+
+    def _make_room(self, now: float, outcome: AccessOutcome) -> None:
+        while len(self._resident) >= self._usable_ram:
+            self._evict_one(now, outcome)
+
+    # -- fault handling -----------------------------------------------------------
+    def _fault_in(self, page: int, now: float, outcome: AccessOutcome) -> None:
+        """Bring a non-resident page into RAM."""
+        outcome.major_faults += 1
+        outcome.latency_s += self._config.guest.fault_overhead_s
+
+        if self._frontswap is not None and self._frontswap.holds(page):
+            hit, latency = self._frontswap.load(page)
+            outcome.latency_s += latency
+            self.stats.time_in_tmem_ops_s += latency
+            if hit:
+                outcome.faults_from_tmem += 1
+                self._swap.discard(page)
+                return
+        if page in self._swap:
+            disk_latency = self._disk.read(
+                now + outcome.latency_s, 1, vm_id=self.vm_id
+            )
+            self._swap.load(page)
+            outcome.latency_s += disk_latency
+            self.stats.time_in_disk_io_s += disk_latency
+            outcome.faults_from_disk += 1
+            return
+        # Never evicted before: first touch, zero-fill, no I/O.
+        outcome.first_touches += 1
+
+    # -- public API -----------------------------------------------------------------
+    def access(
+        self,
+        pages: Sequence[int] | Iterable[int],
+        *,
+        now: float,
+        write: bool = True,
+    ) -> AccessOutcome:
+        """Service a burst of page accesses issued at simulated time *now*.
+
+        ``write`` is accepted for interface completeness; the current model
+        treats all workload pages as anonymous (dirty when evicted), which
+        matches the paper's frontswap-only evaluation.
+        """
+        outcome = AccessOutcome()
+        access_cost = self._config.guest.resident_access_latency_s
+        for page in pages:
+            if page < 0:
+                raise ConfigurationError(f"negative page number {page}")
+            outcome.pages_accessed += 1
+            self._known_pages.add(page)
+            if page in self._resident:
+                self._resident.touch(page)
+                outcome.minor_hits += 1
+                outcome.latency_s += access_cost
+                self.stats.time_in_resident_access_s += access_cost
+                continue
+            # Major fault: free a frame if needed, then fault the page in.
+            self._make_room(now, outcome)
+            self._fault_in(page, now, outcome)
+            self._resident.insert(page)
+            outcome.latency_s += access_cost
+            self.stats.time_in_resident_access_s += access_cost
+        self.stats.absorb(outcome)
+        return outcome
+
+    def free(self, pages: Sequence[int] | Iterable[int], *, now: float) -> float:
+        """Release pages the workload no longer needs.
+
+        Frees resident frames, discards swap slots and flushes tmem copies
+        (the flush path of Algorithm 1).  Returns the latency incurred by
+        the flush hypercalls.
+        """
+        latency = 0.0
+        for page in pages:
+            self._known_pages.discard(page)
+            if page in self._resident:
+                self._resident.remove(page)
+            self._swap.discard(page)
+            if self._frontswap is not None and self._frontswap.holds(page):
+                _, flush_latency = self._frontswap.invalidate(page)
+                latency += flush_latency
+                self.stats.time_in_tmem_ops_s += flush_latency
+            self.stats.freed_pages += 1
+        return latency
+
+    def release_all(self, *, now: float) -> float:
+        """Release every page the current process owns (process exit).
+
+        Anonymous memory is freed, swap slots are discarded, and every
+        tmem copy is flushed (the kernel issues flush-object hypercalls on
+        swapoff / area invalidation).  Returns the flush latency.
+        """
+        del now  # present for interface symmetry with access()/free()
+        latency = 0.0
+        if self._frontswap is not None:
+            _, latency = self._frontswap.invalidate_area()
+            self.stats.time_in_tmem_ops_s += latency
+        for page in list(self._resident.pages()):
+            self._resident.remove(page)
+        for page in list(self._known_pages):
+            self._swap.discard(page)
+        self.stats.freed_pages += len(self._known_pages)
+        self._known_pages.clear()
+        return latency
+
+    def shutdown(self, *, now: float) -> float:
+        """Release every page (guest shutdown); returns flush latency."""
+        return self.release_all(now=now)

@@ -1,0 +1,170 @@
+"""Page-frame reclaim algorithms (the guest kernel's PFRA).
+
+When a guest's resident set outgrows its RAM, the kernel must pick victim
+pages to evict.  Linux uses a pair of active/inactive LRU lists with a
+second-chance (CLOCK-like) promotion scheme; the exact algorithm is not
+important to the tmem dynamics, but *recency-based* victim selection is:
+it determines which pages end up in tmem/swap and therefore which pages
+fault back in later.
+
+Two interchangeable reclaimers are provided:
+
+* :class:`LruReclaim` — strict least-recently-used ordering.
+* :class:`ClockReclaim` — a second-chance approximation of LRU, closer to
+  what a real kernel does and cheaper per access.
+
+Both operate on integer page numbers and are deliberately free of any
+tmem/swap knowledge: they only answer "which page should go next?".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List
+
+from ..errors import ConfigurationError, GuestError
+
+__all__ = ["PageReclaimer", "LruReclaim", "ClockReclaim", "make_reclaimer"]
+
+
+class PageReclaimer(ABC):
+    """Tracks resident pages and selects eviction victims."""
+
+    @abstractmethod
+    def touch(self, page: int) -> None:
+        """Record an access to *page* (which must be resident)."""
+
+    @abstractmethod
+    def insert(self, page: int) -> None:
+        """Add a newly resident *page*."""
+
+    @abstractmethod
+    def remove(self, page: int) -> None:
+        """Remove *page* (explicit free or after eviction)."""
+
+    @abstractmethod
+    def select_victim(self) -> int:
+        """Pick the next page to evict, removing it from the tracker."""
+
+    @abstractmethod
+    def __contains__(self, page: int) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def pages(self) -> Iterator[int]:
+        """Iterate over resident pages (order unspecified)."""
+
+
+class LruReclaim(PageReclaimer):
+    """Exact LRU based on an ordered dictionary (most recent at the end)."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def touch(self, page: int) -> None:
+        try:
+            self._order.move_to_end(page)
+        except KeyError:
+            raise GuestError(f"touch() on non-resident page {page}") from None
+
+    def insert(self, page: int) -> None:
+        if page in self._order:
+            raise GuestError(f"insert() on already-resident page {page}")
+        self._order[page] = None
+
+    def remove(self, page: int) -> None:
+        try:
+            del self._order[page]
+        except KeyError:
+            raise GuestError(f"remove() on non-resident page {page}") from None
+
+    def select_victim(self) -> int:
+        if not self._order:
+            raise GuestError("select_victim() with no resident pages")
+        page, _ = self._order.popitem(last=False)
+        return page
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def pages(self) -> Iterator[int]:
+        return iter(self._order.keys())
+
+
+class ClockReclaim(PageReclaimer):
+    """Second-chance (CLOCK) approximation of LRU.
+
+    Pages sit on a circular list with a reference bit.  The clock hand
+    sweeps the list; referenced pages get a second chance (bit cleared),
+    unreferenced pages are evicted.
+    """
+
+    def __init__(self) -> None:
+        self._ring: List[int] = []
+        self._referenced: Dict[int, bool] = {}
+        self._hand = 0
+
+    def touch(self, page: int) -> None:
+        if page not in self._referenced:
+            raise GuestError(f"touch() on non-resident page {page}")
+        self._referenced[page] = True
+
+    def insert(self, page: int) -> None:
+        if page in self._referenced:
+            raise GuestError(f"insert() on already-resident page {page}")
+        self._ring.append(page)
+        self._referenced[page] = True
+
+    def remove(self, page: int) -> None:
+        if page not in self._referenced:
+            raise GuestError(f"remove() on non-resident page {page}")
+        idx = self._ring.index(page)
+        self._ring.pop(idx)
+        if idx < self._hand:
+            self._hand -= 1
+        if self._hand >= len(self._ring):
+            self._hand = 0
+        del self._referenced[page]
+
+    def select_victim(self) -> int:
+        if not self._ring:
+            raise GuestError("select_victim() with no resident pages")
+        # Bounded sweep: after two full passes something must be evictable.
+        for _ in range(2 * len(self._ring) + 1):
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            page = self._ring[self._hand]
+            if self._referenced[page]:
+                self._referenced[page] = False
+                self._hand += 1
+            else:
+                self._ring.pop(self._hand)
+                del self._referenced[page]
+                if self._hand >= len(self._ring):
+                    self._hand = 0
+                return page
+        raise GuestError("CLOCK sweep failed to find a victim")  # pragma: no cover
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._referenced
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def pages(self) -> Iterator[int]:
+        return iter(list(self._ring))
+
+
+def make_reclaimer(algorithm: str) -> PageReclaimer:
+    """Factory used by :class:`repro.guest.kernel.GuestKernel`."""
+    if algorithm == "lru":
+        return LruReclaim()
+    if algorithm == "clock":
+        return ClockReclaim()
+    raise ConfigurationError(f"unknown reclaim algorithm {algorithm!r}")

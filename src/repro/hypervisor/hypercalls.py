@@ -1,0 +1,164 @@
+"""The hypercall surface exposed to guest kernels.
+
+The paper's guests interact with tmem exclusively through hypercalls
+issued by their Tmem Kernel Module: the baseline tmem operations
+(put/get/flush), plus custom hypercalls added by SmarTmem for reading the
+statistics buffer and writing back the Memory Manager's target vector.
+
+:class:`HypercallInterface` models that boundary.  Each call charges the
+calling VM the appropriate latency (returned to the caller so the guest
+can advance its virtual time) and dispatches into the tmem backend.
+Keeping this layer explicit makes the cost accounting auditable and gives
+tests a single choke point for fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
+
+from ..config import SimulationConfig
+from ..errors import HypercallError
+from .accounting import HypervisorAccounting
+from .pages import PageKey
+from .tmem_backend import TmemBackend, TmemOpResult
+
+__all__ = ["HypercallStats", "HypercallInterface"]
+
+
+@dataclass
+class HypercallStats:
+    """Counts and cumulative latency of hypercalls, per VM."""
+
+    calls: Dict[str, int] = field(default_factory=dict)
+    latency_s: Dict[str, float] = field(default_factory=dict)
+
+    def charge(self, name: str, latency: float) -> None:
+        self.calls[name] = self.calls.get(name, 0) + 1
+        self.latency_s[name] = self.latency_s.get(name, 0.0) + latency
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    @property
+    def total_latency_s(self) -> float:
+        return sum(self.latency_s.values())
+
+
+class HypercallInterface:
+    """Dispatches guest hypercalls into the simulated hypervisor."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        backend: TmemBackend,
+        accounting: HypervisorAccounting,
+    ) -> None:
+        self._config = config
+        self._backend = backend
+        self._accounting = accounting
+        self._per_vm_stats: Dict[int, HypercallStats] = {}
+        self._registered: set[int] = set()
+
+    # -- registration --------------------------------------------------------
+    def register_domain(self, vm_id: int) -> None:
+        """Called when a guest's tmem kernel module initialises."""
+        if vm_id in self._registered:
+            raise HypercallError(f"domain {vm_id} already registered")
+        self._registered.add(vm_id)
+        self._per_vm_stats[vm_id] = HypercallStats()
+
+    def unregister_domain(self, vm_id: int) -> None:
+        self._require_registered(vm_id)
+        self._registered.discard(vm_id)
+
+    def _require_registered(self, vm_id: int) -> None:
+        if vm_id not in self._registered:
+            raise HypercallError(
+                f"domain {vm_id} issued a hypercall before registering"
+            )
+
+    def stats_for(self, vm_id: int) -> HypercallStats:
+        return self._per_vm_stats.setdefault(vm_id, HypercallStats())
+
+    # -- tmem data-path hypercalls ---------------------------------------------
+    def tmem_put(
+        self, vm_id: int, pool_id: int, key: PageKey, *, version: int, now: float
+    ) -> tuple[TmemOpResult, float]:
+        """Issue a put; returns (result, latency charged to the guest)."""
+        self._require_registered(vm_id)
+        result = self._backend.put(vm_id, pool_id, key, version=version, now=now)
+        latency = (
+            self._config.tmem_put_latency_s
+            if result.succeeded
+            else self._config.tmem_failed_put_latency_s
+        )
+        self.stats_for(vm_id).charge("put", latency)
+        return result, latency
+
+    def tmem_get(
+        self, vm_id: int, pool_id: int, key: PageKey
+    ) -> tuple[TmemOpResult, float]:
+        """Issue a get; returns (result, latency charged to the guest)."""
+        self._require_registered(vm_id)
+        result = self._backend.get(vm_id, pool_id, key)
+        latency = (
+            self._config.tmem_get_latency_s
+            if result.succeeded
+            else self._config.tmem_failed_put_latency_s
+        )
+        self.stats_for(vm_id).charge("get", latency)
+        return result, latency
+
+    def tmem_flush_page(
+        self, vm_id: int, pool_id: int, key: PageKey
+    ) -> tuple[TmemOpResult, float]:
+        self._require_registered(vm_id)
+        result = self._backend.flush_page(vm_id, pool_id, key)
+        latency = self._config.tmem_flush_latency_s
+        self.stats_for(vm_id).charge("flush_page", latency)
+        return result, latency
+
+    def tmem_flush_object(
+        self, vm_id: int, pool_id: int, object_id: int
+    ) -> tuple[TmemOpResult, float]:
+        self._require_registered(vm_id)
+        result = self._backend.flush_object(vm_id, pool_id, object_id)
+        latency = self._config.tmem_flush_latency_s
+        self.stats_for(vm_id).charge("flush_object", latency)
+        return result, latency
+
+    # -- SmarTmem control-path hypercalls ------------------------------------------
+    def tmem_set_targets(
+        self, caller_vm_id: int, targets: Mapping[int, int]
+    ) -> float:
+        """Install the MM's target vector (privileged-domain only).
+
+        In the real system this is the custom hypercall issued by the TKM
+        on behalf of the Memory Manager.  Returns the latency charged.
+        """
+        self._require_registered(caller_vm_id)
+        for vm_id, target in targets.items():
+            self._accounting.set_target(vm_id, int(target))
+        latency = self._config.sampling.writeback_latency_s
+        self.stats_for(caller_vm_id).charge("set_targets", latency)
+        return latency
+
+    def tmem_clear_targets(self, caller_vm_id: int) -> float:
+        """Remove every target, reverting to the greedy default."""
+        self._require_registered(caller_vm_id)
+        self._accounting.clear_targets()
+        latency = self._config.sampling.writeback_latency_s
+        self.stats_for(caller_vm_id).charge("set_targets", latency)
+        return latency
+
+    def current_targets(self) -> Dict[int, int]:
+        """Read back the installed targets (diagnostic hypercall)."""
+        return {
+            account.vm_id: account.mm_target
+            for account in self._accounting.accounts()
+        }
+
+    def registered_domains(self) -> Sequence[int]:
+        return tuple(sorted(self._registered))

@@ -1,0 +1,56 @@
+"""Tmem page identity.
+
+Every tmem page is addressed by a three-element tuple — the pool id, a
+64-bit object id and a 32-bit page offset — exactly as described in
+Section II-B of the paper (and in the original tmem design).  The guest
+kernel derives the object id and offset from the page's position in the
+swap area or in the file it caches; the simulator mirrors that derivation
+in :mod:`repro.guest.addressing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TmemKeyError
+
+__all__ = ["PageKey", "TmemPage"]
+
+#: Upper bounds from the tmem ABI: 64-bit object id, 32-bit page index.
+MAX_OBJECT_ID = 2**64 - 1
+MAX_PAGE_INDEX = 2**32 - 1
+
+
+@dataclass(frozen=True, slots=True)
+class PageKey:
+    """The (pool, object, index) triple identifying one tmem page."""
+
+    pool_id: int
+    object_id: int
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.pool_id < 0:
+            raise TmemKeyError(f"pool_id must be >= 0, got {self.pool_id}")
+        if not (0 <= self.object_id <= MAX_OBJECT_ID):
+            raise TmemKeyError(
+                f"object_id out of 64-bit range: {self.object_id}"
+            )
+        if not (0 <= self.index <= MAX_PAGE_INDEX):
+            raise TmemKeyError(f"page index out of 32-bit range: {self.index}")
+
+
+@dataclass(slots=True)
+class TmemPage:
+    """One page held in the hypervisor's tmem pool.
+
+    The simulator does not store page contents; it stores a monotonically
+    increasing *version* written by the guest at put time so that tests can
+    verify that a get returns the data of the most recent put (the
+    consistency property a real key--value store provides).
+    """
+
+    key: PageKey
+    owner_vm: int
+    version: int
+    put_time: float

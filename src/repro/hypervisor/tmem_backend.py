@@ -1,0 +1,207 @@
+"""Tmem backend with SmarTmem admission control (Algorithm 1).
+
+This module is the hypervisor half of the paper's contribution.  The
+default Xen tmem backend admits every put while free pages remain — the
+*greedy* behaviour the paper criticises.  SmarTmem adds a per-VM target
+(``mm_target``) installed by the user-space Memory Manager, and a put is
+admitted only while the VM's current usage is below its target *and* free
+tmem remains; otherwise the put fails and the guest falls back to its swap
+disk.
+
+The control flow follows Algorithm 1 of the paper:
+
+* ``PUT``: fail with ``E_TMEM`` if ``tmem_used >= mm_target`` (when a
+  target is set) or if ``free_tmem == 0``; otherwise allocate a page, copy
+  the data, bump ``tmem_used`` and ``puts_succ``.  ``puts_total`` is
+  incremented for every put, successful or not.
+* ``GET`` (frontswap is exclusive): if the key is present, copy it back,
+  free the page and decrement ``tmem_used``.
+* ``FLUSH`` page / object: deallocate and decrement ``tmem_used``.
+
+Targets may drop below the current usage; the VM then cannot obtain new
+pages until it naturally releases enough (the hypervisor never forcibly
+reclaims in the paper's implementation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..devices.dram import HostMemory
+from ..errors import TmemError
+from .accounting import HypervisorAccounting, VmTmemAccount
+from .pages import PageKey, TmemPage
+from .tmem_store import TmemStore
+
+__all__ = ["TmemOpcode", "TmemOpResult", "TmemBackend"]
+
+
+class TmemOpcode(enum.Enum):
+    """Tmem operations exposed to the guest."""
+
+    PUT = "put"
+    GET = "get"
+    FLUSH_PAGE = "flush_page"
+    FLUSH_OBJECT = "flush_object"
+
+
+class TmemStatus(enum.IntEnum):
+    """Return values of tmem hypercalls (``S_TMEM`` / ``E_TMEM``)."""
+
+    S_TMEM = 1
+    E_TMEM = 0
+
+
+@dataclass(frozen=True)
+class TmemOpResult:
+    """Outcome of one tmem operation."""
+
+    opcode: TmemOpcode
+    status: TmemStatus
+    vm_id: int
+    key: Optional[PageKey] = None
+    #: Version of the page returned by a successful get.
+    version: Optional[int] = None
+    #: Pages released by a flush-object operation.
+    pages_flushed: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == TmemStatus.S_TMEM
+
+
+class TmemBackend:
+    """Admission control and bookkeeping for all tmem operations."""
+
+    def __init__(
+        self,
+        host_memory: HostMemory,
+        store: TmemStore,
+        accounting: HypervisorAccounting,
+    ) -> None:
+        self._host = host_memory
+        self._store = store
+        self._accounting = accounting
+
+    # -- helpers -----------------------------------------------------------------
+    def _admit_put(self, account: VmTmemAccount) -> bool:
+        """Algorithm 1, lines 4-8: decide whether a put may proceed."""
+        if account.has_target and account.tmem_used >= account.mm_target:
+            return False
+        if self._host.tmem_free_pages == 0:
+            return False
+        return True
+
+    # -- operations --------------------------------------------------------------
+    def put(
+        self,
+        vm_id: int,
+        pool_id: int,
+        key: PageKey,
+        *,
+        version: int,
+        now: float,
+    ) -> TmemOpResult:
+        """Attempt to store one page in tmem (Algorithm 1, PUT branch)."""
+        account = self._accounting.account(vm_id)
+        pool = self._store.get_pool(vm_id, pool_id)
+
+        account.puts_total += 1
+        account.cumul_puts_total += 1
+
+        # A put to an existing key replaces the page in place (no new frame).
+        existing = pool.lookup(key)
+        if existing is not None:
+            existing.version = version
+            existing.put_time = now
+            account.puts_succ += 1
+            account.cumul_puts_succ += 1
+            return TmemOpResult(TmemOpcode.PUT, TmemStatus.S_TMEM, vm_id, key)
+
+        if not self._admit_put(account):
+            account.cumul_puts_failed += 1
+            return TmemOpResult(TmemOpcode.PUT, TmemStatus.E_TMEM, vm_id, key)
+
+        self._host.allocate_tmem_page()
+        pool.insert(TmemPage(key=key, owner_vm=vm_id, version=version, put_time=now))
+        account.tmem_used += 1
+        account.puts_succ += 1
+        account.cumul_puts_succ += 1
+        return TmemOpResult(TmemOpcode.PUT, TmemStatus.S_TMEM, vm_id, key)
+
+    def get(self, vm_id: int, pool_id: int, key: PageKey) -> TmemOpResult:
+        """Fetch a page from tmem.
+
+        Frontswap gets are *exclusive*: the page is removed and the frame
+        returned to the pool, because the guest immediately owns the data
+        again.  Cleancache (ephemeral pools) keeps the page.
+        """
+        account = self._accounting.account(vm_id)
+        pool = self._store.get_pool(vm_id, pool_id)
+        account.gets_total += 1
+        account.cumul_gets_total += 1
+
+        page = pool.lookup(key)
+        if page is None:
+            return TmemOpResult(TmemOpcode.GET, TmemStatus.E_TMEM, vm_id, key)
+
+        version = page.version
+        if pool.persistent:
+            pool.remove(key)
+            self._host.free_tmem_page()
+            account.tmem_used -= 1
+            if account.tmem_used < 0:
+                raise TmemError(f"VM {vm_id} tmem_used went negative on get")
+        return TmemOpResult(
+            TmemOpcode.GET, TmemStatus.S_TMEM, vm_id, key, version=version
+        )
+
+    def flush_page(self, vm_id: int, pool_id: int, key: PageKey) -> TmemOpResult:
+        """Invalidate one tmem page (Algorithm 1, FLUSH branch)."""
+        account = self._accounting.account(vm_id)
+        pool = self._store.get_pool(vm_id, pool_id)
+        account.flushes_total += 1
+        account.cumul_flushes_total += 1
+
+        page = pool.remove(key)
+        if page is None:
+            return TmemOpResult(TmemOpcode.FLUSH_PAGE, TmemStatus.E_TMEM, vm_id, key)
+        self._host.free_tmem_page()
+        account.tmem_used -= 1
+        if account.tmem_used < 0:
+            raise TmemError(f"VM {vm_id} tmem_used went negative on flush")
+        return TmemOpResult(TmemOpcode.FLUSH_PAGE, TmemStatus.S_TMEM, vm_id, key)
+
+    def flush_object(self, vm_id: int, pool_id: int, object_id: int) -> TmemOpResult:
+        """Invalidate every page of one object."""
+        account = self._accounting.account(vm_id)
+        pool = self._store.get_pool(vm_id, pool_id)
+        account.flushes_total += 1
+        account.cumul_flushes_total += 1
+
+        removed = pool.remove_object(object_id)
+        for _ in range(removed):
+            self._host.free_tmem_page()
+        account.tmem_used -= removed
+        if account.tmem_used < 0:
+            raise TmemError(f"VM {vm_id} tmem_used went negative on flush_object")
+        status = TmemStatus.S_TMEM if removed else TmemStatus.E_TMEM
+        return TmemOpResult(
+            TmemOpcode.FLUSH_OBJECT, status, vm_id, pages_flushed=removed
+        )
+
+    def destroy_vm(self, vm_id: int) -> int:
+        """Release every tmem page of a VM at teardown; returns pages freed."""
+        freed = self._store.destroy_vm_pools(vm_id)
+        account = self._accounting.maybe_account(vm_id)
+        for _ in range(freed):
+            self._host.free_tmem_page()
+        if account is not None:
+            account.tmem_used -= freed
+            if account.tmem_used != 0:
+                raise TmemError(
+                    f"VM {vm_id} teardown left tmem_used={account.tmem_used}"
+                )
+        return freed

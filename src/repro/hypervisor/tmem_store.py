@@ -1,0 +1,129 @@
+"""The key--value store behind the tmem interface.
+
+A :class:`TmemStore` holds one :class:`TmemPool` per registered (VM,
+pool-id) pair.  Pools map :class:`~repro.hypervisor.pages.PageKey` triples
+to :class:`~repro.hypervisor.pages.TmemPage` records.  The store is pure
+bookkeeping — admission control (targets, free-page checks) lives in
+:mod:`repro.hypervisor.tmem_backend`, and physical frame accounting lives
+in :class:`repro.devices.dram.HostMemory`.
+
+Operations mirror the tmem ABI described in the paper: put, get (which in
+frontswap mode is *exclusive*: a successful get also removes the page),
+flush page and flush object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import TmemPoolError
+from .pages import PageKey, TmemPage
+
+__all__ = ["TmemPool", "TmemStore"]
+
+
+@dataclass
+class TmemPool:
+    """One tmem pool, owned by exactly one VM.
+
+    Pools are created when the guest's tmem kernel module initialises
+    (one pool per mode, frontswap or cleancache).  ``persistent`` pools
+    (frontswap) guarantee that a put page stays until flushed; ephemeral
+    pools (cleancache) may be reclaimed, although the present backend never
+    evicts ephemeral pages spontaneously — the paper's experiments run
+    frontswap only.
+    """
+
+    pool_id: int
+    owner_vm: int
+    persistent: bool = True
+    _pages: Dict[Tuple[int, int], TmemPage] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, key: PageKey) -> bool:
+        return (key.object_id, key.index) in self._pages
+
+    def insert(self, page: TmemPage) -> None:
+        self._pages[(page.key.object_id, page.key.index)] = page
+
+    def lookup(self, key: PageKey) -> Optional[TmemPage]:
+        return self._pages.get((key.object_id, key.index))
+
+    def remove(self, key: PageKey) -> Optional[TmemPage]:
+        return self._pages.pop((key.object_id, key.index), None)
+
+    def remove_object(self, object_id: int) -> int:
+        """Drop every page of *object_id*; returns the number removed."""
+        doomed = [k for k in self._pages if k[0] == object_id]
+        for k in doomed:
+            del self._pages[k]
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop every page in the pool; returns the number removed."""
+        count = len(self._pages)
+        self._pages.clear()
+        return count
+
+    def pages(self) -> Iterator[TmemPage]:
+        return iter(self._pages.values())
+
+
+class TmemStore:
+    """All tmem pools on the node, indexed by (vm_id, pool_id)."""
+
+    def __init__(self) -> None:
+        self._pools: Dict[Tuple[int, int], TmemPool] = {}
+        self._next_pool_id: Dict[int, int] = {}
+
+    # -- pool lifecycle ------------------------------------------------------
+    def create_pool(self, vm_id: int, *, persistent: bool = True) -> TmemPool:
+        """Create a new pool for *vm_id* and return it."""
+        pool_id = self._next_pool_id.get(vm_id, 0)
+        self._next_pool_id[vm_id] = pool_id + 1
+        pool = TmemPool(pool_id=pool_id, owner_vm=vm_id, persistent=persistent)
+        self._pools[(vm_id, pool_id)] = pool
+        return pool
+
+    def get_pool(self, vm_id: int, pool_id: int) -> TmemPool:
+        try:
+            return self._pools[(vm_id, pool_id)]
+        except KeyError:
+            raise TmemPoolError(
+                f"VM {vm_id} has no tmem pool {pool_id}"
+            ) from None
+
+    def destroy_pool(self, vm_id: int, pool_id: int) -> int:
+        """Destroy a pool, returning how many pages it still held."""
+        pool = self.get_pool(vm_id, pool_id)
+        count = pool.clear()
+        del self._pools[(vm_id, pool_id)]
+        return count
+
+    def destroy_vm_pools(self, vm_id: int) -> int:
+        """Destroy every pool of a VM (VM teardown); returns pages freed."""
+        doomed = [key for key in self._pools if key[0] == vm_id]
+        freed = 0
+        for key in doomed:
+            freed += self._pools[key].clear()
+            del self._pools[key]
+        self._next_pool_id.pop(vm_id, None)
+        return freed
+
+    # -- queries ------------------------------------------------------------
+    def pools_of(self, vm_id: int) -> Iterator[TmemPool]:
+        for (owner, _pid), pool in self._pools.items():
+            if owner == vm_id:
+                yield pool
+
+    def pages_held_by(self, vm_id: int) -> int:
+        return sum(len(pool) for pool in self.pools_of(vm_id))
+
+    def total_pages(self) -> int:
+        return sum(len(pool) for pool in self._pools.values())
+
+    def pool_count(self) -> int:
+        return len(self._pools)

@@ -1,0 +1,166 @@
+"""Statistics sampling and the VIRQ towards the privileged domain.
+
+In the real system the hypervisor accumulates per-VM counters (Table I)
+and, once per second, raises a virtual interrupt (VIRQ) into the
+privileged domain.  The Tmem Kernel Module there reads the statistics via
+a hypercall and relays them to the user-space Memory Manager over a
+netlink socket.
+
+:class:`StatisticsSampler` reproduces that cadence: it registers a
+recurring timer with the simulation engine, snapshots the accounting
+structures into an immutable :class:`StatsSnapshot`, resets the
+per-interval counters, records the per-VM tmem usage into the trace
+recorder (this is the data behind Figures 4/6/8/10), and invokes the
+registered listener (the TKM) with the snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..sim.engine import SimulationEngine
+from ..sim.events import EventPriority
+from ..sim.trace import TraceRecorder
+from .accounting import HypervisorAccounting, UNLIMITED_TARGET
+
+__all__ = ["VmStatsSample", "StatsSnapshot", "StatisticsSampler"]
+
+
+@dataclass(frozen=True)
+class VmStatsSample:
+    """Per-VM view shipped to the Memory Manager (``memstats.vm[i]``)."""
+
+    vm_id: int
+    tmem_used: int
+    mm_target: int
+    puts_total: int
+    puts_succ: int
+    gets_total: int
+    flushes_total: int
+    cumul_puts_failed: int
+
+    @property
+    def puts_failed(self) -> int:
+        return self.puts_total - self.puts_succ
+
+    @property
+    def has_target(self) -> bool:
+        return self.mm_target != UNLIMITED_TARGET
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """One sampling interval's statistics (``memstats`` in the paper)."""
+
+    time: float
+    interval_s: float
+    total_tmem: int
+    free_tmem: int
+    vm_count: int
+    vms: Sequence[VmStatsSample] = field(default_factory=tuple)
+
+    def vm(self, vm_id: int) -> VmStatsSample:
+        for sample in self.vms:
+            if sample.vm_id == vm_id:
+                return sample
+        raise KeyError(f"no VM {vm_id} in snapshot at t={self.time}")
+
+
+SnapshotListener = Callable[[StatsSnapshot], None]
+
+
+class StatisticsSampler:
+    """Periodic sampler that raises the statistics VIRQ."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        accounting: HypervisorAccounting,
+        *,
+        interval_s: float,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self._engine = engine
+        self._accounting = accounting
+        self._interval = float(interval_s)
+        self._trace = trace
+        self._listeners: List[SnapshotListener] = []
+        self._cancel: Optional[Callable[[], None]] = None
+        self._history: List[StatsSnapshot] = []
+
+    # -- wiring ------------------------------------------------------------
+    def subscribe(self, listener: SnapshotListener) -> None:
+        """Register a listener called with every snapshot (the TKM)."""
+        self._listeners.append(listener)
+
+    def start(self) -> None:
+        """Begin raising the VIRQ every sampling interval."""
+        if self._cancel is not None:
+            return
+        self._cancel = self._engine.schedule_recurring(
+            self._interval,
+            self._sample,
+            priority=EventPriority.TIMER,
+            label="tmem-stats-virq",
+        )
+
+    def stop(self) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    @property
+    def history(self) -> Sequence[StatsSnapshot]:
+        """Every snapshot taken so far, oldest first."""
+        return tuple(self._history)
+
+    @property
+    def interval_s(self) -> float:
+        return self._interval
+
+    # -- sampling ----------------------------------------------------------
+    def sample_now(self) -> StatsSnapshot:
+        """Take a snapshot immediately (used by tests and at shutdown)."""
+        return self._sample()
+
+    def _sample(self) -> StatsSnapshot:
+        now = self._engine.now
+        node = self._accounting.node_info()
+        samples = []
+        for account in sorted(self._accounting.accounts(), key=lambda a: a.vm_id):
+            samples.append(
+                VmStatsSample(
+                    vm_id=account.vm_id,
+                    tmem_used=account.tmem_used,
+                    mm_target=account.mm_target,
+                    puts_total=account.puts_total,
+                    puts_succ=account.puts_succ,
+                    gets_total=account.gets_total,
+                    flushes_total=account.flushes_total,
+                    cumul_puts_failed=account.cumul_puts_failed,
+                )
+            )
+            if self._trace is not None:
+                self._trace.record(f"tmem_used/vm{account.vm_id}", now, account.tmem_used)
+                if account.has_target:
+                    self._trace.record(
+                        f"mm_target/vm{account.vm_id}", now, account.mm_target
+                    )
+            account.reset_interval()
+
+        if self._trace is not None:
+            self._trace.record("tmem_free", now, node.free_tmem)
+
+        snapshot = StatsSnapshot(
+            time=now,
+            interval_s=self._interval,
+            total_tmem=node.total_tmem,
+            free_tmem=node.free_tmem,
+            vm_count=node.vm_count,
+            vms=tuple(samples),
+        )
+        self._history.append(snapshot)
+        for listener in self._listeners:
+            listener(snapshot)
+        return snapshot

@@ -1,0 +1,30 @@
+"""Benchmark scenarios (Table II of the paper) and the scenario runner."""
+
+from .spec import VMSpec, WorkloadSpec, ScenarioSpec
+from .library import (
+    scenario_1,
+    scenario_2,
+    scenario_3,
+    usemem_scenario,
+    all_scenarios,
+    PAPER_POLICIES,
+)
+from .results import RunResult, VmResult, ScenarioResult
+from .runner import ScenarioRunner, run_scenario
+
+__all__ = [
+    "VMSpec",
+    "WorkloadSpec",
+    "ScenarioSpec",
+    "scenario_1",
+    "scenario_2",
+    "scenario_3",
+    "usemem_scenario",
+    "all_scenarios",
+    "PAPER_POLICIES",
+    "RunResult",
+    "VmResult",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "run_scenario",
+]

@@ -1,0 +1,126 @@
+"""Result containers produced by the scenario runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..sim.trace import TraceRecorder, TraceSeries
+
+__all__ = ["RunResult", "VmResult", "ScenarioResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Timing of one workload run on one VM (one bar of Figures 3/5/7/9)."""
+
+    vm_name: str
+    workload_name: str
+    run_index: int
+    start_time_s: float
+    end_time_s: float
+    duration_s: float
+    stopped_early: bool
+    phase_durations: Mapping[str, float] = field(default_factory=dict)
+    phase_order: Sequence[str] = ()
+
+
+@dataclass(frozen=True)
+class VmResult:
+    """Per-VM aggregate of one scenario run under one policy."""
+
+    vm_name: str
+    vm_id: int
+    runs: Sequence[RunResult]
+    #: Guest kernel memory statistics at the end of the run.
+    major_faults: int
+    faults_from_tmem: int
+    faults_from_disk: int
+    evictions_to_tmem: int
+    evictions_to_disk: int
+    failed_tmem_puts: int
+    time_in_tmem_ops_s: float
+    time_in_disk_io_s: float
+    #: Hypervisor-side cumulative counters.
+    cumul_puts_total: int
+    cumul_puts_succ: int
+    cumul_puts_failed: int
+    peak_tmem_pages: int
+
+    @property
+    def total_runtime_s(self) -> float:
+        return sum(run.duration_s for run in self.runs)
+
+    def run(self, index: int) -> RunResult:
+        for run in self.runs:
+            if run.run_index == index:
+                return run
+        raise AnalysisError(f"{self.vm_name} has no run #{index}")
+
+
+@dataclass
+class ScenarioResult:
+    """Everything recorded from one scenario x policy execution."""
+
+    scenario_name: str
+    policy_spec: str
+    seed: int
+    total_tmem_pages: int
+    simulated_duration_s: float
+    vms: Dict[str, VmResult]
+    trace: TraceRecorder
+    #: Number of target updates the MM pushed to the hypervisor.
+    target_updates: int
+    #: Number of statistics snapshots taken.
+    snapshots: int
+    #: Wall-clock execution cost of the simulation itself (seconds).
+    wall_clock_s: float = 0.0
+
+    # -- convenience accessors -------------------------------------------------
+    def vm(self, name: str) -> VmResult:
+        try:
+            return self.vms[name]
+        except KeyError:
+            raise AnalysisError(
+                f"scenario result has no VM {name!r}; got {sorted(self.vms)}"
+            ) from None
+
+    def vm_names(self) -> Sequence[str]:
+        return tuple(sorted(self.vms))
+
+    def runtimes(self) -> Dict[str, List[float]]:
+        """Per-VM list of run durations (the bars of Figures 3/5/9)."""
+        return {
+            name: [run.duration_s for run in result.runs]
+            for name, result in sorted(self.vms.items())
+        }
+
+    def runtime_of(self, vm_name: str, run_index: int = 0) -> float:
+        return self.vm(vm_name).run(run_index).duration_s
+
+    def tmem_usage_series(self, vm_name: str) -> TraceSeries:
+        """Time series of tmem pages held by *vm_name* (Figures 4/6/8/10)."""
+        vm = self.vm(vm_name)
+        return self.trace.get(f"tmem_used/vm{vm.vm_id}")
+
+    def target_series(self, vm_name: str) -> Optional[TraceSeries]:
+        vm = self.vm(vm_name)
+        name = f"mm_target/vm{vm.vm_id}"
+        return self.trace.get(name) if name in self.trace else None
+
+    def mean_runtime_s(self) -> float:
+        durations = [
+            run.duration_s for vm in self.vms.values() for run in vm.runs
+        ]
+        if not durations:
+            raise AnalysisError("scenario produced no finished runs")
+        return float(np.mean(durations))
+
+    def total_disk_faults(self) -> int:
+        return sum(vm.faults_from_disk for vm in self.vms.values())
+
+    def total_tmem_faults(self) -> int:
+        return sum(vm.faults_from_tmem for vm in self.vms.values())

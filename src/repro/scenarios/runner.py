@@ -1,0 +1,316 @@
+"""Scenario runner: executes one scenario under one policy.
+
+The runner performs the full system assembly the paper describes:
+
+1. build the simulation engine, the hypervisor (with the scenario's tmem
+   pool) and the shared swap disk;
+2. create the VMs, register their tmem kernel modules and queue their
+   workload jobs;
+3. wire the privileged-domain TKM, the netlink channels and the Memory
+   Manager running the selected policy;
+4. install the scenario's cross-VM phase triggers (used by the Usemem
+   scenario) and run the engine until every VM is idle;
+5. collect per-VM run times, memory statistics and the tmem usage traces
+   into a :class:`~repro.scenarios.results.ScenarioResult`.
+
+The special policy spec ``"no-tmem"`` disables tmem in the guests
+entirely (the paper's no-tmem baseline): every evicted page goes straight
+to the swap disk.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..channels.netlink import NetlinkChannel
+from ..config import SimulationConfig
+from ..core.manager import MemoryManager
+from ..core.policy import TmemPolicy, create_policy
+from ..errors import ScenarioError, SimulationError
+from ..guest.tkm import PrivilegedTkm
+from ..guest.vm import VirtualMachine, WorkloadRun
+from ..hypervisor.xen import Hypervisor
+from ..sim.engine import SimulationEngine
+from ..sim.rng import RngFactory
+from ..sim.trace import TraceRecorder
+from ..units import SCENARIO_UNITS, MemoryUnits
+from ..workloads.base import Workload
+from ..workloads.graph_analytics import GraphAnalyticsWorkload
+from ..workloads.inmemory_analytics import InMemoryAnalyticsWorkload
+from ..workloads.usemem import UsememWorkload
+from .results import RunResult, ScenarioResult, VmResult
+from .spec import ScenarioSpec, VMSpec, WorkloadSpec
+
+__all__ = ["ScenarioRunner", "run_scenario", "NO_TMEM_POLICY"]
+
+#: Pseudo-policy spec for the paper's "no tmem support" baseline.
+NO_TMEM_POLICY = "no-tmem"
+
+#: Workload classes known to the runner, keyed by WorkloadSpec.kind.
+_WORKLOAD_CLASSES: Dict[str, type] = {
+    "usemem": UsememWorkload,
+    "in-memory-analytics": InMemoryAnalyticsWorkload,
+    "graph-analytics": GraphAnalyticsWorkload,
+}
+
+
+def register_workload_kind(kind: str, cls: type) -> None:
+    """Register a custom workload class for use in scenario specs."""
+    if not issubclass(cls, Workload):
+        raise ScenarioError(f"{cls!r} is not a Workload subclass")
+    _WORKLOAD_CLASSES[kind] = cls
+
+
+class ScenarioRunner:
+    """Builds and executes one (scenario, policy) combination."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        policy_spec: str,
+        *,
+        config: Optional[SimulationConfig] = None,
+        units: Optional[MemoryUnits] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.spec = spec
+        self.policy_spec = policy_spec
+        base_config = config if config is not None else SimulationConfig(
+            units=units if units is not None else SCENARIO_UNITS
+        )
+        if units is not None and base_config.units is not units:
+            base_config = base_config.with_overrides(units=units)
+        if seed is not None:
+            base_config = base_config.with_overrides(seed=seed)
+        self.config = base_config
+        self._rng_factory = RngFactory(self.config.seed)
+
+        self.engine = SimulationEngine()
+        self.trace = TraceRecorder()
+
+        units_ = self.config.units
+        self.hypervisor = Hypervisor(
+            self.engine,
+            self.config,
+            host_memory_pages=units_.pages_from_mib(spec.effective_host_memory_mb()),
+            tmem_pool_pages=(
+                0 if policy_spec == NO_TMEM_POLICY else units_.pages_from_mib(spec.tmem_mb)
+            ),
+            trace=self.trace,
+        )
+
+        self._use_tmem = policy_spec != NO_TMEM_POLICY
+        self.policy: Optional[TmemPolicy] = None
+        self.manager: Optional[MemoryManager] = None
+        self.privileged_tkm: Optional[PrivilegedTkm] = None
+        self._stats_channel: Optional[NetlinkChannel] = None
+        self._target_channel: Optional[NetlinkChannel] = None
+
+        self.vms: Dict[str, VirtualMachine] = {}
+        self._triggered_vms: set[str] = set()
+        self._stop_fired = False
+
+        self._build_vms()
+        if self._use_tmem:
+            self._build_control_plane()
+        self._install_triggers()
+
+    # -- assembly ------------------------------------------------------------
+    def _workload_factory(
+        self, vm_spec: VMSpec, job: WorkloadSpec, job_index: int
+    ) -> Callable[[], Workload]:
+        try:
+            workload_cls = _WORKLOAD_CLASSES[job.kind]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown workload kind {job.kind!r}; known: "
+                f"{sorted(_WORKLOAD_CLASSES)}"
+            ) from None
+        units = self.config.units
+        rng_name = f"{self.spec.name}/{vm_spec.name}/{job.kind}/{job_index}"
+
+        def factory() -> Workload:
+            rng = self._rng_factory.stream(rng_name)
+            return workload_cls(units=units, rng=rng, **dict(job.params))
+
+        return factory
+
+    def _build_vms(self) -> None:
+        units = self.config.units
+        for vm_spec in self.spec.vms:
+            vm = VirtualMachine(
+                self.hypervisor,
+                self.engine,
+                self.config,
+                name=vm_spec.name,
+                ram_pages=vm_spec.ram_pages(units),
+                swap_pages=vm_spec.swap_pages(units),
+                vcpus=vm_spec.vcpus,
+                use_tmem=self._use_tmem,
+            )
+            for job_index, job in enumerate(vm_spec.jobs):
+                vm.add_job(
+                    self._workload_factory(vm_spec, job, job_index),
+                    start_at=job.start_at,
+                    delay_after_previous=job.delay_after_previous,
+                    label=job.display_label,
+                )
+            self.vms[vm_spec.name] = vm
+
+    def _build_control_plane(self) -> None:
+        relay_latency = self.config.sampling.relay_latency_s
+        writeback_latency = self.config.sampling.writeback_latency_s
+        self._stats_channel = NetlinkChannel(
+            self.engine, latency_s=relay_latency, name="netlink-stats"
+        )
+        self._target_channel = NetlinkChannel(
+            self.engine, latency_s=writeback_latency, name="netlink-targets"
+        )
+        self.privileged_tkm = PrivilegedTkm(
+            self.hypervisor,
+            stats_channel=self._stats_channel,
+            target_channel=self._target_channel,
+        )
+        self.policy = create_policy(self.policy_spec)
+        self.manager = MemoryManager(
+            self.policy,
+            stats_channel=self._stats_channel,
+            target_channel=self._target_channel,
+        )
+
+    def _install_triggers(self) -> None:
+        spec = self.spec
+
+        # VMs that are started by a phase trigger must not auto-start.
+        trigger_started = {t.start_vm for t in spec.phase_triggers if t.start_vm}
+        for vm_name in trigger_started:
+            if vm_name not in self.vms:
+                raise ScenarioError(
+                    f"phase trigger references unknown VM {vm_name!r}"
+                )
+
+        def on_phase(vm: VirtualMachine, phase: str, when: float) -> None:
+            for trigger in spec.phase_triggers:
+                if trigger.start_vm and trigger.matches(vm.name, phase):
+                    if trigger.start_vm not in self._triggered_vms:
+                        self._triggered_vms.add(trigger.start_vm)
+                        self.vms[trigger.start_vm].start()
+            if spec.stop_trigger is not None and not self._stop_fired:
+                if spec.stop_trigger.matches(vm.name, phase):
+                    self._stop_fired = True
+                    for other in self.vms.values():
+                        other.request_stop()
+
+        for vm in self.vms.values():
+            vm.on_phase_change(on_phase)
+
+        self._trigger_started_vms = trigger_started
+
+    # -- execution -------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        """Execute the scenario and return its results."""
+        wall_start = _time.perf_counter()
+        if self._use_tmem:
+            self.hypervisor.start()
+
+        for name, vm in self.vms.items():
+            if name not in getattr(self, "_trigger_started_vms", set()):
+                vm.start()
+
+        deadline = min(self.spec.max_duration_s, self.config.max_simulated_time_s)
+
+        def all_idle() -> bool:
+            return all(vm.is_idle for vm in self.vms.values())
+
+        self.engine.run(until=deadline, stop_when=all_idle)
+        if not all_idle():
+            unfinished = [name for name, vm in self.vms.items() if not vm.is_idle]
+            raise SimulationError(
+                f"scenario {self.spec.name!r} under {self.policy_spec!r} did not "
+                f"finish within {deadline:.0f} simulated seconds; still running: "
+                f"{unfinished}"
+            )
+        # Take one final statistics sample so the traces cover the full run.
+        if self._use_tmem:
+            self.hypervisor.sampler.sample_now()
+            self.hypervisor.stop()
+        self.hypervisor.check_invariants()
+
+        wall_elapsed = _time.perf_counter() - wall_start
+        return self._collect_results(wall_elapsed)
+
+    # -- result collection ----------------------------------------------------------
+    def _collect_results(self, wall_clock_s: float) -> ScenarioResult:
+        vm_results: Dict[str, VmResult] = {}
+        for name, vm in self.vms.items():
+            runs = tuple(
+                RunResult(
+                    vm_name=name,
+                    workload_name=run.workload_name,
+                    run_index=run.run_index,
+                    start_time_s=run.start_time,
+                    end_time_s=run.end_time if run.end_time is not None else float("nan"),
+                    duration_s=run.duration_s,
+                    stopped_early=run.stopped_early,
+                    phase_durations=dict(run.phase_durations),
+                    phase_order=tuple(run.phase_order),
+                )
+                for run in vm.runs
+                if run.finished
+            )
+            account = self.hypervisor.accounting.maybe_account(vm.vm_id)
+            kernel_stats = vm.kernel.stats
+            trace_name = f"tmem_used/vm{vm.vm_id}"
+            peak_tmem = 0
+            if trace_name in self.trace and len(self.trace.get(trace_name)):
+                peak_tmem = int(self.trace.get(trace_name).max())
+            vm_results[name] = VmResult(
+                vm_name=name,
+                vm_id=vm.vm_id,
+                runs=runs,
+                major_faults=kernel_stats.major_faults,
+                faults_from_tmem=kernel_stats.faults_from_tmem,
+                faults_from_disk=kernel_stats.faults_from_disk,
+                evictions_to_tmem=kernel_stats.evictions_to_tmem,
+                evictions_to_disk=kernel_stats.evictions_to_disk,
+                failed_tmem_puts=kernel_stats.failed_tmem_puts,
+                time_in_tmem_ops_s=kernel_stats.time_in_tmem_ops_s,
+                time_in_disk_io_s=kernel_stats.time_in_disk_io_s,
+                cumul_puts_total=account.cumul_puts_total if account else 0,
+                cumul_puts_succ=account.cumul_puts_succ if account else 0,
+                cumul_puts_failed=account.cumul_puts_failed if account else 0,
+                peak_tmem_pages=peak_tmem,
+            )
+
+        return ScenarioResult(
+            scenario_name=self.spec.name,
+            policy_spec=self.policy_spec,
+            seed=self.config.seed,
+            total_tmem_pages=self.hypervisor.total_tmem_pages,
+            simulated_duration_s=self.engine.now,
+            vms=vm_results,
+            trace=self.trace,
+            target_updates=(
+                self.manager.stats.target_updates_sent if self.manager else 0
+            ),
+            snapshots=len(self.hypervisor.sampler.history),
+            wall_clock_s=wall_clock_s,
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    policy_spec: str,
+    *,
+    config: Optional[SimulationConfig] = None,
+    units: Optional[MemoryUnits] = None,
+    seed: Optional[int] = None,
+) -> ScenarioResult:
+    """One-call convenience wrapper around :class:`ScenarioRunner`."""
+    runner = ScenarioRunner(
+        spec, policy_spec, config=config, units=units, seed=seed
+    )
+    return runner.run()

@@ -1,0 +1,173 @@
+"""Scenario specifications (the rows of Table II).
+
+A scenario describes the node (RAM, tmem pool size), the VMs (RAM, vCPUs)
+and the jobs each VM runs (which workload, when it starts, how many times).
+Specs are declarative and contain no simulation state, so they can be
+constructed once and run under many policies; the scenario *library*
+(:mod:`repro.scenarios.library`) provides the four scenarios of the paper,
+and users can build their own specs for new experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ScenarioError
+from ..units import MemoryUnits
+
+__all__ = ["WorkloadSpec", "VMSpec", "ScenarioSpec"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One job queued on one VM."""
+
+    #: Workload kind: "usemem", "in-memory-analytics", "graph-analytics",
+    #: or any key registered in the runner's workload factory table.
+    kind: str
+    #: Constructor overrides forwarded to the workload class.
+    params: Mapping[str, Any] = field(default_factory=dict)
+    #: Absolute start time in seconds, or None to chain after the previous job.
+    start_at: Optional[float] = None
+    #: Delay after the previous job finishes (used when start_at is None).
+    delay_after_previous: float = 0.0
+    #: Label used in reports; defaults to the workload kind.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start_at is not None and self.start_at < 0:
+            raise ScenarioError(f"start_at must be >= 0, got {self.start_at}")
+        if self.delay_after_previous < 0:
+            raise ScenarioError(
+                f"delay_after_previous must be >= 0, got {self.delay_after_previous}"
+            )
+
+    @property
+    def display_label(self) -> str:
+        return self.label or self.kind
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """One virtual machine of a scenario."""
+
+    name: str
+    ram_mb: int
+    vcpus: int = 1
+    swap_mb: int = 2048
+    jobs: Tuple[WorkloadSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("VM name must not be empty")
+        if self.ram_mb <= 0:
+            raise ScenarioError(f"{self.name}: ram_mb must be > 0, got {self.ram_mb}")
+        if self.vcpus <= 0:
+            raise ScenarioError(f"{self.name}: vcpus must be > 0, got {self.vcpus}")
+        if self.swap_mb <= 0:
+            raise ScenarioError(f"{self.name}: swap_mb must be > 0, got {self.swap_mb}")
+
+    def ram_pages(self, units: MemoryUnits) -> int:
+        return units.pages_from_mib(self.ram_mb)
+
+    def swap_pages(self, units: MemoryUnits) -> int:
+        return units.pages_from_mib(self.swap_mb)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete benchmarking scenario."""
+
+    name: str
+    description: str
+    vms: Tuple[VMSpec, ...]
+    #: Size of the tmem pool enabled on the node (1 GB in most scenarios,
+    #: 384 MB in the Usemem scenario).
+    tmem_mb: int
+    #: Physical memory of the node; defaults to VM RAM + tmem + headroom.
+    host_memory_mb: Optional[int] = None
+    #: Optional cross-VM trigger: when VM `watch_vm` enters phase
+    #: `watch_phase`, start the jobs of `start_vm` (usemem scenario).
+    phase_triggers: Tuple["PhaseTrigger", ...] = ()
+    #: Optional global stop: when VM `watch_vm` enters `watch_phase`, every
+    #: VM is stopped (usemem scenario stops everyone at 768 MB).
+    stop_trigger: Optional["PhaseTrigger"] = None
+    #: Hard wall on the simulated duration of one run of this scenario.
+    max_duration_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not self.vms:
+            raise ScenarioError(f"scenario {self.name!r} has no VMs")
+        if self.tmem_mb < 0:
+            raise ScenarioError(f"tmem_mb must be >= 0, got {self.tmem_mb}")
+        names = [vm.name for vm in self.vms]
+        if len(names) != len(set(names)):
+            raise ScenarioError(f"scenario {self.name!r} has duplicate VM names")
+        if self.max_duration_s <= 0:
+            raise ScenarioError(
+                f"max_duration_s must be > 0, got {self.max_duration_s}"
+            )
+
+    # -- derived sizes ------------------------------------------------------------
+    def total_vm_ram_mb(self) -> int:
+        return sum(vm.ram_mb for vm in self.vms)
+
+    def effective_host_memory_mb(self) -> int:
+        if self.host_memory_mb is not None:
+            if self.host_memory_mb < self.total_vm_ram_mb() + self.tmem_mb:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: host memory "
+                    f"{self.host_memory_mb} MB cannot hold "
+                    f"{self.total_vm_ram_mb()} MB of VM RAM plus "
+                    f"{self.tmem_mb} MB of tmem"
+                )
+            return self.host_memory_mb
+        # Default: VM RAM + tmem + 256 MB for the hypervisor/dom0.
+        return self.total_vm_ram_mb() + self.tmem_mb + 256
+
+    def vm(self, name: str) -> VMSpec:
+        for vm in self.vms:
+            if vm.name == name:
+                return vm
+        raise ScenarioError(f"scenario {self.name!r} has no VM named {name!r}")
+
+    def vm_names(self) -> Sequence[str]:
+        return tuple(vm.name for vm in self.vms)
+
+    def with_overrides(self, **kwargs: Any) -> "ScenarioSpec":
+        """Copy with top-level fields replaced (e.g. a smaller tmem pool)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary dictionary used by reports and the CLI."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "tmem_mb": self.tmem_mb,
+            "host_memory_mb": self.effective_host_memory_mb(),
+            "vms": {
+                vm.name: {
+                    "ram_mb": vm.ram_mb,
+                    "vcpus": vm.vcpus,
+                    "jobs": [job.display_label for job in vm.jobs],
+                }
+                for vm in self.vms
+            },
+        }
+
+
+@dataclass(frozen=True)
+class PhaseTrigger:
+    """Fire an action when a VM enters a phase whose name starts with a prefix."""
+
+    watch_vm: str
+    phase_prefix: str
+    #: For start triggers: the VM whose queued jobs should begin.
+    start_vm: Optional[str] = None
+
+    def matches(self, vm_name: str, phase: str) -> bool:
+        return vm_name == self.watch_vm and phase.startswith(self.phase_prefix)
+
+
+__all__.append("PhaseTrigger")

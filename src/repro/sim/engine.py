@@ -1,0 +1,208 @@
+"""Heap-based discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from ..errors import ClockError, EventError, SimulationError
+from .events import Event, EventPriority
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """A minimal but complete discrete-event engine.
+
+    The engine owns a monotonically non-decreasing clock (``now``) and a
+    binary heap of :class:`~repro.sim.events.Event` records.  Components
+    schedule plain callbacks; recurring activity (e.g. the hypervisor's
+    one-second statistics VIRQ) uses :meth:`schedule_recurring`.
+
+    The engine is single-threaded and deterministic: events at the same
+    timestamp are ordered by priority then insertion order.
+    """
+
+    def __init__(self, *, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks run so far (for diagnostics and tests)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    # -- scheduling ------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback* at absolute simulated time *time*."""
+        if time < self._now:
+            raise ClockError(
+                f"cannot schedule event at {time:.9f}s before now={self._now:.9f}s"
+            )
+        event = Event.create(time, callback, priority=priority, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule *callback* after *delay* seconds of simulated time."""
+        if delay < 0:
+            raise EventError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, label=label
+        )
+
+    def schedule_recurring(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = EventPriority.TIMER,
+        label: str = "",
+        start_offset: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Run *callback* every *interval* seconds until cancelled.
+
+        Returns a zero-argument function that cancels the recurrence.  The
+        first invocation happens at ``now + (start_offset or interval)``.
+        """
+        if interval <= 0:
+            raise EventError(f"interval must be > 0, got {interval}")
+        first_delay = interval if start_offset is None else start_offset
+        if first_delay < 0:
+            raise EventError(f"start_offset must be >= 0, got {start_offset}")
+
+        state: dict[str, Any] = {"cancelled": False, "event": None}
+
+        def _fire() -> None:
+            if state["cancelled"]:
+                return
+            callback()
+            if not state["cancelled"] and not self._stopped:
+                state["event"] = self.schedule_after(
+                    interval, _fire, priority=priority, label=label
+                )
+
+        state["event"] = self.schedule_after(
+            first_delay, _fire, priority=priority, label=label
+        )
+
+        def cancel() -> None:
+            state["cancelled"] = True
+            event = state["event"]
+            if event is not None:
+                event.cancel()
+
+        return cancel
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns ``False`` when empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"event {event.label!r} scheduled in the past: "
+                    f"{event.time} < {self._now}"
+                )
+            self._now = event.time
+            self._events_executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Run events until the queue drains or a stop condition is met.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would advance past this time.  Events at
+            exactly ``until`` still execute.
+        max_events:
+            Safety valve on the number of callbacks executed by this call.
+        stop_when:
+            Predicate evaluated after every event; the run stops when it
+            returns ``True``.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                # Peek without popping so `until` leaves the event queued.
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = max(self._now, until)
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if stop_when is not None and stop_when():
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"run() exceeded max_events={max_events}; "
+                        "the simulation is probably livelocked"
+                    )
+            else:
+                if until is not None and not self._stopped:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` stops after this event."""
+        self._stopped = True
+
+    # -- introspection ----------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if empty."""
+        for event in sorted(e for e in self._queue if not e.cancelled):
+            return event.time
+        return None
+
+    def drain_labels(self) -> Iterable[str]:
+        """Labels of all live queued events (diagnostic helper)."""
+        return [e.label for e in sorted(self._queue) if not e.cancelled]

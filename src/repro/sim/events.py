@@ -1,0 +1,68 @@
+"""Event records used by the simulation engine."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["EventPriority", "Event"]
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-break ordering for events scheduled at the same instant.
+
+    Lower values run first.  The distinction matters for the sampling
+    machinery: when a VIRQ tick coincides with workload activity, the
+    statistics snapshot should observe the state *before* the new interval's
+    activity is accounted, mirroring the hypervisor's timer interrupt
+    preempting guest execution.
+    """
+
+    TIMER = 0
+    HYPERVISOR = 1
+    NORMAL = 2
+    WORKLOAD = 3
+    LOW = 4
+
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events order by ``(time, priority, sequence)``; the sequence number
+    makes the ordering total and FIFO among equal-time, equal-priority
+    events, which keeps runs deterministic.
+    """
+
+    time: float
+    priority: int
+    sequence: int = field(compare=True)
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    @classmethod
+    def create(
+        cls,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+    ) -> "Event":
+        return cls(
+            time=time,
+            priority=int(priority),
+            sequence=next(_sequence),
+            callback=callback,
+            label=label,
+        )
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine will skip it."""
+        self.cancelled = True

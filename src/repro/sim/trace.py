@@ -1,0 +1,110 @@
+"""Time-series trace recording.
+
+The figures in the paper (Figures 4, 6, 8 and 10) plot, for every VM, the
+number of tmem pages held over time, sampled at the one-second VIRQ
+cadence.  :class:`TraceRecorder` collects named series of ``(time, value)``
+samples and exposes them as numpy arrays for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["TraceSeries", "TraceRecorder"]
+
+
+@dataclass
+class TraceSeries:
+    """A single named time series."""
+
+    name: str
+    _times: List[float] = field(default_factory=list)
+    _values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise AnalysisError(
+                f"trace {self.name!r}: non-monotonic sample at t={time} "
+                f"(last was {self._times[-1]})"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def as_tuples(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def value_at(self, time: float) -> float:
+        """Last recorded value at or before *time* (step interpolation)."""
+        times = self.times
+        if times.size == 0:
+            raise AnalysisError(f"trace {self.name!r} is empty")
+        idx = int(np.searchsorted(times, time, side="right")) - 1
+        if idx < 0:
+            raise AnalysisError(
+                f"trace {self.name!r} has no sample at or before t={time}"
+            )
+        return float(self._values[idx])
+
+    def mean(self) -> float:
+        if not self._values:
+            raise AnalysisError(f"trace {self.name!r} is empty")
+        return float(np.mean(self.values))
+
+    def max(self) -> float:
+        if not self._values:
+            raise AnalysisError(f"trace {self.name!r} is empty")
+        return float(np.max(self.values))
+
+
+class TraceRecorder:
+    """A bag of named :class:`TraceSeries`."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TraceSeries] = {}
+
+    def series(self, name: str) -> TraceSeries:
+        """Get (creating on first use) the series called *name*."""
+        if name not in self._series:
+            self._series[name] = TraceSeries(name)
+        return self._series[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series(name).append(time, value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._series)
+
+    def get(self, name: str) -> TraceSeries:
+        try:
+            return self._series[name]
+        except KeyError:
+            raise AnalysisError(f"no trace named {name!r} was recorded") from None
+
+    def as_dict(self) -> Mapping[str, TraceSeries]:
+        return dict(self._series)
+
+    def merge(self, other: "TraceRecorder", *, prefix: str = "") -> None:
+        """Copy every series from *other*, optionally prefixing names."""
+        for name, series in other.as_dict().items():
+            target = self.series(prefix + name)
+            for t, v in series.as_tuples():
+                target.append(t, v)

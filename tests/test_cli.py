@@ -1,0 +1,68 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "scenario-1"])
+        assert args.scenario == "scenario-1"
+        assert args.policies is None
+        assert args.scale == pytest.approx(0.25)
+
+    def test_run_with_repeated_policies(self):
+        args = build_parser().parse_args(
+            ["run", "scenario-2", "--policy", "greedy", "--policy", "smart-alloc:P=6"]
+        )
+        assert args.policies == ["greedy", "smart-alloc:P=6"]
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario-1" in out
+        assert "smart-alloc" in out
+        assert "no-tmem" in out
+
+    def test_tables_command(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+        assert "vm_data_hyp[id].tmem_used" in out
+
+    def test_run_command_small_scale(self, capsys):
+        code = main([
+            "run", "usemem-scenario",
+            "--scale", "0.1",
+            "--seed", "5",
+            "--policy", "greedy",
+            "--policy", "no-tmem",
+            "--fairness",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Running times" in out
+        assert "greedy" in out and "no-tmem" in out
+        assert "Jain fairness" in out
+
+    def test_run_command_with_traces(self, capsys):
+        code = main([
+            "run", "scenario-1",
+            "--scale", "0.1",
+            "--policy", "static-alloc",
+            "--traces",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Tmem usage over time" in out
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(Exception):
+            main(["run", "scenario-99", "--policy", "greedy"])

@@ -1,0 +1,158 @@
+"""Tests for the host memory and virtual disk models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import SimulationConfig
+from repro.devices.disk import VirtualDisk
+from repro.devices.dram import HostMemory
+from repro.errors import ConfigurationError, TmemPoolError
+
+
+class TestHostMemory:
+    def test_initial_state(self):
+        mem = HostMemory(1000)
+        assert mem.total_pages == 1000
+        assert mem.unassigned_pages == 1000
+        assert mem.tmem_total_pages == 0
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ConfigurationError):
+            HostMemory(0)
+
+    def test_reserve_vm_memory(self):
+        mem = HostMemory(1000)
+        mem.reserve_vm_memory(400)
+        assert mem.vm_reserved_pages == 400
+        assert mem.unassigned_pages == 600
+
+    def test_cannot_over_reserve(self):
+        mem = HostMemory(1000)
+        with pytest.raises(ConfigurationError):
+            mem.reserve_vm_memory(1001)
+
+    def test_release_vm_memory(self):
+        mem = HostMemory(1000)
+        mem.reserve_vm_memory(400)
+        mem.release_vm_memory(400)
+        assert mem.unassigned_pages == 1000
+
+    def test_release_more_than_reserved_rejected(self):
+        mem = HostMemory(1000)
+        mem.reserve_vm_memory(100)
+        with pytest.raises(ConfigurationError):
+            mem.release_vm_memory(200)
+
+    def test_grow_tmem_pool_from_fallow_pages(self):
+        mem = HostMemory(1000)
+        mem.reserve_vm_memory(400)
+        mem.grow_tmem_pool(500)
+        assert mem.tmem_total_pages == 500
+        assert mem.tmem_free_pages == 500
+        assert mem.unassigned_pages == 100
+
+    def test_cannot_grow_tmem_beyond_fallow(self):
+        mem = HostMemory(1000)
+        mem.reserve_vm_memory(800)
+        with pytest.raises(ConfigurationError):
+            mem.grow_tmem_pool(300)
+
+    def test_allocate_and_free_tmem_pages(self):
+        mem = HostMemory(100)
+        mem.grow_tmem_pool(10)
+        for _ in range(10):
+            mem.allocate_tmem_page()
+        assert mem.tmem_free_pages == 0
+        with pytest.raises(TmemPoolError):
+            mem.allocate_tmem_page()
+        mem.free_tmem_page()
+        assert mem.tmem_free_pages == 1
+
+    def test_free_unused_tmem_page_rejected(self):
+        mem = HostMemory(100)
+        mem.grow_tmem_pool(10)
+        with pytest.raises(TmemPoolError):
+            mem.free_tmem_page()
+
+    def test_check_invariants_passes_in_normal_use(self):
+        mem = HostMemory(100)
+        mem.reserve_vm_memory(50)
+        mem.grow_tmem_pool(30)
+        mem.allocate_tmem_page()
+        mem.check_invariants()
+
+    @given(ops=st.lists(st.sampled_from(["alloc", "free"]), max_size=200))
+    def test_pool_accounting_never_goes_out_of_range(self, ops):
+        mem = HostMemory(500)
+        mem.grow_tmem_pool(64)
+        for op in ops:
+            try:
+                if op == "alloc":
+                    mem.allocate_tmem_page()
+                else:
+                    mem.free_tmem_page()
+            except TmemPoolError:
+                pass
+            assert 0 <= mem.tmem_used_pages <= 64
+            mem.check_invariants()
+
+
+class TestVirtualDisk:
+    def test_read_latency_has_seek_and_transfer(self):
+        cfg = SimulationConfig()
+        disk = VirtualDisk(cfg)
+        latency = disk.read(0.0, 1)
+        assert latency == pytest.approx(cfg.disk_latency_s(1))
+
+    def test_requests_queue_fifo(self):
+        cfg = SimulationConfig()
+        disk = VirtualDisk(cfg)
+        first = disk.read(0.0, 1)
+        second = disk.read(0.0, 1)
+        # The second request waits for the first to complete.
+        assert second == pytest.approx(2 * first)
+
+    def test_idle_gap_resets_queueing(self):
+        cfg = SimulationConfig()
+        disk = VirtualDisk(cfg)
+        disk.read(0.0, 1)
+        later = disk.read(10.0, 1)
+        assert later == pytest.approx(cfg.disk_latency_s(1))
+
+    def test_multi_page_requests_cost_more(self):
+        disk = VirtualDisk(SimulationConfig())
+        small = disk.read(0.0, 1)
+        large = disk.read(100.0, 16)
+        assert large > small
+
+    def test_rejects_zero_page_requests(self):
+        disk = VirtualDisk(SimulationConfig())
+        with pytest.raises(ConfigurationError):
+            disk.read(0.0, 0)
+
+    def test_stats_accumulate(self):
+        disk = VirtualDisk(SimulationConfig())
+        disk.read(0.0, 2, vm_id=1)
+        disk.write(0.0, 3, vm_id=1)
+        disk.write(0.0, 1, vm_id=2)
+        assert disk.stats.reads == 1
+        assert disk.stats.writes == 2
+        assert disk.stats.pages_read == 2
+        assert disk.stats.pages_written == 4
+        assert disk.stats.per_vm_pages_written == {1: 3, 2: 1}
+        assert disk.stats.mean_latency_s() > 0
+
+    def test_utilization_bounded(self):
+        disk = VirtualDisk(SimulationConfig())
+        disk.read(0.0, 1)
+        assert 0.0 < disk.utilization(1.0) <= 1.0
+        assert disk.utilization(0.0) == 0.0
+
+    def test_write_asymmetry_scales_writes(self):
+        cfg = SimulationConfig(disk=type(SimulationConfig().disk)(
+            seek_latency_s=1e-3, transfer_latency_s=1e-5, read_write_asymmetry=2.0
+        ))
+        disk = VirtualDisk(cfg)
+        read = disk.read(0.0, 1)
+        write = disk.write(100.0, 1)
+        assert write == pytest.approx(2 * read)

@@ -1,0 +1,197 @@
+"""Tests for the guest kernel memory-management model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GuestConfig, SimulationConfig
+from repro.devices.disk import VirtualDisk
+from repro.errors import ConfigurationError
+from repro.guest.frontswap import FrontswapClient
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.xen import Hypervisor
+from repro.sim.engine import SimulationEngine
+
+
+def build_kernel(ram_pages=20, swap_pages=200, tmem_pages=16, use_tmem=True,
+                 config=None):
+    engine = SimulationEngine()
+    config = config or SimulationConfig()
+    hv = Hypervisor(engine, config, host_memory_pages=4096, tmem_pool_pages=tmem_pages)
+    record = hv.create_domain("vm", ram_pages=ram_pages)
+    frontswap = None
+    if use_tmem:
+        hv.register_tmem_client(record.vm_id)
+        frontswap = FrontswapClient(record.vm_id, record.frontswap_pool_id, hv.hypercalls)
+    kernel = GuestKernel(
+        record.vm_id,
+        ram_pages=ram_pages,
+        swap_pages=swap_pages,
+        config=config,
+        disk=hv.swap_disk,
+        frontswap=frontswap,
+    )
+    return kernel, hv
+
+
+class TestBasicAccess:
+    def test_first_touch_is_not_io(self):
+        kernel, _ = build_kernel()
+        outcome = kernel.access([0, 1, 2], now=0.0)
+        assert outcome.pages_accessed == 3
+        assert outcome.first_touches == 3
+        assert outcome.faults_from_disk == 0
+        assert outcome.faults_from_tmem == 0
+        assert kernel.resident_pages == 3
+
+    def test_repeated_access_is_a_minor_hit(self):
+        kernel, _ = build_kernel()
+        kernel.access([5], now=0.0)
+        outcome = kernel.access([5], now=1.0)
+        assert outcome.minor_hits == 1
+        assert outcome.major_faults == 0
+
+    def test_negative_page_rejected(self):
+        kernel, _ = build_kernel()
+        with pytest.raises(ConfigurationError):
+            kernel.access([-1], now=0.0)
+
+    def test_usable_ram_respects_kernel_reservation(self):
+        config = SimulationConfig(guest=GuestConfig(kernel_reserved_fraction=0.5))
+        kernel, _ = build_kernel(ram_pages=20, config=config)
+        assert kernel.usable_ram_pages == 10
+
+    def test_resident_set_never_exceeds_usable_ram(self):
+        kernel, _ = build_kernel(ram_pages=20)
+        kernel.access(range(100), now=0.0)
+        assert kernel.resident_pages <= kernel.usable_ram_pages
+
+    def test_footprint_counts_distinct_pages(self):
+        kernel, _ = build_kernel(ram_pages=20)
+        kernel.access([1, 2, 3, 2, 1], now=0.0)
+        assert kernel.memory_footprint_pages() == 3
+
+
+class TestEvictionPaths:
+    def test_overflow_goes_to_tmem_first(self):
+        kernel, hv = build_kernel(ram_pages=10, tmem_pages=64)
+        kernel.access(range(30), now=0.0)
+        assert kernel.stats.evictions_to_tmem > 0
+        assert kernel.stats.evictions_to_disk == 0
+        assert hv.host_memory.tmem_used_pages == kernel.tmem_pages
+
+    def test_overflow_goes_to_disk_when_tmem_full(self):
+        kernel, hv = build_kernel(ram_pages=10, tmem_pages=4)
+        kernel.access(range(40), now=0.0)
+        assert kernel.stats.evictions_to_disk > 0
+        assert kernel.stats.failed_tmem_puts > 0
+        assert kernel.swap.used_pages > 0
+
+    def test_no_tmem_all_overflow_to_disk(self):
+        kernel, hv = build_kernel(ram_pages=10, use_tmem=False)
+        kernel.access(range(30), now=0.0)
+        assert kernel.stats.evictions_to_tmem == 0
+        assert kernel.stats.evictions_to_disk > 0
+
+    def test_fault_back_from_tmem(self):
+        kernel, _ = build_kernel(ram_pages=10, tmem_pages=64)
+        kernel.access(range(20), now=0.0)      # pages 0.. evicted to tmem
+        outcome = kernel.access([0], now=1.0)  # page 0 is the LRU victim
+        assert outcome.faults_from_tmem == 1
+        assert outcome.faults_from_disk == 0
+
+    def test_fault_back_from_disk(self):
+        kernel, _ = build_kernel(ram_pages=10, tmem_pages=0, use_tmem=False)
+        kernel.access(range(20), now=0.0)
+        outcome = kernel.access([0], now=1.0)
+        assert outcome.faults_from_disk == 1
+
+    def test_disk_fault_is_slower_than_tmem_fault(self):
+        tmem_kernel, _ = build_kernel(ram_pages=10, tmem_pages=64)
+        disk_kernel, _ = build_kernel(ram_pages=10, use_tmem=False)
+        tmem_kernel.access(range(20), now=0.0)
+        disk_kernel.access(range(20), now=0.0)
+        tmem_fault = tmem_kernel.access([0], now=1.0).latency_s
+        disk_fault = disk_kernel.access([0], now=1.0).latency_s
+        assert disk_fault > tmem_fault * 5
+
+    def test_lru_eviction_order(self):
+        kernel, _ = build_kernel(ram_pages=11)  # usable = 10 after reservation
+        usable = kernel.usable_ram_pages
+        kernel.access(range(usable), now=0.0)
+        kernel.access([usable], now=1.0)       # evicts page 0 (the LRU)
+        assert not kernel.is_resident(0)
+        assert kernel.is_resident(usable)
+
+
+class TestFreeAndRelease:
+    def test_free_resident_pages(self):
+        kernel, _ = build_kernel()
+        kernel.access([1, 2, 3], now=0.0)
+        kernel.free([2], now=1.0)
+        assert not kernel.is_resident(2)
+        assert kernel.memory_footprint_pages() == 2
+
+    def test_free_tmem_page_flushes_it(self):
+        kernel, hv = build_kernel(ram_pages=10, tmem_pages=64)
+        kernel.access(range(20), now=0.0)
+        in_tmem_before = kernel.tmem_pages
+        assert in_tmem_before > 0
+        evicted = [p for p in range(20) if not kernel.is_resident(p)]
+        kernel.free(evicted, now=1.0)
+        assert kernel.tmem_pages == 0
+        assert hv.host_memory.tmem_used_pages == 0
+
+    def test_release_all_clears_everything(self):
+        kernel, hv = build_kernel(ram_pages=10, tmem_pages=8)
+        kernel.access(range(40), now=0.0)
+        kernel.release_all(now=1.0)
+        assert kernel.resident_pages == 0
+        assert kernel.memory_footprint_pages() == 0
+        assert kernel.tmem_pages == 0
+        assert kernel.swap.used_pages == 0
+        assert hv.host_memory.tmem_used_pages == 0
+
+    def test_access_after_release_is_first_touch_again(self):
+        kernel, _ = build_kernel(ram_pages=10, tmem_pages=8)
+        kernel.access(range(20), now=0.0)
+        kernel.release_all(now=1.0)
+        outcome = kernel.access([0], now=2.0)
+        assert outcome.first_touches == 1
+
+
+class TestStatsConsistency:
+    def test_stats_absorb_outcomes(self):
+        kernel, _ = build_kernel(ram_pages=10, tmem_pages=8)
+        kernel.access(range(25), now=0.0)
+        kernel.access(range(25), now=1.0)
+        stats = kernel.stats
+        assert stats.accesses == 50
+        assert stats.major_faults + stats.minor_hits == 50
+        assert stats.major_faults == (
+            stats.faults_from_tmem + stats.faults_from_disk + stats.first_touches
+        )
+        assert stats.evictions == stats.evictions_to_tmem + stats.evictions_to_disk
+        assert 0.0 <= stats.fault_ratio <= 1.0
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        pattern=st.lists(st.integers(0, 60), min_size=1, max_size=300),
+        tmem_pages=st.sampled_from([0, 4, 32]),
+    )
+    def test_location_invariant_for_any_access_pattern(self, pattern, tmem_pages):
+        """A page is resident, in tmem, on the swap disk, or never evicted —
+        and the accounting of all four places stays mutually consistent."""
+        kernel, hv = build_kernel(
+            ram_pages=12, tmem_pages=tmem_pages, use_tmem=tmem_pages > 0
+        )
+        now = 0.0
+        for page in pattern:
+            kernel.access([page], now=now)
+            now += 0.001
+        assert kernel.resident_pages <= kernel.usable_ram_pages
+        if kernel.frontswap is not None:
+            assert kernel.tmem_pages == hv.host_memory.tmem_used_pages
+        # Every page in tmem or swap must have been touched at some point.
+        touched = set(pattern)
+        assert kernel.memory_footprint_pages() <= len(touched)
+        hv.check_invariants()

@@ -1,0 +1,179 @@
+"""Tests for the Memory Manager, netlink channels and privileged TKM."""
+
+import pytest
+
+from repro.channels.netlink import NetlinkChannel
+from repro.config import SimulationConfig
+from repro.core.manager import MemoryManager
+from repro.core.policies import GreedyPolicy, SmartAllocPolicy, StaticAllocPolicy
+from repro.guest.tkm import PrivilegedTkm, TmemKernelModule
+from repro.hypervisor.pages import PageKey
+from repro.hypervisor.xen import Hypervisor
+from repro.sim.engine import SimulationEngine
+
+
+class TestNetlinkChannel:
+    def test_zero_latency_delivers_immediately(self):
+        engine = SimulationEngine()
+        channel = NetlinkChannel(engine, latency_s=0.0)
+        received = []
+        channel.subscribe(received.append)
+        channel.send("hello", {"x": 1})
+        assert len(received) == 1
+        assert received[0].payload == {"x": 1}
+
+    def test_latency_defers_delivery_until_engine_runs(self):
+        engine = SimulationEngine()
+        channel = NetlinkChannel(engine, latency_s=0.5)
+        received = []
+        channel.subscribe(received.append)
+        channel.send("stats", 42)
+        assert received == []
+        engine.run()
+        assert len(received) == 1
+        assert engine.now == pytest.approx(0.5)
+
+    def test_history_filters_by_kind(self):
+        engine = SimulationEngine()
+        channel = NetlinkChannel(engine)
+        channel.send("a", 1)
+        channel.send("b", 2)
+        channel.send("a", 3)
+        assert len(channel.history("a")) == 2
+        assert channel.messages_sent == 3
+
+    def test_fault_injection_drops_messages(self):
+        engine = SimulationEngine()
+        channel = NetlinkChannel(engine)
+        received = []
+        channel.subscribe(received.append)
+        channel.inject_fault(lambda msg: msg.kind == "stats")
+        channel.send("stats", 1)
+        channel.send("targets", 2)
+        assert len(received) == 1
+        assert channel.messages_dropped == 1
+
+
+def build_stack(policy, tmem_pages=100, vm_count=2):
+    """Full control-plane stack: hypervisor + TKM + netlink + MM."""
+    engine = SimulationEngine()
+    config = SimulationConfig()
+    hv = Hypervisor(engine, config, host_memory_pages=4096, tmem_pool_pages=tmem_pages)
+    records = []
+    for i in range(vm_count):
+        record = hv.create_domain(f"vm{i+1}", ram_pages=128)
+        hv.register_tmem_client(record.vm_id)
+        records.append(record)
+    stats_ch = NetlinkChannel(engine, latency_s=config.sampling.relay_latency_s)
+    target_ch = NetlinkChannel(engine, latency_s=config.sampling.writeback_latency_s)
+    tkm = PrivilegedTkm(hv, stats_channel=stats_ch, target_channel=target_ch)
+    manager = MemoryManager(policy, stats_channel=stats_ch, target_channel=target_ch)
+    return engine, hv, records, tkm, manager
+
+
+class TestPrivilegedTkm:
+    def test_relays_snapshots_to_user_space(self):
+        engine, hv, records, tkm, manager = build_stack(StaticAllocPolicy())
+        hv.start()
+        engine.run(until=3.1)
+        assert tkm.stats.snapshots_relayed == 3
+        assert manager.stats.snapshots_received == 3
+
+    def test_targets_travel_back_to_the_hypervisor(self):
+        engine, hv, records, tkm, manager = build_stack(StaticAllocPolicy())
+        hv.start()
+        engine.run(until=2.0)
+        # static-alloc divides 100 pages over 2 VMs.
+        for record in records:
+            assert hv.accounting.account(record.vm_id).mm_target == 50
+        assert tkm.stats.target_updates_applied >= 1
+
+    def test_greedy_policy_never_sends_targets(self):
+        engine, hv, records, tkm, manager = build_stack(GreedyPolicy())
+        hv.start()
+        engine.run(until=5.0)
+        assert tkm.stats.target_updates_applied == 0
+        for record in records:
+            assert not hv.accounting.account(record.vm_id).has_target
+
+    def test_apply_targets_directly(self):
+        engine, hv, records, tkm, manager = build_stack(GreedyPolicy())
+        tkm.apply_targets({records[0].vm_id: 7})
+        assert hv.accounting.account(records[0].vm_id).mm_target == 7
+
+
+class TestMemoryManager:
+    def test_process_snapshot_directly(self):
+        engine, hv, records, tkm, manager = build_stack(StaticAllocPolicy())
+        snapshot = hv.sampler.sample_now()
+        decision = manager.process_snapshot(snapshot)
+        assert decision.changed
+        assert decision.targets.total() == 100
+
+    def test_duplicate_targets_suppressed(self):
+        """send_to_hypervisor only transmits when the targets changed."""
+        engine, hv, records, tkm, manager = build_stack(StaticAllocPolicy())
+        hv.start()
+        engine.run(until=5.0)
+        assert manager.stats.target_updates_sent == 1
+
+    def test_history_is_kept(self):
+        engine, hv, records, tkm, manager = build_stack(SmartAllocPolicy(percent=2))
+        hv.start()
+        # Run slightly past the 4th sampling instant so the netlink relay
+        # latency does not hide the final snapshot from the MM.
+        engine.run(until=4.5)
+        assert len(manager.history) == 4
+        assert manager.history.latest().time == pytest.approx(4.0)
+        assert manager.history.previous().time == pytest.approx(3.0)
+
+    def test_reset_clears_state(self):
+        engine, hv, records, tkm, manager = build_stack(StaticAllocPolicy())
+        hv.start()
+        engine.run(until=2.0)
+        manager.reset()
+        assert len(manager.history) == 0
+        assert manager.last_sent_targets is None
+        assert manager.stats.snapshots_received == 0
+
+    def test_smart_alloc_reacts_to_failed_puts_through_the_full_stack(self):
+        engine, hv, records, tkm, manager = build_stack(
+            SmartAllocPolicy(percent=10), tmem_pages=100
+        )
+        vm = records[0]
+        hv.start()
+        # Give the MM one quiet interval so it installs zero targets, then
+        # generate puts that fail against the zero target.
+        engine.run(until=1.2)
+        for i in range(10):
+            hv.backend.put(vm.vm_id, vm.frontswap_pool_id, PageKey(0, 0, i),
+                           version=1, now=engine.now)
+        engine.run(until=2.5)
+        target = hv.accounting.account(vm.vm_id).mm_target
+        assert target >= 10  # grew by P% of the pool after the failed puts
+
+
+class TestGuestTkm:
+    def test_module_init_creates_frontswap_pool(self, engine, config):
+        hv = Hypervisor(engine, config, host_memory_pages=1024, tmem_pool_pages=64)
+        record = hv.create_domain("vm", ram_pages=128)
+        tkm = TmemKernelModule(hv, record.vm_id)
+        assert tkm.frontswap is not None
+        assert tkm.cleancache is None
+        stored, _ = tkm.frontswap.store(1, now=0.0)
+        assert stored
+
+    def test_module_init_with_cleancache(self, engine, config):
+        hv = Hypervisor(engine, config, host_memory_pages=1024, tmem_pool_pages=64)
+        record = hv.create_domain("vm", ram_pages=128)
+        tkm = TmemKernelModule(hv, record.vm_id, enable_cleancache=True)
+        assert tkm.cleancache is not None
+        ok, _ = tkm.cleancache.put_page(3, now=0.0)
+        assert ok
+
+    def test_hypercall_stats_exposed(self, engine, config):
+        hv = Hypervisor(engine, config, host_memory_pages=1024, tmem_pool_pages=64)
+        record = hv.create_domain("vm", ram_pages=128)
+        tkm = TmemKernelModule(hv, record.vm_id)
+        tkm.frontswap.store(1, now=0.0)
+        assert tkm.hypercall_stats.total_calls == 1

@@ -1,0 +1,131 @@
+"""Tests for the page-frame reclaim algorithms (LRU and CLOCK)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, GuestError
+from repro.guest.pfra import ClockReclaim, LruReclaim, make_reclaimer
+
+
+@pytest.fixture(params=["lru", "clock"])
+def reclaimer(request):
+    return make_reclaimer(request.param)
+
+
+class TestCommonBehaviour:
+    def test_factory_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            make_reclaimer("arc")
+
+    def test_insert_and_contains(self, reclaimer):
+        reclaimer.insert(1)
+        reclaimer.insert(2)
+        assert 1 in reclaimer and 2 in reclaimer
+        assert len(reclaimer) == 2
+
+    def test_double_insert_rejected(self, reclaimer):
+        reclaimer.insert(1)
+        with pytest.raises(GuestError):
+            reclaimer.insert(1)
+
+    def test_touch_non_resident_rejected(self, reclaimer):
+        with pytest.raises(GuestError):
+            reclaimer.touch(5)
+
+    def test_remove_non_resident_rejected(self, reclaimer):
+        with pytest.raises(GuestError):
+            reclaimer.remove(5)
+
+    def test_victim_from_empty_rejected(self, reclaimer):
+        with pytest.raises(GuestError):
+            reclaimer.select_victim()
+
+    def test_victim_is_removed(self, reclaimer):
+        for p in range(5):
+            reclaimer.insert(p)
+        victim = reclaimer.select_victim()
+        assert victim not in reclaimer
+        assert len(reclaimer) == 4
+
+    def test_remove_then_reinsert(self, reclaimer):
+        reclaimer.insert(3)
+        reclaimer.remove(3)
+        reclaimer.insert(3)
+        assert 3 in reclaimer
+
+    def test_pages_iterates_resident_set(self, reclaimer):
+        for p in (1, 2, 3):
+            reclaimer.insert(p)
+        assert sorted(reclaimer.pages()) == [1, 2, 3]
+
+
+class TestLruOrdering:
+    def test_victim_is_least_recently_used(self):
+        lru = LruReclaim()
+        for p in (1, 2, 3):
+            lru.insert(p)
+        lru.touch(1)
+        assert lru.select_victim() == 2
+
+    def test_insertion_order_without_touches(self):
+        lru = LruReclaim()
+        for p in (10, 20, 30):
+            lru.insert(p)
+        assert [lru.select_victim() for _ in range(3)] == [10, 20, 30]
+
+
+class TestClockBehaviour:
+    def test_second_chance_protects_referenced_pages(self):
+        clock = ClockReclaim()
+        for p in (1, 2, 3):
+            clock.insert(p)
+        # All pages start referenced; the first sweep clears bits, the
+        # second evicts the first unreferenced page found — page 1.
+        assert clock.select_victim() == 1
+
+    def test_touched_page_survives_longer(self):
+        clock = ClockReclaim()
+        for p in (1, 2, 3):
+            clock.insert(p)
+        clock.select_victim()           # evicts 1, clears bits of 2 and 3
+        clock.touch(2)
+        assert clock.select_victim() == 3
+
+    def test_remove_adjusts_hand(self):
+        clock = ClockReclaim()
+        for p in range(6):
+            clock.insert(p)
+        clock.select_victim()
+        clock.remove(4)
+        # Remaining operations must still behave sensibly.
+        victims = [clock.select_victim() for _ in range(4)]
+        assert len(set(victims)) == 4
+
+
+@given(
+    algorithm=st.sampled_from(["lru", "clock"]),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "touch", "evict", "remove"]),
+                  st.integers(0, 30)),
+        max_size=300,
+    ),
+)
+def test_resident_set_is_always_consistent(algorithm, ops):
+    """Property: the tracker's size always equals its distinct resident pages."""
+    reclaimer = make_reclaimer(algorithm)
+    resident = set()
+    for op, page in ops:
+        if op == "insert" and page not in resident:
+            reclaimer.insert(page)
+            resident.add(page)
+        elif op == "touch" and page in resident:
+            reclaimer.touch(page)
+        elif op == "remove" and page in resident:
+            reclaimer.remove(page)
+            resident.discard(page)
+        elif op == "evict" and resident:
+            victim = reclaimer.select_victim()
+            assert victim in resident
+            resident.discard(victim)
+        assert len(reclaimer) == len(resident)
+        assert set(reclaimer.pages()) == resident

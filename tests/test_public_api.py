@@ -1,0 +1,66 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_quickstart_flow(self):
+        """The README quickstart must work as written (at reduced scale)."""
+        spec = repro.scenario_1(scale=0.1)
+        greedy = repro.run_scenario(spec, "greedy", seed=1)
+        smart = repro.run_scenario(spec, "smart-alloc:P=6", seed=1)
+        assert isinstance(greedy.mean_runtime_s(), float)
+        assert isinstance(smart.mean_runtime_s(), float)
+        table = repro.render_runtime_table({"greedy": greedy, "smart": smart})
+        assert "VM1/run1" in table
+
+    def test_custom_policy_registration(self):
+        """Users can add their own policy and select it by name."""
+        from repro.core.policy import TmemPolicy, create_policy, register_policy
+        from repro.core.stats import TargetVector
+        from repro.core.targets import equal_share
+
+        name = "half-pool-test-policy"
+
+        @register_policy(name)
+        class HalfPool(TmemPolicy):
+            def decide(self, memstats):
+                from repro.core.policy import PolicyDecision
+                vec = equal_share(memstats.vm_ids(), memstats.total_tmem // 2)
+                return PolicyDecision.set_targets(vec)
+
+        policy = create_policy(name)
+        assert policy.name == name
+        assert name in repro.available_policies()
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.core",
+            "repro.core.policies",
+            "repro.hypervisor",
+            "repro.guest",
+            "repro.devices",
+            "repro.channels",
+            "repro.sim",
+            "repro.workloads",
+            "repro.scenarios",
+            "repro.analysis",
+            "repro.cli",
+        ):
+            importlib.import_module(module)
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.TmemError, repro.ReproError)
+        assert issubclass(repro.PolicyError, repro.ReproError)
+        assert issubclass(repro.ScenarioError, repro.ReproError)

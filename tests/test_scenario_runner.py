@@ -1,0 +1,176 @@
+"""Integration tests: full scenario runs at reduced scale."""
+
+import pytest
+
+from repro.analysis.metrics import jain_fairness, mean_fairness
+from repro.errors import ScenarioError
+from repro.scenarios.library import scenario_1, scenario_2, usemem_scenario
+from repro.scenarios.runner import NO_TMEM_POLICY, ScenarioRunner, run_scenario
+from repro.scenarios.spec import ScenarioSpec, VMSpec, WorkloadSpec
+
+#: Small scale keeps each scenario run well under a second.
+SCALE = 0.1
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def s1_greedy():
+    return run_scenario(scenario_1(scale=SCALE), "greedy", seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def s1_no_tmem():
+    return run_scenario(scenario_1(scale=SCALE), NO_TMEM_POLICY, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def s1_smart():
+    return run_scenario(scenario_1(scale=SCALE), "smart-alloc:P=6", seed=SEED)
+
+
+class TestScenarioResults:
+    def test_every_vm_finishes_both_runs(self, s1_greedy):
+        for name in ("VM1", "VM2", "VM3"):
+            runs = s1_greedy.vm(name).runs
+            assert len(runs) == 2
+            assert all(run.duration_s > 0 for run in runs)
+
+    def test_simulated_duration_covers_all_runs(self, s1_greedy):
+        last_end = max(run.end_time_s for vm in s1_greedy.vms.values() for run in vm.runs)
+        assert s1_greedy.simulated_duration_s >= last_end
+
+    def test_snapshots_taken_every_second(self, s1_greedy):
+        assert s1_greedy.snapshots >= int(s1_greedy.simulated_duration_s) - 1
+
+    def test_traces_exist_for_every_vm(self, s1_greedy):
+        for name in s1_greedy.vm_names():
+            series = s1_greedy.tmem_usage_series(name)
+            assert len(series) > 0
+            assert series.values.min() >= 0
+
+    def test_runtimes_accessor(self, s1_greedy):
+        runtimes = s1_greedy.runtimes()
+        assert set(runtimes) == {"VM1", "VM2", "VM3"}
+        assert all(len(v) == 2 for v in runtimes.values())
+        assert s1_greedy.runtime_of("VM1", 0) == runtimes["VM1"][0]
+
+    def test_unknown_vm_rejected(self, s1_greedy):
+        with pytest.raises(Exception):
+            s1_greedy.vm("VM99")
+
+    def test_greedy_never_updates_targets(self, s1_greedy):
+        assert s1_greedy.target_updates == 0
+
+    def test_seed_reproducibility(self):
+        spec = scenario_1(scale=SCALE)
+        a = run_scenario(spec, "greedy", seed=3)
+        b = run_scenario(spec, "greedy", seed=3)
+        assert a.runtimes() == b.runtimes()
+
+    def test_different_seeds_differ(self):
+        spec = scenario_1(scale=SCALE)
+        a = run_scenario(spec, "greedy", seed=3)
+        b = run_scenario(spec, "greedy", seed=4)
+        assert a.runtimes() != b.runtimes()
+
+
+class TestPolicyEffects:
+    def test_no_tmem_is_slowest(self, s1_greedy, s1_no_tmem, s1_smart):
+        """The paper's headline: tmem policies beat the no-tmem baseline."""
+        assert s1_no_tmem.mean_runtime_s() > s1_greedy.mean_runtime_s()
+        assert s1_no_tmem.mean_runtime_s() > s1_smart.mean_runtime_s()
+
+    def test_no_tmem_vm_uses_no_tmem(self, s1_no_tmem):
+        assert s1_no_tmem.total_tmem_pages == 0
+        for name in s1_no_tmem.vm_names():
+            assert s1_no_tmem.vm(name).faults_from_tmem == 0
+            assert s1_no_tmem.vm(name).faults_from_disk > 0
+
+    def test_tmem_policies_absorb_most_faults(self, s1_greedy):
+        assert s1_greedy.total_tmem_faults() > s1_greedy.total_disk_faults()
+
+    def test_smart_alloc_sends_target_updates(self, s1_smart):
+        assert s1_smart.target_updates > 0
+
+    def test_smart_alloc_targets_never_exceed_pool(self, s1_smart):
+        total = s1_smart.total_tmem_pages
+        for name in s1_smart.vm_names():
+            target = s1_smart.target_series(name)
+            if target is not None and len(target):
+                assert target.values.max() <= total
+
+    def test_tmem_usage_never_exceeds_pool(self, s1_greedy):
+        names = list(s1_greedy.vm_names())
+        series = [s1_greedy.tmem_usage_series(n) for n in names]
+        n = min(len(s) for s in series)
+        for i in range(n):
+            assert sum(s.values[i] for s in series) <= s1_greedy.total_tmem_pages
+
+    def test_static_alloc_enforces_equal_shares(self):
+        result = run_scenario(scenario_1(scale=SCALE), "static-alloc", seed=SEED)
+        third = result.total_tmem_pages // 3
+        for name in result.vm_names():
+            usage = result.tmem_usage_series(name)
+            assert usage.values.max() <= third + 1
+
+    def test_greedy_starves_the_late_vm_in_scenario_2(self):
+        """Figure 6(a): VM3 cannot obtain a fair share under greedy.
+
+        Scenario 2 staggers VM3 by a fixed 30 s, so the scale must be large
+        enough for the VM1/VM2 runs to still be active when VM3 arrives.
+        """
+        result = run_scenario(scenario_2(scale=0.25), "greedy", seed=SEED)
+        assert result.vm("VM3").faults_from_disk > result.vm("VM1").faults_from_disk
+        assert result.vm("VM3").failed_tmem_puts > result.vm("VM1").failed_tmem_puts
+
+    def test_smart_alloc_is_fairer_than_greedy_in_scenario_2(self):
+        greedy = run_scenario(scenario_2(scale=0.25), "greedy", seed=SEED)
+        smart = run_scenario(scenario_2(scale=0.25), "smart-alloc:P=6", seed=SEED)
+        # Compare fairness over the window where all three VMs are active.
+        skip = 35  # the first ~35 samples cover the staggered start
+        assert mean_fairness(smart, skip_leading=skip) >= mean_fairness(
+            greedy, skip_leading=skip
+        ) - 0.05
+
+
+class TestUsememTriggers:
+    @pytest.fixture(scope="class")
+    def usemem_result(self):
+        return run_scenario(usemem_scenario(scale=0.25), "greedy", seed=SEED)
+
+    def test_vm3_starts_only_after_trigger(self, usemem_result):
+        vm1_start = usemem_result.vm("VM1").runs[0].start_time_s
+        vm3_start = usemem_result.vm("VM3").runs[0].start_time_s
+        assert vm1_start == pytest.approx(0.0)
+        assert vm3_start > vm1_start
+
+    def test_all_vms_stop_when_vm3_reaches_stop_phase(self, usemem_result):
+        for name in usemem_result.vm_names():
+            runs = usemem_result.vm(name).runs
+            assert len(runs) == 1
+            assert runs[0].stopped_early
+
+    def test_phase_durations_cover_allocation_steps(self, usemem_result):
+        run = usemem_result.vm("VM1").runs[0]
+        alloc_phases = [p for p in run.phase_order if p.startswith("alloc-")]
+        assert len(alloc_phases) >= 3
+
+
+class TestRunnerValidation:
+    def test_unknown_workload_kind_rejected(self):
+        spec = ScenarioSpec(
+            name="bad",
+            description="",
+            vms=(VMSpec(name="VM1", ram_mb=64,
+                        jobs=(WorkloadSpec(kind="not-a-workload"),)),),
+            tmem_mb=64,
+        )
+        with pytest.raises(ScenarioError):
+            ScenarioRunner(spec, "greedy")
+
+    def test_runner_records_wall_clock(self, s1_greedy):
+        assert s1_greedy.wall_clock_s > 0
+
+    def test_policy_spec_recorded(self, s1_smart):
+        assert s1_smart.policy_spec == "smart-alloc:P=6"
+        assert s1_smart.scenario_name == "scenario-1"

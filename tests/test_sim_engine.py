@@ -1,0 +1,181 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ClockError, EventError, SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, EventPriority
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_schedule_and_run_single_event(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [5.0]
+        assert engine.now == 5.0
+
+    def test_schedule_after_uses_relative_delay(self):
+        engine = SimulationEngine()
+        engine.schedule_at(2.0, lambda: engine.schedule_after(3.0, lambda: None))
+        engine.run()
+        assert engine.now == pytest.approx(5.0)
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule_at(10.0, lambda: None)
+        engine.run()
+        with pytest.raises(ClockError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(EventError):
+            SimulationEngine().schedule_after(-1.0, lambda: None)
+
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(3.0, lambda: order.append(3))
+        engine.schedule_at(1.0, lambda: order.append(1))
+        engine.schedule_at(2.0, lambda: order.append(2))
+        engine.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_orders_by_priority_then_fifo(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(1.0, lambda: order.append("n1"), priority=EventPriority.NORMAL)
+        engine.schedule_at(1.0, lambda: order.append("t"), priority=EventPriority.TIMER)
+        engine.schedule_at(1.0, lambda: order.append("n2"), priority=EventPriority.NORMAL)
+        engine.run()
+        assert order == ["t", "n1", "n2"]
+
+    def test_cancelled_event_does_not_run(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda: fired.append(1))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_pending_events_counts_live_events_only(self):
+        engine = SimulationEngine()
+        e1 = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        e1.cancel()
+        assert engine.pending_events == 1
+
+
+class TestRunControls:
+    def test_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == pytest.approx(5.0)
+        # The 10.0 event is still queued and runs on the next call.
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_event_exactly_at_until_still_runs(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append(5))
+        engine.run(until=5.0)
+        assert fired == [5]
+
+    def test_stop_when_predicate(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        engine.run(stop_when=lambda: len(fired) >= 2)
+        assert fired == [1.0, 2.0]
+
+    def test_max_events_guard_raises(self):
+        engine = SimulationEngine()
+
+        def reschedule():
+            engine.schedule_after(1.0, reschedule)
+
+        engine.schedule_after(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=10)
+
+    def test_stop_requests_halt(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda: (fired.append(1), engine.stop()))
+        engine.schedule_at(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+
+    def test_run_is_not_reentrant(self):
+        engine = SimulationEngine()
+
+        def nested():
+            with pytest.raises(SimulationError):
+                engine.run()
+
+        engine.schedule_at(1.0, nested)
+        engine.run()
+
+
+class TestRecurring:
+    def test_recurring_fires_at_interval(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_recurring(1.0, lambda: times.append(engine.now))
+        engine.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_recurring_start_offset(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_recurring(1.0, lambda: times.append(engine.now), start_offset=0.5)
+        engine.run(until=2.6)
+        assert times == [0.5, 1.5, 2.5]
+
+    def test_recurring_cancel_stops_future_firings(self):
+        engine = SimulationEngine()
+        times = []
+        cancel = engine.schedule_recurring(1.0, lambda: times.append(engine.now))
+        engine.schedule_at(2.5, cancel)
+        engine.run(until=10.0)
+        assert times == [1.0, 2.0]
+
+    def test_recurring_rejects_non_positive_interval(self):
+        with pytest.raises(EventError):
+            SimulationEngine().schedule_recurring(0.0, lambda: None)
+
+    def test_events_executed_counter(self):
+        engine = SimulationEngine()
+        engine.schedule_recurring(1.0, lambda: None)
+        engine.run(until=4.5)
+        assert engine.events_executed == 4
+
+
+class TestEventOrdering:
+    def test_event_create_assigns_increasing_sequence(self):
+        a = Event.create(1.0, lambda: None)
+        b = Event.create(1.0, lambda: None)
+        assert b.sequence > a.sequence
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50))
+    def test_clock_is_monotonic_for_any_schedule(self, times):
+        engine = SimulationEngine()
+        observed = []
+        for t in times:
+            engine.schedule_at(t, lambda: observed.append(engine.now))
+        engine.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(times)

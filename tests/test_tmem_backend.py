@@ -1,0 +1,254 @@
+"""Tests for the tmem backend: Algorithm 1's admission control."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SimulationConfig
+from repro.devices.dram import HostMemory
+from repro.errors import HypercallError
+from repro.hypervisor.accounting import HypervisorAccounting, UNLIMITED_TARGET
+from repro.hypervisor.pages import PageKey
+from repro.hypervisor.tmem_backend import TmemBackend
+from repro.hypervisor.tmem_store import TmemStore
+from repro.hypervisor.xen import Hypervisor
+from repro.sim.engine import SimulationEngine
+
+
+def build_backend(tmem_pages=8, vms=(1,)):
+    host = HostMemory(1024)
+    host.grow_tmem_pool(tmem_pages)
+    store = TmemStore()
+    accounting = HypervisorAccounting(host)
+    backend = TmemBackend(host, store, accounting)
+    pools = {}
+    for vm in vms:
+        accounting.register_vm(vm)
+        pools[vm] = store.create_pool(vm).pool_id
+    return backend, accounting, host, pools
+
+
+def key(i, pool=0):
+    return PageKey(pool, 0, i)
+
+
+class TestPutAdmission:
+    def test_put_succeeds_with_free_pages_and_no_target(self):
+        backend, acc, host, pools = build_backend()
+        result = backend.put(1, pools[1], key(0), version=1, now=0.0)
+        assert result.succeeded
+        assert acc.account(1).tmem_used == 1
+        assert host.tmem_used_pages == 1
+
+    def test_put_fails_when_pool_exhausted(self):
+        backend, acc, host, pools = build_backend(tmem_pages=2)
+        assert backend.put(1, pools[1], key(0), version=1, now=0.0).succeeded
+        assert backend.put(1, pools[1], key(1), version=1, now=0.0).succeeded
+        result = backend.put(1, pools[1], key(2), version=1, now=0.0)
+        assert not result.succeeded
+        assert acc.account(1).tmem_used == 2
+
+    def test_put_fails_at_target(self):
+        """Algorithm 1 line 5: tmem_used >= mm_target means E_TMEM."""
+        backend, acc, host, pools = build_backend(tmem_pages=8)
+        acc.set_target(1, 2)
+        assert backend.put(1, pools[1], key(0), version=1, now=0.0).succeeded
+        assert backend.put(1, pools[1], key(1), version=1, now=0.0).succeeded
+        assert not backend.put(1, pools[1], key(2), version=1, now=0.0).succeeded
+        # Free pages remain but the target blocks further puts.
+        assert host.tmem_free_pages == 6
+
+    def test_put_with_zero_target_always_fails(self):
+        backend, acc, host, pools = build_backend()
+        acc.set_target(1, 0)
+        assert not backend.put(1, pools[1], key(0), version=1, now=0.0).succeeded
+
+    def test_put_counters_track_totals_and_successes(self):
+        backend, acc, host, pools = build_backend(tmem_pages=1)
+        backend.put(1, pools[1], key(0), version=1, now=0.0)
+        backend.put(1, pools[1], key(1), version=1, now=0.0)  # fails, pool full
+        account = acc.account(1)
+        assert account.puts_total == 2
+        assert account.puts_succ == 1
+        assert account.puts_failed == 1
+        assert account.cumul_puts_failed == 1
+
+    def test_duplicate_put_overwrites_in_place(self):
+        """A put to an existing key must not consume a second frame."""
+        backend, acc, host, pools = build_backend(tmem_pages=4)
+        backend.put(1, pools[1], key(0), version=1, now=0.0)
+        result = backend.put(1, pools[1], key(0), version=9, now=1.0)
+        assert result.succeeded
+        assert acc.account(1).tmem_used == 1
+        got = backend.get(1, pools[1], key(0))
+        assert got.version == 9
+
+    def test_target_below_usage_blocks_but_keeps_pages(self):
+        """Targets may drop below current usage; pages are not reclaimed."""
+        backend, acc, host, pools = build_backend(tmem_pages=8)
+        for i in range(4):
+            backend.put(1, pools[1], key(i), version=1, now=0.0)
+        acc.set_target(1, 2)
+        assert acc.account(1).tmem_used == 4
+        assert not backend.put(1, pools[1], key(9), version=1, now=0.0).succeeded
+        # Releasing below target re-enables puts.
+        backend.flush_page(1, pools[1], key(0))
+        backend.flush_page(1, pools[1], key(1))
+        backend.flush_page(1, pools[1], key(2))
+        assert backend.put(1, pools[1], key(9), version=1, now=0.0).succeeded
+
+
+class TestGetAndFlush:
+    def test_get_returns_latest_version_and_is_exclusive(self):
+        backend, acc, host, pools = build_backend()
+        backend.put(1, pools[1], key(3), version=7, now=0.0)
+        result = backend.get(1, pools[1], key(3))
+        assert result.succeeded and result.version == 7
+        assert acc.account(1).tmem_used == 0
+        assert host.tmem_used_pages == 0
+        # A second get misses: the page was removed.
+        assert not backend.get(1, pools[1], key(3)).succeeded
+
+    def test_get_miss_reports_failure(self):
+        backend, acc, host, pools = build_backend()
+        assert not backend.get(1, pools[1], key(0)).succeeded
+        assert acc.account(1).gets_total == 1
+
+    def test_cleancache_get_is_not_exclusive(self):
+        backend, acc, host, pools = build_backend()
+        store_pool = backend._store.create_pool(1, persistent=False)
+        backend.put(1, store_pool.pool_id, key(0, store_pool.pool_id), version=1, now=0.0)
+        first = backend.get(1, store_pool.pool_id, key(0, store_pool.pool_id))
+        second = backend.get(1, store_pool.pool_id, key(0, store_pool.pool_id))
+        assert first.succeeded and second.succeeded
+
+    def test_flush_page_frees_capacity(self):
+        backend, acc, host, pools = build_backend(tmem_pages=1)
+        backend.put(1, pools[1], key(0), version=1, now=0.0)
+        assert not backend.put(1, pools[1], key(1), version=1, now=0.0).succeeded
+        assert backend.flush_page(1, pools[1], key(0)).succeeded
+        assert backend.put(1, pools[1], key(1), version=1, now=0.0).succeeded
+
+    def test_flush_missing_page_fails_gracefully(self):
+        backend, acc, host, pools = build_backend()
+        assert not backend.flush_page(1, pools[1], key(5)).succeeded
+
+    def test_flush_object_removes_group(self):
+        backend, acc, host, pools = build_backend(tmem_pages=16)
+        for i in range(5):
+            backend.put(1, pools[1], PageKey(pools[1], 7, i), version=1, now=0.0)
+        backend.put(1, pools[1], PageKey(pools[1], 8, 0), version=1, now=0.0)
+        result = backend.flush_object(1, pools[1], 7)
+        assert result.succeeded and result.pages_flushed == 5
+        assert acc.account(1).tmem_used == 1
+
+    def test_destroy_vm_releases_everything(self):
+        backend, acc, host, pools = build_backend(tmem_pages=8, vms=(1, 2))
+        for i in range(3):
+            backend.put(1, pools[1], key(i), version=1, now=0.0)
+        backend.put(2, pools[2], key(0, pools[2]), version=1, now=0.0)
+        freed = backend.destroy_vm(1)
+        assert freed == 3
+        assert host.tmem_used_pages == 1
+
+
+class TestMultiVmIsolation:
+    def test_vms_have_separate_key_spaces(self):
+        backend, acc, host, pools = build_backend(vms=(1, 2))
+        backend.put(1, pools[1], key(0, pools[1]), version=1, now=0.0)
+        backend.put(2, pools[2], key(0, pools[2]), version=2, now=0.0)
+        assert backend.get(1, pools[1], key(0, pools[1])).version == 1
+        assert backend.get(2, pools[2], key(0, pools[2])).version == 2
+
+    def test_one_vm_can_exhaust_the_pool_without_targets(self):
+        """The greedy failure mode the paper demonstrates."""
+        backend, acc, host, pools = build_backend(tmem_pages=4, vms=(1, 2))
+        for i in range(4):
+            assert backend.put(1, pools[1], key(i, pools[1]), version=1, now=0.0).succeeded
+        assert not backend.put(2, pools[2], key(0, pools[2]), version=1, now=0.0).succeeded
+
+    def test_targets_protect_capacity_for_other_vms(self):
+        """With targets, a greedy VM cannot crowd out its neighbour."""
+        backend, acc, host, pools = build_backend(tmem_pages=4, vms=(1, 2))
+        acc.set_target(1, 2)
+        acc.set_target(2, 2)
+        for i in range(4):
+            backend.put(1, pools[1], key(i, pools[1]), version=1, now=0.0)
+        assert acc.account(1).tmem_used == 2
+        assert backend.put(2, pools[2], key(0, pools[2]), version=1, now=0.0).succeeded
+
+    def test_unregistered_vm_rejected(self):
+        backend, acc, host, pools = build_backend()
+        with pytest.raises(HypercallError):
+            backend.put(99, 0, key(0), version=1, now=0.0)
+
+
+class TestAccountingInvariants:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "get", "flush"]),
+                st.integers(1, 2),
+                st.integers(0, 15),
+            ),
+            max_size=200,
+        ),
+        target1=st.one_of(st.none(), st.integers(0, 10)),
+        target2=st.one_of(st.none(), st.integers(0, 10)),
+    )
+    def test_random_operation_sequences_preserve_invariants(
+        self, ops, target1, target2
+    ):
+        """Property: counters and frame pool stay consistent for any op mix."""
+        backend, acc, host, pools = build_backend(tmem_pages=8, vms=(1, 2))
+        if target1 is not None:
+            acc.set_target(1, target1)
+        if target2 is not None:
+            acc.set_target(2, target2)
+        version = 0
+        for op, vm, idx in ops:
+            version += 1
+            k = key(idx, pools[vm])
+            if op == "put":
+                backend.put(vm, pools[vm], k, version=version, now=float(version))
+            elif op == "get":
+                backend.get(vm, pools[vm], k)
+            else:
+                backend.flush_page(vm, pools[vm], k)
+            acc.check_invariants()
+            host.check_invariants()
+            assert 0 <= host.tmem_used_pages <= 8
+            for account in acc.accounts():
+                assert account.tmem_used >= 0
+                if account.has_target and account.mm_target == 0:
+                    # A zero target admits nothing beyond already-held pages.
+                    assert account.tmem_used <= 8
+
+
+class TestHypervisorFacade:
+    def test_create_and_register_domain(self, engine, config):
+        hv = Hypervisor(engine, config, host_memory_pages=2048, tmem_pool_pages=128)
+        record = hv.create_domain("vm", ram_pages=256)
+        hv.register_tmem_client(record.vm_id)
+        assert record.frontswap_pool_id is not None
+        assert hv.accounting.vm_count == 1
+        hv.check_invariants()
+
+    def test_destroy_domain_releases_ram_and_tmem(self, engine, config):
+        hv = Hypervisor(engine, config, host_memory_pages=2048, tmem_pool_pages=128)
+        record = hv.create_domain("vm", ram_pages=256)
+        hv.register_tmem_client(record.vm_id)
+        hv.backend.put(
+            record.vm_id, record.frontswap_pool_id, key(0), version=1, now=0.0
+        )
+        before = hv.host_memory.vm_reserved_pages
+        hv.destroy_domain(record.vm_id)
+        assert hv.host_memory.vm_reserved_pages == before - 256
+        assert hv.host_memory.tmem_used_pages == 0
+        hv.check_invariants()
+
+    def test_cannot_create_domains_beyond_host_memory(self, engine, config):
+        hv = Hypervisor(engine, config, host_memory_pages=512, tmem_pool_pages=256)
+        hv.create_domain("vm1", ram_pages=200)
+        with pytest.raises(Exception):
+            hv.create_domain("vm2", ram_pages=200)

@@ -1,0 +1,131 @@
+"""Tests for tmem page keys and the key--value store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TmemKeyError, TmemPoolError
+from repro.hypervisor.pages import PageKey, TmemPage
+from repro.hypervisor.tmem_store import TmemStore
+
+
+def make_page(pool_id=0, object_id=0, index=0, owner=1, version=1):
+    return TmemPage(
+        key=PageKey(pool_id, object_id, index),
+        owner_vm=owner,
+        version=version,
+        put_time=0.0,
+    )
+
+
+class TestPageKey:
+    def test_valid_key(self):
+        key = PageKey(0, 5, 10)
+        assert key.object_id == 5 and key.index == 10
+
+    def test_negative_pool_rejected(self):
+        with pytest.raises(TmemKeyError):
+            PageKey(-1, 0, 0)
+
+    def test_object_id_over_64_bits_rejected(self):
+        with pytest.raises(TmemKeyError):
+            PageKey(0, 2**64, 0)
+
+    def test_index_over_32_bits_rejected(self):
+        with pytest.raises(TmemKeyError):
+            PageKey(0, 0, 2**32)
+
+    def test_keys_are_hashable_and_comparable(self):
+        assert PageKey(0, 1, 2) == PageKey(0, 1, 2)
+        assert len({PageKey(0, 1, 2), PageKey(0, 1, 2), PageKey(0, 1, 3)}) == 2
+
+
+class TestTmemPool:
+    def test_insert_lookup_remove(self):
+        store = TmemStore()
+        pool = store.create_pool(vm_id=1)
+        page = make_page(pool_id=pool.pool_id, object_id=3, index=7)
+        pool.insert(page)
+        assert page.key in pool
+        assert pool.lookup(page.key) is page
+        assert pool.remove(page.key) is page
+        assert pool.lookup(page.key) is None
+
+    def test_remove_missing_returns_none(self):
+        store = TmemStore()
+        pool = store.create_pool(vm_id=1)
+        assert pool.remove(PageKey(pool.pool_id, 0, 0)) is None
+
+    def test_remove_object_drops_all_its_pages(self):
+        store = TmemStore()
+        pool = store.create_pool(vm_id=1)
+        for idx in range(5):
+            pool.insert(make_page(pool_id=pool.pool_id, object_id=9, index=idx))
+        pool.insert(make_page(pool_id=pool.pool_id, object_id=2, index=0))
+        assert pool.remove_object(9) == 5
+        assert len(pool) == 1
+
+    def test_clear(self):
+        store = TmemStore()
+        pool = store.create_pool(vm_id=1)
+        for idx in range(3):
+            pool.insert(make_page(pool_id=pool.pool_id, index=idx))
+        assert pool.clear() == 3
+        assert len(pool) == 0
+
+
+class TestTmemStore:
+    def test_pool_ids_increase_per_vm(self):
+        store = TmemStore()
+        p0 = store.create_pool(vm_id=1)
+        p1 = store.create_pool(vm_id=1)
+        q0 = store.create_pool(vm_id=2)
+        assert (p0.pool_id, p1.pool_id) == (0, 1)
+        assert q0.pool_id == 0
+
+    def test_get_pool_unknown_raises(self):
+        store = TmemStore()
+        with pytest.raises(TmemPoolError):
+            store.get_pool(1, 0)
+
+    def test_destroy_pool_returns_held_pages(self):
+        store = TmemStore()
+        pool = store.create_pool(vm_id=1)
+        pool.insert(make_page(pool_id=pool.pool_id, index=1))
+        pool.insert(make_page(pool_id=pool.pool_id, index=2))
+        assert store.destroy_pool(1, pool.pool_id) == 2
+        with pytest.raises(TmemPoolError):
+            store.get_pool(1, pool.pool_id)
+
+    def test_destroy_vm_pools(self):
+        store = TmemStore()
+        a = store.create_pool(vm_id=1)
+        b = store.create_pool(vm_id=1, persistent=False)
+        c = store.create_pool(vm_id=2)
+        a.insert(make_page(pool_id=a.pool_id, index=0))
+        b.insert(make_page(pool_id=b.pool_id, index=1))
+        c.insert(make_page(pool_id=c.pool_id, index=2, owner=2))
+        assert store.destroy_vm_pools(1) == 2
+        assert store.pages_held_by(1) == 0
+        assert store.pages_held_by(2) == 1
+
+    def test_counting_helpers(self):
+        store = TmemStore()
+        pool = store.create_pool(vm_id=3)
+        for idx in range(4):
+            pool.insert(make_page(pool_id=pool.pool_id, index=idx, owner=3))
+        assert store.pages_held_by(3) == 4
+        assert store.total_pages() == 4
+        assert store.pool_count() == 1
+
+    @given(
+        keys=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 50)), max_size=100
+        )
+    )
+    def test_insert_is_idempotent_per_key(self, keys):
+        """Inserting the same key twice keeps exactly one entry per key."""
+        store = TmemStore()
+        pool = store.create_pool(vm_id=1)
+        for object_id, index in keys:
+            pool.insert(make_page(pool_id=pool.pool_id, object_id=object_id, index=index))
+        assert len(pool) == len(set(keys))

@@ -1,0 +1,107 @@
+"""Tests for memory unit conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    XEN_PAGE_BYTES,
+    DEFAULT_UNITS,
+    SCENARIO_UNITS,
+    MemoryUnits,
+)
+
+
+class TestConstruction:
+    def test_default_page_size_is_xen_page(self):
+        assert MemoryUnits().page_bytes == XEN_PAGE_BYTES == 4096
+
+    def test_rejects_zero_page_size(self):
+        with pytest.raises(ConfigurationError):
+            MemoryUnits(page_bytes=0)
+
+    def test_rejects_negative_page_size(self):
+        with pytest.raises(ConfigurationError):
+            MemoryUnits(page_bytes=-4096)
+
+    def test_rejects_non_multiple_of_xen_page(self):
+        with pytest.raises(ConfigurationError):
+            MemoryUnits(page_bytes=6000)
+
+    def test_scenario_units_are_256_kib(self):
+        assert SCENARIO_UNITS.page_bytes == 256 * KIB
+        assert SCENARIO_UNITS.xen_pages_per_page == 64
+
+
+class TestConversions:
+    def test_pages_from_bytes_exact(self):
+        assert DEFAULT_UNITS.pages_from_bytes(8192) == 2
+
+    def test_pages_from_bytes_rounds_up(self):
+        assert DEFAULT_UNITS.pages_from_bytes(4097) == 2
+
+    def test_pages_from_zero_bytes(self):
+        assert DEFAULT_UNITS.pages_from_bytes(0) == 0
+
+    def test_pages_from_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_UNITS.pages_from_bytes(-1)
+
+    def test_pages_from_mib(self):
+        assert DEFAULT_UNITS.pages_from_mib(1) == 256
+
+    def test_pages_from_gib(self):
+        assert DEFAULT_UNITS.pages_from_gib(1) == 262144
+
+    def test_gib_of_1024_mib_equal(self):
+        assert DEFAULT_UNITS.pages_from_gib(1) == DEFAULT_UNITS.pages_from_mib(1024)
+
+    def test_bytes_from_pages(self):
+        assert DEFAULT_UNITS.bytes_from_pages(3) == 3 * 4096
+
+    def test_bytes_from_negative_pages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_UNITS.bytes_from_pages(-2)
+
+    def test_mib_from_pages(self):
+        assert DEFAULT_UNITS.mib_from_pages(256) == pytest.approx(1.0)
+
+    def test_gib_from_pages(self):
+        assert DEFAULT_UNITS.gib_from_pages(262144) == pytest.approx(1.0)
+
+    def test_coarse_pages_hold_more(self):
+        # 1 GiB in 256 KiB pages is 4096 pages.
+        assert SCENARIO_UNITS.pages_from_gib(1) == 4096
+
+
+class TestLatencyScaling:
+    def test_default_units_do_not_scale(self):
+        assert DEFAULT_UNITS.scale_latency(1e-6) == pytest.approx(1e-6)
+
+    def test_coarse_units_scale_linearly(self):
+        assert SCENARIO_UNITS.scale_latency(1e-6) == pytest.approx(64e-6)
+
+
+@given(nbytes=st.integers(min_value=0, max_value=16 * GIB))
+def test_roundtrip_bytes_pages_bound(nbytes):
+    """pages_from_bytes always covers the requested bytes, within one page."""
+    pages = DEFAULT_UNITS.pages_from_bytes(nbytes)
+    covered = DEFAULT_UNITS.bytes_from_pages(pages)
+    assert covered >= nbytes
+    assert covered - nbytes < DEFAULT_UNITS.page_bytes
+
+
+@given(
+    mib=st.integers(min_value=1, max_value=64 * 1024),
+    factor=st.sampled_from([1, 2, 4, 16, 64, 256]),
+)
+def test_page_count_scales_inversely_with_page_size(mib, factor):
+    """Using pages that are k times larger yields ~k times fewer pages."""
+    small = MemoryUnits(page_bytes=XEN_PAGE_BYTES)
+    large = MemoryUnits(page_bytes=XEN_PAGE_BYTES * factor)
+    small_pages = small.pages_from_mib(mib)
+    large_pages = large.pages_from_mib(mib)
+    assert large_pages == -(-small_pages // factor)

@@ -1,0 +1,153 @@
+"""Tests for the VirtualMachine workload driver."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.guest.vm import VirtualMachine
+from repro.hypervisor.xen import Hypervisor
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngFactory
+from repro.units import MemoryUnits
+from repro.workloads.usemem import UsememWorkload
+
+UNITS = MemoryUnits(page_bytes=1024 * 1024)  # 1 MiB pages
+
+
+def build_vm(tmem_pages=64, ram_mb=16, use_tmem=True):
+    engine = SimulationEngine()
+    config = SimulationConfig(units=UNITS)
+    hv = Hypervisor(engine, config, host_memory_pages=4096, tmem_pool_pages=tmem_pages)
+    vm = VirtualMachine(
+        hv, engine, config,
+        name="VM1",
+        ram_pages=UNITS.pages_from_mib(ram_mb),
+        swap_pages=UNITS.pages_from_mib(256),
+        use_tmem=use_tmem,
+    )
+    return engine, hv, vm
+
+
+def usemem_factory(max_mb=32, **kwargs):
+    def factory():
+        return UsememWorkload(
+            units=UNITS,
+            rng=RngFactory(3).stream("usemem"),
+            start_mb=8, increment_mb=8, max_mb=max_mb,
+            steady_sweeps=0, **kwargs,
+        )
+    return factory
+
+
+class TestJobExecution:
+    def test_single_job_runs_to_completion(self):
+        engine, hv, vm = build_vm()
+        vm.add_job(usemem_factory(), label="usemem")
+        vm.start()
+        engine.run()
+        assert vm.is_idle
+        assert len(vm.runs) == 1
+        run = vm.runs[0]
+        assert run.finished and not run.stopped_early
+        assert run.duration_s > 0
+        assert run.steps_executed > 0
+
+    def test_phase_durations_recorded_in_order(self):
+        engine, hv, vm = build_vm()
+        vm.add_job(usemem_factory(max_mb=24), label="usemem")
+        vm.start()
+        engine.run()
+        run = vm.runs[0]
+        assert run.phase_order == ["alloc-8MB", "alloc-16MB", "alloc-24MB"]
+        assert set(run.phase_durations) == set(run.phase_order)
+        assert sum(run.phase_durations.values()) == pytest.approx(run.duration_s, rel=1e-6)
+
+    def test_two_jobs_run_sequentially_with_delay(self):
+        engine, hv, vm = build_vm()
+        vm.add_job(usemem_factory(max_mb=16), label="first")
+        vm.add_job(usemem_factory(max_mb=16), label="second", delay_after_previous=5.0)
+        vm.start()
+        engine.run()
+        assert len(vm.runs) == 2
+        first, second = vm.runs
+        assert second.start_time == pytest.approx(first.end_time + 5.0)
+
+    def test_absolute_start_time(self):
+        engine, hv, vm = build_vm()
+        vm.add_job(usemem_factory(max_mb=16), start_at=30.0, label="late")
+        vm.start()
+        engine.run()
+        assert vm.runs[0].start_time == pytest.approx(30.0)
+
+    def test_memory_freed_after_each_job(self):
+        engine, hv, vm = build_vm(tmem_pages=16, ram_mb=8)
+        vm.add_job(usemem_factory(max_mb=32), label="usemem")
+        vm.start()
+        engine.run()
+        assert vm.kernel.memory_footprint_pages() == 0
+        assert vm.tmem_pages == 0
+        assert hv.host_memory.tmem_used_pages == 0
+
+    def test_no_tmem_vm_never_touches_the_pool(self):
+        engine, hv, vm = build_vm(tmem_pages=64, ram_mb=8, use_tmem=False)
+        vm.add_job(usemem_factory(max_mb=32), label="usemem")
+        vm.start()
+        engine.run()
+        assert hv.host_memory.tmem_used_pages == 0
+        assert vm.kernel.stats.evictions_to_disk > 0
+
+
+class TestObserversAndStop:
+    def test_phase_listener_fires_for_each_phase(self):
+        engine, hv, vm = build_vm()
+        observed = []
+        vm.on_phase_change(lambda v, phase, t: observed.append(phase))
+        vm.add_job(usemem_factory(max_mb=24), label="usemem")
+        vm.start()
+        engine.run()
+        assert observed == ["alloc-8MB", "alloc-16MB", "alloc-24MB"]
+
+    def test_completion_listener_fires(self):
+        engine, hv, vm = build_vm()
+        completed = []
+        vm.on_run_complete(lambda v, run: completed.append(run.workload_name))
+        vm.add_job(usemem_factory(max_mb=16), label="usemem")
+        vm.start()
+        engine.run()
+        assert completed == ["usemem"]
+
+    def test_request_stop_ends_run_early(self):
+        engine, hv, vm = build_vm()
+        vm.on_phase_change(
+            lambda v, phase, t: v.request_stop() if phase == "alloc-16MB" else None
+        )
+        vm.add_job(usemem_factory(max_mb=32), label="usemem")
+        vm.start()
+        engine.run()
+        run = vm.runs[0]
+        assert run.stopped_early
+        assert "alloc-32MB" not in run.phase_order
+        assert vm.is_idle
+
+    def test_stop_also_cancels_queued_jobs(self):
+        engine, hv, vm = build_vm()
+        vm.add_job(usemem_factory(max_mb=16), label="first")
+        vm.add_job(usemem_factory(max_mb=16), label="second")
+        vm.on_phase_change(lambda v, phase, t: v.request_stop())
+        vm.start()
+        engine.run()
+        assert len([r for r in vm.runs if r.finished]) == 1
+
+    def test_runtime_with_tmem_is_faster_than_without(self):
+        """End-to-end sanity: tmem absorbs the swap traffic."""
+        engine_a, hv_a, vm_a = build_vm(tmem_pages=64, ram_mb=8, use_tmem=True)
+        vm_a.add_job(usemem_factory(max_mb=32), label="usemem")
+        vm_a.start()
+        engine_a.run()
+
+        engine_b, hv_b, vm_b = build_vm(tmem_pages=64, ram_mb=8, use_tmem=False)
+        vm_b.add_job(usemem_factory(max_mb=32), label="usemem")
+        vm_b.start()
+        engine_b.run()
+
+        assert vm_a.runs[0].duration_s < vm_b.runs[0].duration_s
