@@ -1,0 +1,34 @@
+"""Standalone entry point for the performance-regression harness.
+
+Thin wrapper around :mod:`repro.bench` so the harness can be run without
+installing the package::
+
+    PYTHONPATH=src python benchmarks/regression.py --quick
+
+Equivalent to ``python -m repro bench``.  The committed baseline lives
+next to this file as ``BENCH_seed.json``; re-record it after intentional
+performance changes with::
+
+    PYTHONPATH=src python benchmarks/regression.py --label seed \\
+        --output benchmarks --no-fail
+
+See PERFORMANCE.md for how to read the ``BENCH_*.json`` output.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+
+def main(argv=None) -> int:
+    from repro.cli import main as cli_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    return cli_main(["bench", *args])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

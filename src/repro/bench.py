@@ -1,0 +1,350 @@
+"""Benchmark and performance-regression harness.
+
+The simulator's value as a reproduction depends on experiments re-running
+cheaply; this module makes the simulator's own speed a tested quantity.
+It runs small *micro-scenarios* — reduced-scale versions of the paper's
+Figure 3 (scenario-1) and Figure 7 (usemem) workloads — under both the
+batched and the scalar guest-memory engines, and records:
+
+* ``wall_clock_s`` — host seconds per simulation run (median of repeats);
+* ``events_per_s`` — simulation events executed per host second;
+* ``pages_per_s`` — guest page accesses serviced per host second;
+* ``speedup`` — batched over scalar pages/s, per case.
+
+Results are written to ``BENCH_<label>.json`` and compared against a
+previous baseline (by default the committed ``benchmarks/BENCH_seed.json``)
+with a configurable tolerance.  Absolute throughput varies across hosts,
+so regressions are judged on the *speedup ratio* — a machine-independent
+property of the code — while absolute numbers are reported for context.
+
+Entry points: ``python -m repro bench`` (CLI) and
+``benchmarks/regression.py`` (standalone script / pytest wiring).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import GuestConfig, SimulationConfig
+from .scenarios.library import scenario_by_name
+from .scenarios.runner import ScenarioRunner
+from .scenarios.spec import ScenarioSpec
+from .units import SCENARIO_UNITS
+
+__all__ = [
+    "BenchCase",
+    "BenchRecord",
+    "BenchReport",
+    "MICRO_CASES",
+    "QUICK_CASES",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_BASELINE",
+    "run_case",
+    "run_suite",
+    "compare_reports",
+    "write_report",
+    "load_report",
+]
+
+#: Relative speedup loss vs the baseline that counts as a regression.
+DEFAULT_TOLERANCE = 0.20
+
+#: The committed baseline this repo's guard test compares against.
+DEFAULT_BASELINE = Path(__file__).resolve().parents[2] / "benchmarks" / "BENCH_seed.json"
+
+BENCH_SEED = 2019
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One micro-scenario measured by the harness."""
+
+    name: str
+    scenario: str
+    policy: str = "greedy"
+    scale: float = 0.25
+    #: Override the scenario's tmem pool (MB at the given scale); None
+    #: keeps the paper's configuration.
+    tmem_mb: Optional[int] = None
+    #: Override usemem's access-burst length; None keeps the default.
+    burst_pages: Optional[int] = None
+
+    def build_spec(self) -> ScenarioSpec:
+        spec = scenario_by_name(self.scenario, scale=self.scale)
+        if self.tmem_mb is not None:
+            spec = replace(spec, tmem_mb=self.tmem_mb)
+        if self.burst_pages is not None:
+            vms = []
+            for vm in spec.vms:
+                jobs = tuple(
+                    replace(
+                        job,
+                        params={
+                            **dict(job.params),
+                            "burst_pages": self.burst_pages,
+                        },
+                    )
+                    for job in vm.jobs
+                )
+                vms.append(replace(vm, jobs=jobs))
+            spec = replace(spec, vms=tuple(vms))
+        return spec
+
+
+#: The default micro-benchmark suite.
+#:
+#: * ``fig03-micro`` — scenario-1 (in-memory analytics), the Figure 3
+#:   workload at reduced scale: hit-heavy bursts with duplicate pages.
+#: * ``fig07-micro`` — the usemem scenario exactly as the paper sizes it
+#:   (tmem pool far smaller than the overflow): a mixed tmem/disk regime.
+#: * ``usemem-micro`` — usemem with a tmem pool sized to the overflow, so
+#:   every eviction and most faults travel the tmem hypercall path.  This
+#:   is the headline case for the batched fast path: its throughput is
+#:   dominated by exactly the code the vectorized engine optimizes.
+MICRO_CASES: Tuple[BenchCase, ...] = (
+    BenchCase(name="fig03-micro", scenario="scenario-1", scale=0.25),
+    BenchCase(name="fig07-micro", scenario="usemem-scenario", scale=0.25),
+    BenchCase(
+        name="usemem-micro",
+        scenario="usemem-scenario",
+        scale=0.25,
+        tmem_mb=1024,
+    ),
+)
+
+#: Reduced suite for the smoke target (``repro bench --quick``).
+QUICK_CASES: Tuple[BenchCase, ...] = (
+    BenchCase(name="fig07-micro", scenario="usemem-scenario", scale=0.25),
+    BenchCase(
+        name="usemem-micro",
+        scenario="usemem-scenario",
+        scale=0.25,
+        tmem_mb=1024,
+    ),
+)
+
+
+@dataclass
+class BenchRecord:
+    """Measurements of one (case, engine) combination."""
+
+    case: str
+    engine: str
+    wall_clock_s: float
+    simulated_s: float
+    events: int
+    events_per_s: float
+    pages: int
+    pages_per_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "engine": self.engine,
+            "wall_clock_s": self.wall_clock_s,
+            "simulated_s": self.simulated_s,
+            "events": self.events,
+            "events_per_s": self.events_per_s,
+            "pages": self.pages,
+            "pages_per_s": self.pages_per_s,
+        }
+
+
+@dataclass
+class BenchReport:
+    """A full suite run: per-engine records plus per-case speedups."""
+
+    label: str
+    seed: int
+    repeats: int
+    host: str
+    python: str
+    created_at: str
+    records: List[BenchRecord] = field(default_factory=list)
+    #: case name -> batched pages/s over scalar pages/s.
+    speedups: Dict[str, float] = field(default_factory=dict)
+
+    def record_for(self, case: str, engine: str) -> Optional[BenchRecord]:
+        for record in self.records:
+            if record.case == case and record.engine == engine:
+                return record
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "host": self.host,
+            "python": self.python,
+            "created_at": self.created_at,
+            "records": [r.as_dict() for r in self.records],
+            "speedups": dict(self.speedups),
+        }
+
+
+def _run_once(spec: ScenarioSpec, policy: str, engine: str, seed: int):
+    config = SimulationConfig(
+        units=SCENARIO_UNITS, guest=GuestConfig(access_engine=engine)
+    )
+    runner = ScenarioRunner(spec, policy, config=config, seed=seed)
+    start = time.perf_counter()
+    result = runner.run()
+    wall = time.perf_counter() - start
+    pages = sum(vm.kernel.stats.accesses for vm in runner.vms.values())
+    events = runner.engine.events_executed
+    return wall, result.simulated_duration_s, events, pages
+
+
+def run_case(
+    case: BenchCase,
+    *,
+    engine: str = "batched",
+    seed: int = BENCH_SEED,
+    repeats: int = 3,
+) -> BenchRecord:
+    """Run one case under one engine; wall clock is the median of repeats."""
+    spec = case.build_spec()
+    walls = []
+    simulated = events = pages = 0
+    for _ in range(max(1, repeats)):
+        wall, simulated, events, pages = _run_once(spec, case.policy, engine, seed)
+        walls.append(wall)
+    wall = statistics.median(walls)
+    return BenchRecord(
+        case=case.name,
+        engine=engine,
+        wall_clock_s=wall,
+        simulated_s=simulated,
+        events=events,
+        events_per_s=events / wall if wall > 0 else float("inf"),
+        pages=pages,
+        pages_per_s=pages / wall if wall > 0 else float("inf"),
+    )
+
+
+def run_suite(
+    cases: Sequence[BenchCase] = MICRO_CASES,
+    *,
+    label: str = "micro",
+    engines: Sequence[str] = ("scalar", "batched"),
+    seed: int = BENCH_SEED,
+    repeats: int = 3,
+) -> BenchReport:
+    """Run every case under every engine and derive per-case speedups.
+
+    Engine runs are interleaved per case so that slow host drift (cron
+    jobs, thermal throttling) biases both engines equally.
+    """
+    report = BenchReport(
+        label=label,
+        seed=seed,
+        repeats=repeats,
+        host=platform.node() or "unknown",
+        python=platform.python_version(),
+        created_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    )
+    for case in cases:
+        spec = case.build_spec()
+        walls: Dict[str, List[float]] = {engine: [] for engine in engines}
+        metrics: Dict[str, Tuple[float, int, int]] = {}
+        for _ in range(max(1, repeats)):
+            for engine in engines:
+                wall, simulated, events, pages = _run_once(
+                    spec, case.policy, engine, seed
+                )
+                walls[engine].append(wall)
+                metrics[engine] = (simulated, events, pages)
+        for engine in engines:
+            wall = statistics.median(walls[engine])
+            simulated, events, pages = metrics[engine]
+            report.records.append(
+                BenchRecord(
+                    case=case.name,
+                    engine=engine,
+                    wall_clock_s=wall,
+                    simulated_s=simulated,
+                    events=events,
+                    events_per_s=events / wall if wall > 0 else float("inf"),
+                    pages=pages,
+                    pages_per_s=pages / wall if wall > 0 else float("inf"),
+                )
+            )
+        scalar = report.record_for(case.name, "scalar")
+        batched = report.record_for(case.name, "batched")
+        if scalar is not None and batched is not None and scalar.pages_per_s > 0:
+            report.speedups[case.name] = batched.pages_per_s / scalar.pages_per_s
+    return report
+
+
+def write_report(report: BenchReport, output_dir: Path) -> Path:
+    """Write ``BENCH_<label>.json`` into *output_dir*; returns the path."""
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / f"BENCH_{report.label}.json"
+    path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+    return path
+
+
+def load_report(path: Path) -> Dict[str, object]:
+    """Load a previously written ``BENCH_*.json`` as a plain dict."""
+    return json.loads(Path(path).read_text())
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: Dict[str, object],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Regressions of *current* vs *baseline*; empty list when clean.
+
+    The judged metric is the per-case batched/scalar speedup — a
+    machine-independent property of the code — so a baseline recorded on
+    one host remains meaningful on another.  A case regresses when its
+    speedup falls more than ``tolerance`` below the baseline's.
+    """
+    problems: List[str] = []
+    base_speedups: Dict[str, float] = dict(baseline.get("speedups", {}))
+    for case, base in base_speedups.items():
+        cur = current.speedups.get(case)
+        if cur is None:
+            continue
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            problems.append(
+                f"{case}: speedup {cur:.2f}x fell below {floor:.2f}x "
+                f"(baseline {base:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def format_report(report: BenchReport, *, baseline: Optional[Dict[str, object]] = None) -> str:
+    """Human-readable summary table of a suite run."""
+    lines = [
+        f"Benchmark suite '{report.label}' — seed {report.seed}, "
+        f"{report.repeats} repeats, host {report.host}",
+        "",
+        f"{'case':16s} {'engine':8s} {'wall[ms]':>9s} {'events/s':>12s} "
+        f"{'pages/s':>12s}",
+    ]
+    for record in report.records:
+        lines.append(
+            f"{record.case:16s} {record.engine:8s} "
+            f"{record.wall_clock_s * 1e3:9.1f} {record.events_per_s:12.0f} "
+            f"{record.pages_per_s:12.0f}"
+        )
+    lines.append("")
+    for case, speedup in report.speedups.items():
+        suffix = ""
+        if baseline is not None:
+            base = dict(baseline.get("speedups", {})).get(case)
+            if base is not None:
+                suffix = f"   (baseline {base:.2f}x)"
+        lines.append(f"{case:16s} batched/scalar speedup: {speedup:.2f}x{suffix}")
+    return "\n".join(lines)

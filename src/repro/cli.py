@@ -17,6 +17,12 @@ Run the Usemem scenario under greedy and smart-alloc(2%) only::
 List scenarios and policies::
 
     smartmem list
+
+Run the micro-benchmark suite and compare against the recorded
+performance baseline (see PERFORMANCE.md)::
+
+    smartmem bench
+    smartmem bench --quick
 """
 
 from __future__ import annotations
@@ -65,6 +71,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     tables_p = sub.add_parser("tables", help="print Tables I and II")
     tables_p.add_argument("--scale", type=float, default=1.0)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the micro-benchmark suite and check for perf regressions",
+    )
+    bench_p.add_argument("--quick", action="store_true",
+                         help="reduced smoke suite (fast; used by CI)")
+    bench_p.add_argument("--seed", type=int, default=None,
+                         help="simulation seed (default: the bench seed)")
+    bench_p.add_argument("--repeats", type=int, default=3,
+                         help="runs per (case, engine); median wall-clock wins")
+    bench_p.add_argument("--output", type=str, default=".",
+                         help="directory for the BENCH_<label>.json result")
+    bench_p.add_argument("--label", type=str, default=None,
+                         help="result label (default: 'quick' or 'micro')")
+    bench_p.add_argument("--baseline", type=str, default=None,
+                         help="baseline BENCH_*.json to compare against "
+                              "(default: benchmarks/BENCH_seed.json)")
+    bench_p.add_argument("--tolerance", type=float, default=None,
+                         help="allowed relative speedup loss vs the baseline "
+                              "(default 0.20)")
+    bench_p.add_argument("--no-fail", action="store_true",
+                         help="report regressions without a non-zero exit")
 
     return parser
 
@@ -135,6 +164,44 @@ def _cmd_run(
     return 0
 
 
+def _cmd_bench(args: "argparse.Namespace") -> int:
+    from pathlib import Path
+
+    from . import bench
+
+    cases = bench.QUICK_CASES if args.quick else bench.MICRO_CASES
+    label = args.label or ("quick" if args.quick else "micro")
+    seed = args.seed if args.seed is not None else bench.BENCH_SEED
+    tolerance = (
+        args.tolerance if args.tolerance is not None else bench.DEFAULT_TOLERANCE
+    )
+    print(f"running benchmark suite '{label}' ...", file=sys.stderr)
+    report = bench.run_suite(cases, label=label, seed=seed, repeats=args.repeats)
+
+    baseline = None
+    baseline_path = (
+        Path(args.baseline) if args.baseline else bench.DEFAULT_BASELINE
+    )
+    if baseline_path.exists():
+        baseline = bench.load_report(baseline_path)
+
+    print(bench.format_report(report, baseline=baseline))
+    path = bench.write_report(report, Path(args.output))
+    print(f"\nwrote {path}")
+
+    if baseline is None:
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return 0
+    problems = bench.compare_reports(report, baseline, tolerance=tolerance)
+    if problems:
+        print("\nPERF REGRESSIONS DETECTED:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 0 if args.no_fail else 1
+    print(f"\nno regressions vs {baseline_path} (tolerance {tolerance:.0%})")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -142,6 +209,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "tables":
         return _cmd_tables(args.scale)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "run":
         return _cmd_run(
             args.scenario,

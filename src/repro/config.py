@@ -97,8 +97,13 @@ class GuestConfig:
     resident_access_latency_s: float = 2.0e-8
     #: CPU cost of handling one major fault excluding the backing I/O.
     fault_overhead_s: float = 5.0e-6
-    #: Page-frame reclaim algorithm: "lru" or "clock".
+    #: Page-frame reclaim algorithm: "lru", "clock" or "clock-list".
     reclaim_algorithm: str = "lru"
+    #: Burst-servicing engine of the guest kernel: "batched" classifies a
+    #: whole access burst at once and issues batched tmem hypercalls;
+    #: "scalar" is the page-at-a-time reference implementation.  Both
+    #: produce bit-identical statistics, traces and scenario results.
+    access_engine: str = "batched"
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.kernel_reserved_fraction < 1.0):
@@ -110,9 +115,14 @@ class GuestConfig:
             "resident_access_latency_s", self.resident_access_latency_s
         )
         _require_non_negative("fault_overhead_s", self.fault_overhead_s)
-        if self.reclaim_algorithm not in ("lru", "clock"):
+        if self.reclaim_algorithm not in ("lru", "clock", "clock-list"):
             raise ConfigurationError(
                 f"unknown reclaim_algorithm {self.reclaim_algorithm!r}"
+            )
+        if self.access_engine not in ("batched", "scalar"):
+            raise ConfigurationError(
+                f"unknown access_engine {self.access_engine!r}; "
+                "expected 'batched' or 'scalar'"
             )
 
 

@@ -52,6 +52,10 @@ class VirtualDisk:
         self._config = config
         self._disk_cfg: DiskConfig = config.disk
         self._busy_until = 0.0
+        # Single-page requests dominate the swap path; cache their service
+        # time so the hot loop skips the per-call config property chain.
+        self._read_service_1p = config.disk_latency_s(1, write=False)
+        self._write_service_1p = config.disk_latency_s(1, write=True)
         self.stats = DiskStats()
 
     @property
@@ -63,7 +67,10 @@ class VirtualDisk:
         if pages <= 0:
             raise ConfigurationError(f"disk request must move >= 1 page, got {pages}")
         start = max(now, self._busy_until)
-        service_time = self._config.disk_latency_s(pages, write=write)
+        if pages == 1:
+            service_time = self._write_service_1p if write else self._read_service_1p
+        else:
+            service_time = self._config.disk_latency_s(pages, write=write)
         completion = start + service_time
         self._busy_until = completion
         latency = completion - now

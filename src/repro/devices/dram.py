@@ -117,6 +117,21 @@ class HostMemory:
             raise TmemPoolError("tmem pool underflow: freeing an unused page")
         self._tmem.used -= 1
 
+    def adjust_tmem_used(self, delta: int) -> None:
+        """Apply the net frame delta of a batched tmem operation.
+
+        A batch may interleave allocations and frees (e.g. a get freeing
+        the frame a later put consumes while the pool is otherwise full),
+        so only the net change is applied here; the caller is responsible
+        for having respected the free-page bound op by op.
+        """
+        used = self._tmem.used + delta
+        if used < 0:
+            raise TmemPoolError("tmem pool underflow: freeing an unused page")
+        if used > self._tmem.total:
+            raise TmemPoolError("tmem pool exhausted")
+        self._tmem.used = used
+
     # -- invariants ----------------------------------------------------------
     def check_invariants(self) -> None:
         """Raise if the frame accounting ever becomes inconsistent."""

@@ -12,18 +12,34 @@ it tracks which guest pages are currently stored in tmem, assigns the
 monotonically increasing versions used to verify store consistency, and
 exposes store/load/invalidate operations in the vocabulary the guest
 kernel uses.
+
+Batch API
+---------
+
+The vectorized guest-kernel access path stages a whole burst's worth of
+tmem traffic on a :class:`FrontswapBatch` (obtained from
+:meth:`FrontswapClient.begin_batch`): ``stage_store``/``stage_load``/
+``stage_flush`` append operations in guest-program order, and
+:meth:`FrontswapBatch.execute` ships them in a single batched hypercall.
+Versions are assigned at staging time from the same clock the scalar
+path uses, and ``execute`` applies exactly the per-page bookkeeping
+(stored-page tracking, statistics, version verification) that the scalar
+store/load/invalidate calls perform — so a staged burst is
+indistinguishable, counter for counter, from its scalar equivalent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from itertools import repeat
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import GuestError
 from ..hypervisor.hypercalls import HypercallInterface
+from ..hypervisor.tmem_backend import BATCH_FLUSH, BATCH_GET, BATCH_PUT
 from .addressing import SwapEntryAddresser
 
-__all__ = ["FrontswapStats", "FrontswapClient"]
+__all__ = ["FrontswapStats", "FrontswapClient", "FrontswapBatch"]
 
 
 @dataclass
@@ -77,8 +93,33 @@ class FrontswapClient:
     def pages_in_tmem(self) -> int:
         return len(self._stored)
 
+    @property
+    def pages_per_object(self) -> int:
+        """Slots per tmem object (the swap-entry radix of the addresser)."""
+        return self._addresser.pages_per_object
+
     def holds(self, page: int) -> bool:
         return page in self._stored
+
+    @property
+    def held_pages(self) -> Dict[int, int]:
+        """Live page -> version map of tmem-resident pages.
+
+        Exposed for batch membership classification; callers must treat
+        it as read-only.
+        """
+        return self._stored
+
+    def reserve_versions(self, count: int) -> int:
+        """Advance the version clock by *count*; returns the first version.
+
+        The vectorized burst planner reserves the whole window up front
+        and assigns versions in put order — exactly the sequence that
+        *count* scalar :meth:`store` calls would have produced.
+        """
+        start = self._version_clock + 1
+        self._version_clock += count
+        return start
 
     # -- operations ------------------------------------------------------------
     def store(self, page: int, *, now: float) -> Tuple[bool, float]:
@@ -140,6 +181,10 @@ class FrontswapClient:
         self.stats.invalidates += 1
         return result.succeeded, latency
 
+    def begin_batch(self) -> "FrontswapBatch":
+        """Start staging a burst of tmem operations (see module docs)."""
+        return FrontswapBatch(self)
+
     def invalidate_area(self) -> Tuple[int, float]:
         """Flush everything (swapoff / guest shutdown).
 
@@ -156,3 +201,212 @@ class FrontswapClient:
         self._stored.clear()
         self.stats.invalidates += flushed
         return flushed, total_latency
+
+
+class FrontswapBatch:
+    """Guest-side staging area for one burst's batched tmem operations.
+
+    Operations are staged in guest-program order and shipped with a
+    single :meth:`~repro.hypervisor.hypercalls.HypercallInterface.
+    tmem_batch` hypercall.  Staging a store consumes a version from the
+    client's version clock immediately, so interleaved scalar and staged
+    traffic would observe the same version sequence.  :meth:`execute`
+    applies the same per-page effects as the scalar store/load/invalidate
+    calls and returns the per-operation success flags in staging order;
+    when the hypervisor reports that every operation succeeded — the
+    common case — the effects are applied with bulk dict/list operations
+    instead of a per-operation walk.
+    """
+
+    __slots__ = (
+        "_client",
+        "_ops",
+        "_pages",
+        "_pages_per_object",
+        "_put_pages",
+        "_put_versions",
+        "_get_pages",
+        "_flushes",
+    )
+
+    def __init__(self, client: FrontswapClient) -> None:
+        self._client = client
+        self._ops: List[tuple[int, int, int, int]] = []
+        self._pages: List[int] = []
+        self._pages_per_object = client._addresser.pages_per_object
+        self._put_pages: List[int] = []
+        self._put_versions: List[int] = []
+        self._get_pages: List[int] = []
+        self._flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def stage_store(self, page: int) -> int:
+        """Stage a put for *page*; returns the operation's batch index."""
+        client = self._client
+        version = client._version_clock + 1
+        client._version_clock = version
+        object_id, index = divmod(page, self._pages_per_object)
+        ops = self._ops
+        ops.append((BATCH_PUT, object_id, index, version))
+        self._pages.append(page)
+        self._put_pages.append(page)
+        self._put_versions.append(version)
+        return len(ops) - 1
+
+    def stage_load(self, page: int) -> int:
+        """Stage an (exclusive) get for *page*; returns the batch index."""
+        object_id, index = divmod(page, self._pages_per_object)
+        ops = self._ops
+        ops.append((BATCH_GET, object_id, index, 0))
+        self._pages.append(page)
+        self._get_pages.append(page)
+        return len(ops) - 1
+
+    def extend_raw(
+        self,
+        ops: List[tuple[int, int, int, int]],
+        pages: List[int],
+        *,
+        put_pages: List[int],
+        put_versions: List[int],
+        get_pages: List[int],
+    ) -> None:
+        """Append pre-built raw operations (vectorized plan fast path).
+
+        *ops* are ``(opcode, object_id, index, version)`` tuples aligned
+        with *pages*; *put_pages*/*put_versions*/*get_pages* are the same
+        operations split by kind, in op order.  Put versions must come
+        from :meth:`FrontswapClient.reserve_versions` so the clock stays
+        in sync with the scalar path.
+        """
+        self._ops.extend(ops)
+        self._pages.extend(pages)
+        self._put_pages.extend(put_pages)
+        self._put_versions.extend(put_versions)
+        self._get_pages.extend(get_pages)
+
+    def stage_flush(self, page: int) -> int:
+        """Stage a flush for *page*; returns the batch index."""
+        object_id, index = divmod(page, self._pages_per_object)
+        ops = self._ops
+        ops.append((BATCH_FLUSH, object_id, index, 0))
+        self._pages.append(page)
+        self._flushes += 1
+        return len(ops) - 1
+
+    def _reset(self) -> None:
+        self._ops = []
+        self._pages = []
+        self._put_pages = []
+        self._put_versions = []
+        self._get_pages = []
+        self._flushes = 0
+
+    def execute(self, *, now: float) -> List[bool]:
+        """Ship the staged operations in one hypercall and apply effects.
+
+        Returns one success flag per staged operation, in staging order;
+        the staging area is reset so the batch object can be reused for
+        the remainder of the burst.
+        """
+        if not self._ops:
+            return []
+        client = self._client
+        result, _latency = client._hypercalls.tmem_batch(
+            client._vm_id, client._pool_id, self._ops, now=now
+        )
+        stored = client._stored
+        stats = client.stats
+
+        put_pages = self._put_pages
+        get_pages = self._get_pages
+        # Bulk apply reorders effects kind-by-kind, which is only sound
+        # when no page appears under two different op kinds in the same
+        # batch (e.g. got then re-put, or flushed then re-put) — staging
+        # order would matter for those.  Flushes are only ever staged
+        # alone (the free() path), so their guard is simply "no data ops".
+        if result.all_succeeded and (
+            not self._flushes or (not put_pages and not get_pages)
+        ) and (
+            not put_pages
+            or not get_pages
+            or set(put_pages).isdisjoint(get_pages)
+        ):
+            # Bulk apply: no failures anywhere, so the per-op effects
+            # reduce to C-speed dict updates plus one version audit.
+            if put_pages:
+                stored.update(zip(put_pages, self._put_versions))
+                stats.succ_stores += len(put_pages)
+            if get_pages:
+                expected = list(map(stored.pop, get_pages, repeat(None)))
+                got = result.get_versions
+                if expected != got:
+                    for page, exp, ver in zip(get_pages, expected, got):
+                        if exp is not None and exp != ver:
+                            raise GuestError(
+                                f"VM {client._vm_id}: frontswap page {page} "
+                                f"returned stale data (version {ver} != "
+                                f"{exp})"
+                            )
+                stats.loads += len(get_pages)
+            if self._flushes:
+                # Flushed pages must leave the stored map; they are the
+                # ops that are neither puts nor gets.
+                for (opcode, _obj, _idx, _ver), page in zip(
+                    self._ops, self._pages
+                ):
+                    if opcode == BATCH_FLUSH:
+                        stored.pop(page, None)
+                stats.invalidates += self._flushes
+            succeeded = [True] * len(self._ops)
+            self._reset()
+            return succeeded
+
+        stored_pop = stored.pop
+        succeeded = []
+        append = succeeded.append
+        get_versions = result.get_versions
+        get_cursor = 0
+        loads = invalidates = 0
+        statuses = result.statuses if not result.all_succeeded else repeat(1)
+        for (opcode, _obj, _idx, version), page, status in zip(
+            self._ops, self._pages, statuses
+        ):
+            if opcode == BATCH_PUT:
+                if status:
+                    stored[page] = version
+                    append(True)
+                else:
+                    append(False)
+            elif opcode == BATCH_GET:
+                got_version = get_versions[get_cursor]
+                get_cursor += 1
+                if not status:
+                    append(False)
+                    client.stats.failed_loads += 1
+                    if page in stored:
+                        raise GuestError(
+                            f"VM {client._vm_id}: frontswap page {page} "
+                            "vanished from a persistent tmem pool"
+                        )
+                    continue
+                expected = stored_pop(page, None)
+                if expected is not None and got_version != expected:
+                    raise GuestError(
+                        f"VM {client._vm_id}: frontswap page {page} returned "
+                        f"stale data (version {got_version} != {expected})"
+                    )
+                loads += 1
+                append(True)
+            else:  # BATCH_FLUSH
+                stored_pop(page, None)
+                invalidates += 1
+                append(bool(status))
+        stats.succ_stores += result.puts_succ
+        stats.failed_stores += result.puts_total - result.puts_succ
+        stats.loads += loads
+        stats.invalidates += invalidates
+        self._reset()
+        return succeeded

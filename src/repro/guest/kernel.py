@@ -18,21 +18,53 @@ kept in :class:`GuestMemStats` for analysis.  This is exactly the coupling
 through which the SmarTmem policies affect application running time: a
 policy that lets a VM keep more pages in tmem converts multi-millisecond
 disk faults into microsecond hypercalls.
+
+Two burst-servicing engines are provided, selected by
+``SimulationConfig.guest.access_engine``:
+
+* ``"scalar"`` — the page-at-a-time reference implementation;
+* ``"batched"`` (default) — classifies the burst at once: fully resident
+  bursts take a vectorized hit path (one batch touch, one counter
+  update), and bursts with misses are *planned* with cheap guest-local
+  set algebra (victim selection, tmem/swap/first-touch classification)
+  and then executed with batched tmem hypercalls, one latency replay pass
+  reproducing the scalar accumulation order bit for bit.
+
+Both engines produce identical statistics, traces and scenario results
+for the same seed; ``tests/test_access_equivalence.py`` enforces this.
+
+Burst semantics note: a burst's resident-access cost is charged once for
+the whole burst (``pages_accessed * resident_access_latency_s``) rather
+than accumulated page by page as earlier revisions did.  This is the
+batch-friendly canonical definition both engines implement; it shifts
+disk submit timestamps by nanoseconds relative to pre-batching revisions
+(different float accumulation order), so seeded results are comparable
+*between the two engines*, not with outputs recorded before this change.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Optional
+
+import numpy as np
 
 from ..config import SimulationConfig
 from ..devices.disk import VirtualDisk
 from ..errors import ConfigurationError
+from ..hypervisor.tmem_backend import BATCH_GET, BATCH_PUT
 from .frontswap import FrontswapClient
 from .pfra import make_reclaimer
 from .swap import SwapArea
 
 __all__ = ["AccessOutcome", "GuestMemStats", "GuestKernel"]
+
+# Burst-plan event kinds (see GuestKernel._access_batched).
+_EV_TMEM = 0   # eviction offered to tmem (batched put; disk on failure)
+_EV_DISK = 1   # eviction straight to the swap disk (tmem disabled)
+_F_TMEM = 2    # major fault served from tmem (batched get)
+_F_SWAP = 3    # major fault served from the swap disk
+_F_FIRST = 4   # major fault on a never-evicted page (zero-fill)
 
 
 @dataclass
@@ -113,6 +145,7 @@ class GuestKernel:
         self._resident = make_reclaimer(config.guest.reclaim_algorithm)
         self._swap = SwapArea(swap_pages)
         self._known_pages: set[int] = set()
+        self._batched = config.guest.access_engine == "batched"
         self.stats = GuestMemStats()
 
     # -- introspection ---------------------------------------------------------
@@ -147,6 +180,23 @@ class GuestKernel:
     def memory_footprint_pages(self) -> int:
         """Pages the workload has touched and not freed (any location)."""
         return len(self._known_pages)
+
+    # -- burst validation --------------------------------------------------------
+    @staticmethod
+    def _as_page_list(pages: Sequence[int] | Iterable[int]) -> List[int]:
+        """Materialize a burst as a list of ints, rejecting negatives."""
+        if isinstance(pages, np.ndarray):
+            if len(pages) and int(pages.min()) < 0:
+                raise ConfigurationError(
+                    f"negative page number {int(pages.min())}"
+                )
+            return pages.tolist()
+        page_list = [int(p) for p in pages]
+        if page_list:
+            smallest = min(page_list)
+            if smallest < 0:
+                raise ConfigurationError(f"negative page number {smallest}")
+        return page_list
 
     # -- the reclaim path --------------------------------------------------------
     def _evict_one(self, now: float, outcome: AccessOutcome) -> None:
@@ -217,38 +267,388 @@ class GuestKernel:
         ``write`` is accepted for interface completeness; the current model
         treats all workload pages as anonymous (dirty when evicted), which
         matches the paper's frontswap-only evaluation.
+
+        The burst is atomic: it is validated up front, the resident-access
+        cost is charged once for the whole burst, and eviction/fault I/O is
+        sequenced in page order.  Which engine services it is decided by
+        ``config.guest.access_engine``; both produce identical outcomes.
         """
+        page_list = self._as_page_list(pages)
+        if self._batched:
+            return self._access_batched(page_list, now)
+        return self._access_scalar(page_list, now)
+
+    # -- scalar reference engine --------------------------------------------------
+    def _access_scalar(self, page_list: List[int], now: float) -> AccessOutcome:
+        """Page-at-a-time reference implementation of :meth:`access`."""
         outcome = AccessOutcome()
-        access_cost = self._config.guest.resident_access_latency_s
-        for page in pages:
-            if page < 0:
-                raise ConfigurationError(f"negative page number {page}")
+        for page in page_list:
             outcome.pages_accessed += 1
             self._known_pages.add(page)
             if page in self._resident:
                 self._resident.touch(page)
                 outcome.minor_hits += 1
-                outcome.latency_s += access_cost
-                self.stats.time_in_resident_access_s += access_cost
                 continue
             # Major fault: free a frame if needed, then fault the page in.
             self._make_room(now, outcome)
             self._fault_in(page, now, outcome)
             self._resident.insert(page)
-            outcome.latency_s += access_cost
-            self.stats.time_in_resident_access_s += access_cost
+        self._charge_resident_accesses(outcome)
         self.stats.absorb(outcome)
         return outcome
 
+    def _charge_resident_accesses(self, outcome: AccessOutcome) -> None:
+        """Charge the per-page access cost for the whole burst at once."""
+        access_time = (
+            outcome.pages_accessed * self._config.guest.resident_access_latency_s
+        )
+        outcome.latency_s += access_time
+        self.stats.time_in_resident_access_s += access_time
+
+    # -- batched engine -----------------------------------------------------------
+    def _access_batched(self, page_list: List[int], now: float) -> AccessOutcome:
+        """Burst-at-once implementation of :meth:`access`.
+
+        Fully resident bursts are handled with one batch membership check
+        and one batch touch.  Otherwise the burst is *planned*: a single
+        guest-local pass classifies every access (hit, eviction target,
+        fault source) using the reclaimer's batch victim selection and the
+        frontswap/swap membership sets, staging all tmem traffic on a
+        :class:`~repro.guest.frontswap.FrontswapBatch`.  The staged ops
+        ship in (usually) one batched hypercall, and a final replay pass
+        accumulates latencies and issues disk I/O in exactly the order the
+        scalar engine would have — making the two engines bit-identical.
+        """
+        outcome = AccessOutcome()
+        n = len(page_list)
+        outcome.pages_accessed = n
+        self._known_pages.update(page_list)
+        resident = self._resident
+
+        if resident.contains_all(page_list):
+            # Vectorized hit path: the whole burst is resident.
+            resident.touch_many(page_list)
+            outcome.minor_hits = n
+            self._charge_resident_accesses(outcome)
+            self.stats.absorb(outcome)
+            return outcome
+
+        if not self._vector_plan_misses(page_list, now, outcome):
+            self._plan_and_replay_misses(page_list, now, outcome)
+        self._charge_resident_accesses(outcome)
+        self.stats.absorb(outcome)
+        return outcome
+
+    def _vector_plan_misses(
+        self, page_list: List[int], now: float, outcome: AccessOutcome
+    ) -> bool:
+        """Whole-burst set-algebra plan for the dominant sweep shapes.
+
+        Applies when the burst consists of distinct pages and the
+        reclaimer's victim choice is insert-order independent (strict
+        LRU) with the burst's victims provably disjoint from the burst
+        itself.  Then the whole burst classifies up front with C-speed
+        membership maps — resident hits, tmem hits, swap faults, first
+        touches — victims for every eviction are selected in one batch,
+        recency updates collapse into one bulk promote, and the staged
+        tmem traffic ships in a single batched hypercall.  Returns False
+        when a precondition fails and the sequential planner must run
+        instead.
+
+        Why up-front victim selection is exact here: victims pop from the
+        LRU cold end while burst pages only ever move to the hot end, so
+        as long as none of the k coldest pages is part of the burst, the
+        k victims a page-at-a-time walk would pick are exactly the k
+        coldest pages at burst start, in cold order.
+        """
+        resident = self._resident
+        if not resident.batch_victims_stable:
+            return False
+        n = len(page_list)
+        size = len(resident)
+        usable = self._usable_ram
+        if size > usable:
+            return False
+        if len(set(page_list)) != n:
+            return False
+        hit_mask = list(map(resident.__contains__, page_list))
+        n_hits = sum(hit_mask)
+        if n_hits:
+            misses = [p for p, hit in zip(page_list, hit_mask) if not hit]
+        else:
+            misses = page_list
+        n_miss = n - n_hits
+        free_slots = usable - size
+        victims_needed = n_miss - free_slots if n_miss > free_slots else 0
+        if victims_needed > size - n_hits:
+            # Victims would dip into this burst's own pages: the plan
+            # would no longer be insert-order independent.
+            return False
+        if victims_needed and n_hits:
+            upcoming = resident.peek_victims(victims_needed)
+            if upcoming is None:
+                return False
+            page_set = set(page_list)
+            if not page_set.isdisjoint(upcoming):
+                # A burst page is among the k coldest: whether it escapes
+                # eviction depends on intra-burst access order, which only
+                # the sequential planner tracks.
+                return False
+
+        fs = self._frontswap
+        in_swap = list(map(self._swap.slots.__contains__, misses))
+        victims = resident.select_victims(victims_needed)
+        plan: List[Tuple[int, int, int]] = []
+        append_plan = plan.append
+        statuses: List[bool] = []
+
+        if fs is not None:
+            in_tmem = list(map(fs.held_pages.__contains__, misses))
+            batch = fs.begin_batch()
+            version = fs.reserve_versions(victims_needed)
+            ppo = fs.pages_per_object
+            ops: List[Tuple[int, int, int, int]] = []
+            op_pages: List[int] = []
+            append_op = ops.append
+            append_op_page = op_pages.append
+            op_index = 0
+            victim_cursor = 0
+            for j in range(n_miss):
+                if j >= free_slots:
+                    victim = victims[victim_cursor]
+                    victim_cursor += 1
+                    object_id, index = divmod(victim, ppo)
+                    append_op((BATCH_PUT, object_id, index, version))
+                    version += 1
+                    append_op_page(victim)
+                    append_plan((_EV_TMEM, victim, op_index))
+                    op_index += 1
+                page = misses[j]
+                if in_tmem[j]:
+                    object_id, index = divmod(page, ppo)
+                    append_op((BATCH_GET, object_id, index, 0))
+                    append_op_page(page)
+                    append_plan((_F_TMEM, page, op_index))
+                    op_index += 1
+                elif in_swap[j]:
+                    append_plan((_F_SWAP, page, 0))
+                else:
+                    append_plan((_F_FIRST, page, 0))
+            if ops:
+                batch.extend_raw(
+                    ops,
+                    op_pages,
+                    put_pages=victims,
+                    put_versions=list(
+                        range(version - victims_needed, version)
+                    ),
+                    get_pages=[
+                        p for p, held in zip(misses, in_tmem) if held
+                    ],
+                    )
+                statuses = batch.execute(now=now)
+        else:
+            victim_cursor = 0
+            for j in range(n_miss):
+                if j >= free_slots:
+                    append_plan((_EV_DISK, victims[victim_cursor], 0))
+                    victim_cursor += 1
+                page = misses[j]
+                if in_swap[j]:
+                    append_plan((_F_SWAP, page, 0))
+                else:
+                    append_plan((_F_FIRST, page, 0))
+
+        if n_hits:
+            hit_pages = [p for p, hit in zip(page_list, hit_mask) if hit]
+            resident.promote_burst(page_list, hit_pages)
+        else:
+            resident.insert_many(page_list)
+        outcome.minor_hits = n_hits
+        self._replay_plan(plan, statuses, now, outcome)
+        return True
+
+    def _plan_and_replay_misses(
+        self, page_list: List[int], now: float, outcome: AccessOutcome
+    ) -> None:
+        fs = self._frontswap
+        resident = self._resident
+        swap = self._swap
+        usable = self._usable_ram
+
+        plan: List[Tuple[int, int, int]] = []  # (event kind, page, op index)
+        statuses: List[bool] = []
+        batch = fs.begin_batch() if fs is not None else None
+        #: victim page -> global op index of its staged (unresolved) put.
+        pending_puts: dict[int, int] = {}
+        #: pages that will be written to the swap area during the replay.
+        pending_swap: set[int] = set()
+
+        touch_hit = resident.touch_if_resident
+        insert = resident.insert
+        select_victim = resident.select_victim
+        select_victims = resident.select_victims
+        holds = fs.holds if fs is not None else None
+        stage_store = batch.stage_store if batch is not None else None
+        plan_append = plan.append
+        minor_hits = 0
+        executed_ops = 0
+        size = len(resident)
+
+        for page in page_list:
+            if touch_hit(page):
+                minor_hits += 1
+                continue
+            need = size - usable + 1
+            if need > 0:
+                victims = (
+                    (select_victim(),) if need == 1 else select_victims(need)
+                )
+                for victim in victims:
+                    if stage_store is not None:
+                        op_index = executed_ops + stage_store(victim)
+                        pending_puts[victim] = op_index
+                        plan_append((_EV_TMEM, victim, op_index))
+                    else:
+                        pending_swap.add(victim)
+                        plan_append((_EV_DISK, victim, 0))
+                size -= need
+            if batch is not None and page in pending_puts:
+                # The fault source of this page depends on the outcome of
+                # its still-staged put: ship the batch staged so far, then
+                # classify with resolved state.  Rare (intra-burst
+                # re-access of a page evicted earlier in the same burst).
+                statuses.extend(batch.execute(now=now))
+                executed_ops = len(statuses)
+                for victim, op_index in pending_puts.items():
+                    if not statuses[op_index]:
+                        pending_swap.add(victim)
+                pending_puts.clear()
+            if holds is not None and holds(page):
+                op_index = executed_ops + batch.stage_load(page)
+                plan_append((_F_TMEM, page, op_index))
+            elif page in swap or page in pending_swap:
+                pending_swap.discard(page)
+                plan_append((_F_SWAP, page, 0))
+            else:
+                plan_append((_F_FIRST, page, 0))
+            insert(page)
+            size += 1
+
+        if batch is not None and len(batch):
+            statuses.extend(batch.execute(now=now))
+
+        outcome.minor_hits = minor_hits
+        self._replay_plan(plan, statuses, now, outcome)
+
+    def _replay_plan(
+        self,
+        plan: List[Tuple[int, int, int]],
+        statuses: List[bool],
+        now: float,
+        outcome: AccessOutcome,
+    ) -> None:
+        """Accumulate latencies and issue I/O in scalar order.
+
+        Every float addition below mirrors one addition the scalar engine
+        performs, with the same constants and in the same order, so the
+        burst latency, the cumulative time counters and the disk queue
+        evolution are bit-identical across engines.
+        """
+        config = self._config
+        put_lat = config.tmem_put_latency_s
+        fail_lat = config.tmem_failed_put_latency_s
+        get_lat = config.tmem_get_latency_s
+        fault_overhead = config.guest.fault_overhead_s
+        disk = self._disk
+        disk_write = disk.write
+        disk_read = disk.read
+        swap = self._swap
+        swap_store = swap.store
+        swap_load = swap.load
+        swap_discard = swap.discard
+        vm_id = self.vm_id
+        stats = self.stats
+
+        acc = outcome.latency_s
+        tmem_time = stats.time_in_tmem_ops_s
+        disk_time = stats.time_in_disk_io_s
+        evictions = evictions_to_tmem = evictions_to_disk = 0
+        failed_puts = 0
+        major = from_tmem = from_disk = first = 0
+
+        for kind, page, op_index in plan:
+            if kind == _EV_TMEM:
+                evictions += 1
+                if statuses[op_index]:
+                    acc += put_lat
+                    tmem_time += put_lat
+                    evictions_to_tmem += 1
+                else:
+                    acc += fail_lat
+                    tmem_time += fail_lat
+                    failed_puts += 1
+                    disk_latency = disk_write(now + acc, 1, vm_id=vm_id)
+                    swap_store(page)
+                    acc += disk_latency
+                    disk_time += disk_latency
+                    evictions_to_disk += 1
+            elif kind == _EV_DISK:
+                evictions += 1
+                disk_latency = disk_write(now + acc, 1, vm_id=vm_id)
+                swap_store(page)
+                acc += disk_latency
+                disk_time += disk_latency
+                evictions_to_disk += 1
+            elif kind == _F_TMEM:
+                major += 1
+                acc += fault_overhead
+                acc += get_lat
+                tmem_time += get_lat
+                swap_discard(page)
+                from_tmem += 1
+            elif kind == _F_SWAP:
+                major += 1
+                acc += fault_overhead
+                disk_latency = disk_read(now + acc, 1, vm_id=vm_id)
+                swap_load(page)
+                acc += disk_latency
+                disk_time += disk_latency
+                from_disk += 1
+            else:  # _F_FIRST
+                major += 1
+                acc += fault_overhead
+                first += 1
+
+        outcome.latency_s = acc
+        outcome.evictions = evictions
+        outcome.evictions_to_tmem = evictions_to_tmem
+        outcome.evictions_to_disk = evictions_to_disk
+        outcome.failed_tmem_puts = failed_puts
+        outcome.major_faults = major
+        outcome.faults_from_tmem = from_tmem
+        outcome.faults_from_disk = from_disk
+        outcome.first_touches = first
+        stats.time_in_tmem_ops_s = tmem_time
+        stats.time_in_disk_io_s = disk_time
+
+    # -- freeing ------------------------------------------------------------------
     def free(self, pages: Sequence[int] | Iterable[int], *, now: float) -> float:
         """Release pages the workload no longer needs.
 
         Frees resident frames, discards swap slots and flushes tmem copies
         (the flush path of Algorithm 1).  Returns the latency incurred by
-        the flush hypercalls.
+        the flush hypercalls.  Under the batched engine every flush of the
+        burst ships in one batched hypercall.
         """
+        page_list = self._as_page_list(pages)
+        if self._batched and self._frontswap is not None:
+            return self._free_batched(page_list, now)
+        return self._free_scalar(page_list, now)
+
+    def _free_scalar(self, page_list: List[int], now: float) -> float:
         latency = 0.0
-        for page in pages:
+        for page in page_list:
             self._known_pages.discard(page)
             if page in self._resident:
                 self._resident.remove(page)
@@ -258,6 +658,33 @@ class GuestKernel:
                 latency += flush_latency
                 self.stats.time_in_tmem_ops_s += flush_latency
             self.stats.freed_pages += 1
+        return latency
+
+    def _free_batched(self, page_list: List[int], now: float) -> float:
+        fs = self._frontswap
+        assert fs is not None
+        resident = self._resident
+        swap = self._swap
+        flush_lat = self._config.tmem_flush_latency_s
+        batch = fs.begin_batch()
+        staged: set[int] = set()
+        latency = 0.0
+        tmem_time = self.stats.time_in_tmem_ops_s
+        holds = fs.holds
+        for page in page_list:
+            self._known_pages.discard(page)
+            if page in resident:
+                resident.remove(page)
+            swap.discard(page)
+            if page not in staged and holds(page):
+                batch.stage_flush(page)
+                staged.add(page)
+                latency += flush_lat
+                tmem_time += flush_lat
+        if len(batch):
+            batch.execute(now=now)
+        self.stats.time_in_tmem_ops_s = tmem_time
+        self.stats.freed_pages += len(page_list)
         return latency
 
     def release_all(self, *, now: float) -> float:

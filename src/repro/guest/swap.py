@@ -47,6 +47,15 @@ class SwapArea:
     def free_pages(self) -> int:
         return self._capacity - len(self._slots)
 
+    @property
+    def slots(self) -> set[int]:
+        """Live view of the occupied slots, for batch membership tests.
+
+        Callers must treat it as read-only; mutating it would desynchronize
+        the swap accounting.
+        """
+        return self._slots
+
     def __contains__(self, page: int) -> bool:
         return page in self._slots
 

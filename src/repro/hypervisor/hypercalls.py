@@ -10,6 +10,11 @@ calling VM the appropriate latency (returned to the caller so the guest
 can advance its virtual time) and dispatches into the tmem backend.
 Keeping this layer explicit makes the cost accounting auditable and gives
 tests a single choke point for fault injection.
+
+:meth:`HypercallInterface.tmem_batch` is the batched counterpart used by
+the guest's vectorized access path: one boundary crossing covers a whole
+sequence of put/get/flush operations, with the same per-operation latency
+model and one statistics update for the batch.
 """
 
 from __future__ import annotations
@@ -21,7 +26,12 @@ from ..config import SimulationConfig
 from ..errors import HypercallError
 from .accounting import HypervisorAccounting
 from .pages import PageKey
-from .tmem_backend import TmemBackend, TmemOpResult
+from .tmem_backend import (
+    BatchOp,
+    TmemBackend,
+    TmemBatchResult,
+    TmemOpResult,
+)
 
 __all__ = ["HypercallStats", "HypercallInterface"]
 
@@ -36,6 +46,13 @@ class HypercallStats:
     def charge(self, name: str, latency: float) -> None:
         self.calls[name] = self.calls.get(name, 0) + 1
         self.latency_s[name] = self.latency_s.get(name, 0.0) + latency
+
+    def charge_many(self, name: str, count: int, total_latency: float) -> None:
+        """Charge *count* calls of *name* with one accounting update."""
+        if count <= 0:
+            return
+        self.calls[name] = self.calls.get(name, 0) + count
+        self.latency_s[name] = self.latency_s.get(name, 0.0) + total_latency
 
     @property
     def total_calls(self) -> int:
@@ -128,6 +145,44 @@ class HypercallInterface:
         latency = self._config.tmem_flush_latency_s
         self.stats_for(vm_id).charge("flush_object", latency)
         return result, latency
+
+    def tmem_batch(
+        self,
+        vm_id: int,
+        pool_id: int,
+        ops: Sequence[BatchOp],
+        *,
+        now: float,
+    ) -> tuple[TmemBatchResult, float]:
+        """Issue one batched hypercall covering a sequence of tmem ops.
+
+        *ops* is a list of ``(opcode, object_id, index, version)`` tuples
+        (see :data:`~repro.hypervisor.tmem_backend.BATCH_PUT` and
+        friends).  The backend services the sequence in order under the
+        scalar admission rules; the latency model charges exactly what
+        the equivalent scalar hypercalls would have cost — one per-VM
+        statistics update then covers N pages.  Returns ``(result,
+        total latency charged to the guest)``.
+        """
+        self._require_registered(vm_id)
+        result = self._backend.execute_batch(vm_id, pool_id, ops, now=now)
+        stats = self.stats_for(vm_id)
+        puts_failed = result.puts_failed
+        put_latency = (
+            result.puts_succ * self._config.tmem_put_latency_s
+            + puts_failed * self._config.tmem_failed_put_latency_s
+        )
+        stats.charge_many("put", result.puts_total, put_latency)
+        # A failing get costs a bare hypercall, like a failing put.
+        gets_failed = result.gets_failed
+        get_latency = (
+            (result.gets_total - gets_failed) * self._config.tmem_get_latency_s
+            + gets_failed * self._config.tmem_failed_put_latency_s
+        )
+        stats.charge_many("get", result.gets_total, get_latency)
+        flush_latency = result.flushes_total * self._config.tmem_flush_latency_s
+        stats.charge_many("flush_page", result.flushes_total, flush_latency)
+        return result, put_latency + get_latency + flush_latency
 
     # -- SmarTmem control-path hypercalls ------------------------------------------
     def tmem_set_targets(

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from ..errors import TmemKeyError
 
-__all__ = ["PageKey", "TmemPage"]
+__all__ = ["PageKey", "TmemPage", "make_page_key", "make_tmem_page"]
 
 #: Upper bounds from the tmem ABI: 64-bit object id, 32-bit page index.
 MAX_OBJECT_ID = 2**64 - 1
@@ -38,6 +38,49 @@ class PageKey:
             )
         if not (0 <= self.index <= MAX_PAGE_INDEX):
             raise TmemKeyError(f"page index out of 32-bit range: {self.index}")
+
+
+def make_page_key(pool_id: int, object_id: int, index: int) -> PageKey:
+    """Trusted fast constructor for :class:`PageKey`.
+
+    Skips the range validation of the regular constructor; callers must
+    guarantee the components are already within the tmem ABI bounds (the
+    batched hypercall path derives them from validated guest page
+    numbers, so re-checking every page would only burn cycles on the
+    hottest path of the simulator).
+    """
+    key = object.__new__(PageKey)
+    object.__setattr__(key, "pool_id", pool_id)
+    object.__setattr__(key, "object_id", object_id)
+    object.__setattr__(key, "index", index)
+    return key
+
+
+def make_tmem_page(
+    pool_id: int,
+    object_id: int,
+    index: int,
+    owner_vm: int,
+    version: int,
+    put_time: float,
+) -> "TmemPage":
+    """Trusted fast constructor for a keyed :class:`TmemPage`.
+
+    Builds the page and its key in one call with direct slot writes —
+    the batched put path creates one record per stored page, so the
+    regular constructors' validation and argument plumbing would be pure
+    overhead there (the components are already guest-validated).
+    """
+    key = object.__new__(PageKey)
+    object.__setattr__(key, "pool_id", pool_id)
+    object.__setattr__(key, "object_id", object_id)
+    object.__setattr__(key, "index", index)
+    page = object.__new__(TmemPage)
+    page.key = key
+    page.owner_vm = owner_vm
+    page.version = version
+    page.put_time = put_time
+    return page
 
 
 @dataclass(slots=True)

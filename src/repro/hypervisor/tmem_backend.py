@@ -21,21 +21,50 @@ The control flow follows Algorithm 1 of the paper:
 Targets may drop below the current usage; the VM then cannot obtain new
 pages until it naturally releases enough (the hypervisor never forcibly
 reclaims in the paper's implementation).
+
+Batched operations
+------------------
+
+Besides the scalar put/get/flush entry points, :meth:`TmemBackend.
+execute_batch` services a whole *sequence* of data-path operations in one
+call.  The sequence is processed strictly in order with the same admission
+logic as the scalar path — a get in the middle of the batch frees a frame
+that a later put may consume — but the per-page Python overhead (result
+objects, repeated account/pool lookups, per-frame host accounting) is paid
+once per batch instead of once per page.  The guest's vectorized access
+path funnels every burst through this entry point.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from ..devices.dram import HostMemory
 from ..errors import TmemError
 from .accounting import HypervisorAccounting, VmTmemAccount
-from .pages import PageKey, TmemPage
+from .pages import PageKey, TmemPage, make_tmem_page
 from .tmem_store import TmemStore
 
-__all__ = ["TmemOpcode", "TmemOpResult", "TmemBackend"]
+__all__ = [
+    "TmemOpcode",
+    "TmemOpResult",
+    "TmemBackend",
+    "TmemBatchResult",
+    "BATCH_PUT",
+    "BATCH_GET",
+    "BATCH_FLUSH",
+]
+
+#: Opcode encoding of batched operations: one (opcode, object_id, index,
+#: version) tuple per page.  Plain ints keep the per-op cost minimal.
+BATCH_PUT = 0
+BATCH_GET = 1
+BATCH_FLUSH = 2
+
+#: One batched operation: (opcode, object_id, index, version).
+BatchOp = Tuple[int, int, int, int]
 
 
 class TmemOpcode(enum.Enum):
@@ -70,6 +99,34 @@ class TmemOpResult:
     @property
     def succeeded(self) -> bool:
         return self.status == TmemStatus.S_TMEM
+
+
+@dataclass
+class TmemBatchResult:
+    """Outcome of one batched tmem hypercall.
+
+    When every operation succeeded, ``all_succeeded`` is set and
+    ``statuses`` is left empty — the caller can apply its effects in
+    bulk without a per-operation walk.  Otherwise ``statuses`` aligns
+    index-for-index with the submitted sequence.  ``get_versions`` holds
+    one entry per get, in get order (``None`` for a missed get).
+    """
+
+    vm_id: int
+    all_succeeded: bool = False
+    #: Plain ints (1 = S_TMEM, 0 = E_TMEM) — enum members would cost a
+    #: construction/branch per page on the hottest loop of the simulator.
+    statuses: List[int] = field(default_factory=list)
+    get_versions: List[Optional[int]] = field(default_factory=list)
+    puts_total: int = 0
+    puts_succ: int = 0
+    gets_total: int = 0
+    gets_failed: int = 0
+    flushes_total: int = 0
+
+    @property
+    def puts_failed(self) -> int:
+        return self.puts_total - self.puts_succ
 
 
 class TmemBackend:
@@ -191,6 +248,157 @@ class TmemBackend:
         return TmemOpResult(
             TmemOpcode.FLUSH_OBJECT, status, vm_id, pages_flushed=removed
         )
+
+    # -- batched data path -------------------------------------------------------
+    def execute_batch(
+        self, vm_id: int, pool_id: int, ops: Sequence[BatchOp], *, now: float
+    ) -> TmemBatchResult:
+        """Service a sequence of put/get/flush operations in one call.
+
+        Each element of *ops* is an ``(opcode, object_id, index, version)``
+        tuple (``version`` is ignored for gets and flushes).  The sequence
+        is processed in order under exactly the scalar admission rules:
+        a put fails once the VM reaches its target or the pool runs out of
+        frames, and an exclusive get in the middle of the batch releases a
+        frame that a later put may then consume.  All counters —
+        interval and cumulative put/get/flush counts, ``tmem_used`` and
+        the host frame pool — end up identical to issuing the ops through
+        the scalar entry points one at a time.
+        """
+        account = self._accounting.account(vm_id)
+        pool = self._store.get_pool(vm_id, pool_id)
+        result = TmemBatchResult(vm_id=vm_id)
+        append_get_version = result.get_versions.append
+
+        used = account.tmem_used
+        free = self._host.tmem_free_pages
+        # With no target set the greedy default applies: admission is
+        # bounded by free frames only.
+        limit = account.mm_target if account.has_target else None
+        persistent = pool.persistent
+        owner = vm_id
+
+        lookup = pool.lookup_raw
+        insert_or_existing = pool.insert_or_existing
+        remove = pool.remove_raw
+
+        puts_total = puts_succ = puts_failed = 0
+        gets_total = gets_failed = 0
+        flushes_total = 0
+        # Built lazily: stays None while every op succeeds, so the common
+        # all-success batch never pays a per-op status append.
+        statuses: Optional[List[int]] = None
+        op_count = 0
+
+        for opcode, object_id, index, version in ops:
+            op_count += 1
+            if opcode == BATCH_PUT:
+                puts_total += 1
+                if free == 0 or (limit is not None and used >= limit):
+                    # A put to an existing key still replaces in place
+                    # (no new frame), even with admission exhausted.
+                    existing = lookup(object_id, index)
+                    if existing is not None:
+                        existing.version = version
+                        existing.put_time = now
+                        puts_succ += 1
+                        if statuses is not None:
+                            statuses.append(1)
+                        continue
+                    puts_failed += 1
+                    if statuses is None:
+                        statuses = [1] * (op_count - 1)
+                    statuses.append(0)
+                    continue
+                existing = insert_or_existing(
+                    object_id,
+                    index,
+                    make_tmem_page(
+                        pool_id, object_id, index, owner, version, now
+                    ),
+                )
+                if existing is not None:
+                    # Replace in place: the optimistic record is dropped.
+                    existing.version = version
+                    existing.put_time = now
+                    puts_succ += 1
+                    if statuses is not None:
+                        statuses.append(1)
+                    continue
+                used += 1
+                free -= 1
+                puts_succ += 1
+                if statuses is not None:
+                    statuses.append(1)
+            elif opcode == BATCH_GET:
+                gets_total += 1
+                # Frontswap (persistent) gets are exclusive: the frame is
+                # released and becomes available to later puts in the batch.
+                page = (
+                    remove(object_id, index)
+                    if persistent
+                    else lookup(object_id, index)
+                )
+                if page is None:
+                    gets_failed += 1
+                    append_get_version(None)
+                    if statuses is None:
+                        statuses = [1] * (op_count - 1)
+                    statuses.append(0)
+                    continue
+                if persistent:
+                    used -= 1
+                    free += 1
+                    if used < 0:
+                        raise TmemError(
+                            f"VM {vm_id} tmem_used went negative on get"
+                        )
+                append_get_version(page.version)
+                if statuses is not None:
+                    statuses.append(1)
+            elif opcode == BATCH_FLUSH:
+                flushes_total += 1
+                page = remove(object_id, index)
+                if page is None:
+                    if statuses is None:
+                        statuses = [1] * (op_count - 1)
+                    statuses.append(0)
+                    continue
+                used -= 1
+                free += 1
+                if used < 0:
+                    raise TmemError(
+                        f"VM {vm_id} tmem_used went negative on flush"
+                    )
+                if statuses is not None:
+                    statuses.append(1)
+            else:
+                raise TmemError(f"unknown batched tmem opcode {opcode!r}")
+
+        if statuses is None:
+            result.all_succeeded = True
+        else:
+            result.statuses = statuses
+
+        # One accounting update covers the whole batch.
+        account.puts_total += puts_total
+        account.cumul_puts_total += puts_total
+        account.puts_succ += puts_succ
+        account.cumul_puts_succ += puts_succ
+        account.cumul_puts_failed += puts_failed
+        account.gets_total += gets_total
+        account.cumul_gets_total += gets_total
+        account.flushes_total += flushes_total
+        account.cumul_flushes_total += flushes_total
+        self._host.adjust_tmem_used(used - account.tmem_used)
+        account.tmem_used = used
+
+        result.puts_total = puts_total
+        result.puts_succ = puts_succ
+        result.gets_total = gets_total
+        result.gets_failed = gets_failed
+        result.flushes_total = flushes_total
+        return result
 
     def destroy_vm(self, vm_id: int) -> int:
         """Release every tmem page of a VM at teardown; returns pages freed."""

@@ -10,6 +10,15 @@ in :class:`repro.devices.dram.HostMemory`.
 Operations mirror the tmem ABI described in the paper: put, get (which in
 frontswap mode is *exclusive*: a successful get also removes the page),
 flush page and flush object.
+
+Pages are stored in a two-level radix — object id first, page index
+second — which makes ``remove_object`` O(pages of that object) instead of
+a scan of the whole pool, exactly like the object nodes of the real tmem
+implementation.  The store additionally keeps a per-VM pool index so that
+``pools_of``/``pages_held_by`` do not iterate every pool on the node.
+The ``*_raw`` accessors take the (object id, index) pair directly; the
+batched hypercall path uses them to bypass per-page
+:class:`~repro.hypervisor.pages.PageKey` construction.
 """
 
 from __future__ import annotations
@@ -38,38 +47,86 @@ class TmemPool:
     pool_id: int
     owner_vm: int
     persistent: bool = True
-    _pages: Dict[Tuple[int, int], TmemPage] = field(default_factory=dict)
+    #: object id -> page index -> page record (the two-level radix).
+    _objects: Dict[int, Dict[int, TmemPage]] = field(default_factory=dict)
+    _count: int = 0
 
     def __len__(self) -> int:
-        return len(self._pages)
+        return self._count
 
     def __contains__(self, key: PageKey) -> bool:
-        return (key.object_id, key.index) in self._pages
+        pages = self._objects.get(key.object_id)
+        return pages is not None and key.index in pages
 
     def insert(self, page: TmemPage) -> None:
-        self._pages[(page.key.object_id, page.key.index)] = page
+        self.insert_raw(page.key.object_id, page.key.index, page)
+
+    def insert_raw(self, object_id: int, index: int, page: TmemPage) -> None:
+        """Like :meth:`insert` but addressed by the raw (object, index)."""
+        pages = self._objects.setdefault(object_id, {})
+        if index not in pages:
+            self._count += 1
+        pages[index] = page
+
+    def insert_or_existing(
+        self, object_id: int, index: int, page: TmemPage
+    ) -> Optional[TmemPage]:
+        """Insert *page* unless the slot is taken; returns the occupant.
+
+        One dict probe services both the replace-detection and the
+        insert of the batched put path.  On a conflict the existing page
+        is returned unchanged and *page* is discarded by the caller; on
+        a fresh slot *page* is stored and ``None`` returned.
+        """
+        pages = self._objects.setdefault(object_id, {})
+        existing = pages.setdefault(index, page)
+        if existing is page:
+            self._count += 1
+            return None
+        return existing
 
     def lookup(self, key: PageKey) -> Optional[TmemPage]:
-        return self._pages.get((key.object_id, key.index))
+        pages = self._objects.get(key.object_id)
+        return pages.get(key.index) if pages is not None else None
+
+    def lookup_raw(self, object_id: int, index: int) -> Optional[TmemPage]:
+        """Like :meth:`lookup` but addressed by the raw (object, index)."""
+        pages = self._objects.get(object_id)
+        return pages.get(index) if pages is not None else None
 
     def remove(self, key: PageKey) -> Optional[TmemPage]:
-        return self._pages.pop((key.object_id, key.index), None)
+        return self.remove_raw(key.object_id, key.index)
+
+    def remove_raw(self, object_id: int, index: int) -> Optional[TmemPage]:
+        """Like :meth:`remove` but addressed by the raw (object, index)."""
+        pages = self._objects.get(object_id)
+        if pages is None:
+            return None
+        page = pages.pop(index, None)
+        if page is not None:
+            self._count -= 1
+            if not pages:
+                del self._objects[object_id]
+        return page
 
     def remove_object(self, object_id: int) -> int:
         """Drop every page of *object_id*; returns the number removed."""
-        doomed = [k for k in self._pages if k[0] == object_id]
-        for k in doomed:
-            del self._pages[k]
-        return len(doomed)
+        pages = self._objects.pop(object_id, None)
+        if pages is None:
+            return 0
+        self._count -= len(pages)
+        return len(pages)
 
     def clear(self) -> int:
         """Drop every page in the pool; returns the number removed."""
-        count = len(self._pages)
-        self._pages.clear()
+        count = self._count
+        self._objects.clear()
+        self._count = 0
         return count
 
     def pages(self) -> Iterator[TmemPage]:
-        return iter(self._pages.values())
+        for pages in self._objects.values():
+            yield from pages.values()
 
 
 class TmemStore:
@@ -77,6 +134,8 @@ class TmemStore:
 
     def __init__(self) -> None:
         self._pools: Dict[Tuple[int, int], TmemPool] = {}
+        #: vm_id -> pool_id -> pool; mirror of ``_pools`` for per-VM queries.
+        self._pools_by_vm: Dict[int, Dict[int, TmemPool]] = {}
         self._next_pool_id: Dict[int, int] = {}
 
     # -- pool lifecycle ------------------------------------------------------
@@ -86,6 +145,7 @@ class TmemStore:
         self._next_pool_id[vm_id] = pool_id + 1
         pool = TmemPool(pool_id=pool_id, owner_vm=vm_id, persistent=persistent)
         self._pools[(vm_id, pool_id)] = pool
+        self._pools_by_vm.setdefault(vm_id, {})[pool_id] = pool
         return pool
 
     def get_pool(self, vm_id: int, pool_id: int) -> TmemPool:
@@ -101,23 +161,25 @@ class TmemStore:
         pool = self.get_pool(vm_id, pool_id)
         count = pool.clear()
         del self._pools[(vm_id, pool_id)]
+        vm_pools = self._pools_by_vm[vm_id]
+        del vm_pools[pool_id]
+        if not vm_pools:
+            del self._pools_by_vm[vm_id]
         return count
 
     def destroy_vm_pools(self, vm_id: int) -> int:
         """Destroy every pool of a VM (VM teardown); returns pages freed."""
-        doomed = [key for key in self._pools if key[0] == vm_id]
+        vm_pools = self._pools_by_vm.pop(vm_id, {})
         freed = 0
-        for key in doomed:
-            freed += self._pools[key].clear()
-            del self._pools[key]
+        for pool_id, pool in vm_pools.items():
+            freed += pool.clear()
+            del self._pools[(vm_id, pool_id)]
         self._next_pool_id.pop(vm_id, None)
         return freed
 
     # -- queries ------------------------------------------------------------
     def pools_of(self, vm_id: int) -> Iterator[TmemPool]:
-        for (owner, _pid), pool in self._pools.items():
-            if owner == vm_id:
-                yield pool
+        return iter(self._pools_by_vm.get(vm_id, {}).values())
 
     def pages_held_by(self, vm_id: int) -> int:
         return sum(len(pool) for pool in self.pools_of(vm_id))

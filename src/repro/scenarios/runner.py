@@ -111,6 +111,11 @@ class ScenarioRunner:
 
         self.vms: Dict[str, VirtualMachine] = {}
         self._triggered_vms: set[str] = set()
+        #: VMs whose start is deferred to a phase trigger; populated by
+        #: _install_triggers().  Initialized here so a missed
+        #: _install_triggers() call cannot be silently masked by a
+        #: getattr() fallback at run time.
+        self._trigger_started_vms: set[str] = set()
         self._stop_fired = False
 
         self._build_vms()
@@ -217,7 +222,7 @@ class ScenarioRunner:
             self.hypervisor.start()
 
         for name, vm in self.vms.items():
-            if name not in getattr(self, "_trigger_started_vms", set()):
+            if name not in self._trigger_started_vms:
                 vm.start()
 
         deadline = min(self.spec.max_duration_s, self.config.max_simulated_time_s)

@@ -29,6 +29,7 @@ class SimulationEngine:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._live_events = 0
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -43,8 +44,15 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        Maintained as a counter — events notify the engine on
+        cancellation — so reading it is O(1) rather than an O(n) scan.
+        """
+        return self._live_events
+
+    def _note_cancellation(self) -> None:
+        self._live_events -= 1
 
     # -- scheduling ------------------------------------------------------------
     def schedule_at(
@@ -61,7 +69,9 @@ class SimulationEngine:
                 f"cannot schedule event at {time:.9f}s before now={self._now:.9f}s"
             )
         event = Event.create(time, callback, priority=priority, label=label)
+        event.on_cancel = self._note_cancellation
         heapq.heappush(self._queue, event)
+        self._live_events += 1
         return event
 
     def schedule_after(
@@ -136,6 +146,8 @@ class SimulationEngine:
                 )
             self._now = event.time
             self._events_executed += 1
+            self._live_events -= 1
+            event.on_cancel = None  # a late cancel() must not re-decrement
             event.callback()
             return True
         return False
@@ -198,11 +210,16 @@ class SimulationEngine:
 
     # -- introspection ----------------------------------------------------------
     def peek_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or ``None`` if empty."""
-        for event in sorted(e for e in self._queue if not e.cancelled):
-            return event.time
-        return None
+        """Timestamp of the next live event, or ``None`` if empty.
+
+        Cancelled events at the head of the heap are lazily discarded,
+        so peeking is O(cancelled heads) instead of sorting the queue.
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0].time if queue else None
 
     def drain_labels(self) -> Iterable[str]:
         """Labels of all live queued events (diagnostic helper)."""
-        return [e.label for e in sorted(self._queue) if not e.cancelled]
+        return [e.label for e in sorted(e for e in self._queue if not e.cancelled)]

@@ -45,6 +45,11 @@ class Event:
     callback: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    #: Set by the owning engine so it can keep a live-event counter
+    #: without scanning the queue; cleared once the event has run.
+    on_cancel: Callable[[], Any] | None = field(
+        compare=False, default=None, repr=False
+    )
 
     @classmethod
     def create(
@@ -65,4 +70,9 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the engine will skip it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
+            self.on_cancel = None

@@ -66,3 +66,36 @@ class TestCommands:
     def test_unknown_scenario_raises(self):
         with pytest.raises(Exception):
             main(["run", "scenario-99", "--policy", "greedy"])
+
+    def test_bench_command_writes_report(self, capsys, tmp_path):
+        code = main([
+            "bench", "--quick",
+            "--repeats", "1",
+            "--output", str(tmp_path),
+            "--baseline", str(tmp_path / "missing.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pages/s" in out
+        assert "speedup" in out
+        report = tmp_path / "BENCH_quick.json"
+        assert report.exists()
+        import json
+        data = json.loads(report.read_text())
+        assert data["speedups"]
+        assert all(r["pages_per_s"] > 0 for r in data["records"])
+
+    def test_bench_regression_detection(self, capsys, tmp_path):
+        import json
+        baseline = {
+            "label": "seed", "speedups": {"fig07-micro": 1000.0},
+        }
+        (tmp_path / "fake.json").write_text(json.dumps(baseline))
+        code = main([
+            "bench", "--quick",
+            "--repeats", "1",
+            "--output", str(tmp_path),
+            "--baseline", str(tmp_path / "fake.json"),
+        ])
+        assert code == 1
+        assert "PERF REGRESSIONS" in capsys.readouterr().out

@@ -49,6 +49,20 @@ class TestGuestConfig:
     def test_accepts_clock(self):
         assert GuestConfig(reclaim_algorithm="clock").reclaim_algorithm == "clock"
 
+    def test_accepts_clock_list(self):
+        config = GuestConfig(reclaim_algorithm="clock-list")
+        assert config.reclaim_algorithm == "clock-list"
+
+    def test_default_access_engine_is_batched(self):
+        assert GuestConfig().access_engine == "batched"
+
+    def test_accepts_scalar_engine(self):
+        assert GuestConfig(access_engine="scalar").access_engine == "scalar"
+
+    def test_rejects_unknown_access_engine(self):
+        with pytest.raises(ConfigurationError):
+            GuestConfig(access_engine="turbo")
+
 
 class TestSamplingConfig:
     def test_default_interval_is_one_second(self):

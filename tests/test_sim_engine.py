@@ -179,3 +179,48 @@ class TestEventOrdering:
         engine.run()
         assert observed == sorted(observed)
         assert len(observed) == len(times)
+
+
+class TestIntrospectionFastPaths:
+    def test_peek_time_skips_cancelled_heads(self):
+        engine = SimulationEngine()
+        early = engine.schedule_at(1.0, lambda: None)
+        mid = engine.schedule_at(2.0, lambda: None)
+        engine.schedule_at(3.0, lambda: None, label="live")
+        early.cancel()
+        mid.cancel()
+        assert engine.peek_time() == 3.0
+        assert engine.pending_events == 1
+
+    def test_peek_time_empty_after_all_cancelled(self):
+        engine = SimulationEngine()
+        event = engine.schedule_at(1.0, lambda: None)
+        event.cancel()
+        assert engine.peek_time() is None
+        assert engine.pending_events == 0
+
+    def test_pending_events_is_a_live_counter(self):
+        engine = SimulationEngine()
+        events = [engine.schedule_at(float(i + 1), lambda: None) for i in range(5)]
+        assert engine.pending_events == 5
+        events[0].cancel()
+        events[0].cancel()  # double-cancel must not double-decrement
+        assert engine.pending_events == 4
+        engine.run()
+        assert engine.pending_events == 0
+
+    def test_cancel_after_execution_does_not_corrupt_counter(self):
+        engine = SimulationEngine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        engine.step()
+        event.cancel()  # already ran; must be a no-op for the counter
+        assert engine.pending_events == 1
+
+    def test_drain_labels_lists_live_events_in_order(self):
+        engine = SimulationEngine()
+        engine.schedule_at(2.0, lambda: None, label="b")
+        dead = engine.schedule_at(1.5, lambda: None, label="dead")
+        engine.schedule_at(1.0, lambda: None, label="a")
+        dead.cancel()
+        assert list(engine.drain_labels()) == ["a", "b"]

@@ -252,3 +252,106 @@ class TestHypervisorFacade:
         hv.create_domain("vm1", ram_pages=200)
         with pytest.raises(Exception):
             hv.create_domain("vm2", ram_pages=200)
+
+
+class TestExecuteBatch:
+    """The batched data path must mirror the scalar ops op for op."""
+
+    @staticmethod
+    def put_op(i, version=1):
+        from repro.hypervisor.tmem_backend import BATCH_PUT
+        return (BATCH_PUT, 0, i, version)
+
+    @staticmethod
+    def get_op(i):
+        from repro.hypervisor.tmem_backend import BATCH_GET
+        return (BATCH_GET, 0, i, 0)
+
+    @staticmethod
+    def flush_op(i):
+        from repro.hypervisor.tmem_backend import BATCH_FLUSH
+        return (BATCH_FLUSH, 0, i, 0)
+
+    def test_all_success_batch_reports_bulk_flag(self):
+        backend, acc, host, pools = build_backend(tmem_pages=8)
+        ops = [self.put_op(i, version=i + 1) for i in range(4)]
+        result = backend.execute_batch(1, pools[1], ops, now=0.0)
+        assert result.all_succeeded
+        assert result.statuses == []
+        assert result.puts_total == result.puts_succ == 4
+        assert acc.account(1).tmem_used == 4
+        assert host.tmem_used_pages == 4
+
+    def test_admission_failure_materializes_statuses(self):
+        backend, acc, host, pools = build_backend(tmem_pages=2)
+        ops = [self.put_op(i, version=i + 1) for i in range(4)]
+        result = backend.execute_batch(1, pools[1], ops, now=0.0)
+        assert not result.all_succeeded
+        assert result.statuses == [1, 1, 0, 0]
+        assert result.puts_succ == 2 and result.puts_failed == 2
+        assert acc.account(1).tmem_used == 2
+
+    def test_get_mid_batch_frees_a_frame_for_a_later_put(self):
+        """An exclusive get inside the batch releases capacity that a put
+        later in the same batch may consume — order matters."""
+        backend, acc, host, pools = build_backend(tmem_pages=1)
+        assert backend.put(1, pools[1], key(0), version=7, now=0.0).succeeded
+        ops = [self.get_op(0), self.put_op(1, version=8)]
+        result = backend.execute_batch(1, pools[1], ops, now=1.0)
+        assert result.all_succeeded
+        assert result.get_versions == [7]
+        assert acc.account(1).tmem_used == 1
+        # Reversed order: the put must fail because the frame is taken.
+        ops = [self.put_op(2, version=9), self.get_op(1)]
+        result = backend.execute_batch(1, pools[1], ops, now=2.0)
+        assert result.statuses == [0, 1]
+        assert result.get_versions == [8]
+
+    def test_target_respected_within_batch(self):
+        backend, acc, host, pools = build_backend(tmem_pages=8)
+        acc.set_target(1, 2)
+        ops = [self.put_op(i, version=i + 1) for i in range(3)]
+        result = backend.execute_batch(1, pools[1], ops, now=0.0)
+        assert result.statuses == [1, 1, 0]
+
+    def test_replace_put_does_not_take_a_frame(self):
+        backend, acc, host, pools = build_backend(tmem_pages=2)
+        ops = [self.put_op(0, version=1), self.put_op(0, version=2)]
+        result = backend.execute_batch(1, pools[1], ops, now=0.0)
+        assert result.all_succeeded
+        assert acc.account(1).tmem_used == 1
+        got = backend.execute_batch(1, pools[1], [self.get_op(0)], now=1.0)
+        assert got.get_versions == [2]
+
+    def test_replace_put_succeeds_even_when_pool_is_full(self):
+        backend, acc, host, pools = build_backend(tmem_pages=1)
+        assert backend.put(1, pools[1], key(0), version=1, now=0.0).succeeded
+        result = backend.execute_batch(
+            1, pools[1], [self.put_op(0, version=5)], now=1.0
+        )
+        assert result.all_succeeded
+
+    def test_flush_in_batch_releases_frames(self):
+        backend, acc, host, pools = build_backend(tmem_pages=4)
+        backend.execute_batch(
+            1, pools[1], [self.put_op(i, version=1) for i in range(3)], now=0.0
+        )
+        result = backend.execute_batch(
+            1, pools[1], [self.flush_op(0), self.flush_op(1)], now=1.0
+        )
+        assert result.all_succeeded
+        assert result.flushes_total == 2
+        assert acc.account(1).tmem_used == 1
+        assert host.tmem_used_pages == 1
+
+    def test_counters_match_scalar_equivalent(self):
+        scalar_b, scalar_acc, _, scalar_pools = build_backend(tmem_pages=2)
+        batch_b, batch_acc, _, batch_pools = build_backend(tmem_pages=2)
+        for i in range(4):
+            scalar_b.put(1, scalar_pools[1], key(i), version=i + 1, now=0.0)
+        scalar_b.get(1, scalar_pools[1], key(0))
+        scalar_b.flush_page(1, scalar_pools[1], key(1))
+        ops = [self.put_op(i, version=i + 1) for i in range(4)]
+        ops += [self.get_op(0), self.flush_op(1)]
+        batch_b.execute_batch(1, batch_pools[1], ops, now=0.0)
+        assert scalar_acc.account(1) == batch_acc.account(1)

@@ -129,3 +129,38 @@ class TestTmemStore:
         for object_id, index in keys:
             pool.insert(make_page(pool_id=pool.pool_id, object_id=object_id, index=index))
         assert len(pool) == len(set(keys))
+
+
+class TestRawAccessors:
+    def test_lookup_insert_remove_raw(self):
+        store = TmemStore()
+        pool = store.create_pool(7)
+        page = make_page(pool_id=pool.pool_id, object_id=3, index=9)
+        pool.insert_raw(3, 9, page)
+        assert pool.lookup_raw(3, 9) is page
+        assert pool.lookup(page.key) is page
+        assert pool.remove_raw(3, 9) is page
+        assert pool.lookup_raw(3, 9) is None
+        assert len(pool) == 0
+
+    def test_insert_or_existing_returns_occupant(self):
+        store = TmemStore()
+        pool = store.create_pool(1)
+        first = make_page(pool_id=pool.pool_id, index=4)
+        second = make_page(pool_id=pool.pool_id, index=4)
+        assert pool.insert_or_existing(0, 4, first) is None
+        assert pool.insert_or_existing(0, 4, second) is first
+        assert len(pool) == 1
+        assert pool.lookup_raw(0, 4) is first
+
+    def test_per_vm_index_survives_pool_destruction(self):
+        store = TmemStore()
+        a = store.create_pool(1)
+        b = store.create_pool(1)
+        store.create_pool(2)
+        assert [p.pool_id for p in store.pools_of(1)] == [a.pool_id, b.pool_id]
+        store.destroy_pool(1, a.pool_id)
+        assert [p.pool_id for p in store.pools_of(1)] == [b.pool_id]
+        assert store.destroy_vm_pools(1) == 0
+        assert list(store.pools_of(1)) == []
+        assert store.pool_count() == 1
