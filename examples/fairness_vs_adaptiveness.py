@@ -19,21 +19,24 @@ from __future__ import annotations
 
 import argparse
 
-from repro import run_scenario, scenario_3
+from repro import scenario_3
 from repro.analysis.metrics import mean_fairness
 from repro.analysis.report import format_table
+from repro.experiments import ProcessPoolBackend, SerialBackend, SweepSpec, run_sweep
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = run in-process)")
     args = parser.parse_args()
 
     spec = scenario_3(scale=args.scale)
     print(f"Scenario: {spec.name} — {spec.description}\n")
 
-    policies = [
+    policies = (
         "greedy",
         "static-alloc",
         "reconf-static",
@@ -41,12 +44,26 @@ def main() -> None:
         "smart-alloc:P=2",
         "smart-alloc:P=4",
         "smart-alloc:P=8",
-    ]
+    )
+
+    sweep = SweepSpec(
+        scenarios=("scenario-3",),
+        policies=policies,
+        seeds=(args.seed,),
+        scales=(args.scale,),
+    )
+    backend = (
+        ProcessPoolBackend(max_workers=args.jobs) if args.jobs > 1
+        else SerialBackend()
+    )
+
+    def progress(point, result, reused):
+        print(f"running under {point.policy} ...")
+
+    outcome = run_sweep(sweep, backend=backend, progress=progress)
 
     rows = []
-    for policy in policies:
-        print(f"running under {policy} ...")
-        result = run_scenario(spec, policy, seed=args.seed)
+    for policy, result in outcome.by_policy("scenario-3").items():
         runtimes = [run.duration_s for vm in result.vms.values() for run in vm.runs]
         rows.append(
             [

@@ -10,21 +10,32 @@ This is the programmatic equivalent of ``pytest benchmarks/``; it is
 useful when you want the numbers without the benchmarking machinery, e.g.
 to regenerate EXPERIMENTS.md after changing a policy.
 
+The sweep is driven by :mod:`repro.experiments`: pass ``--jobs N`` to run
+the (scenario, policy) points across N worker processes, and
+``--results-dir DIR`` to archive per-point JSON results (re-running then
+resumes from the archive instead of re-simulating).
+
 Run with::
 
     python examples/scenario_sweep.py [--scale 0.5] [--scenario scenario-2]
+        [--jobs 4] [--results-dir sweep-results]
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro import PAPER_POLICIES, all_scenarios
 from repro.analysis.metrics import improvement_percent, mean_fairness
 from repro.analysis.report import render_runtime_table
-from repro.scenarios.runner import run_scenario
+from repro.experiments import (
+    ProcessPoolBackend,
+    ResultStore,
+    SerialBackend,
+    SweepSpec,
+    run_sweep,
+)
 
 #: The smart-alloc setting the paper highlights for each scenario.
 BEST_SMART = {
@@ -35,17 +46,11 @@ BEST_SMART = {
 }
 
 
-def sweep_one(name, spec, policies, seed):
+def report_one(name, spec, results):
+    """Print one scenario's tables from its {policy: result} mapping."""
     print("=" * 78)
     print(f"{name}: {spec.description}")
     print("=" * 78)
-    results = {}
-    for policy in policies:
-        start = time.perf_counter()
-        results[policy] = run_scenario(spec, policy, seed=seed)
-        print(f"  ran {policy:22s} in {time.perf_counter() - start:5.1f}s wall clock",
-              file=sys.stderr)
-
     print(render_runtime_table(results))
 
     best = BEST_SMART.get(name, "smart-alloc:P=2")
@@ -70,7 +75,6 @@ def sweep_one(name, spec, policies, seed):
             continue
         print(f"  {policy:22s} {mean_fairness(result):.3f}")
     print()
-    return results
 
 
 def main() -> None:
@@ -82,15 +86,39 @@ def main() -> None:
                         help="restrict to one or more scenarios (repeatable)")
     parser.add_argument("--policy", action="append", default=None,
                         help="restrict to one or more policies (repeatable)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = run in-process)")
+    parser.add_argument("--results-dir", default=None,
+                        help="archive per-point JSON results here and resume "
+                             "from them on re-runs")
     args = parser.parse_args()
 
     scenarios = all_scenarios(scale=args.scale)
     if args.scenario:
         scenarios = {k: v for k, v in scenarios.items() if k in set(args.scenario)}
-    policies = args.policy if args.policy else list(PAPER_POLICIES)
+    policies = tuple(args.policy) if args.policy else tuple(PAPER_POLICIES)
 
-    for name, spec in scenarios.items():
-        sweep_one(name, spec, policies, args.seed)
+    spec = SweepSpec(
+        scenarios=tuple(scenarios),
+        policies=policies,
+        seeds=(args.seed,),
+        scales=(args.scale,),
+    )
+    backend = (
+        ProcessPoolBackend(max_workers=args.jobs) if args.jobs > 1
+        else SerialBackend()
+    )
+    store = ResultStore(args.results_dir) if args.results_dir else None
+
+    def progress(point, result, reused):
+        verb = "reused" if reused else "ran"
+        print(f"  {verb} {point.scenario} / {point.policy:22s} "
+              f"in {result.wall_clock_s:5.1f}s wall clock", file=sys.stderr)
+
+    outcome = run_sweep(spec, backend=backend, store=store, progress=progress)
+
+    for name, scenario_spec in scenarios.items():
+        report_one(name, scenario_spec, outcome.by_policy(name))
 
 
 if __name__ == "__main__":

@@ -55,6 +55,7 @@ from .errors import (
     PolicyError,
     ScenarioError,
     WorkloadError,
+    ExperimentError,
 )
 from .core import (
     MemoryManager,
@@ -83,13 +84,30 @@ from .scenarios import (
     scenario_2,
     scenario_3,
     usemem_scenario,
+    many_vms_scenario,
+    churn_scenario,
+    bursty_scenario,
     all_scenarios,
+    available_scenarios,
+    scenario_by_name,
+    register_scenario,
     PAPER_POLICIES,
 )
 from .workloads import (
     UsememWorkload,
     InMemoryAnalyticsWorkload,
     GraphAnalyticsWorkload,
+    register_workload_kind,
+    available_workload_kinds,
+)
+from .experiments import (
+    ExperimentPoint,
+    SweepSpec,
+    SerialBackend,
+    ProcessPoolBackend,
+    ResultStore,
+    SweepOutcome,
+    run_sweep,
 )
 from .analysis import (
     jain_fairness,
@@ -97,6 +115,8 @@ from .analysis import (
     runtime_figure,
     tmem_usage_figure,
     render_runtime_table,
+    aggregate_sweep,
+    render_aggregate_table,
 )
 
 __version__ = "1.0.0"
@@ -125,6 +145,7 @@ __all__ = [
     "PolicyError",
     "ScenarioError",
     "WorkloadError",
+    "ExperimentError",
     # core
     "MemoryManager",
     "TmemPolicy",
@@ -153,16 +174,34 @@ __all__ = [
     "scenario_2",
     "scenario_3",
     "usemem_scenario",
+    "many_vms_scenario",
+    "churn_scenario",
+    "bursty_scenario",
     "all_scenarios",
+    "available_scenarios",
+    "scenario_by_name",
+    "register_scenario",
     "PAPER_POLICIES",
     # workloads
     "UsememWorkload",
     "InMemoryAnalyticsWorkload",
     "GraphAnalyticsWorkload",
+    "register_workload_kind",
+    "available_workload_kinds",
+    # experiments
+    "ExperimentPoint",
+    "SweepSpec",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ResultStore",
+    "SweepOutcome",
+    "run_sweep",
     # analysis
     "jain_fairness",
     "improvement_percent",
     "runtime_figure",
     "tmem_usage_figure",
     "render_runtime_table",
+    "aggregate_sweep",
+    "render_aggregate_table",
 ]

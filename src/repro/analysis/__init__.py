@@ -15,8 +15,16 @@ from .figures import (
 )
 from .tables import table1_statistics, table2_scenarios
 from .report import render_runtime_table, render_figure_series, render_comparison
+from .aggregate import (
+    PolicyAggregate,
+    aggregate_sweep,
+    render_aggregate_table,
+)
 
 __all__ = [
+    "PolicyAggregate",
+    "aggregate_sweep",
+    "render_aggregate_table",
     "jain_fairness",
     "speedup",
     "improvement_percent",

@@ -1,0 +1,128 @@
+"""Cross-seed aggregation of sweep results.
+
+One simulated run per (scenario, policy) is a single sample; reproducible
+conclusions need several seeds.  These helpers reduce a sweep's results
+to per-policy statistics — mean, sample standard deviation and a normal
+95% confidence interval of the mean running time — plus the mean Jain
+fairness, grouped by (scenario, scale, policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..experiments.spec import ExperimentPoint
+from ..scenarios.results import ScenarioResult
+from .metrics import mean_fairness
+from .report import format_table
+
+__all__ = ["PolicyAggregate", "aggregate_sweep", "render_aggregate_table"]
+
+
+@dataclass(frozen=True)
+class PolicyAggregate:
+    """Cross-seed statistics for one (scenario, scale, policy) cell."""
+
+    scenario: str
+    scale: float
+    policy: str
+    seeds: Tuple[int, ...]
+    #: Mean across seeds of the per-run mean running time (seconds).
+    mean_runtime_s: float
+    #: Sample standard deviation across seeds (0 for a single seed).
+    std_runtime_s: float
+    #: Half-width of the normal 95% CI of the mean (0 for a single seed).
+    ci95_runtime_s: float
+    #: Mean Jain fairness across seeds; None when undefined (no-tmem).
+    mean_fairness: Optional[float]
+
+    @property
+    def n_seeds(self) -> int:
+        return len(self.seeds)
+
+
+def aggregate_sweep(
+    results: Mapping[ExperimentPoint, ScenarioResult],
+) -> List[PolicyAggregate]:
+    """Group sweep results by (scenario, scale, policy) across seeds.
+
+    Cells appear in first-seen order of the input mapping, which for a
+    :class:`~repro.experiments.sweep.SweepOutcome` is the sweep's
+    expansion order (scenario, scale, policy).
+    """
+    if not results:
+        raise AnalysisError("cannot aggregate an empty result set")
+    groups: Dict[Tuple[str, float, str], List[Tuple[int, ScenarioResult]]] = {}
+    for point, result in results.items():
+        key = (point.scenario, point.scale, point.policy)
+        groups.setdefault(key, []).append((point.seed, result))
+
+    aggregates: List[PolicyAggregate] = []
+    for (scenario, scale, policy), members in groups.items():
+        members.sort(key=lambda pair: pair[0])
+        seeds = tuple(seed for seed, _ in members)
+        runtimes = np.array(
+            [result.mean_runtime_s() for _, result in members], dtype=np.float64
+        )
+        mean = float(np.mean(runtimes))
+        if runtimes.size > 1:
+            std = float(np.std(runtimes, ddof=1))
+            ci95 = float(1.96 * std / np.sqrt(runtimes.size))
+        else:
+            std = 0.0
+            ci95 = 0.0
+        fairness_values: List[float] = []
+        for _, result in members:
+            try:
+                fairness_values.append(mean_fairness(result))
+            except AnalysisError:
+                # no-tmem runs record no tmem shares; fairness undefined.
+                pass
+        aggregates.append(
+            PolicyAggregate(
+                scenario=scenario,
+                scale=scale,
+                policy=policy,
+                seeds=seeds,
+                mean_runtime_s=mean,
+                std_runtime_s=std,
+                ci95_runtime_s=ci95,
+                mean_fairness=(
+                    float(np.mean(fairness_values)) if fairness_values else None
+                ),
+            )
+        )
+    return aggregates
+
+
+def render_aggregate_table(
+    aggregates: List[PolicyAggregate], *, title: str = ""
+) -> str:
+    """Render aggregates as a text table, one row per (scenario, policy)."""
+    if not aggregates:
+        return "(no results)"
+    show_scale = len({a.scale for a in aggregates}) > 1
+    headers = ["scenario"] + (["scale"] if show_scale else []) + [
+        "policy", "seeds", "runtime (s)", "95% CI", "fairness",
+    ]
+    rows = []
+    for agg in aggregates:
+        row: List[object] = [agg.scenario]
+        if show_scale:
+            row.append(f"{agg.scale:g}")
+        row.extend(
+            [
+                agg.policy,
+                agg.n_seeds,
+                f"{agg.mean_runtime_s:.1f} ± {agg.std_runtime_s:.1f}",
+                f"±{agg.ci95_runtime_s:.1f}",
+                "-" if agg.mean_fairness is None else f"{agg.mean_fairness:.3f}",
+            ]
+        )
+        rows.append(row)
+    body = format_table(headers, rows)
+    return f"{title}\n{body}" if title else body

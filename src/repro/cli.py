@@ -18,6 +18,19 @@ List scenarios and policies::
 
     smartmem list
 
+Run a multi-seed sweep of every paper scenario in parallel worker
+processes, archiving one JSON per (scenario, policy, seed, scale) point,
+and print the cross-seed aggregate table::
+
+    smartmem sweep --seeds 5 --backend process --max-workers 4 \\
+        --results-dir sweep-results
+
+Re-running the same sweep resumes from the archived results instead of
+re-simulating.  Parametric scenario families beyond the paper's four are
+addressed with the same ``name:key=value`` syntax as policies::
+
+    smartmem sweep --scenario many-vms:n=8 --scenario churn --scale 0.25
+
 Run the micro-benchmark suite and compare against the recorded
 performance baseline (see PERFORMANCE.md)::
 
@@ -31,14 +44,17 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from .analysis.aggregate import aggregate_sweep, render_aggregate_table
 from .analysis.figures import tmem_usage_figure
 from .analysis.metrics import mean_fairness
 from .analysis.report import render_figure_series, render_runtime_table
 from .analysis.tables import table1_statistics, table2_scenarios
 from .core.policy import available_policies
 from .scenarios.library import PAPER_POLICIES, all_scenarios, scenario_by_name
+from .scenarios.registry import paper_scenario_names, registered_scenarios
 from .scenarios.results import ScenarioResult
 from .scenarios.runner import run_scenario
+from .workloads.registry import available_workload_kinds
 
 __all__ = ["main", "build_parser"]
 
@@ -67,7 +83,61 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--fairness", action="store_true",
                        help="also print the mean Jain fairness per policy")
 
-    sub.add_parser("list", help="list scenarios and registered policies")
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a scenarios x policies x seeds sweep and aggregate results",
+    )
+    sweep_p.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        default=None,
+        help="scenario spec, repeatable (default: the paper's four); "
+             "families take parameters, e.g. many-vms:n=8",
+    )
+    sweep_p.add_argument(
+        "--policy",
+        action="append",
+        dest="policies",
+        default=None,
+        help="policy spec, repeatable (default: the paper's policy set)",
+    )
+    sweep_p.add_argument(
+        "--seed",
+        action="append",
+        dest="seeds",
+        type=int,
+        default=None,
+        help="explicit seed, repeatable (overrides --num-seeds/--seed-base)",
+    )
+    sweep_p.add_argument("--num-seeds", type=int, default=3,
+                         help="number of consecutive seeds (default 3)")
+    sweep_p.add_argument("--seed-base", type=int, default=2019,
+                         help="first seed when using --num-seeds (default 2019)")
+    sweep_p.add_argument(
+        "--scale",
+        action="append",
+        dest="scales",
+        type=float,
+        default=None,
+        help="size scale factor, repeatable (default: 0.25)",
+    )
+    sweep_p.add_argument("--backend", choices=("serial", "process"),
+                         default="serial", help="execution backend")
+    sweep_p.add_argument("--max-workers", type=int, default=None,
+                         help="worker processes for --backend process "
+                              "(default: CPU count)")
+    sweep_p.add_argument("--results-dir", type=str, default="sweep-results",
+                         help="directory for per-point result JSON files "
+                              "(default: sweep-results)")
+    sweep_p.add_argument("--no-store", action="store_true",
+                         help="keep results in memory only")
+    sweep_p.add_argument("--fresh", action="store_true",
+                         help="re-simulate every point even if archived")
+
+    sub.add_parser(
+        "list", help="list scenarios, registered policies and workload kinds"
+    )
 
     tables_p = sub.add_parser("tables", help="print Tables I and II")
     tables_p.add_argument("--scale", type=float, default=1.0)
@@ -99,14 +169,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
-    print("Scenarios:")
+    print("Scenarios (paper, Table II):")
     for name, spec in all_scenarios(scale=1.0).items():
         print(f"  {name:18s} {spec.description}")
+    print()
+    print("Scenario families (parametric, e.g. many-vms:n=8):")
+    paper = set(paper_scenario_names())
+    for name, entry in sorted(registered_scenarios().items()):
+        if name in paper:
+            continue
+        params = ", ".join(entry.parameters) if entry.parameters else "-"
+        print(f"  {name:18s} params: {params:24s} {entry.summary}")
     print()
     print("Policies:")
     for name in available_policies():
         print(f"  {name}")
     print("  no-tmem            (baseline: tmem disabled in every guest)")
+    print()
+    print("Workload kinds:")
+    for kind in available_workload_kinds():
+        print(f"  {kind}")
     return 0
 
 
@@ -164,6 +246,68 @@ def _cmd_run(
     return 0
 
 
+def _cmd_sweep(args: "argparse.Namespace") -> int:
+    from .experiments import ResultStore, SweepSpec, create_backend, run_sweep
+
+    scenarios = tuple(args.scenarios) if args.scenarios else paper_scenario_names()
+    policies = tuple(args.policies) if args.policies else tuple(PAPER_POLICIES)
+    if args.seeds:
+        seeds = tuple(args.seeds)
+    else:
+        if args.num_seeds < 1:
+            print("--num-seeds must be >= 1", file=sys.stderr)
+            return 2
+        seeds = tuple(range(args.seed_base, args.seed_base + args.num_seeds))
+    scales = tuple(args.scales) if args.scales else (0.25,)
+
+    spec = SweepSpec(
+        scenarios=scenarios, policies=policies, seeds=seeds, scales=scales
+    )
+    backend = create_backend(args.backend, max_workers=args.max_workers)
+    store = None if args.no_store else ResultStore(args.results_dir)
+
+    print(f"sweep: {spec.describe()} [backend={args.backend}]", file=sys.stderr)
+
+    done = 0
+
+    def progress(point, result, reused) -> None:
+        nonlocal done
+        done += 1
+        verb = "reused" if reused else "ran"
+        print(
+            f"  [{done}/{spec.size}] {verb} {point} "
+            f"({result.wall_clock_s:.1f}s wall)",
+            file=sys.stderr,
+        )
+
+    outcome = run_sweep(
+        spec,
+        backend=backend,
+        store=store,
+        resume=not args.fresh,
+        progress=progress,
+    )
+
+    print()
+    print(
+        render_aggregate_table(
+            aggregate_sweep(outcome.results),
+            title=(
+                f"Sweep aggregate — {len(seeds)} seed(s), "
+                f"backend={outcome.backend_name}, "
+                f"{outcome.wall_clock_s:.1f}s wall clock"
+            ),
+        )
+    )
+    if store is not None:
+        print(f"\nresults archived in {store.root}/ "
+              f"({len(outcome.executed)} new, {len(outcome.reused)} reused)")
+        if outcome.reused:
+            print("reused results reflect the code that produced them; "
+                  "pass --fresh after simulator/policy changes")
+    return 0
+
+
 def _cmd_bench(args: "argparse.Namespace") -> int:
     from pathlib import Path
 
@@ -211,6 +355,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_tables(args.scale)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "run":
         return _cmd_run(
             args.scenario,

@@ -26,6 +26,7 @@ __all__ = [
     "ScenarioError",
     "WorkloadError",
     "AnalysisError",
+    "ExperimentError",
 ]
 
 
@@ -110,3 +111,7 @@ class WorkloadError(ReproError):
 
 class AnalysisError(ReproError):
     """Post-processing was asked for data that was never recorded."""
+
+
+class ExperimentError(ReproError):
+    """An experiment sweep was mis-specified or a stored result is missing."""

@@ -1,0 +1,42 @@
+"""Experiment orchestration: declarative sweeps, execution backends,
+serializable results and an on-disk result archive.
+
+The paper's evaluation is a sweep — scenarios x policies x seeds — and
+this package makes that a first-class object:
+
+* :class:`~repro.experiments.spec.SweepSpec` declares the cross-product
+  and expands it into addressable
+  :class:`~repro.experiments.spec.ExperimentPoint` instances;
+* :class:`~repro.experiments.backends.SerialBackend` and
+  :class:`~repro.experiments.backends.ProcessPoolBackend` execute points
+  (in-process or across worker processes, bit-identically);
+* :class:`~repro.experiments.store.ResultStore` archives one JSON file
+  per point so sweeps are resumable and results re-loadable;
+* :func:`~repro.experiments.sweep.run_sweep` ties the three together.
+"""
+
+from .spec import ExperimentPoint, SweepSpec
+from .backends import (
+    ExecutionBackend,
+    SerialBackend,
+    ProcessPoolBackend,
+    execute_point,
+    create_backend,
+    available_backends,
+)
+from .store import ResultStore
+from .sweep import SweepOutcome, run_sweep
+
+__all__ = [
+    "ExperimentPoint",
+    "SweepSpec",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "execute_point",
+    "create_backend",
+    "available_backends",
+    "ResultStore",
+    "SweepOutcome",
+    "run_sweep",
+]

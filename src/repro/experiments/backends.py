@@ -1,0 +1,159 @@
+"""Pluggable execution backends for experiment sweeps.
+
+A backend takes a sequence of :class:`~repro.experiments.spec.ExperimentPoint`
+and returns one :class:`~repro.scenarios.results.ScenarioResult` per
+point, in input order.  Two implementations ship with the package:
+
+* :class:`SerialBackend` — runs every point in-process, one after the
+  other.  Zero overhead; the right choice for small sweeps and tests.
+* :class:`ProcessPoolBackend` — fans points out to a pool of worker
+  processes (``multiprocessing`` via ``concurrent.futures``).  Results
+  cross the process boundary as the strict-JSON dicts produced by
+  ``ScenarioResult.to_dict``, so a parallel run is bit-identical to a
+  serial run of the same points (compare ``ScenarioResult.fingerprint``).
+
+Both call the shared :func:`execute_point`, so the simulation path is
+the same regardless of backend.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError
+from ..scenarios.registry import scenario_by_name
+from ..scenarios.results import ScenarioResult
+from ..scenarios.runner import run_scenario
+from .spec import ExperimentPoint
+
+__all__ = [
+    "execute_point",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "create_backend",
+    "available_backends",
+]
+
+#: Callback invoked as each point finishes: (point, result).
+ResultCallback = Callable[[ExperimentPoint, ScenarioResult], None]
+
+
+def execute_point(point: ExperimentPoint) -> ScenarioResult:
+    """Run one experiment point and return its result."""
+    spec = scenario_by_name(point.scenario, scale=point.scale)
+    return run_scenario(spec, point.policy, seed=point.seed)
+
+
+def _execute_point_worker(point_data: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: run one point, return its serialized result."""
+    point = ExperimentPoint.from_dict(point_data)
+    return execute_point(point).to_dict()
+
+
+class ExecutionBackend(ABC):
+    """Runs experiment points and reports results in input order."""
+
+    #: Registry name ("serial", "process").
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        points: Sequence[ExperimentPoint],
+        *,
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[ScenarioResult]:
+        """Execute *points*, returning one result per point, in order.
+
+        *on_result* is called from the coordinating process as each
+        point completes (completion order, not input order) — backends
+        use it for progress reporting and incremental persistence.
+        """
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every point in the current process, sequentially."""
+
+    name = "serial"
+
+    def run(
+        self,
+        points: Sequence[ExperimentPoint],
+        *,
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[ScenarioResult]:
+        results: List[ScenarioResult] = []
+        for point in points:
+            result = execute_point(point)
+            if on_result is not None:
+                on_result(point, result)
+            results.append(result)
+        return results
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Run points in parallel across ``max_workers`` worker processes."""
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ExperimentError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def run(
+        self,
+        points: Sequence[ExperimentPoint],
+        *,
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[ScenarioResult]:
+        if not points:
+            return []
+        results: List[Optional[ScenarioResult]] = [None] * len(points)
+        workers = min(self.max_workers, len(points))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_point_worker, point.to_dict()): index
+                for index, point in enumerate(points)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                # Re-raises any worker-side exception with its traceback.
+                result = ScenarioResult.from_dict(future.result())
+                results[index] = result
+                if on_result is not None:
+                    on_result(points[index], result)
+        missing = [points[i] for i, r in enumerate(results) if r is None]
+        if missing:  # pragma: no cover - as_completed covers every future
+            raise ExperimentError(f"backend produced no result for {missing}")
+        return results  # type: ignore[return-value]
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "process": ProcessPoolBackend,
+}
+
+
+def available_backends() -> Sequence[str]:
+    """Names of the execution backends the CLI can select."""
+    return tuple(sorted(_BACKENDS))
+
+
+def create_backend(name: str, *, max_workers: Optional[int] = None) -> ExecutionBackend:
+    """Instantiate a backend by name (``"serial"`` or ``"process"``)."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    if cls is ProcessPoolBackend:
+        return cls(max_workers=max_workers)
+    return cls()

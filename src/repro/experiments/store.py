@@ -1,0 +1,109 @@
+"""On-disk archive of experiment results.
+
+One JSON file per experiment point, named by the point's content address
+(``<scenario>__<policy>__seed<seed>__scale<scale>.json``), so a sweep is
+resumable — points already on disk are loaded instead of re-simulated —
+and analysis can re-load archived results without access to the code
+that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+from ..errors import ExperimentError
+from ..scenarios.results import ScenarioResult
+from .spec import ExperimentPoint
+
+__all__ = ["ResultStore"]
+
+#: Bumped when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+class ResultStore:
+    """A directory of per-point result JSON files."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- addressing ----------------------------------------------------------
+    def path_for(self, point: ExperimentPoint) -> Path:
+        return self.root / f"{point.point_id}.json"
+
+    def contains(self, point: ExperimentPoint) -> bool:
+        return self.path_for(point).exists()
+
+    # -- writing -------------------------------------------------------------
+    def save(self, point: ExperimentPoint, result: ScenarioResult) -> Path:
+        """Write one point's result (atomically: temp file + rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "format_version": FORMAT_VERSION,
+            "point": point.to_dict(),
+            "result": result.to_dict(),
+            "fingerprint": result.fingerprint(),
+        }
+        path = self.path_for(point)
+        # Unique temp name: concurrent sweeps sharing a results dir must
+        # not interleave writes into the same temp file before the rename.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(envelope, allow_nan=False, indent=0))
+        os.replace(tmp, path)
+        return path
+
+    # -- reading -------------------------------------------------------------
+    def _read(self, path: Path) -> Tuple[ExperimentPoint, ScenarioResult]:
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ExperimentError(f"cannot read result file {path}: {exc}") from exc
+        version = envelope.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ExperimentError(
+                f"{path}: unsupported result format version {version!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        point = ExperimentPoint.from_dict(envelope["point"])
+        result = ScenarioResult.from_dict(envelope["result"])
+        return point, result
+
+    def load(self, point: ExperimentPoint) -> ScenarioResult:
+        path = self.path_for(point)
+        if not path.exists():
+            raise ExperimentError(f"no stored result for {point} at {path}")
+        stored_point, result = self._read(path)
+        if stored_point != point:
+            raise ExperimentError(
+                f"{path}: stored point {stored_point} does not match "
+                f"requested point {point}"
+            )
+        return result
+
+    def points(self) -> List[ExperimentPoint]:
+        """Every point with a stored result, sorted."""
+        return sorted(point for point, _ in self._iter())
+
+    def load_all(self) -> Dict[ExperimentPoint, ScenarioResult]:
+        """Every stored result, keyed by point."""
+        return dict(self._iter())
+
+    def missing(
+        self, points: Sequence[ExperimentPoint]
+    ) -> List[ExperimentPoint]:
+        """The subset of *points* with no stored result, in input order."""
+        return [point for point in points if not self.contains(point)]
+
+    def _iter(self) -> Iterator[Tuple[ExperimentPoint, ScenarioResult]]:
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            yield self._read(path)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

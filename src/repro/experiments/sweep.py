@@ -1,0 +1,128 @@
+"""Sweep orchestration: expand a spec, reuse stored results, run the rest.
+
+:func:`run_sweep` is the one entry point the CLI and the examples use::
+
+    spec = SweepSpec(scenarios=("scenario-1",), policies=PAPER_POLICIES,
+                     seeds=(2019, 2020, 2021), scales=(0.25,))
+    outcome = run_sweep(spec, backend=ProcessPoolBackend(max_workers=4),
+                        store=ResultStore("sweep-results"))
+
+Results already present in the store are loaded instead of re-simulated
+(pass ``resume=False`` to force re-execution); freshly computed results
+are written to the store as soon as each point finishes, so an
+interrupted sweep loses at most the in-flight points.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..scenarios.results import ScenarioResult
+from .backends import ExecutionBackend, SerialBackend
+from .spec import ExperimentPoint, SweepSpec
+from .store import ResultStore
+
+__all__ = ["SweepOutcome", "run_sweep"]
+
+#: Progress callback: (point, result, reused) — reused is True when the
+#: result came from the store rather than a fresh simulation.
+ProgressCallback = Callable[[ExperimentPoint, ScenarioResult, bool], None]
+
+
+@dataclass
+class SweepOutcome:
+    """Everything produced by one :func:`run_sweep` call."""
+
+    spec: SweepSpec
+    #: Point -> result, in the spec's expansion order.
+    results: Dict[ExperimentPoint, ScenarioResult]
+    #: Points simulated by this call.
+    executed: Tuple[ExperimentPoint, ...]
+    #: Points whose results were loaded from the store.
+    reused: Tuple[ExperimentPoint, ...]
+    #: Wall-clock duration of the whole sweep (seconds).
+    wall_clock_s: float = 0.0
+    backend_name: str = "serial"
+
+    # -- selection helpers ---------------------------------------------------
+    def select(
+        self,
+        *,
+        scenario: Optional[str] = None,
+        policy: Optional[str] = None,
+        seed: Optional[int] = None,
+        scale: Optional[float] = None,
+    ) -> Dict[ExperimentPoint, ScenarioResult]:
+        """Results whose point matches every given axis value."""
+        return {
+            point: result
+            for point, result in self.results.items()
+            if (scenario is None or point.scenario == scenario)
+            and (policy is None or point.policy == policy)
+            and (seed is None or point.seed == seed)
+            and (scale is None or point.scale == scale)
+        }
+
+    def by_policy(
+        self, scenario: str, *, seed: Optional[int] = None,
+        scale: Optional[float] = None,
+    ) -> Dict[str, ScenarioResult]:
+        """One result per policy for a scenario (policy order of the spec).
+
+        With several seeds/scales in the sweep, *seed*/*scale* select the
+        slice; omitted axes default to the spec's first value.
+        """
+        seed = seed if seed is not None else self.spec.seeds[0]
+        scale = scale if scale is not None else self.spec.scales[0]
+        selected = self.select(scenario=scenario, seed=seed, scale=scale)
+        return {point.policy: result for point, result in selected.items()}
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    backend: Optional[ExecutionBackend] = None,
+    store: Optional[ResultStore] = None,
+    resume: bool = True,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepOutcome:
+    """Execute every point of *spec*, reusing stored results when possible."""
+    backend = backend if backend is not None else SerialBackend()
+    started = time.perf_counter()
+
+    points = spec.expand()
+    reused: Dict[ExperimentPoint, ScenarioResult] = {}
+    todo: List[ExperimentPoint] = []
+    for point in points:
+        if store is not None and resume and store.contains(point):
+            result = store.load(point)
+            reused[point] = result
+            if progress is not None:
+                progress(point, result, True)
+        else:
+            todo.append(point)
+
+    def on_result(point: ExperimentPoint, result: ScenarioResult) -> None:
+        if store is not None:
+            store.save(point, result)
+        if progress is not None:
+            progress(point, result, False)
+
+    fresh = backend.run(todo, on_result=on_result)
+
+    results: Dict[ExperimentPoint, ScenarioResult] = {}
+    fresh_by_point = dict(zip(todo, fresh))
+    for point in points:
+        results[point] = reused[point] if point in reused else fresh_by_point[point]
+
+    return SweepOutcome(
+        spec=spec,
+        results=results,
+        executed=tuple(todo),
+        reused=tuple(reused),
+        wall_clock_s=time.perf_counter() - started,
+        backend_name=backend.name,
+    )
+

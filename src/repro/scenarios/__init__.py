@@ -1,6 +1,15 @@
 """Benchmark scenarios (Table II of the paper) and the scenario runner."""
 
-from .spec import VMSpec, WorkloadSpec, ScenarioSpec
+from .spec import VMSpec, WorkloadSpec, ScenarioSpec, PhaseTrigger
+from .registry import (
+    ScenarioEntry,
+    register_scenario,
+    parse_scenario_spec,
+    scenario_by_name,
+    available_scenarios,
+    paper_scenario_names,
+    registered_scenarios,
+)
 from .library import (
     scenario_1,
     scenario_2,
@@ -9,17 +18,30 @@ from .library import (
     all_scenarios,
     PAPER_POLICIES,
 )
+from . import families as _families  # noqa: F401  (registers the families)
+from .families import bursty_scenario, churn_scenario, many_vms_scenario
 from .results import RunResult, VmResult, ScenarioResult
-from .runner import ScenarioRunner, run_scenario
+from .runner import ScenarioRunner, run_scenario, register_workload_kind
 
 __all__ = [
     "VMSpec",
     "WorkloadSpec",
     "ScenarioSpec",
+    "PhaseTrigger",
+    "ScenarioEntry",
+    "register_scenario",
+    "parse_scenario_spec",
+    "scenario_by_name",
+    "available_scenarios",
+    "paper_scenario_names",
+    "registered_scenarios",
     "scenario_1",
     "scenario_2",
     "scenario_3",
     "usemem_scenario",
+    "many_vms_scenario",
+    "churn_scenario",
+    "bursty_scenario",
     "all_scenarios",
     "PAPER_POLICIES",
     "RunResult",
@@ -27,4 +49,5 @@ __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
     "run_scenario",
+    "register_workload_kind",
 ]

@@ -1,0 +1,202 @@
+"""Parametric scenario families beyond the paper's four.
+
+The paper evaluates four fixed three-VM scenarios (Table II).  These
+families extend the scenario dimension of a sweep: each is a factory over
+one or two numeric parameters, selectable with a spec string such as
+``"many-vms:n=8"`` (see :mod:`repro.scenarios.registry` for the syntax).
+
+* ``many-vms`` — N homogeneous over-committed VMs all running
+  graph-analytics; stresses policies as the number of competitors grows.
+* ``churn`` — N usemem VMs starting in staggered waves, so early waves
+  finish and release tmem while later waves are still ramping up;
+  stresses how quickly a policy reassigns freed capacity.
+* ``bursty`` — steady graph-analytics VMs plus usemem spike VMs whose
+  load is *phase-triggered*: each spike starts when VM1 enters a given
+  PageRank iteration, producing sudden demand surges mid-run.
+
+All sizes honour the library's ``scale`` convention (multiply every MB
+figure by ``scale``), so the families run at paper sizes (``scale=1.0``)
+or at test sizes (``scale<=0.25``) alike.
+"""
+
+from __future__ import annotations
+
+from ..errors import ScenarioError
+from .library import _scaled
+from .registry import register_scenario
+from .spec import PhaseTrigger, ScenarioSpec, VMSpec, WorkloadSpec
+
+__all__ = ["many_vms_scenario", "churn_scenario", "bursty_scenario"]
+
+
+def _check_scale(scale: float) -> None:
+    if scale <= 0:
+        raise ScenarioError(f"scale must be > 0, got {scale}")
+
+
+@register_scenario("many-vms", parameters=("n", "ram_mb"))
+def many_vms_scenario(
+    *, scale: float = 1.0, n: int = 6, ram_mb: int = 512
+) -> ScenarioSpec:
+    """N homogeneous over-committed VMs all running graph-analytics."""
+    _check_scale(scale)
+    n = int(n)
+    if n < 1:
+        raise ScenarioError(f"many-vms needs n >= 1, got {n}")
+    if ram_mb <= 0:
+        raise ScenarioError(f"many-vms needs ram_mb > 0, got {ram_mb}")
+    workload_params = {
+        # ~1.8x over-commit per VM, mirroring scenario-2's 750/512 ratio.
+        "graph_mb": _scaled(ram_mb * 1.47, scale),
+        "rank_vectors_mb": _scaled(ram_mb * 0.35, scale),
+        "iterations": 8,
+    }
+    vms = tuple(
+        VMSpec(
+            name=f"VM{i}",
+            ram_mb=_scaled(ram_mb, scale),
+            vcpus=1,
+            swap_mb=_scaled(4 * ram_mb, scale),
+            jobs=(
+                WorkloadSpec(kind="graph-analytics", params=workload_params,
+                             start_at=0.0, label="graph-analytics"),
+            ),
+        )
+        for i in range(1, n + 1)
+    )
+    # Half of the aggregate VM RAM, so the pool stays contended at any N.
+    tmem_mb = _scaled(ram_mb * n / 2, scale)
+    return ScenarioSpec(
+        # The name carries every parameter so distinct configurations of
+        # the family are distinguishable in reports and archived results.
+        name=f"many-vms:n={n},ram_mb={ram_mb}",
+        description=(
+            f"{n} homogeneous VMs x {ram_mb} MB RAM all run graph-analytics "
+            f"from t=0; {ram_mb * n // 2} MB tmem (half the aggregate RAM)"
+        ),
+        vms=vms,
+        tmem_mb=tmem_mb,
+    )
+
+
+@register_scenario("churn", parameters=("n", "wave_s", "per_wave"))
+def churn_scenario(
+    *, scale: float = 1.0, n: int = 6, wave_s: float = 40.0, per_wave: int = 2
+) -> ScenarioSpec:
+    """N usemem VMs starting in staggered waves (VM arrival/departure churn)."""
+    _check_scale(scale)
+    n = int(n)
+    per_wave = int(per_wave)
+    if n < 1:
+        raise ScenarioError(f"churn needs n >= 1, got {n}")
+    if per_wave < 1:
+        raise ScenarioError(f"churn needs per_wave >= 1, got {per_wave}")
+    if wave_s < 0:
+        raise ScenarioError(f"churn needs wave_s >= 0, got {wave_s}")
+    ram_mb = _scaled(512, scale)
+    increment_mb = _scaled(128, scale)
+    usemem_params = {
+        "start_mb": increment_mb,
+        "increment_mb": increment_mb,
+        "max_mb": increment_mb * 8,
+    }
+    vms = tuple(
+        VMSpec(
+            name=f"VM{i}",
+            ram_mb=ram_mb,
+            vcpus=1,
+            swap_mb=_scaled(2048, scale),
+            jobs=(
+                WorkloadSpec(
+                    kind="usemem",
+                    params=usemem_params,
+                    start_at=((i - 1) // per_wave) * wave_s,
+                    label="usemem",
+                ),
+            ),
+        )
+        for i in range(1, n + 1)
+    )
+    waves = (n + per_wave - 1) // per_wave
+    return ScenarioSpec(
+        name=f"churn:n={n},wave_s={wave_s:g},per_wave={per_wave}",
+        description=(
+            f"{n} VMs x 512 MB RAM run usemem in {waves} waves of {per_wave} "
+            f"every {wave_s:g} s; early waves free tmem while later waves "
+            "ramp up; 512 MB tmem"
+        ),
+        vms=vms,
+        tmem_mb=_scaled(512, scale),
+    )
+
+
+@register_scenario("bursty", parameters=("n", "spikes", "spike_mb"))
+def bursty_scenario(
+    *, scale: float = 1.0, n: int = 2, spikes: int = 1, spike_mb: int = 768
+) -> ScenarioSpec:
+    """Steady graph-analytics VMs hit by phase-triggered usemem load spikes."""
+    _check_scale(scale)
+    n = int(n)
+    spikes = int(spikes)
+    if n < 1:
+        raise ScenarioError(f"bursty needs n >= 1, got {n}")
+    if not 1 <= spikes <= 3:
+        raise ScenarioError(f"bursty supports 1..3 spikes, got {spikes}")
+    if spike_mb <= 0:
+        raise ScenarioError(f"bursty needs spike_mb > 0, got {spike_mb}")
+    graph_params = {
+        "graph_mb": _scaled(750, scale),
+        "rank_vectors_mb": _scaled(180, scale),
+        "iterations": 8,
+    }
+    steady = tuple(
+        VMSpec(
+            name=f"VM{i}",
+            ram_mb=_scaled(512, scale),
+            vcpus=1,
+            swap_mb=_scaled(2048, scale),
+            jobs=(
+                WorkloadSpec(kind="graph-analytics", params=graph_params,
+                             start_at=0.0, label="graph-analytics"),
+            ),
+        )
+        for i in range(1, n + 1)
+    )
+    increment_mb = _scaled(128, scale)
+    spike_params = {
+        "start_mb": increment_mb,
+        "increment_mb": increment_mb,
+        "max_mb": max(increment_mb, _scaled(spike_mb, scale)),
+    }
+    spike_vms = tuple(
+        VMSpec(
+            name=f"SPIKE{k}",
+            ram_mb=_scaled(512, scale),
+            vcpus=1,
+            swap_mb=_scaled(2048, scale),
+            jobs=(
+                # No absolute start time: the phase trigger below fires it.
+                WorkloadSpec(kind="usemem", params=spike_params,
+                             start_at=None, label=f"usemem-spike{k}"),
+            ),
+        )
+        for k in range(1, spikes + 1)
+    )
+    # Spike k launches when VM1 enters its (2k)-th PageRank iteration, so
+    # successive spikes land in successive phases of the steady workload.
+    triggers = tuple(
+        PhaseTrigger(watch_vm="VM1", phase_prefix=f"pagerank-{2 * k}",
+                     start_vm=f"SPIKE{k}")
+        for k in range(1, spikes + 1)
+    )
+    return ScenarioSpec(
+        name=f"bursty:n={n},spikes={spikes},spike_mb={spike_mb}",
+        description=(
+            f"{n} VMs x 512 MB RAM run graph-analytics; {spikes} usemem "
+            f"spike VM(s) of up to {spike_mb} MB are launched when VM1 "
+            "reaches PageRank iterations 2/4/6; 768 MB tmem"
+        ),
+        vms=steady + spike_vms,
+        tmem_mb=_scaled(768, scale),
+        phase_triggers=triggers,
+    )

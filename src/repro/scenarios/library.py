@@ -15,9 +15,15 @@ benchmark harness runs at ``scale=1.0``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Sequence
 
 from ..errors import ScenarioError
+from .registry import (
+    all_scenarios,
+    available_scenarios,
+    register_scenario,
+    scenario_by_name,
+)
 from .spec import PhaseTrigger, ScenarioSpec, VMSpec, WorkloadSpec
 
 __all__ = [
@@ -26,6 +32,7 @@ __all__ = [
     "scenario_3",
     "usemem_scenario",
     "all_scenarios",
+    "available_scenarios",
     "PAPER_POLICIES",
     "scenario_by_name",
 ]
@@ -49,6 +56,7 @@ def _scaled(value: float, scale: float, *, minimum: int = 1) -> int:
     return max(minimum, int(round(value * scale)))
 
 
+@register_scenario("scenario-1", paper=True)
 def scenario_1(*, scale: float = 1.0) -> ScenarioSpec:
     """Scenario 1: three 1 GB VMs run in-memory-analytics twice each.
 
@@ -86,6 +94,7 @@ def scenario_1(*, scale: float = 1.0) -> ScenarioSpec:
     )
 
 
+@register_scenario("scenario-2", paper=True)
 def scenario_2(*, scale: float = 1.0) -> ScenarioSpec:
     """Scenario 2: three 512 MB VMs run graph-analytics; VM3 starts 30 s late."""
     if scale <= 0:
@@ -119,6 +128,7 @@ def scenario_2(*, scale: float = 1.0) -> ScenarioSpec:
     )
 
 
+@register_scenario("usemem-scenario", paper=True)
 def usemem_scenario(*, scale: float = 1.0) -> ScenarioSpec:
     """The Usemem scenario: staggered synthetic allocate-and-sweep VMs.
 
@@ -179,6 +189,7 @@ def usemem_scenario(*, scale: float = 1.0) -> ScenarioSpec:
     )
 
 
+@register_scenario("scenario-3", paper=True)
 def scenario_3(*, scale: float = 1.0) -> ScenarioSpec:
     """Scenario 3: heterogeneous VMs (graph-analytics x2 + in-memory-analytics)."""
     if scale <= 0:
@@ -225,24 +236,6 @@ def scenario_3(*, scale: float = 1.0) -> ScenarioSpec:
     )
 
 
-_SCENARIO_FACTORIES: Dict[str, Callable[..., ScenarioSpec]] = {
-    "scenario-1": scenario_1,
-    "scenario-2": scenario_2,
-    "usemem-scenario": usemem_scenario,
-    "scenario-3": scenario_3,
-}
-
-
-def all_scenarios(*, scale: float = 1.0) -> Dict[str, ScenarioSpec]:
-    """Every paper scenario, keyed by name."""
-    return {name: factory(scale=scale) for name, factory in _SCENARIO_FACTORIES.items()}
-
-
-def scenario_by_name(name: str, *, scale: float = 1.0) -> ScenarioSpec:
-    try:
-        factory = _SCENARIO_FACTORIES[name]
-    except KeyError:
-        raise ScenarioError(
-            f"unknown scenario {name!r}; available: {sorted(_SCENARIO_FACTORIES)}"
-        ) from None
-    return factory(scale=scale)
+# ``all_scenarios`` and ``scenario_by_name`` are re-exported from
+# :mod:`repro.scenarios.registry`; the parametric families beyond the
+# paper's four live in :mod:`repro.scenarios.families`.

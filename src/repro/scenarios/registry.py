@@ -1,0 +1,156 @@
+"""Decorator-based scenario registry.
+
+The paper's four scenarios used to live in a hardcoded factory dict; this
+module replaces that with an open registry so new scenario *families* can
+be added with a decorator::
+
+    @register_scenario("my-family", summary="two VMs fighting over tmem")
+    def my_family(*, scale: float = 1.0, n: int = 2) -> ScenarioSpec:
+        ...
+
+Families are parametric: a scenario spec string may carry numeric
+arguments in the same ``name:key=value,key=value`` syntax used for policy
+specs (e.g. ``"many-vms:n=8"``), which are forwarded to the factory as
+keyword arguments.  Parameter keys are case-insensitive (``N=8`` and
+``n=8`` are equivalent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..errors import ScenarioError
+from .spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioEntry",
+    "register_scenario",
+    "parse_scenario_spec",
+    "scenario_by_name",
+    "all_scenarios",
+    "available_scenarios",
+    "paper_scenario_names",
+    "registered_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registered scenario family."""
+
+    name: str
+    factory: Callable[..., ScenarioSpec]
+    summary: str
+    #: True for the paper's Table II scenarios; these are what
+    #: :func:`all_scenarios` (and the default sweep set) return.
+    paper: bool = False
+    #: Names of the factory's tunable keyword parameters (documentation).
+    parameters: Tuple[str, ...] = ()
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register_scenario(
+    name: str,
+    *,
+    paper: bool = False,
+    summary: str = "",
+    parameters: Sequence[str] = (),
+) -> Callable[[Callable[..., ScenarioSpec]], Callable[..., ScenarioSpec]]:
+    """Decorator registering a scenario factory under *name*.
+
+    The factory must accept ``scale`` plus any numeric family parameters
+    as keyword arguments and return a :class:`ScenarioSpec`.
+    """
+    if not name:
+        raise ScenarioError("scenario family name must not be empty")
+    if ":" in name or "," in name or "=" in name:
+        raise ScenarioError(
+            f"scenario family name {name!r} must not contain ':', ',' or '='"
+        )
+
+    def decorator(factory: Callable[..., ScenarioSpec]) -> Callable[..., ScenarioSpec]:
+        if name in _REGISTRY:
+            raise ScenarioError(f"scenario family {name!r} is already registered")
+        doc_summary = summary
+        if not doc_summary and factory.__doc__:
+            doc_summary = factory.__doc__.strip().splitlines()[0]
+        _REGISTRY[name] = ScenarioEntry(
+            name=name,
+            factory=factory,
+            summary=doc_summary,
+            paper=paper,
+            parameters=tuple(parameters),
+        )
+        return factory
+
+    return decorator
+
+
+def parse_scenario_spec(spec: str) -> Tuple[str, Dict[str, float]]:
+    """Split ``"many-vms:n=8,ram_mb=512"`` into a family name and kwargs.
+
+    Values must be numeric; integral values are returned as ``int`` so
+    factories can use them directly as counts.  Keys are lower-cased.
+    """
+    name, _, args = spec.partition(":")
+    kwargs: Dict[str, float] = {}
+    if args:
+        for part in args.split(","):
+            key, _, value = part.partition("=")
+            key = key.strip().lower()
+            if not key or not value:
+                raise ScenarioError(
+                    f"malformed scenario argument {part!r} in {spec!r}"
+                )
+            try:
+                number = float(value)
+            except ValueError:
+                raise ScenarioError(
+                    f"scenario argument {key!r} must be numeric, got {value!r}"
+                ) from None
+            kwargs[key] = int(number) if number.is_integer() else number
+    return name.strip(), kwargs
+
+
+def scenario_by_name(name: str, *, scale: float = 1.0) -> ScenarioSpec:
+    """Build the scenario described by a spec string such as ``"churn:n=6"``."""
+    family, kwargs = parse_scenario_spec(name)
+    try:
+        entry = _REGISTRY[family]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {family!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    try:
+        return entry.factory(scale=scale, **kwargs)
+    except TypeError as exc:
+        raise ScenarioError(
+            f"scenario family {family!r} rejected arguments {kwargs}: {exc}"
+        ) from None
+
+
+def all_scenarios(*, scale: float = 1.0) -> Dict[str, ScenarioSpec]:
+    """The paper's Table II scenarios, keyed by name (registration order)."""
+    return {
+        name: entry.factory(scale=scale)
+        for name, entry in _REGISTRY.items()
+        if entry.paper
+    }
+
+
+def paper_scenario_names() -> Tuple[str, ...]:
+    """Names of the paper's scenarios, in registration order."""
+    return tuple(name for name, entry in _REGISTRY.items() if entry.paper)
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Names of every registered scenario family (sorted)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def registered_scenarios() -> Dict[str, ScenarioEntry]:
+    """A snapshot of the registry, keyed by family name."""
+    return dict(_REGISTRY)

@@ -1,13 +1,25 @@
-"""Result containers produced by the scenario runner."""
+"""Result containers produced by the scenario runner.
+
+Every container serializes to a strict-JSON-safe dict (``to_dict``) and
+back (``from_dict``), so results can cross process boundaries (the
+parallel sweep backends), be archived on disk (the
+:class:`~repro.experiments.store.ResultStore`) and be re-loaded for
+analysis without re-simulating.  Non-finite floats — e.g. the
+``end_time_s`` of a run stopped early — are encoded portably (see
+:mod:`repro.serialize`).
+"""
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..errors import AnalysisError
+from ..serialize import decode_float, encode_float
 from ..sim.trace import TraceRecorder, TraceSeries
 
 __all__ = ["RunResult", "VmResult", "ScenarioResult"]
@@ -26,6 +38,39 @@ class RunResult:
     stopped_early: bool
     phase_durations: Mapping[str, float] = field(default_factory=dict)
     phase_order: Sequence[str] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "vm_name": self.vm_name,
+            "workload_name": self.workload_name,
+            "run_index": self.run_index,
+            "start_time_s": encode_float(self.start_time_s),
+            "end_time_s": encode_float(self.end_time_s),
+            "duration_s": encode_float(self.duration_s),
+            "stopped_early": self.stopped_early,
+            "phase_durations": {
+                phase: encode_float(duration)
+                for phase, duration in self.phase_durations.items()
+            },
+            "phase_order": list(self.phase_order),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            vm_name=data["vm_name"],
+            workload_name=data["workload_name"],
+            run_index=int(data["run_index"]),
+            start_time_s=decode_float(data["start_time_s"]),
+            end_time_s=decode_float(data["end_time_s"]),
+            duration_s=decode_float(data["duration_s"]),
+            stopped_early=bool(data["stopped_early"]),
+            phase_durations={
+                phase: decode_float(duration)
+                for phase, duration in data["phase_durations"].items()
+            },
+            phase_order=tuple(data["phase_order"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -59,6 +104,45 @@ class VmResult:
             if run.run_index == index:
                 return run
         raise AnalysisError(f"{self.vm_name} has no run #{index}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "vm_name": self.vm_name,
+            "vm_id": self.vm_id,
+            "runs": [run.to_dict() for run in self.runs],
+            "major_faults": self.major_faults,
+            "faults_from_tmem": self.faults_from_tmem,
+            "faults_from_disk": self.faults_from_disk,
+            "evictions_to_tmem": self.evictions_to_tmem,
+            "evictions_to_disk": self.evictions_to_disk,
+            "failed_tmem_puts": self.failed_tmem_puts,
+            "time_in_tmem_ops_s": encode_float(self.time_in_tmem_ops_s),
+            "time_in_disk_io_s": encode_float(self.time_in_disk_io_s),
+            "cumul_puts_total": self.cumul_puts_total,
+            "cumul_puts_succ": self.cumul_puts_succ,
+            "cumul_puts_failed": self.cumul_puts_failed,
+            "peak_tmem_pages": self.peak_tmem_pages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VmResult":
+        return cls(
+            vm_name=data["vm_name"],
+            vm_id=int(data["vm_id"]),
+            runs=tuple(RunResult.from_dict(run) for run in data["runs"]),
+            major_faults=int(data["major_faults"]),
+            faults_from_tmem=int(data["faults_from_tmem"]),
+            faults_from_disk=int(data["faults_from_disk"]),
+            evictions_to_tmem=int(data["evictions_to_tmem"]),
+            evictions_to_disk=int(data["evictions_to_disk"]),
+            failed_tmem_puts=int(data["failed_tmem_puts"]),
+            time_in_tmem_ops_s=decode_float(data["time_in_tmem_ops_s"]),
+            time_in_disk_io_s=decode_float(data["time_in_disk_io_s"]),
+            cumul_puts_total=int(data["cumul_puts_total"]),
+            cumul_puts_succ=int(data["cumul_puts_succ"]),
+            cumul_puts_failed=int(data["cumul_puts_failed"]),
+            peak_tmem_pages=int(data["peak_tmem_pages"]),
+        )
 
 
 @dataclass
@@ -124,3 +208,51 @@ class ScenarioResult:
 
     def total_tmem_faults(self) -> int:
         return sum(vm.faults_from_tmem for vm in self.vms.values())
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict-JSON-safe representation of the full result (incl. traces)."""
+        return {
+            "scenario_name": self.scenario_name,
+            "policy_spec": self.policy_spec,
+            "seed": self.seed,
+            "total_tmem_pages": self.total_tmem_pages,
+            "simulated_duration_s": encode_float(self.simulated_duration_s),
+            "vms": {name: vm.to_dict() for name, vm in sorted(self.vms.items())},
+            "trace": self.trace.to_dict(),
+            "target_updates": self.target_updates,
+            "snapshots": self.snapshots,
+            "wall_clock_s": encode_float(self.wall_clock_s),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        return cls(
+            scenario_name=data["scenario_name"],
+            policy_spec=data["policy_spec"],
+            seed=int(data["seed"]),
+            total_tmem_pages=int(data["total_tmem_pages"]),
+            simulated_duration_s=decode_float(data["simulated_duration_s"]),
+            vms={
+                name: VmResult.from_dict(vm) for name, vm in data["vms"].items()
+            },
+            trace=TraceRecorder.from_dict(data["trace"]),
+            target_updates=int(data["target_updates"]),
+            snapshots=int(data["snapshots"]),
+            wall_clock_s=decode_float(data["wall_clock_s"]),
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form, minus wall-clock time.
+
+        Two runs of the same (scenario, policy, seed, scale) point are
+        expected to produce equal fingerprints regardless of which
+        execution backend (or host) ran them: every simulated quantity is
+        deterministic, only ``wall_clock_s`` varies, so it is excluded.
+        """
+        data = self.to_dict()
+        data.pop("wall_clock_s")
+        canonical = json.dumps(
+            data, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -38,30 +38,29 @@ from ..sim.rng import RngFactory
 from ..sim.trace import TraceRecorder
 from ..units import SCENARIO_UNITS, MemoryUnits
 from ..workloads.base import Workload
-from ..workloads.graph_analytics import GraphAnalyticsWorkload
-from ..workloads.inmemory_analytics import InMemoryAnalyticsWorkload
-from ..workloads.usemem import UsememWorkload
+from ..workloads.registry import (
+    WORKLOAD_REGISTRY,
+    register_workload_kind,
+    workload_class,
+)
 from .results import RunResult, ScenarioResult, VmResult
 from .spec import ScenarioSpec, VMSpec, WorkloadSpec
 
-__all__ = ["ScenarioRunner", "run_scenario", "NO_TMEM_POLICY"]
+__all__ = [
+    "ScenarioRunner",
+    "run_scenario",
+    "NO_TMEM_POLICY",
+    "register_workload_kind",
+]
 
 #: Pseudo-policy spec for the paper's "no tmem support" baseline.
 NO_TMEM_POLICY = "no-tmem"
 
 #: Workload classes known to the runner, keyed by WorkloadSpec.kind.
-_WORKLOAD_CLASSES: Dict[str, type] = {
-    "usemem": UsememWorkload,
-    "in-memory-analytics": InMemoryAnalyticsWorkload,
-    "graph-analytics": GraphAnalyticsWorkload,
-}
-
-
-def register_workload_kind(kind: str, cls: type) -> None:
-    """Register a custom workload class for use in scenario specs."""
-    if not issubclass(cls, Workload):
-        raise ScenarioError(f"{cls!r} is not a Workload subclass")
-    _WORKLOAD_CLASSES[kind] = cls
+#: This is the shared registry from :mod:`repro.workloads.registry` (the
+#: same dict object), kept under its historical name so existing callers
+#: and tests that inspect it keep working.
+_WORKLOAD_CLASSES: Dict[str, type] = WORKLOAD_REGISTRY
 
 
 class ScenarioRunner:
@@ -127,13 +126,7 @@ class ScenarioRunner:
     def _workload_factory(
         self, vm_spec: VMSpec, job: WorkloadSpec, job_index: int
     ) -> Callable[[], Workload]:
-        try:
-            workload_cls = _WORKLOAD_CLASSES[job.kind]
-        except KeyError:
-            raise ScenarioError(
-                f"unknown workload kind {job.kind!r}; known: "
-                f"{sorted(_WORKLOAD_CLASSES)}"
-            ) from None
+        workload_cls = workload_class(job.kind)
         units = self.config.units
         rng_name = f"{self.spec.name}/{vm_spec.name}/{job.kind}/{job_index}"
 

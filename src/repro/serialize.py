@@ -1,0 +1,53 @@
+"""JSON-safe encoding of float values.
+
+Strict JSON has no representation for NaN or the infinities, yet result
+objects legitimately contain them (e.g. the ``end_time_s`` of a run that
+was stopped early is NaN).  These helpers map such floats onto portable
+JSON values and back:
+
+* ``nan``   <-> ``None``
+* ``inf``   <-> ``"Infinity"``
+* ``-inf``  <-> ``"-Infinity"``
+
+Finite floats pass through unchanged; Python's ``json`` module emits the
+shortest round-tripping decimal form, so finite values survive a
+dump/load cycle bit-exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Union
+
+__all__ = ["encode_float", "decode_float", "encode_floats", "decode_floats"]
+
+JsonFloat = Union[float, str, None]
+
+
+def encode_float(value: float) -> JsonFloat:
+    """Encode one float as a strict-JSON-safe value."""
+    value = float(value)
+    if math.isnan(value):
+        return None
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
+
+
+def decode_float(value: JsonFloat) -> float:
+    """Invert :func:`encode_float`."""
+    if value is None:
+        return float("nan")
+    if value == "Infinity":
+        return float("inf")
+    if value == "-Infinity":
+        return float("-inf")
+    return float(value)
+
+
+def encode_floats(values: Sequence[float]) -> List[JsonFloat]:
+    return [encode_float(v) for v in values]
+
+
+def decode_floats(values: Sequence[JsonFloat]) -> List[float]:
+    return [decode_float(v) for v in values]

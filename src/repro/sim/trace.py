@@ -9,11 +9,12 @@ samples and exposes them as numpy arrays for analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
 import numpy as np
 
 from ..errors import AnalysisError
+from ..serialize import decode_floats, encode_floats
 
 __all__ = ["TraceSeries", "TraceRecorder"]
 
@@ -71,6 +72,29 @@ class TraceSeries:
             raise AnalysisError(f"trace {self.name!r} is empty")
         return float(np.max(self.values))
 
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict-JSON-safe representation (NaN/inf encoded portably)."""
+        return {
+            "name": self.name,
+            "times": encode_floats(self._times),
+            "values": encode_floats(self._values),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceSeries":
+        series = cls(name=data["name"])
+        # Assign directly instead of append(): the stored samples already
+        # passed the monotonicity check when they were recorded.
+        series._times = decode_floats(data["times"])
+        series._values = decode_floats(data["values"])
+        if len(series._times) != len(series._values):
+            raise AnalysisError(
+                f"trace {series.name!r}: times/values length mismatch "
+                f"({len(series._times)} vs {len(series._values)})"
+            )
+        return series
+
 
 class TraceRecorder:
     """A bag of named :class:`TraceSeries`."""
@@ -108,3 +132,21 @@ class TraceRecorder:
             target = self.series(prefix + name)
             for t, v in series.as_tuples():
                 target.append(t, v)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict-JSON-safe representation of every series (sorted by name)."""
+        return {name: self._series[name].to_dict() for name in self.names()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceRecorder":
+        recorder = cls()
+        for name, series_data in data.items():
+            series = TraceSeries.from_dict(series_data)
+            if series.name != name:
+                raise AnalysisError(
+                    f"trace dict key {name!r} does not match series name "
+                    f"{series.name!r}"
+                )
+            recorder._series[name] = series
+        return recorder

@@ -30,6 +30,12 @@ from .access_patterns import (
 from .usemem import UsememWorkload
 from .inmemory_analytics import InMemoryAnalyticsWorkload
 from .graph_analytics import GraphAnalyticsWorkload
+from .registry import (
+    WORKLOAD_REGISTRY,
+    available_workload_kinds,
+    register_workload_kind,
+    workload_class,
+)
 
 __all__ = [
     "Workload",
@@ -42,4 +48,8 @@ __all__ = [
     "UsememWorkload",
     "InMemoryAnalyticsWorkload",
     "GraphAnalyticsWorkload",
+    "WORKLOAD_REGISTRY",
+    "register_workload_kind",
+    "workload_class",
+    "available_workload_kinds",
 ]

@@ -30,6 +30,10 @@ class TestCommands:
         assert "scenario-1" in out
         assert "smart-alloc" in out
         assert "no-tmem" in out
+        # The parametric families and the workload kinds are listed too.
+        assert "many-vms" in out and "churn" in out and "bursty" in out
+        assert "Workload kinds:" in out
+        assert "graph-analytics" in out
 
     def test_tables_command(self, capsys):
         assert main(["tables"]) == 0
@@ -66,6 +70,41 @@ class TestCommands:
     def test_unknown_scenario_raises(self):
         with pytest.raises(Exception):
             main(["run", "scenario-99", "--policy", "greedy"])
+
+    def test_sweep_command_archives_and_aggregates(self, capsys, tmp_path):
+        results_dir = tmp_path / "sweep"
+        argv = [
+            "sweep",
+            "--scenario", "usemem-scenario",
+            "--policy", "greedy",
+            "--policy", "no-tmem",
+            "--num-seeds", "2",
+            "--scale", "0.1",
+            "--results-dir", str(results_dir),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Sweep aggregate" in out
+        assert "greedy" in out and "no-tmem" in out
+        assert "2 new" not in out  # 4 points: 2 policies x 2 seeds
+        assert "4 new, 0 reused" in out
+        assert len(list(results_dir.glob("*.json"))) == 4
+        # Re-running resumes from the archive instead of re-simulating.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 new, 4 reused" in out
+
+    def test_sweep_with_family_and_explicit_seed(self, capsys, tmp_path):
+        assert main([
+            "sweep",
+            "--scenario", "churn:n=4",
+            "--policy", "greedy",
+            "--seed", "7",
+            "--scale", "0.1",
+            "--results-dir", str(tmp_path / "r"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "churn:n=4" in out
 
     def test_bench_command_writes_report(self, capsys, tmp_path):
         code = main([

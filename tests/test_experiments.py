@@ -1,0 +1,258 @@
+"""Experiment orchestration: sweep specs, stores, backends, run_sweep."""
+
+import os
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentPoint,
+    ProcessPoolBackend,
+    ResultStore,
+    SerialBackend,
+    SweepSpec,
+    available_backends,
+    create_backend,
+    execute_point,
+    run_sweep,
+)
+
+#: One tiny, fast sweep used throughout: 2 policies x 2 seeds = 4 points.
+TINY = SweepSpec(
+    scenarios=("usemem-scenario",),
+    policies=("greedy", "no-tmem"),
+    seeds=(1, 2),
+    scales=(0.1,),
+)
+
+
+class TestExperimentPoint:
+    def test_point_id_is_filesystem_safe_and_unique(self):
+        points = SweepSpec(
+            scenarios=("usemem-scenario", "many-vms:n=4"),
+            policies=("greedy", "smart-alloc:P=2", "smart-alloc:P=4"),
+            seeds=(1, 2),
+            scales=(0.1, 0.25),
+        ).expand()
+        ids = [p.point_id for p in points]
+        assert len(set(ids)) == len(ids)
+        for point_id in ids:
+            assert "/" not in point_id and ":" not in point_id
+            assert "," not in point_id and "=" not in point_id
+
+    def test_dict_round_trip(self):
+        point = ExperimentPoint("scenario-1", "greedy", seed=3, scale=0.5)
+        assert ExperimentPoint.from_dict(point.to_dict()) == point
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentPoint("", "greedy", seed=1)
+        with pytest.raises(ExperimentError):
+            ExperimentPoint("scenario-1", "greedy", seed=1, scale=0)
+
+
+class TestSweepSpec:
+    def test_expand_is_full_cross_product(self):
+        spec = SweepSpec(
+            scenarios=("a", "b"), policies=("p", "q", "r"),
+            seeds=(1, 2), scales=(0.1, 1.0),
+        )
+        points = spec.expand()
+        assert len(points) == spec.size == 2 * 3 * 2 * 2
+        assert len(set(points)) == len(points)
+        # Scenario is the outermost axis, seeds the innermost.
+        assert points[0].scenario == "a" and points[-1].scenario == "b"
+        assert points[0].seed == 1 and points[1].seed == 2
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(scenarios=(), policies=("p",), seeds=(1,))
+        with pytest.raises(ExperimentError):
+            SweepSpec(scenarios=("a",), policies=(), seeds=(1,))
+        with pytest.raises(ExperimentError):
+            SweepSpec(scenarios=("a",), policies=("p",), seeds=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(scenarios=("a", "a"), policies=("p",), seeds=(1,))
+
+    def test_dict_round_trip(self):
+        assert SweepSpec.from_dict(TINY.to_dict()) == TINY
+
+
+class TestResultStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        point = TINY.expand()[0]
+        result = execute_point(point)
+        path = store.save(point, result)
+        assert path.exists()
+        assert store.contains(point)
+        loaded = store.load(point)
+        assert loaded.fingerprint() == result.fingerprint()
+
+    def test_missing_point_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ExperimentError):
+            store.load(TINY.expand()[0])
+
+    def test_points_and_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        points = TINY.expand()
+        assert store.missing(points) == list(points)
+        result = execute_point(points[0])
+        store.save(points[0], result)
+        assert store.points() == [points[0]]
+        assert store.missing(points) == list(points[1:])
+        assert len(store) == 1
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        point = TINY.expand()[0]
+        store.root.mkdir(parents=True, exist_ok=True)
+        store.path_for(point).write_text("{not json")
+        with pytest.raises(ExperimentError):
+            store.load(point)
+
+
+class TestBackends:
+    def test_create_backend(self):
+        assert set(available_backends()) == {"serial", "process"}
+        assert isinstance(create_backend("serial"), SerialBackend)
+        backend = create_backend("process", max_workers=2)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.max_workers == 2
+        with pytest.raises(ExperimentError):
+            create_backend("quantum")
+        with pytest.raises(ExperimentError):
+            ProcessPoolBackend(max_workers=0)
+
+    def test_serial_backend_preserves_order_and_reports(self):
+        points = TINY.expand()
+        seen = []
+        results = SerialBackend().run(
+            points, on_result=lambda p, r: seen.append(p)
+        )
+        assert seen == list(points)
+        assert [r.policy_spec for r in results] == [p.policy for p in points]
+        assert [r.seed for r in results] == [p.seed for p in points]
+
+    def test_process_backend_matches_serial_bit_for_bit(self):
+        """The acceptance criterion: parallel == serial, per point."""
+        points = TINY.expand()
+        serial = SerialBackend().run(points)
+        parallel = ProcessPoolBackend(max_workers=2).run(points)
+        assert len(parallel) == len(serial)
+        for point, s, p in zip(points, serial, parallel):
+            assert p.fingerprint() == s.fingerprint(), point
+
+    def test_process_backend_empty_input(self):
+        assert ProcessPoolBackend(max_workers=1).run([]) == []
+
+    def test_process_backend_propagates_worker_errors(self):
+        bad = [ExperimentPoint("no-such-scenario", "greedy", seed=1, scale=0.1)]
+        with pytest.raises(Exception):
+            ProcessPoolBackend(max_workers=1).run(bad)
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="parallel speedup needs >= 4 CPU cores",
+    )
+    def test_process_backend_speedup(self):
+        """>= 2x wall-clock speedup on a 4-worker sweep of 8+ points."""
+        import time
+
+        spec = SweepSpec(
+            scenarios=("usemem-scenario", "scenario-2"),
+            policies=("greedy", "smart-alloc:P=2"),
+            seeds=(1, 2),
+            scales=(0.25,),
+        )
+        points = spec.expand()
+        assert len(points) >= 8
+        start = time.perf_counter()
+        SerialBackend().run(points)
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        ProcessPoolBackend(max_workers=4).run(points)
+        parallel_s = time.perf_counter() - start
+        assert parallel_s < serial_s / 2, (
+            f"expected >=2x speedup, got {serial_s / parallel_s:.2f}x"
+        )
+
+
+class TestRunSweep:
+    def test_results_in_expansion_order(self):
+        outcome = run_sweep(TINY)
+        assert tuple(outcome.results) == TINY.expand()
+        assert outcome.executed == TINY.expand()
+        assert outcome.reused == ()
+
+    def test_store_makes_sweeps_resumable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_sweep(TINY, store=store)
+        assert len(first.executed) == TINY.size
+        second = run_sweep(TINY, store=store)
+        assert second.executed == ()
+        assert len(second.reused) == TINY.size
+        for point, result in second.results.items():
+            assert result.fingerprint() == first.results[point].fingerprint()
+
+    def test_fresh_ignores_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_sweep(TINY, store=store)
+        again = run_sweep(TINY, store=store, resume=False)
+        assert len(again.executed) == TINY.size
+
+    def test_partial_store_runs_only_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        points = TINY.expand()
+        store.save(points[0], execute_point(points[0]))
+        outcome = run_sweep(TINY, store=store)
+        assert outcome.reused == (points[0],)
+        assert outcome.executed == points[1:]
+
+    def test_progress_callback_sees_every_point(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(TINY.expand()[0], execute_point(TINY.expand()[0]))
+        calls = []
+        run_sweep(
+            TINY, store=store,
+            progress=lambda p, r, reused: calls.append((p, reused)),
+        )
+        assert len(calls) == TINY.size
+        assert sum(1 for _, reused in calls if reused) == 1
+
+    def test_select_and_by_policy(self):
+        outcome = run_sweep(TINY)
+        greedy = outcome.select(policy="greedy")
+        assert len(greedy) == 2
+        by_policy = outcome.by_policy("usemem-scenario", seed=2)
+        assert list(by_policy) == ["greedy", "no-tmem"]
+        assert all(r.seed == 2 for r in by_policy.values())
+
+
+class TestAggregation:
+    def test_aggregate_and_render(self):
+        from repro.analysis.aggregate import aggregate_sweep, render_aggregate_table
+
+        outcome = run_sweep(TINY)
+        aggregates = aggregate_sweep(outcome.results)
+        assert len(aggregates) == 2  # one cell per policy
+        by_policy = {a.policy: a for a in aggregates}
+        assert set(by_policy) == {"greedy", "no-tmem"}
+        greedy = by_policy["greedy"]
+        assert greedy.seeds == (1, 2)
+        assert greedy.mean_runtime_s > 0
+        assert greedy.std_runtime_s >= 0
+        assert greedy.mean_fairness is not None
+        assert by_policy["no-tmem"].mean_fairness is None
+        table = render_aggregate_table(aggregates, title="T")
+        assert "greedy" in table and "no-tmem" in table and "T" in table
+
+    def test_aggregate_empty_rejected(self):
+        from repro.analysis.aggregate import aggregate_sweep
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            aggregate_sweep({})

@@ -1,0 +1,131 @@
+"""Result serialization: JSON round-trips, NaN handling, fingerprints."""
+
+import json
+import math
+
+import pytest
+
+from repro import run_scenario, usemem_scenario
+from repro.errors import AnalysisError
+from repro.scenarios.results import RunResult, ScenarioResult, VmResult
+from repro.serialize import decode_float, encode_float
+from repro.sim.trace import TraceRecorder, TraceSeries
+
+
+@pytest.fixture(scope="module")
+def result() -> ScenarioResult:
+    """One real scenario result (usemem exercises stop triggers/phases)."""
+    return run_scenario(usemem_scenario(scale=0.1), "smart-alloc:P=2", seed=7)
+
+
+class TestFloatEncoding:
+    def test_finite_floats_pass_through(self):
+        assert encode_float(1.5) == 1.5
+        assert decode_float(1.5) == 1.5
+
+    def test_nan_encodes_to_none(self):
+        assert encode_float(float("nan")) is None
+        assert math.isnan(decode_float(None))
+
+    def test_infinities_encode_to_strings(self):
+        assert encode_float(float("inf")) == "Infinity"
+        assert encode_float(float("-inf")) == "-Infinity"
+        assert decode_float("Infinity") == float("inf")
+        assert decode_float("-Infinity") == float("-inf")
+
+    def test_floats_survive_json_exactly(self):
+        values = [0.1, 1 / 3, 1e-300, 123456.789]
+        for value in values:
+            assert json.loads(json.dumps(encode_float(value))) == value
+
+
+class TestTraceSerialization:
+    def test_series_round_trip(self):
+        series = TraceSeries("tmem_used/vm1")
+        for t, v in [(0.0, 0.0), (1.0, 42.0), (2.5, 17.0)]:
+            series.append(t, v)
+        data = json.loads(json.dumps(series.to_dict(), allow_nan=False))
+        restored = TraceSeries.from_dict(data)
+        assert restored.name == series.name
+        assert restored.as_tuples() == series.as_tuples()
+
+    def test_recorder_round_trip(self):
+        recorder = TraceRecorder()
+        recorder.record("a", 0.0, 1.0)
+        recorder.record("a", 1.0, 2.0)
+        recorder.record("b", 0.5, 3.0)
+        restored = TraceRecorder.from_dict(recorder.to_dict())
+        assert list(restored.names()) == ["a", "b"]
+        assert restored.get("a").as_tuples() == recorder.get("a").as_tuples()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            TraceSeries.from_dict({"name": "x", "times": [0.0], "values": []})
+
+
+class TestRunResultSerialization:
+    def test_nan_end_time_round_trips(self):
+        run = RunResult(
+            vm_name="VM1",
+            workload_name="usemem",
+            run_index=0,
+            start_time_s=0.0,
+            end_time_s=float("nan"),
+            duration_s=12.5,
+            stopped_early=True,
+            phase_durations={"alloc-128MB": 3.0},
+            phase_order=("alloc-128MB",),
+        )
+        data = json.loads(json.dumps(run.to_dict(), allow_nan=False))
+        assert data["end_time_s"] is None
+        restored = RunResult.from_dict(data)
+        assert math.isnan(restored.end_time_s)
+        assert restored.duration_s == run.duration_s
+        assert restored.phase_durations == dict(run.phase_durations)
+        assert restored.phase_order == tuple(run.phase_order)
+
+
+class TestScenarioResultSerialization:
+    def test_round_trip_dict_equality(self, result):
+        data = result.to_dict()
+        # Strict JSON: must survive dumps(allow_nan=False) -> loads.
+        restored = ScenarioResult.from_dict(
+            json.loads(json.dumps(data, allow_nan=False))
+        )
+        assert restored.to_dict() == data
+
+    def test_round_trip_preserves_accessors(self, result):
+        restored = ScenarioResult.from_dict(result.to_dict())
+        assert restored.scenario_name == result.scenario_name
+        assert restored.policy_spec == result.policy_spec
+        assert restored.seed == result.seed
+        assert restored.runtimes() == result.runtimes()
+        assert restored.mean_runtime_s() == result.mean_runtime_s()
+        for vm_name in result.vm_names():
+            original = result.tmem_usage_series(vm_name)
+            loaded = restored.tmem_usage_series(vm_name)
+            assert loaded.as_tuples() == original.as_tuples()
+
+    def test_vm_results_equal_after_round_trip(self, result):
+        restored = ScenarioResult.from_dict(result.to_dict())
+        for name, vm in result.vms.items():
+            assert isinstance(restored.vms[name], VmResult)
+            assert restored.vms[name] == vm
+
+    def test_fingerprint_stable_across_round_trip(self, result):
+        restored = ScenarioResult.from_dict(result.to_dict())
+        assert restored.fingerprint() == result.fingerprint()
+
+    def test_fingerprint_ignores_wall_clock(self, result):
+        restored = ScenarioResult.from_dict(result.to_dict())
+        restored.wall_clock_s = result.wall_clock_s + 123.0
+        assert restored.fingerprint() == result.fingerprint()
+
+    def test_fingerprint_sensitive_to_payload(self, result):
+        restored = ScenarioResult.from_dict(result.to_dict())
+        restored.target_updates += 1
+        assert restored.fingerprint() != result.fingerprint()
+
+    def test_identical_reruns_have_identical_fingerprints(self, result):
+        again = run_scenario(usemem_scenario(scale=0.1), "smart-alloc:P=2", seed=7)
+        assert again.fingerprint() == result.fingerprint()
