@@ -61,6 +61,47 @@ def test_usemem_micro_speedup_floor(quick_bench_report):
     )
 
 
+def test_recorded_pr3_trajectory_has_no_regression(bench_tolerance):
+    """The committed PR-3 record must not regress vs the seed baseline.
+
+    ``benchmarks/BENCH_pr3.json`` (recorded with ``repro bench --label
+    pr3``) is the first point of the perf trajectory after the seed;
+    this static check keeps the committed history honest without
+    re-measuring anything.
+    """
+    from pathlib import Path
+
+    from repro import bench as bench_harness
+
+    root = Path(__file__).resolve().parent
+    pr3_path = root / "BENCH_pr3.json"
+    seed_path = root / "BENCH_seed.json"
+    assert pr3_path.exists(), (
+        "benchmarks/BENCH_pr3.json is missing; record it with "
+        "PYTHONPATH=src python -m repro bench --label pr3 --output benchmarks"
+    )
+    pr3 = bench_harness.load_report(pr3_path)
+    seed = bench_harness.load_report(seed_path)
+    pr3_speedups = dict(pr3.get("speedups", {}))
+    seed_speedups = dict(seed.get("speedups", {}))
+    assert pr3_speedups, "BENCH_pr3.json records no speedups"
+    problems = []
+    for case, base in seed_speedups.items():
+        cur = pr3_speedups.get(case)
+        if cur is None:
+            continue
+        floor = base * (1.0 - bench_tolerance)
+        if cur < floor:
+            problems.append(
+                f"{case}: {cur:.2f}x fell below {floor:.2f}x "
+                f"(seed baseline {base:.2f}x)"
+            )
+    assert not problems, (
+        "recorded BENCH_pr3.json regresses vs BENCH_seed.json:\n"
+        + "\n".join(problems)
+    )
+
+
 def test_no_regression_vs_recorded_baseline(
     quick_bench_report, bench_baseline, bench_tolerance
 ):

@@ -77,6 +77,8 @@ from .scenarios import (
     ScenarioSpec,
     VMSpec,
     WorkloadSpec,
+    NodeSpec,
+    ClusterTopology,
     ScenarioRunner,
     ScenarioResult,
     run_scenario,
@@ -87,12 +89,15 @@ from .scenarios import (
     many_vms_scenario,
     churn_scenario,
     bursty_scenario,
+    cluster_scenario,
+    hotnode_scenario,
     all_scenarios,
     available_scenarios,
     scenario_by_name,
     register_scenario,
     PAPER_POLICIES,
 )
+from .cluster import Cluster, Node, clusterize
 from .workloads import (
     UsememWorkload,
     InMemoryAnalyticsWorkload,
@@ -167,6 +172,8 @@ __all__ = [
     "ScenarioSpec",
     "VMSpec",
     "WorkloadSpec",
+    "NodeSpec",
+    "ClusterTopology",
     "ScenarioRunner",
     "ScenarioResult",
     "run_scenario",
@@ -177,11 +184,17 @@ __all__ = [
     "many_vms_scenario",
     "churn_scenario",
     "bursty_scenario",
+    "cluster_scenario",
+    "hotnode_scenario",
     "all_scenarios",
     "available_scenarios",
     "scenario_by_name",
     "register_scenario",
     "PAPER_POLICIES",
+    # cluster
+    "Cluster",
+    "Node",
+    "clusterize",
     # workloads
     "UsememWorkload",
     "InMemoryAnalyticsWorkload",

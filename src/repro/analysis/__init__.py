@@ -20,11 +20,21 @@ from .aggregate import (
     aggregate_sweep,
     render_aggregate_table,
 )
+from .cluster import (
+    NodeSummary,
+    node_summaries,
+    cluster_rollup,
+    render_cluster_table,
+)
 
 __all__ = [
     "PolicyAggregate",
     "aggregate_sweep",
     "render_aggregate_table",
+    "NodeSummary",
+    "node_summaries",
+    "cluster_rollup",
+    "render_cluster_table",
     "jain_fairness",
     "speedup",
     "improvement_percent",

@@ -1,0 +1,164 @@
+"""Per-node and cluster-wide aggregation of multi-node scenario results.
+
+A cluster run produces one :class:`~repro.scenarios.results.ScenarioResult`
+whose ``vms`` span every node and whose ``cluster`` section records the
+topology, the per-node remote-tmem spill counters and the coordinator's
+capacity moves.  These helpers fold that into the two views the cluster
+experiments need:
+
+* :func:`node_summaries` — one row per node: its VMs' aggregate running
+  time and fault mix, plus the node's spill activity;
+* :func:`cluster_rollup` — cluster totals: how much demand was served
+  locally, remotely, and from disk, and how busy the interconnect was.
+
+Both operate purely on the (serializable) result, so archived sweep
+points can be re-analysed without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..scenarios.results import ScenarioResult
+from .report import format_table
+
+__all__ = [
+    "NodeSummary",
+    "node_summaries",
+    "cluster_rollup",
+    "render_cluster_table",
+]
+
+
+@dataclass(frozen=True)
+class NodeSummary:
+    """Aggregate view of one node in a cluster run."""
+
+    node_name: str
+    vm_count: int
+    #: Mean duration of the node's finished workload runs (seconds).
+    mean_runtime_s: float
+    major_faults: int
+    faults_from_tmem: int
+    faults_from_disk: int
+    evictions_to_tmem: int
+    evictions_to_disk: int
+    #: Tmem pool size at the end of the run (pages).
+    tmem_pages_end: int
+    #: Overflow puts this node spilled to peers.
+    spilled_puts: int
+    #: Remote copies this node fetched back from peers.
+    remote_gets: int
+    #: Overflow puts no peer could absorb.
+    spill_failures: int
+
+
+def _require_cluster(result: ScenarioResult) -> Dict[str, Any]:
+    if result.cluster is None:
+        raise AnalysisError(
+            f"result of {result.scenario_name!r} is not a cluster run "
+            "(no per-node section)"
+        )
+    return result.cluster
+
+
+def node_summaries(result: ScenarioResult) -> List[NodeSummary]:
+    """One :class:`NodeSummary` per node, in topology order."""
+    cluster = _require_cluster(result)
+    summaries: List[NodeSummary] = []
+    for node_name, info in cluster["nodes"].items():
+        vms = [result.vm(vm_name) for vm_name in info["vm_names"]]
+        durations = [
+            run.duration_s for vm in vms for run in vm.runs
+        ]
+        summaries.append(
+            NodeSummary(
+                node_name=node_name,
+                vm_count=len(vms),
+                mean_runtime_s=float(np.mean(durations)) if durations else 0.0,
+                major_faults=sum(vm.major_faults for vm in vms),
+                faults_from_tmem=sum(vm.faults_from_tmem for vm in vms),
+                faults_from_disk=sum(vm.faults_from_disk for vm in vms),
+                evictions_to_tmem=sum(vm.evictions_to_tmem for vm in vms),
+                evictions_to_disk=sum(vm.evictions_to_disk for vm in vms),
+                tmem_pages_end=int(info["tmem_pages_end"]),
+                spilled_puts=int(info["spilled_puts"]),
+                remote_gets=int(info["remote_gets"]),
+                spill_failures=int(info["spill_failures"]),
+            )
+        )
+    return summaries
+
+
+def cluster_rollup(result: ScenarioResult) -> Dict[str, Any]:
+    """Cluster-wide totals of one multi-node run."""
+    cluster = _require_cluster(result)
+    nodes = node_summaries(result)
+    evictions_to_tmem = sum(n.evictions_to_tmem for n in nodes)
+    evictions_to_disk = sum(n.evictions_to_disk for n in nodes)
+    spilled = sum(n.spilled_puts for n in nodes)
+    total_evictions = evictions_to_tmem + evictions_to_disk
+    return {
+        "node_count": len(nodes),
+        "coordinator": cluster["topology"].get("coordinator"),
+        "remote_spill": cluster["topology"].get("remote_spill", False),
+        "mean_runtime_s": float(np.mean([n.mean_runtime_s for n in nodes])),
+        "evictions_to_tmem": evictions_to_tmem,
+        "evictions_to_disk": evictions_to_disk,
+        "spilled_puts": spilled,
+        "remote_gets": sum(n.remote_gets for n in nodes),
+        "spill_failures": sum(n.spill_failures for n in nodes),
+        #: Fraction of all evictions that left their home node.
+        "spill_ratio": (spilled / total_evictions) if total_evictions else 0.0,
+        "capacity_moves": int(cluster.get("capacity_moves", 0)),
+        "interconnect_pages_moved": int(
+            cluster.get("interconnect_pages_moved", 0)
+        ),
+    }
+
+
+def render_cluster_table(result: ScenarioResult, *, title: str = "") -> str:
+    """Text table with one row per node plus a cluster totals row."""
+    nodes = node_summaries(result)
+    rollup = cluster_rollup(result)
+    headers = [
+        "node", "VMs", "runtime (s)", "tmem faults", "disk faults",
+        "spilled", "remote gets", "tmem pages",
+    ]
+    rows: List[List[object]] = [
+        [
+            node.node_name,
+            node.vm_count,
+            f"{node.mean_runtime_s:.1f}",
+            node.faults_from_tmem,
+            node.faults_from_disk,
+            node.spilled_puts,
+            node.remote_gets,
+            node.tmem_pages_end,
+        ]
+        for node in nodes
+    ]
+    rows.append(
+        [
+            "(cluster)",
+            sum(node.vm_count for node in nodes),
+            f"{rollup['mean_runtime_s']:.1f}",
+            sum(node.faults_from_tmem for node in nodes),
+            sum(node.faults_from_disk for node in nodes),
+            rollup["spilled_puts"],
+            rollup["remote_gets"],
+            sum(node.tmem_pages_end for node in nodes),
+        ]
+    )
+    body = format_table(headers, rows)
+    extras = (
+        f"spill ratio {rollup['spill_ratio']:.1%}, "
+        f"{rollup['capacity_moves']} capacity moves, "
+        f"{rollup['interconnect_pages_moved']} pages over the interconnect"
+    )
+    table = f"{body}\n{extras}"
+    return f"{title}\n{table}" if title else table

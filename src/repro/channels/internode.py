@@ -1,0 +1,132 @@
+"""Modeled network channel between the nodes of a cluster.
+
+Remote-tmem (RAMster-style) traffic crosses host boundaries, so unlike
+the netlink channels inside one node it pays a *network* cost: a fixed
+per-message latency plus a bandwidth-limited transfer term for the page
+payload.  The channel provides two services:
+
+* a **synchronous cost model** for the data path
+  (:meth:`InterNodeChannel.transfer_cost_s` /
+  :meth:`InterNodeChannel.round_trip_cost_s`): a spilled put or a remote
+  get happens inside a guest's access burst, so its cost is simply added
+  to the burst latency, exactly like a tmem hypercall's cost;
+* **asynchronous control messages** (:meth:`InterNodeChannel.send`)
+  delivered through the simulation engine after the one-way latency —
+  the cluster coordinator uses this to ship capacity-rebalancing
+  decisions to the nodes.
+
+The channel also keeps transfer counters so analysis and tests can audit
+how much data actually moved between nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import ConfigurationError
+from ..sim.engine import SimulationEngine
+from ..sim.events import EventPriority
+
+__all__ = ["InterNodeChannel"]
+
+
+class InterNodeChannel:
+    """Latency/bandwidth model of the cluster interconnect.
+
+    Parameters
+    ----------
+    engine:
+        The shared simulation engine (used for control-message delivery).
+    latency_s:
+        One-way propagation + protocol latency of a message.
+    bandwidth_bytes_s:
+        Sustained payload bandwidth of one link, in bytes per second.
+    page_bytes:
+        Size of one simulated page (the payload unit of remote tmem).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        *,
+        latency_s: float,
+        bandwidth_bytes_s: float,
+        page_bytes: int,
+        name: str = "internode",
+    ) -> None:
+        if latency_s < 0:
+            raise ConfigurationError(f"latency_s must be >= 0, got {latency_s}")
+        if bandwidth_bytes_s <= 0:
+            raise ConfigurationError(
+                f"bandwidth_bytes_s must be > 0, got {bandwidth_bytes_s}"
+            )
+        if page_bytes <= 0:
+            raise ConfigurationError(f"page_bytes must be > 0, got {page_bytes}")
+        self._engine = engine
+        self._latency = float(latency_s)
+        self._bandwidth = float(bandwidth_bytes_s)
+        self._page_bytes = int(page_bytes)
+        self._name = name
+        self._page_transfer_s = self._page_bytes / self._bandwidth
+        self.pages_moved = 0
+        self.bytes_moved = 0
+        self.messages_sent = 0
+
+    # -- cost model ---------------------------------------------------------
+    @property
+    def latency_s(self) -> float:
+        return self._latency
+
+    @property
+    def page_transfer_s(self) -> float:
+        """Bandwidth term for one page payload."""
+        return self._page_transfer_s
+
+    def transfer_cost_s(self, pages: int = 1) -> float:
+        """One-way cost of moving *pages* page payloads in one message."""
+        if pages < 0:
+            raise ConfigurationError(f"pages must be >= 0, got {pages}")
+        return self._latency + pages * self._page_transfer_s
+
+    def round_trip_cost_s(self, pages: int = 1) -> float:
+        """Request/response cost with *pages* page payloads one way.
+
+        This is the data-path cost of a remote tmem operation: the
+        request crosses the link, the payload (or acknowledgement)
+        crosses back.
+        """
+        return 2.0 * self._latency + pages * self._page_transfer_s
+
+    # -- accounting ---------------------------------------------------------
+    def note_transfer(self, pages: int) -> None:
+        """Record *pages* payload pages moved over the link."""
+        self.pages_moved += pages
+        self.bytes_moved += pages * self._page_bytes
+
+    # -- control messages ---------------------------------------------------
+    def send(
+        self,
+        kind: str,
+        payload: Any,
+        on_delivery: Callable[[Any], None],
+        *,
+        priority: int = EventPriority.HYPERVISOR,
+    ) -> None:
+        """Deliver *payload* to *on_delivery* after the one-way latency."""
+        self.messages_sent += 1
+        if self._latency > 0:
+            self._engine.schedule_after(
+                self._latency,
+                lambda: on_delivery(payload),
+                priority=priority,
+                label=f"{self._name}:{kind}",
+            )
+        else:
+            on_delivery(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"InterNodeChannel(latency={self._latency:g}s, "
+            f"page_transfer={self._page_transfer_s:g}s, "
+            f"pages_moved={self.pages_moved})"
+        )

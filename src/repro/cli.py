@@ -45,11 +45,13 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from .analysis.aggregate import aggregate_sweep, render_aggregate_table
+from .analysis.cluster import render_cluster_table
 from .analysis.figures import tmem_usage_figure
 from .analysis.metrics import mean_fairness
 from .analysis.report import render_figure_series, render_runtime_table
 from .analysis.tables import table1_statistics, table2_scenarios
-from .core.policy import available_policies
+from .core.coordinator import coordinator_spec_syntax
+from .core.policy import available_policies, policy_spec_syntax
 from .scenarios.library import PAPER_POLICIES, all_scenarios, scenario_by_name
 from .scenarios.registry import paper_scenario_names, registered_scenarios
 from .scenarios.results import ScenarioResult
@@ -78,6 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scale", type=float, default=0.25,
                        help="size scale factor (1.0 = paper sizes)")
     run_p.add_argument("--seed", type=int, default=2019, help="simulation seed")
+    run_p.add_argument(
+        "--nodes", type=int, default=1,
+        help="replicate the scenario onto an N-node cluster with "
+             "remote-tmem spill (cluster-native scenarios such as "
+             "cluster:nodes=.. set their own topology)",
+    )
+    run_p.add_argument(
+        "--coordinator", type=str, default=None,
+        help="cluster capacity coordinator for --nodes > 1 "
+             "(e.g. equal-share, pressure-prop:percent=15)",
+    )
     run_p.add_argument("--traces", action="store_true",
                        help="also print per-VM tmem usage traces")
     run_p.add_argument("--fairness", action="store_true",
@@ -173,7 +186,8 @@ def _cmd_list() -> int:
     for name, spec in all_scenarios(scale=1.0).items():
         print(f"  {name:18s} {spec.description}")
     print()
-    print("Scenario families (parametric, e.g. many-vms:n=8):")
+    print("Scenario families (parametric, e.g. many-vms:n=8; "
+          "'cluster'/'hotnode' run multi-node topologies):")
     paper = set(paper_scenario_names())
     for name, entry in sorted(registered_scenarios().items()):
         if name in paper:
@@ -181,10 +195,15 @@ def _cmd_list() -> int:
         params = ", ".join(entry.parameters) if entry.parameters else "-"
         print(f"  {name:18s} params: {params:24s} {entry.summary}")
     print()
-    print("Policies:")
+    print("Policies (spec syntax; parameters use name:key=value,...):")
+    syntax = policy_spec_syntax()
     for name in available_policies():
-        print(f"  {name}")
+        print(f"  {name:18s} {syntax.get(name, name)}")
     print("  no-tmem            (baseline: tmem disabled in every guest)")
+    print()
+    print("Cluster coordinator policies (for multi-node topologies):")
+    for name, spec_syntax in sorted(coordinator_spec_syntax().items()):
+        print(f"  {name:18s} {spec_syntax}")
     print()
     print("Workload kinds:")
     for kind in available_workload_kinds():
@@ -212,17 +231,51 @@ def _cmd_run(
     seed: int,
     show_traces: bool,
     show_fairness: bool,
+    nodes: int = 1,
+    coordinator: Optional[str] = None,
 ) -> int:
     spec = scenario_by_name(scenario, scale=scale)
+    if nodes < 1:
+        print("--nodes must be >= 1", file=sys.stderr)
+        return 2
+    if coordinator is not None and nodes <= 1:
+        print(
+            "--coordinator only applies to cluster runs; pass --nodes N "
+            "(N > 1) or use a cluster-native scenario",
+            file=sys.stderr,
+        )
+        return 2
+    if nodes > 1:
+        from .cluster import clusterize
+
+        if spec.topology is not None:
+            print(
+                f"{scenario} already defines its own cluster topology; "
+                "--nodes only applies to single-host scenarios",
+                file=sys.stderr,
+            )
+            return 2
+        spec = clusterize(spec, nodes, coordinator=coordinator)
     selected = policies if policies else list(PAPER_POLICIES)
 
     results: Dict[str, ScenarioResult] = {}
     for policy in selected:
-        print(f"running {scenario} under {policy} ...", file=sys.stderr)
+        print(f"running {spec.name} under {policy} ...", file=sys.stderr)
         results[policy] = run_scenario(spec, policy, seed=seed)
 
     print()
-    print(render_runtime_table(results, title=f"Running times — {scenario} (scale={scale})"))
+    print(render_runtime_table(results, title=f"Running times — {spec.name} (scale={scale})"))
+
+    if any(result.cluster is not None for result in results.values()):
+        for policy, result in results.items():
+            if result.cluster is None:
+                continue
+            print()
+            print(
+                render_cluster_table(
+                    result, title=f"Per-node breakdown — {policy}"
+                )
+            )
 
     if show_fairness:
         print()
@@ -365,6 +418,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.seed,
             args.traces,
             args.fairness,
+            nodes=args.nodes,
+            coordinator=args.coordinator,
         )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

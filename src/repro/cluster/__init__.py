@@ -1,0 +1,27 @@
+"""Cluster layer: multi-node topologies on one simulation engine.
+
+The single-host core of the reproduction generalises to a cluster in two
+layers:
+
+* :class:`~repro.cluster.node.Node` — one fully-wired host: hypervisor
+  with its tmem backend, the guests placed on it, the privileged-domain
+  TKM, the Memory Manager running a per-node policy, and the netlink
+  channel pair between them.  The classic single-host
+  :class:`~repro.scenarios.runner.ScenarioRunner` drives exactly one
+  ``Node``; a one-node cluster is bit-identical to it.
+* :class:`~repro.cluster.cluster.Cluster` — N nodes on one shared
+  engine, optionally connected by a modeled interconnect
+  (:class:`~repro.channels.internode.InterNodeChannel`) over which
+  overflow puts spill to peer pools
+  (:class:`~repro.hypervisor.remote_tmem.RemoteTmemBackend`) and a
+  cluster coordinator (:mod:`repro.core.coordinator`) rebalances tmem
+  capacity between nodes.
+
+:func:`~repro.cluster.cluster.clusterize` lifts any single-host scenario
+spec onto an N-node topology by replicating its VMs per node.
+"""
+
+from .node import Node
+from .cluster import Cluster, clusterize
+
+__all__ = ["Node", "Cluster", "clusterize"]

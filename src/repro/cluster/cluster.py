@@ -1,0 +1,391 @@
+"""N nodes on one simulation engine, with spill and capacity coordination.
+
+:class:`Cluster` turns a :class:`~repro.scenarios.spec.ScenarioSpec`
+carrying a :class:`~repro.scenarios.spec.ClusterTopology` into live
+machinery:
+
+* one :class:`~repro.cluster.node.Node` per
+  :class:`~repro.scenarios.spec.NodeSpec`, built in topology order on
+  the shared engine, with a shared domain-id allocator so VM ids (and
+  the trace names derived from them) are unique cluster-wide;
+* one :class:`~repro.channels.internode.InterNodeChannel` modeling the
+  interconnect, and — when ``remote_spill`` is on and tmem is enabled —
+  one :class:`~repro.hypervisor.remote_tmem.RemoteTmemBackend` per node
+  so overflow puts spill to peers instead of hitting the swap disk;
+* optionally a cluster coordinator policy
+  (:mod:`repro.core.coordinator`) invoked on a recurring engine timer,
+  which rebalances tmem *capacity* between the nodes' pools subject to
+  physical limits (shrink only free frames, grow only into fallow DRAM).
+
+A one-node cluster wires no interconnect, no spill and no meaningful
+coordination — it is byte-for-byte today's single host, which the test
+suite pins down via ``ScenarioResult.fingerprint()`` equality.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..channels.internode import InterNodeChannel
+from ..config import SimulationConfig
+from ..core.coordinator import ClusterPolicy, NodeTmemView, create_coordinator
+from ..errors import ClusterError
+from ..hypervisor.remote_tmem import RemoteTmemBackend
+from ..scenarios.spec import (
+    ClusterTopology,
+    NodeSpec,
+    PhaseTrigger,
+    ScenarioSpec,
+    VMSpec,
+)
+from ..sim.engine import SimulationEngine
+from ..sim.events import EventPriority
+from ..sim.rng import RngFactory
+from ..sim.trace import TraceRecorder
+from .node import Node
+
+__all__ = ["Cluster", "clusterize"]
+
+
+class Cluster:
+    """Drives the nodes of a multi-node scenario on one shared engine."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        policy_spec: str,
+        *,
+        engine: SimulationEngine,
+        config: SimulationConfig,
+        trace: TraceRecorder,
+        rng_factory: RngFactory,
+        use_tmem: bool,
+    ) -> None:
+        if spec.topology is None:
+            raise ClusterError(
+                f"scenario {spec.name!r} has no cluster topology"
+            )
+        self.spec = spec
+        self.topology: ClusterTopology = spec.topology
+        self.engine = engine
+        self.config = config
+        self.trace = trace
+        self._use_tmem = use_tmem
+        multi_node = len(self.topology.nodes) > 1
+
+        # Shared domain ids keep "tmem_used/vm<id>" traces unique across
+        # nodes; with a single node the sequence matches the lone
+        # hypervisor's private counter exactly.
+        domid_counter = itertools.count(1)
+        vms_by_name = {vm.name: vm for vm in spec.vms}
+
+        self.nodes: Tuple[Node, ...] = tuple(
+            Node(
+                node_spec.name,
+                engine=engine,
+                config=config,
+                trace=trace,
+                rng_factory=rng_factory,
+                scenario_name=spec.name,
+                vm_specs=[vms_by_name[name] for name in node_spec.vm_names],
+                tmem_mb=node_spec.tmem_mb,
+                host_memory_mb=node_spec.effective_host_memory_mb(
+                    sum(vms_by_name[name].ram_mb for name in node_spec.vm_names)
+                ),
+                policy_spec=policy_spec,
+                use_tmem=use_tmem,
+                domid_allocator=lambda counter=domid_counter: next(counter),
+                free_trace_name=(
+                    f"tmem_free/{node_spec.name}" if multi_node else "tmem_free"
+                ),
+            )
+            for node_spec in self.topology.nodes
+        )
+        self._node_by_name: Dict[str, Node] = {
+            node.name: node for node in self.nodes
+        }
+
+        self.channel: Optional[InterNodeChannel] = None
+        self.remote_backends: Dict[str, RemoteTmemBackend] = {}
+        self.coordinator: Optional[ClusterPolicy] = None
+        self._capacity_moves = 0
+        self._last_pressure: Dict[str, Tuple[int, int]] = {}
+        self._cancel_rebalance = None
+
+        if multi_node and use_tmem:
+            self.channel = InterNodeChannel(
+                engine,
+                latency_s=self.topology.interconnect_latency_s,
+                bandwidth_bytes_s=self.topology.interconnect_bandwidth_bytes_s,
+                page_bytes=config.units.page_bytes,
+            )
+            if self.topology.remote_spill:
+                self._wire_remote_spill(domid_counter)
+            if self.topology.coordinator:
+                self.coordinator = create_coordinator(self.topology.coordinator)
+
+    # -- wiring ---------------------------------------------------------------
+    def _wire_remote_spill(self, domid_counter: "itertools.count") -> None:
+        assert self.channel is not None
+        backends = {
+            node.name: RemoteTmemBackend(
+                node.name, node.hypervisor, self.channel, trace=self.trace
+            )
+            for node in self.nodes
+        }
+        extra = backends[self.nodes[0].name].extra_latency_s
+        for node in self.nodes:
+            backend = backends[node.name]
+            for vm in node.vms.values():
+                backend.register_home_vm(vm.vm_id)
+                vm.kernel.set_remote_latency(extra)
+            peers = [
+                backends[other.name] for other in self.nodes if other is not node
+            ]
+            # The spill client is a cluster-internal pseudo-domain; its
+            # id comes from the shared allocator so it can never collide
+            # with a guest id on any node.
+            backend.connect(peers, spill_client_id=next(domid_counter))
+        self.remote_backends = backends
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> None:
+        for node in self.nodes:
+            node.start()
+        if self.coordinator is not None and len(self.nodes) > 1:
+            self._cancel_rebalance = self.engine.schedule_recurring(
+                self.topology.rebalance_interval_s,
+                self._rebalance,
+                priority=EventPriority.TIMER,
+                label="cluster-rebalance",
+            )
+
+    def finalize(self) -> None:
+        if self._cancel_rebalance is not None:
+            self._cancel_rebalance()
+            self._cancel_rebalance = None
+        for node in self.nodes:
+            node.finalize()
+
+    def check_invariants(self) -> None:
+        for node in self.nodes:
+            node.check_invariants()
+
+    def all_idle(self) -> bool:
+        return all(node.all_idle() for node in self.nodes)
+
+    # -- capacity rebalancing ---------------------------------------------------
+    def _node_views(self) -> List[NodeTmemView]:
+        views = []
+        for node in self.nodes:
+            host = node.hypervisor.host_memory
+            accounting = node.hypervisor.accounting
+            failed = sum(
+                account.cumul_puts_failed for account in accounting.accounts()
+            )
+            backend = self.remote_backends.get(node.name)
+            spilled = backend.stats.pages_spilled if backend else 0
+            prev_failed, prev_spilled = self._last_pressure.get(
+                node.name, (0, 0)
+            )
+            self._last_pressure[node.name] = (failed, spilled)
+            views.append(
+                NodeTmemView(
+                    name=node.name,
+                    capacity_pages=host.tmem_total_pages,
+                    used_pages=host.tmem_used_pages,
+                    free_pages=host.tmem_free_pages,
+                    failed_puts=failed - prev_failed,
+                    spilled_puts=spilled - prev_spilled,
+                    vm_count=len(node.vms),
+                )
+            )
+        return views
+
+    def _rebalance(self) -> None:
+        assert self.coordinator is not None
+        desired = self.coordinator.rebalance(self._node_views())
+        if not desired:
+            return
+        if self.channel is not None and self.channel.latency_s > 0:
+            # Decisions travel to the nodes over the interconnect.
+            self.channel.send(
+                "capacity-targets", desired, self._apply_capacities
+            )
+        else:
+            self._apply_capacities(desired)
+
+    def _apply_capacities(self, desired: Dict[str, int]) -> None:
+        """Resize node pools towards *desired*, honouring physical limits.
+
+        The move is transactional on the cluster total: only as much
+        capacity is granted to growing nodes as shrinking nodes can
+        actually free (a pool sheds free frames only), and vice versa,
+        so rebalancing never mints or strands enabled tmem.
+        """
+        shrinks: List[Tuple[Node, int]] = []
+        grows: List[Tuple[Node, int]] = []
+        for node in self.nodes:  # topology order keeps this deterministic
+            target = desired.get(node.name)
+            if target is None:
+                continue
+            host = node.hypervisor.host_memory
+            current = host.tmem_total_pages
+            if target < current:
+                feasible = min(current - target, host.tmem_free_pages)
+                if feasible > 0:
+                    shrinks.append((node, feasible))
+            elif target > current:
+                feasible = min(target - current, host.unassigned_pages)
+                if feasible > 0:
+                    grows.append((node, feasible))
+
+        budget = min(
+            sum(amount for _, amount in shrinks),
+            sum(amount for _, amount in grows),
+        )
+        if budget <= 0:
+            return
+
+        now = self.engine.now
+
+        def consume(
+            moves: List[Tuple[Node, int]], total: int, resize
+        ) -> None:
+            remaining = total
+            for node, amount in moves:
+                if remaining <= 0:
+                    break
+                step = min(amount, remaining)
+                resize(node.hypervisor.host_memory, step)
+                remaining -= step
+                self._capacity_moves += 1
+                self.trace.record(
+                    f"tmem_capacity/{node.name}",
+                    now,
+                    node.hypervisor.host_memory.tmem_total_pages,
+                )
+
+        consume(shrinks, budget, lambda host, pages: host.shrink_tmem_pool(pages))
+        consume(grows, budget, lambda host, pages: host.grow_tmem_pool(pages))
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def capacity_moves(self) -> int:
+        return self._capacity_moves
+
+    @property
+    def total_tmem_pages(self) -> int:
+        return sum(node.total_tmem_pages for node in self.nodes)
+
+    @property
+    def target_updates(self) -> int:
+        return sum(node.target_updates for node in self.nodes)
+
+    @property
+    def snapshots(self) -> int:
+        return sum(node.snapshots for node in self.nodes)
+
+    def merged_vms(self) -> Dict[str, "object"]:
+        """All VMs cluster-wide, keyed by name, in node/placement order."""
+        merged: Dict[str, "object"] = {}
+        for node in self.nodes:
+            merged.update(node.vms)
+        return merged
+
+    def describe_nodes(self) -> Dict[str, Dict[str, object]]:
+        """Per-node summary folded into ``ScenarioResult.cluster``."""
+        summary: Dict[str, Dict[str, object]] = {}
+        for node in self.nodes:
+            backend = self.remote_backends.get(node.name)
+            summary[node.name] = {
+                "vm_names": sorted(node.vms),
+                "tmem_pages_end": node.total_tmem_pages,
+                "spilled_puts": backend.stats.pages_spilled if backend else 0,
+                "remote_gets": backend.stats.pages_fetched if backend else 0,
+                "remote_flushes": backend.stats.pages_flushed if backend else 0,
+                "spill_failures": backend.stats.spill_failures if backend else 0,
+            }
+        return summary
+
+
+def clusterize(
+    spec: ScenarioSpec,
+    nodes: int,
+    *,
+    coordinator: Optional[str] = None,
+    **topology_kwargs,
+) -> ScenarioSpec:
+    """Replicate a single-host scenario onto an N-node cluster topology.
+
+    Every node receives a full copy of the scenario's VMs (names are
+    prefixed ``n<k>.``) and its own tmem pool of the original size;
+    phase triggers are replicated per node so each replica's internal
+    choreography is preserved, while a stop trigger keeps its original
+    cluster-wide meaning (watching the first node's replica).
+
+    Interconnect and rebalancing parameters (``remote_spill``,
+    ``interconnect_latency_s``, ``interconnect_bandwidth_bytes_s``,
+    ``rebalance_interval_s``) pass through to
+    :class:`~repro.scenarios.spec.ClusterTopology`, which owns their
+    defaults.
+    """
+    if nodes < 1:
+        raise ClusterError(f"clusterize needs nodes >= 1, got {nodes}")
+    if spec.topology is not None:
+        raise ClusterError(
+            f"scenario {spec.name!r} already has a cluster topology"
+        )
+
+    def prefixed(k: int, vm_name: str) -> str:
+        return f"n{k}.{vm_name}"
+
+    all_vms: List[VMSpec] = []
+    node_specs: List[NodeSpec] = []
+    triggers: List[PhaseTrigger] = []
+    for k in range(1, nodes + 1):
+        replica = [
+            replace(vm, name=prefixed(k, vm.name)) for vm in spec.vms
+        ]
+        all_vms.extend(replica)
+        node_specs.append(
+            NodeSpec(
+                name=f"node{k}",
+                vm_names=tuple(vm.name for vm in replica),
+                tmem_mb=spec.tmem_mb,
+                host_memory_mb=spec.host_memory_mb,
+            )
+        )
+        triggers.extend(
+            replace(
+                trigger,
+                watch_vm=prefixed(k, trigger.watch_vm),
+                start_vm=prefixed(k, trigger.start_vm),
+            )
+            for trigger in spec.phase_triggers
+            if trigger.start_vm
+        )
+    stop_trigger = spec.stop_trigger
+    if stop_trigger is not None:
+        stop_trigger = replace(
+            stop_trigger, watch_vm=prefixed(1, stop_trigger.watch_vm)
+        )
+
+    return replace(
+        spec,
+        name=f"{spec.name}@{nodes}nodes",
+        description=(
+            f"{nodes}-node cluster, each node running a replica of: "
+            f"{spec.description}"
+        ),
+        vms=tuple(all_vms),
+        phase_triggers=tuple(triggers),
+        stop_trigger=stop_trigger,
+        topology=ClusterTopology(
+            nodes=tuple(node_specs),
+            coordinator=coordinator,
+            **topology_kwargs,
+        ),
+    )

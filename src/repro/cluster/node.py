@@ -1,0 +1,229 @@
+"""One fully-assembled host of the simulated cluster.
+
+:class:`Node` is the single-host assembly that used to live inline in
+:class:`~repro.scenarios.runner.ScenarioRunner`, extracted so the same
+construction serves both topologies:
+
+* the runner builds exactly one ``Node`` for the classic single-host
+  scenarios (construction order, RNG stream names and trace names are
+  unchanged, so results are bit-identical to the pre-extraction runner);
+* :class:`~repro.cluster.cluster.Cluster` builds one ``Node`` per
+  :class:`~repro.scenarios.spec.NodeSpec` on a shared engine.
+
+A node owns its hypervisor (host memory, tmem pool, backend, sampler,
+swap disk), its guests, and — unless tmem is disabled — its control
+plane: the privileged-domain TKM, the two netlink channels and the
+Memory Manager running the node's policy instance.  Every node of a
+cluster runs its *own* policy instance built from the same spec string,
+mirroring one SmarTmem deployment per host.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..channels.netlink import NetlinkChannel
+from ..config import SimulationConfig
+from ..core.manager import MemoryManager
+from ..core.policy import TmemPolicy, create_policy
+from ..guest.tkm import PrivilegedTkm
+from ..guest.vm import VirtualMachine
+from ..hypervisor.xen import Hypervisor
+from ..scenarios.results import RunResult, VmResult
+from ..scenarios.spec import VMSpec, WorkloadSpec
+from ..sim.engine import SimulationEngine
+from ..sim.rng import RngFactory
+from ..sim.trace import TraceRecorder
+from ..workloads.base import Workload
+from ..workloads.registry import workload_class
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One host: hypervisor + guests + TKM + MM + netlink channels."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        engine: SimulationEngine,
+        config: SimulationConfig,
+        trace: TraceRecorder,
+        rng_factory: RngFactory,
+        scenario_name: str,
+        vm_specs: Sequence[VMSpec],
+        tmem_mb: int,
+        host_memory_mb: int,
+        policy_spec: str,
+        use_tmem: bool,
+        domid_allocator: Optional[Callable[[], int]] = None,
+        free_trace_name: str = "tmem_free",
+    ) -> None:
+        self.name = name
+        self.engine = engine
+        self.config = config
+        self.trace = trace
+        self.policy_spec = policy_spec
+        self._rng_factory = rng_factory
+        self._scenario_name = scenario_name
+        self._use_tmem = use_tmem
+
+        units = config.units
+        self.hypervisor = Hypervisor(
+            engine,
+            config,
+            host_memory_pages=units.pages_from_mib(host_memory_mb),
+            tmem_pool_pages=(0 if not use_tmem else units.pages_from_mib(tmem_mb)),
+            trace=trace,
+            domid_allocator=domid_allocator,
+            free_trace_name=free_trace_name,
+        )
+
+        self.policy: Optional[TmemPolicy] = None
+        self.manager: Optional[MemoryManager] = None
+        self.privileged_tkm: Optional[PrivilegedTkm] = None
+        self._stats_channel: Optional[NetlinkChannel] = None
+        self._target_channel: Optional[NetlinkChannel] = None
+
+        self.vms: Dict[str, VirtualMachine] = {}
+        self._build_vms(vm_specs)
+        if use_tmem:
+            self._build_control_plane()
+
+    # -- assembly ------------------------------------------------------------
+    def _workload_factory(
+        self, vm_spec: VMSpec, job: WorkloadSpec, job_index: int
+    ) -> Callable[[], Workload]:
+        workload_cls = workload_class(job.kind)
+        units = self.config.units
+        rng_name = f"{self._scenario_name}/{vm_spec.name}/{job.kind}/{job_index}"
+
+        def factory() -> Workload:
+            rng = self._rng_factory.stream(rng_name)
+            return workload_cls(units=units, rng=rng, **dict(job.params))
+
+        return factory
+
+    def _build_vms(self, vm_specs: Sequence[VMSpec]) -> None:
+        units = self.config.units
+        for vm_spec in vm_specs:
+            vm = VirtualMachine(
+                self.hypervisor,
+                self.engine,
+                self.config,
+                name=vm_spec.name,
+                ram_pages=vm_spec.ram_pages(units),
+                swap_pages=vm_spec.swap_pages(units),
+                vcpus=vm_spec.vcpus,
+                use_tmem=self._use_tmem,
+            )
+            for job_index, job in enumerate(vm_spec.jobs):
+                vm.add_job(
+                    self._workload_factory(vm_spec, job, job_index),
+                    start_at=job.start_at,
+                    delay_after_previous=job.delay_after_previous,
+                    label=job.display_label,
+                )
+            self.vms[vm_spec.name] = vm
+
+    def _build_control_plane(self) -> None:
+        relay_latency = self.config.sampling.relay_latency_s
+        writeback_latency = self.config.sampling.writeback_latency_s
+        self._stats_channel = NetlinkChannel(
+            self.engine, latency_s=relay_latency, name="netlink-stats"
+        )
+        self._target_channel = NetlinkChannel(
+            self.engine, latency_s=writeback_latency, name="netlink-targets"
+        )
+        self.privileged_tkm = PrivilegedTkm(
+            self.hypervisor,
+            stats_channel=self._stats_channel,
+            target_channel=self._target_channel,
+        )
+        self.policy = create_policy(self.policy_spec)
+        self.manager = MemoryManager(
+            self.policy,
+            stats_channel=self._stats_channel,
+            target_channel=self._target_channel,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def uses_tmem(self) -> bool:
+        return self._use_tmem
+
+    def start(self) -> None:
+        """Start the node's statistics sampler (if tmem is enabled)."""
+        if self._use_tmem:
+            self.hypervisor.start()
+
+    def finalize(self) -> None:
+        """Take the final statistics sample and stop the sampler."""
+        if self._use_tmem:
+            self.hypervisor.sampler.sample_now()
+            self.hypervisor.stop()
+
+    def check_invariants(self) -> None:
+        self.hypervisor.check_invariants()
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def total_tmem_pages(self) -> int:
+        return self.hypervisor.total_tmem_pages
+
+    @property
+    def target_updates(self) -> int:
+        return self.manager.stats.target_updates_sent if self.manager else 0
+
+    @property
+    def snapshots(self) -> int:
+        return len(self.hypervisor.sampler.history)
+
+    def all_idle(self) -> bool:
+        return all(vm.is_idle for vm in self.vms.values())
+
+    # -- result collection -----------------------------------------------------
+    def collect_vm_results(self) -> Dict[str, VmResult]:
+        """Build the per-VM result records for this node's guests."""
+        vm_results: Dict[str, VmResult] = {}
+        for name, vm in self.vms.items():
+            runs = tuple(
+                RunResult(
+                    vm_name=name,
+                    workload_name=run.workload_name,
+                    run_index=run.run_index,
+                    start_time_s=run.start_time,
+                    end_time_s=run.end_time if run.end_time is not None else float("nan"),
+                    duration_s=run.duration_s,
+                    stopped_early=run.stopped_early,
+                    phase_durations=dict(run.phase_durations),
+                    phase_order=tuple(run.phase_order),
+                )
+                for run in vm.runs
+                if run.finished
+            )
+            account = self.hypervisor.accounting.maybe_account(vm.vm_id)
+            kernel_stats = vm.kernel.stats
+            trace_name = f"tmem_used/vm{vm.vm_id}"
+            peak_tmem = 0
+            if trace_name in self.trace and len(self.trace.get(trace_name)):
+                peak_tmem = int(self.trace.get(trace_name).max())
+            vm_results[name] = VmResult(
+                vm_name=name,
+                vm_id=vm.vm_id,
+                runs=runs,
+                major_faults=kernel_stats.major_faults,
+                faults_from_tmem=kernel_stats.faults_from_tmem,
+                faults_from_disk=kernel_stats.faults_from_disk,
+                evictions_to_tmem=kernel_stats.evictions_to_tmem,
+                evictions_to_disk=kernel_stats.evictions_to_disk,
+                failed_tmem_puts=kernel_stats.failed_tmem_puts,
+                time_in_tmem_ops_s=kernel_stats.time_in_tmem_ops_s,
+                time_in_disk_io_s=kernel_stats.time_in_disk_io_s,
+                cumul_puts_total=account.cumul_puts_total if account else 0,
+                cumul_puts_succ=account.cumul_puts_succ if account else 0,
+                cumul_puts_failed=account.cumul_puts_failed if account else 0,
+                peak_tmem_pages=peak_tmem,
+            )
+        return vm_results

@@ -1,0 +1,288 @@
+"""Cluster-level tmem capacity coordination.
+
+The per-node policies (greedy, static-alloc, smart-alloc, ...) divide one
+node's tmem pool among that node's VMs.  A cluster adds a second layer of
+the same question one level up: how much tmem capacity should each *node*
+enable?  A node whose VMs overflow constantly (failed puts, remote
+spills) deserves a larger pool; a node whose pool sits idle can return
+fallow frames.
+
+Coordinator policies consume one :class:`NodeTmemView` per node per
+rebalancing round and produce a new capacity vector (node name -> tmem
+pages), or ``None`` for "leave everything alone".  They deliberately
+reuse the same machinery as the per-VM policies:
+
+* the rounding-exact helpers of :mod:`repro.core.targets`
+  (``equal_share`` / ``proportional_scale``), which guarantee the new
+  capacities sum to the cluster total, and
+* the ``name:key=value`` spec-string parsing of
+  :mod:`repro.core.policy`, so coordinators are selected exactly like
+  policies (``"pressure-prop:percent=25"``).
+
+The :class:`~repro.cluster.cluster.Cluster` applies the vector subject to
+physical limits — a node can only shrink by its *free* tmem frames and
+only grow into its own fallow DRAM — so coordinators may express intent
+without tracking per-node feasibility.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..errors import PolicyError, UnknownPolicyError
+from .policy import parse_policy_spec
+from .stats import TargetVector
+from .targets import equal_share, proportional_scale
+
+__all__ = [
+    "NodeTmemView",
+    "ClusterPolicy",
+    "register_coordinator",
+    "create_coordinator",
+    "available_coordinators",
+    "coordinator_spec_syntax",
+]
+
+
+@dataclass(frozen=True)
+class NodeTmemView:
+    """One node's tmem state as seen by the coordinator."""
+
+    name: str
+    #: Current size of the node's tmem pool, in pages.
+    capacity_pages: int
+    used_pages: int
+    free_pages: int
+    #: Puts the node's pool refused since the previous round.
+    failed_puts: int
+    #: Overflow puts the node spilled to peers since the previous round.
+    spilled_puts: int
+    vm_count: int
+
+    @property
+    def pressure(self) -> int:
+        """Demand the node could not serve locally this round."""
+        return self.failed_puts + self.spilled_puts
+
+
+class ClusterPolicy(ABC):
+    """Base class for cluster-level capacity coordinators."""
+
+    #: Registry name, set by :func:`register_coordinator`.
+    name: str = "abstract"
+
+    @abstractmethod
+    def rebalance(
+        self, views: Sequence[NodeTmemView]
+    ) -> Optional[Dict[str, int]]:
+        """Return the desired capacity per node, or ``None`` for no change.
+
+        The returned capacities must sum to the cluster's current total
+        (``sum(view.capacity_pages)``); the helpers from
+        :mod:`repro.core.targets` guarantee that by construction.
+        """
+
+    def reset(self) -> None:
+        """Forget internal state (between scenario runs)."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+def _views_as_vector(views: Sequence[NodeTmemView]) -> Tuple[Dict[int, str], int]:
+    """Index nodes for the TargetVector helpers; returns (index->name, total)."""
+    names = {index: view.name for index, view in enumerate(views)}
+    total = sum(view.capacity_pages for view in views)
+    return names, total
+
+
+class EqualShareCoordinator(ClusterPolicy):
+    """Split the cluster's total tmem capacity equally across nodes.
+
+    The cluster analogue of the paper's static-alloc: one deterministic
+    split.  The decision is compared against the *observed* capacities
+    (not against what was last emitted), because an application can be
+    partial — a donor node may have had no free frames to shed in some
+    round — and must then be retried until the pools actually equalize.
+    """
+
+    def rebalance(
+        self, views: Sequence[NodeTmemView]
+    ) -> Optional[Dict[str, int]]:
+        names, total = _views_as_vector(views)
+        shares = equal_share(list(names), total)
+        desired = {names[index]: value for index, value in shares.items()}
+        if all(desired[view.name] == view.capacity_pages for view in views):
+            return None
+        return desired
+
+
+class PressureProportionalCoordinator(ClusterPolicy):
+    """Move capacity towards the nodes that overflowed last round.
+
+    Each round the coordinator computes a smoothed pressure score per
+    node (an exponential moving average of failed + spilled puts, plus
+    one page of prior so idle nodes keep a foothold) and derives the
+    capacity split proportional to those scores with the same
+    largest-remainder rounding the per-VM targets use.  To avoid
+    thrashing, at most ``percent`` % of the cluster total may move per
+    round, and every node keeps at least ``floor`` (a fraction of its
+    equal share).
+    """
+
+    def __init__(
+        self,
+        percent: float = 10.0,
+        *,
+        smoothing: float = 0.5,
+        floor: float = 0.25,
+    ) -> None:
+        if not 0 < percent <= 100:
+            raise PolicyError(f"percent must be in (0, 100], got {percent}")
+        if not 0 < smoothing <= 1:
+            raise PolicyError(f"smoothing must be in (0, 1], got {smoothing}")
+        if not 0 <= floor < 1:
+            raise PolicyError(f"floor must be in [0, 1), got {floor}")
+        self.percent = float(percent)
+        self.smoothing = float(smoothing)
+        self.floor = float(floor)
+        self._scores: Dict[str, float] = {}
+
+    def reset(self) -> None:
+        self._scores.clear()
+
+    def rebalance(
+        self, views: Sequence[NodeTmemView]
+    ) -> Optional[Dict[str, int]]:
+        names, total = _views_as_vector(views)
+        if total == 0 or len(views) < 2:
+            return None
+
+        alpha = self.smoothing
+        for view in views:
+            previous = self._scores.get(view.name, 0.0)
+            self._scores[view.name] = (
+                (1 - alpha) * previous + alpha * float(view.pressure)
+            )
+
+        # Integer pressure weights with a +1 prior; proportional_scale
+        # then rounds them to an exact partition of the total.
+        weights = TargetVector(
+            {
+                index: int(round(self._scores[view.name] * 1024)) + 1
+                for index, view in enumerate(views)
+            }
+        )
+        floor_pages = int(self.floor * (total // len(views)))
+        movable = total - floor_pages * len(views)
+        if movable <= 0:
+            return None
+        scaled = proportional_scale(weights, movable)
+        desired = {
+            names[index]: floor_pages + value
+            for index, value in scaled.items()
+        }
+
+        # Rate-limit: cap each node's delta at percent% of the total.
+        max_move = max(1, int(total * self.percent / 100.0))
+        capped: Dict[str, int] = {}
+        for view in views:
+            want = desired[view.name]
+            delta = want - view.capacity_pages
+            if delta > max_move:
+                delta = max_move
+            elif delta < -max_move:
+                delta = -max_move
+            capped[view.name] = view.capacity_pages + delta
+        # Capping can unbalance the sum; shave/pad deterministically so
+        # the vector stays an exact partition of the total.  Room below
+        # the floor is clamped at zero (a rate-limited node may already
+        # sit under its floor), and padding is spread max_move-sized so
+        # the rate limit survives the repair; any residue goes to the
+        # first node — exactness of the partition outranks the limit.
+        ordered = sorted(views, key=lambda v: v.name)
+        drift = sum(capped.values()) - total
+        if drift > 0:
+            for allow_below_floor in (False, True):
+                for view in ordered:
+                    if drift <= 0:
+                        break
+                    room = capped[view.name] - (
+                        0 if allow_below_floor else floor_pages
+                    )
+                    take = min(drift, max(0, room))
+                    capped[view.name] -= take
+                    drift -= take
+        elif drift < 0:
+            deficit = -drift
+            for view in ordered:
+                if deficit <= 0:
+                    break
+                add = min(deficit, max_move)
+                capped[view.name] += add
+                deficit -= add
+            if deficit > 0:
+                capped[ordered[0].name] += deficit
+        if all(capped[v.name] == v.capacity_pages for v in views):
+            return None
+        return capped
+
+    def describe(self) -> str:
+        return f"{self.name}(percent={self.percent:g})"
+
+
+# ---------------------------------------------------------------------------
+# Registry (mirrors repro.core.policy, including the spec-string syntax)
+# ---------------------------------------------------------------------------
+_REGISTRY: Dict[str, Callable[..., ClusterPolicy]] = {}
+_SPEC_SYNTAX: Dict[str, str] = {}
+
+
+def register_coordinator(
+    name: str, *, spec_syntax: str = ""
+) -> Callable[[type], type]:
+    """Class decorator registering a coordinator under *name*."""
+
+    def decorator(cls: type) -> type:
+        if not issubclass(cls, ClusterPolicy):
+            raise PolicyError(f"{cls!r} is not a ClusterPolicy subclass")
+        _REGISTRY[name] = cls
+        _SPEC_SYNTAX[name] = spec_syntax or name
+        cls.name = name
+        return cls
+
+    return decorator
+
+
+def available_coordinators() -> Sequence[str]:
+    """Names of every registered coordinator policy."""
+    return tuple(sorted(_REGISTRY))
+
+
+def coordinator_spec_syntax() -> Dict[str, str]:
+    """Coordinator name -> human-readable parametric spec syntax."""
+    return dict(_SPEC_SYNTAX)
+
+
+def create_coordinator(spec: str, **extra_kwargs) -> ClusterPolicy:
+    """Instantiate a coordinator from ``"name:key=value,..."``."""
+    name, kwargs = parse_policy_spec(spec)
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownPolicyError(
+            f"unknown coordinator {name!r}; available: "
+            f"{', '.join(available_coordinators())}"
+        ) from None
+    kwargs.update(extra_kwargs)
+    return factory(**kwargs)
+
+
+register_coordinator("equal-share")(EqualShareCoordinator)
+register_coordinator(
+    "pressure-prop",
+    spec_syntax="pressure-prop:percent=<max % moved per round>"
+    "[,smoothing=<0..1>,floor=<0..1>]",
+)(PressureProportionalCoordinator)

@@ -40,7 +40,11 @@ __all__ = ["SmartAllocPolicy"]
 DEFAULT_THRESHOLD_FRACTION = 0.05
 
 
-@register_policy("smart-alloc")
+@register_policy(
+    "smart-alloc",
+    spec_syntax="smart-alloc:P=<percent>[,threshold_pages=<pages>"
+    ",threshold_fraction=<0..1>]",
+)
 class SmartAllocPolicy(TmemPolicy):
     """Demand-driven target adaptation (Algorithm 4)."""
 

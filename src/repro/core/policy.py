@@ -27,6 +27,7 @@ __all__ = [
     "register_policy",
     "create_policy",
     "available_policies",
+    "policy_spec_syntax",
     "parse_policy_spec",
 ]
 
@@ -92,15 +93,25 @@ class TmemPolicy(ABC):
 # Registry
 # ---------------------------------------------------------------------------
 _REGISTRY: Dict[str, Callable[..., TmemPolicy]] = {}
+#: Policy name -> human-readable parametric spec syntax, shown by
+#: ``smartmem list`` so users can discover the tunables without reading
+#: the constructors.
+_SPEC_SYNTAX: Dict[str, str] = {}
 
 
-def register_policy(name: str) -> Callable[[type], type]:
-    """Class decorator registering a policy under *name*."""
+def register_policy(name: str, *, spec_syntax: str = "") -> Callable[[type], type]:
+    """Class decorator registering a policy under *name*.
+
+    ``spec_syntax`` documents the policy's parametric spec string (e.g.
+    ``"smart-alloc:P=<percent>"``); it defaults to the bare name for
+    parameter-less policies.
+    """
 
     def decorator(cls: type) -> type:
         if not issubclass(cls, TmemPolicy):
             raise PolicyError(f"{cls!r} is not a TmemPolicy subclass")
         _REGISTRY[name] = cls
+        _SPEC_SYNTAX[name] = spec_syntax or name
         cls.name = name
         return cls
 
@@ -110,6 +121,11 @@ def register_policy(name: str) -> Callable[[type], type]:
 def available_policies() -> Sequence[str]:
     """Names of every registered policy."""
     return tuple(sorted(_REGISTRY))
+
+
+def policy_spec_syntax() -> Dict[str, str]:
+    """Policy name -> parametric spec syntax (registration metadata)."""
+    return dict(_SPEC_SYNTAX)
 
 
 def parse_policy_spec(spec: str) -> tuple[str, Dict[str, float]]:

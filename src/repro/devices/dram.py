@@ -93,6 +93,23 @@ class HostMemory:
             )
         self._tmem.total += pages
 
+    def shrink_tmem_pool(self, pages: int) -> None:
+        """Return *pages* free tmem frames to the fallow region.
+
+        Only frames that are currently free may leave the pool — the
+        hypervisor never forcibly reclaims stored pages — so callers
+        (the cluster coordinator) must bound their request by
+        :attr:`tmem_free_pages`.
+        """
+        if pages <= 0:
+            raise ConfigurationError(f"tmem pool shrink must be > 0, got {pages}")
+        if pages > self._tmem.free:
+            raise TmemPoolError(
+                f"cannot shrink tmem pool by {pages}: only "
+                f"{self._tmem.free} free frames in the pool"
+            )
+        self._tmem.total -= pages
+
     @property
     def tmem_total_pages(self) -> int:
         return self._tmem.total

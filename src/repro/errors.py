@@ -27,6 +27,7 @@ __all__ = [
     "WorkloadError",
     "AnalysisError",
     "ExperimentError",
+    "ClusterError",
 ]
 
 
@@ -115,3 +116,7 @@ class AnalysisError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment sweep was mis-specified or a stored result is missing."""
+
+
+class ClusterError(ReproError):
+    """A multi-node cluster topology is invalid or inconsistently wired."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Iterator, List, Sequence, Tuple, Union
 
@@ -61,14 +62,19 @@ class ResultStore:
             envelope = json.loads(path.read_text())
         except (OSError, ValueError) as exc:
             raise ExperimentError(f"cannot read result file {path}: {exc}") from exc
-        version = envelope.get("format_version")
+        version = envelope.get("format_version") if isinstance(envelope, dict) else None
         if version != FORMAT_VERSION:
             raise ExperimentError(
                 f"{path}: unsupported result format version {version!r} "
                 f"(expected {FORMAT_VERSION})"
             )
-        point = ExperimentPoint.from_dict(envelope["point"])
-        result = ScenarioResult.from_dict(envelope["result"])
+        try:
+            point = ExperimentPoint.from_dict(envelope["point"])
+            result = ScenarioResult.from_dict(envelope["result"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"{path}: malformed result envelope: {exc!r}"
+            ) from exc
         return point, result
 
     def load(self, point: ExperimentPoint) -> ScenarioResult:
@@ -98,10 +104,22 @@ class ResultStore:
         return [point for point in points if not self.contains(point)]
 
     def _iter(self) -> Iterator[Tuple[ExperimentPoint, ScenarioResult]]:
+        """Iterate readable results; warn about (and skip) corrupt files.
+
+        Bulk loading is best-effort on purpose: one truncated file from a
+        killed sweep must not make the whole archive unreadable.  Direct
+        addressing via :meth:`load` stays strict.
+        """
         if not self.root.exists():
             return
         for path in sorted(self.root.glob("*.json")):
-            yield self._read(path)
+            try:
+                yield self._read(path)
+            except ExperimentError as exc:
+                warnings.warn(
+                    f"skipping unreadable result file {path}: {exc}",
+                    stacklevel=2,
+                )
 
     def __len__(self) -> int:
         if not self.root.exists():

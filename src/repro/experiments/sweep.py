@@ -16,9 +16,11 @@ interrupted sweep loses at most the in-flight points.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..errors import ExperimentError
 from ..scenarios.results import ScenarioResult
 from .backends import ExecutionBackend, SerialBackend
 from .spec import ExperimentPoint, SweepSpec
@@ -97,7 +99,20 @@ def run_sweep(
     todo: List[ExperimentPoint] = []
     for point in points:
         if store is not None and resume and store.contains(point):
-            result = store.load(point)
+            try:
+                result = store.load(point)
+            except ExperimentError as exc:
+                # A truncated or corrupted point file (e.g. from a sweep
+                # killed mid-write on a non-atomic filesystem) must not
+                # sink the whole sweep: warn, re-simulate the point, and
+                # let the fresh save overwrite the bad file.
+                warnings.warn(
+                    f"ignoring unreadable stored result for {point}: {exc}; "
+                    "the point will be re-run",
+                    stacklevel=2,
+                )
+                todo.append(point)
+                continue
             reused[point] = result
             if progress is not None:
                 progress(point, result, True)

@@ -304,11 +304,15 @@ class FrontswapBatch:
         self._get_pages = []
         self._flushes = 0
 
-    def execute(self, *, now: float) -> List[bool]:
+    def execute(self, *, now: float) -> List[int]:
         """Ship the staged operations in one hypercall and apply effects.
 
-        Returns one success flag per staged operation, in staging order;
-        the staging area is reset so the batch object can be reused for
+        Returns one status per staged operation, in staging order: ``0``
+        for a failure, ``1`` for a local success and ``2`` for an
+        operation serviced remotely by a peer node (all truthy values
+        are successes; the guest kernel's latency replay uses the
+        distinction to charge the network cost of remote operations).
+        The staging area is reset so the batch object can be reused for
         the remainder of the burst.
         """
         if not self._ops:
@@ -360,12 +364,12 @@ class FrontswapBatch:
                     if opcode == BATCH_FLUSH:
                         stored.pop(page, None)
                 stats.invalidates += self._flushes
-            succeeded = [True] * len(self._ops)
+            succeeded = [1] * len(self._ops)
             self._reset()
             return succeeded
 
         stored_pop = stored.pop
-        succeeded = []
+        succeeded: List[int] = []
         append = succeeded.append
         get_versions = result.get_versions
         get_cursor = 0
@@ -377,14 +381,14 @@ class FrontswapBatch:
             if opcode == BATCH_PUT:
                 if status:
                     stored[page] = version
-                    append(True)
+                    append(status)
                 else:
-                    append(False)
+                    append(0)
             elif opcode == BATCH_GET:
                 got_version = get_versions[get_cursor]
                 get_cursor += 1
                 if not status:
-                    append(False)
+                    append(0)
                     client.stats.failed_loads += 1
                     if page in stored:
                         raise GuestError(
@@ -399,13 +403,15 @@ class FrontswapBatch:
                         f"stale data (version {got_version} != {expected})"
                     )
                 loads += 1
-                append(True)
+                append(status)
             else:  # BATCH_FLUSH
                 stored_pop(page, None)
                 invalidates += 1
-                append(bool(status))
-        stats.succ_stores += result.puts_succ
-        stats.failed_stores += result.puts_total - result.puts_succ
+                append(1 if status else 0)
+        # Remote-spilled puts succeeded from the guest's point of view
+        # (the page is preserved, just on a peer node's pool).
+        stats.succ_stores += result.puts_succ + result.puts_remote
+        stats.failed_stores += result.puts_failed
         stats.loads += loads
         stats.invalidates += invalidates
         self._reset()

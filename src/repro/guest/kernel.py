@@ -146,6 +146,11 @@ class GuestKernel:
         self._swap = SwapArea(swap_pages)
         self._known_pages: set[int] = set()
         self._batched = config.guest.access_engine == "batched"
+        #: Extra latency of a remote (peer-node) tmem put/get; installed
+        #: by the cluster wiring, 0 on single hosts.  Must equal the
+        #: hypercall layer's ``remote_extra_latency_s`` so the batched
+        #: replay charges exactly what the scalar path is charged.
+        self._remote_extra_s = 0.0
         self.stats = GuestMemStats()
 
     # -- introspection ---------------------------------------------------------
@@ -176,6 +181,14 @@ class GuestKernel:
 
     def is_resident(self, page: int) -> bool:
         return page in self._resident
+
+    def set_remote_latency(self, extra_latency_s: float) -> None:
+        """Install the per-operation network cost of remote tmem ops."""
+        if extra_latency_s < 0:
+            raise ConfigurationError(
+                f"remote latency must be >= 0, got {extra_latency_s}"
+            )
+        self._remote_extra_s = float(extra_latency_s)
 
     def memory_footprint_pages(self) -> int:
         """Pages the workload has touched and not freed (any location)."""
@@ -400,7 +413,7 @@ class GuestKernel:
         victims = resident.select_victims(victims_needed)
         plan: List[Tuple[int, int, int]] = []
         append_plan = plan.append
-        statuses: List[bool] = []
+        statuses: List[int] = []
 
         if fs is not None:
             in_tmem = list(map(fs.held_pages.__contains__, misses))
@@ -477,7 +490,7 @@ class GuestKernel:
         usable = self._usable_ram
 
         plan: List[Tuple[int, int, int]] = []  # (event kind, page, op index)
-        statuses: List[bool] = []
+        statuses: List[int] = []
         batch = fs.begin_batch() if fs is not None else None
         #: victim page -> global op index of its staged (unresolved) put.
         pending_puts: dict[int, int] = {}
@@ -544,7 +557,7 @@ class GuestKernel:
     def _replay_plan(
         self,
         plan: List[Tuple[int, int, int]],
-        statuses: List[bool],
+        statuses: List[int],
         now: float,
         outcome: AccessOutcome,
     ) -> None:
@@ -559,6 +572,11 @@ class GuestKernel:
         put_lat = config.tmem_put_latency_s
         fail_lat = config.tmem_failed_put_latency_s
         get_lat = config.tmem_get_latency_s
+        # Remote ops must accumulate as the single float the hypercall
+        # layer returns on the scalar path (base + extra in one add), or
+        # the engines would drift by rounding order.
+        remote_put_lat = put_lat + self._remote_extra_s
+        remote_get_lat = get_lat + self._remote_extra_s
         fault_overhead = config.guest.fault_overhead_s
         disk = self._disk
         disk_write = disk.write
@@ -580,9 +598,11 @@ class GuestKernel:
         for kind, page, op_index in plan:
             if kind == _EV_TMEM:
                 evictions += 1
-                if statuses[op_index]:
-                    acc += put_lat
-                    tmem_time += put_lat
+                status = statuses[op_index]
+                if status:
+                    lat = put_lat if status == 1 else remote_put_lat
+                    acc += lat
+                    tmem_time += lat
                     evictions_to_tmem += 1
                 else:
                     acc += fail_lat
@@ -603,8 +623,9 @@ class GuestKernel:
             elif kind == _F_TMEM:
                 major += 1
                 acc += fault_overhead
-                acc += get_lat
-                tmem_time += get_lat
+                lat = get_lat if statuses[op_index] == 1 else remote_get_lat
+                acc += lat
+                tmem_time += lat
                 swap_discard(page)
                 from_tmem += 1
             elif kind == _F_SWAP:

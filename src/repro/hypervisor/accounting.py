@@ -46,16 +46,32 @@ class VmTmemAccount:
     gets_total: int = 0
     #: Flushes issued during the current sampling interval.
     flushes_total: int = 0
+    #: Puts refused locally but absorbed by a peer node's pool during the
+    #: current sampling interval (remote-tmem spill; 0 on single hosts).
+    puts_remote: int = 0
     #: Lifetime counters (never reset), used for analysis only.
     cumul_puts_total: int = 0
     cumul_puts_succ: int = 0
     cumul_puts_failed: int = 0
     cumul_gets_total: int = 0
     cumul_flushes_total: int = 0
+    cumul_puts_remote: int = 0
+    #: Cluster-internal pseudo-domains (the remote-tmem spill client) are
+    #: accounted for invariant checking but hidden from the statistics
+    #: sampler, so per-node policies never see them as VMs and never
+    #: install targets on them.
+    internal: bool = False
 
     @property
     def puts_failed(self) -> int:
-        """Failed puts during the current sampling interval."""
+        """Locally refused puts during the current sampling interval.
+
+        Remote-spilled puts count here on purpose: the *local* pool did
+        refuse them, and that refusal is the pressure signal the per-node
+        policies act on (a spilling VM should still grow its local
+        target).  Whether the page then reached a peer instead of the
+        swap disk is tracked separately in :attr:`puts_remote`.
+        """
         return self.puts_total - self.puts_succ
 
     @property
@@ -68,6 +84,7 @@ class VmTmemAccount:
         self.puts_succ = 0
         self.gets_total = 0
         self.flushes_total = 0
+        self.puts_remote = 0
 
 
 @dataclass
@@ -87,10 +104,10 @@ class HypervisorAccounting:
         self._vms: Dict[int, VmTmemAccount] = {}
 
     # -- VM registration ------------------------------------------------------
-    def register_vm(self, vm_id: int) -> VmTmemAccount:
+    def register_vm(self, vm_id: int, *, internal: bool = False) -> VmTmemAccount:
         if vm_id in self._vms:
             raise HypercallError(f"VM {vm_id} is already registered with tmem")
-        account = VmTmemAccount(vm_id=vm_id)
+        account = VmTmemAccount(vm_id=vm_id, internal=internal)
         self._vms[vm_id] = account
         return account
 
@@ -124,7 +141,8 @@ class HypervisorAccounting:
 
     @property
     def vm_count(self) -> int:
-        return len(self._vms)
+        """Registered guest VMs (cluster-internal accounts excluded)."""
+        return sum(1 for acc in self._vms.values() if not acc.internal)
 
     # -- node info --------------------------------------------------------------
     def node_info(self) -> NodeInfo:

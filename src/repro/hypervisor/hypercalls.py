@@ -106,11 +106,17 @@ class HypercallInterface:
         """Issue a put; returns (result, latency charged to the guest)."""
         self._require_registered(vm_id)
         result = self._backend.put(vm_id, pool_id, key, version=version, now=now)
-        latency = (
-            self._config.tmem_put_latency_s
-            if result.succeeded
-            else self._config.tmem_failed_put_latency_s
-        )
+        if result.remote:
+            # Spilled to a peer node: the page pays the interconnect's
+            # round trip + transfer on top of the ordinary put cost.
+            latency = (
+                self._config.tmem_put_latency_s
+                + self._backend.remote_extra_latency_s
+            )
+        elif result.succeeded:
+            latency = self._config.tmem_put_latency_s
+        else:
+            latency = self._config.tmem_failed_put_latency_s
         self.stats_for(vm_id).charge("put", latency)
         return result, latency
 
@@ -120,11 +126,15 @@ class HypercallInterface:
         """Issue a get; returns (result, latency charged to the guest)."""
         self._require_registered(vm_id)
         result = self._backend.get(vm_id, pool_id, key)
-        latency = (
-            self._config.tmem_get_latency_s
-            if result.succeeded
-            else self._config.tmem_failed_put_latency_s
-        )
+        if result.remote:
+            latency = (
+                self._config.tmem_get_latency_s
+                + self._backend.remote_extra_latency_s
+            )
+        elif result.succeeded:
+            latency = self._config.tmem_get_latency_s
+        else:
+            latency = self._config.tmem_failed_put_latency_s
         self.stats_for(vm_id).charge("get", latency)
         return result, latency
 
@@ -167,9 +177,16 @@ class HypercallInterface:
         self._require_registered(vm_id)
         result = self._backend.execute_batch(vm_id, pool_id, ops, now=now)
         stats = self.stats_for(vm_id)
+        remote_extra = (
+            self._backend.remote_extra_latency_s
+            if (result.puts_remote or result.gets_remote)
+            else 0.0
+        )
         puts_failed = result.puts_failed
         put_latency = (
-            result.puts_succ * self._config.tmem_put_latency_s
+            (result.puts_succ + result.puts_remote)
+            * self._config.tmem_put_latency_s
+            + result.puts_remote * remote_extra
             + puts_failed * self._config.tmem_failed_put_latency_s
         )
         stats.charge_many("put", result.puts_total, put_latency)
@@ -177,6 +194,7 @@ class HypercallInterface:
         gets_failed = result.gets_failed
         get_latency = (
             (result.gets_total - gets_failed) * self._config.tmem_get_latency_s
+            + result.gets_remote * remote_extra
             + gets_failed * self._config.tmem_failed_put_latency_s
         )
         stats.charge_many("get", result.gets_total, get_latency)

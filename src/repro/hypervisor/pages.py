@@ -10,18 +10,24 @@ in :mod:`repro.guest.addressing`.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 
 from ..errors import TmemKeyError
 
 __all__ = ["PageKey", "TmemPage", "make_page_key", "make_tmem_page"]
 
+#: ``@dataclass(slots=True)`` needs Python 3.10; on 3.9 (the oldest
+#: version CI exercises) we fall back to ordinary dataclasses — the slot
+#: layout is a memory optimisation, not a semantic requirement.
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
+
 #: Upper bounds from the tmem ABI: 64-bit object id, 32-bit page index.
 MAX_OBJECT_ID = 2**64 - 1
 MAX_PAGE_INDEX = 2**32 - 1
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, **_SLOTS)
 class PageKey:
     """The (pool, object, index) triple identifying one tmem page."""
 
@@ -83,7 +89,7 @@ def make_tmem_page(
     return page
 
 
-@dataclass(slots=True)
+@dataclass(**_SLOTS)
 class TmemPage:
     """One page held in the hypervisor's tmem pool.
 

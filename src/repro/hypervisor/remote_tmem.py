@@ -1,0 +1,293 @@
+"""Remote-tmem spill backend (RAMster-style cross-node tmem).
+
+On a single host an overflow put — one the local pool refuses because the
+VM reached its target or the pool ran out of frames — falls back to the
+guest's swap disk.  In a cluster, idle tmem on *peer* nodes is a far
+better fallback: a page copy over the interconnect costs microseconds
+while a disk swap costs milliseconds.  This module adds that path.
+
+Each node owns one :class:`RemoteTmemBackend`, attached to the node's
+local :class:`~repro.hypervisor.tmem_backend.TmemBackend` via its
+``remote`` slot.  The local backend consults it only on failure paths:
+
+* an overflow **put** is offered to the peer with the most free tmem and,
+  if any peer admits it, stored in that peer's *spill pool* — a dedicated
+  tmem pool owned by a cluster-internal "spill client" domain, so the
+  peer's own accounting and invariants keep holding;
+* a **get** that misses locally is looked up in the spill index and
+  fetched (exclusively) from the peer that holds it;
+* **flushes** chase remote copies the same way, so guest frees and VM
+  teardown cannot leak frames on peers.
+
+Spilled pages keep their guest-assigned versions, so the frontswap
+consistency checks (stale/vanished page detection) extend across the
+interconnect unchanged.  Every remote put/get pays the
+:class:`~repro.channels.internode.InterNodeChannel` round-trip plus one
+page transfer on top of the ordinary hypercall cost.
+
+Keys in a spill pool are namespaced by the *source VM*: the spill object
+id is ``vm_id * 2**32 + object_id``, which is collision-free because
+cluster domain ids are globally unique and guest object ids fit in 32
+bits (they derive from 32-bit page indexes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..channels.internode import InterNodeChannel
+from ..errors import ClusterError
+from .pages import make_page_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..sim.trace import TraceRecorder
+    from .xen import Hypervisor
+
+__all__ = ["RemoteTmemStats", "RemoteTmemBackend"]
+
+#: Namespace stride for spill-pool object ids (see module docstring).
+_SPILL_OBJECT_STRIDE = 2 ** 32
+
+
+@dataclass
+class RemoteTmemStats:
+    """Spill activity of one node (its home VMs' remote traffic)."""
+
+    #: Overflow puts absorbed by a peer node.
+    pages_spilled: int = 0
+    #: Remote gets served back from a peer node.
+    pages_fetched: int = 0
+    #: Remote copies invalidated by guest flushes / VM teardown.
+    pages_flushed: int = 0
+    #: Overflow puts no peer could absorb (fell through to the swap disk).
+    spill_failures: int = 0
+
+    @property
+    def pages_resident_remote(self) -> int:
+        """Remote copies currently alive somewhere in the cluster."""
+        return self.pages_spilled - self.pages_fetched - self.pages_flushed
+
+
+class RemoteTmemBackend:
+    """Node-scoped remote-tmem port: spills overflow to peer nodes.
+
+    One instance exists per cluster node.  It plays two roles:
+
+    * for its **home VMs** it routes overflow puts to peers and tracks
+      where every remote copy lives (the spill index);
+    * for its **peers** it hosts their spilled pages in a local spill
+      pool, admission-limited only by this node's free tmem frames.
+    """
+
+    def __init__(
+        self,
+        node_name: str,
+        hypervisor: "Hypervisor",
+        channel: InterNodeChannel,
+        *,
+        trace: Optional["TraceRecorder"] = None,
+    ) -> None:
+        self.node_name = node_name
+        self._hypervisor = hypervisor
+        self._channel = channel
+        self._trace = trace
+        self._home_vms: set = set()
+        self._peers: List["RemoteTmemBackend"] = []
+        self._spill_client_id: Optional[int] = None
+        self._spill_pool_id: Optional[int] = None
+        #: vm_id -> object_id -> {page index -> hosting peer backend}.
+        self._spill_index: Dict[int, Dict[int, Dict[int, "RemoteTmemBackend"]]] = {}
+        #: Extra latency of one remote put/get (precomputed once so the
+        #: guest replay and the hypercall layer add the exact same float).
+        self.extra_latency_s = channel.round_trip_cost_s(1)
+        self.stats = RemoteTmemStats()
+
+    # -- wiring -------------------------------------------------------------
+    def register_home_vm(self, vm_id: int) -> None:
+        """Mark *vm_id* as homed on this node (eligible for spilling)."""
+        self._home_vms.add(vm_id)
+
+    def connect(
+        self, peers: List["RemoteTmemBackend"], spill_client_id: int
+    ) -> None:
+        """Finish wiring once every node of the cluster exists.
+
+        Registers the cluster's spill client with this node's accounting,
+        creates the local spill pool that will host peers' overflow, and
+        attaches this port to the local tmem backend's failure paths.
+        """
+        if self._spill_client_id is not None:
+            raise ClusterError(f"node {self.node_name!r} is already connected")
+        if any(peer is self for peer in peers):
+            raise ClusterError(
+                f"node {self.node_name!r} cannot be its own spill peer"
+            )
+        self._peers = list(peers)
+        self._spill_client_id = spill_client_id
+        # Internal: accounted for the frame-pool invariants, but hidden
+        # from the sampler so per-node policies never target it and
+        # spill admission stays bounded by free frames only.
+        self._hypervisor.accounting.register_vm(spill_client_id, internal=True)
+        pool = self._hypervisor.store.create_pool(spill_client_id, persistent=True)
+        self._spill_pool_id = pool.pool_id
+        self._hypervisor.backend.remote = self
+
+    # -- hosting side (called by peers) -------------------------------------
+    @property
+    def free_tmem_pages(self) -> int:
+        return self._hypervisor.free_tmem_pages
+
+    def accept_spill(
+        self, spill_object_id: int, index: int, version: int, now: float
+    ) -> bool:
+        """Store one foreign page in this node's spill pool."""
+        assert self._spill_client_id is not None
+        key = make_page_key(self._spill_pool_id, spill_object_id, index)
+        result = self._hypervisor.backend.put(
+            self._spill_client_id, self._spill_pool_id, key,
+            version=version, now=now,
+        )
+        # The spill client has no mm_target, so admission is bounded by
+        # free frames only; a refusal here simply means this peer is full.
+        return result.succeeded and not result.remote
+
+    def fetch_spill(self, spill_object_id: int, index: int) -> Optional[int]:
+        """Exclusively fetch one foreign page back; returns its version."""
+        assert self._spill_client_id is not None
+        key = make_page_key(self._spill_pool_id, spill_object_id, index)
+        result = self._hypervisor.backend.get(
+            self._spill_client_id, self._spill_pool_id, key
+        )
+        if not result.succeeded or result.remote:
+            return None
+        return result.version
+
+    def drop_spill(self, spill_object_id: int, index: int) -> bool:
+        """Invalidate one foreign page held in the local spill pool."""
+        assert self._spill_client_id is not None
+        key = make_page_key(self._spill_pool_id, spill_object_id, index)
+        result = self._hypervisor.backend.flush_page(
+            self._spill_client_id, self._spill_pool_id, key
+        )
+        return result.succeeded and not result.remote
+
+    # -- spilling side (called by the local TmemBackend on failure paths) ----
+    def spill_put(
+        self, vm_id: int, object_id: int, index: int, version: int, now: float
+    ) -> bool:
+        """Try to place an overflow put on a peer; True when absorbed."""
+        if vm_id not in self._home_vms or not self._peers:
+            return False
+        spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
+        objects = self._spill_index.setdefault(vm_id, {})
+        slots = objects.setdefault(object_id, {})
+
+        holder = slots.get(index)
+        if holder is not None:
+            # Replace in place on the peer already holding this page.
+            if holder.accept_spill(spill_object, index, version, now):
+                self._note_spill(now)
+                return True
+            return False
+
+        # Prefer the peer with the most free tmem; ties keep wiring order
+        # so the choice is deterministic.
+        for peer in sorted(
+            self._peers, key=lambda p: -p.free_tmem_pages
+        ):
+            if peer.accept_spill(spill_object, index, version, now):
+                slots[index] = peer
+                self._note_spill(now)
+                return True
+        if not slots:
+            del objects[object_id]
+        self.stats.spill_failures += 1
+        return False
+
+    def remote_get(self, vm_id: int, object_id: int, index: int) -> Optional[int]:
+        """Fetch a remote copy back (exclusive); returns its version."""
+        objects = self._spill_index.get(vm_id)
+        if objects is None:
+            return None
+        slots = objects.get(object_id)
+        if slots is None:
+            return None
+        peer = slots.get(index)
+        if peer is None:
+            return None
+        version = peer.fetch_spill(
+            vm_id * _SPILL_OBJECT_STRIDE + object_id, index
+        )
+        if version is None:
+            raise ClusterError(
+                f"node {self.node_name!r}: spill index said VM {vm_id} page "
+                f"({object_id}, {index}) lives on {peer.node_name!r} but the "
+                "peer does not hold it"
+            )
+        del slots[index]
+        if not slots:
+            del objects[object_id]
+        self.stats.pages_fetched += 1
+        self._channel.note_transfer(1)
+        return version
+
+    def remote_flush(self, vm_id: int, object_id: int, index: int) -> bool:
+        """Invalidate one remote copy; True when one existed."""
+        objects = self._spill_index.get(vm_id)
+        if objects is None:
+            return False
+        slots = objects.get(object_id)
+        if slots is None:
+            return False
+        peer = slots.pop(index, None)
+        if peer is None:
+            return False
+        if not slots:
+            del objects[object_id]
+        peer.drop_spill(vm_id * _SPILL_OBJECT_STRIDE + object_id, index)
+        self.stats.pages_flushed += 1
+        return True
+
+    def remote_flush_object(self, vm_id: int, object_id: int) -> int:
+        """Invalidate every remote copy of one object; returns the count."""
+        objects = self._spill_index.get(vm_id)
+        if objects is None:
+            return 0
+        slots = objects.pop(object_id, None)
+        if not slots:
+            return 0
+        spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
+        for index, peer in slots.items():
+            peer.drop_spill(spill_object, index)
+        flushed = len(slots)
+        self.stats.pages_flushed += flushed
+        return flushed
+
+    def flush_vm(self, vm_id: int) -> int:
+        """Drop every remote copy of one VM (teardown); returns the count."""
+        objects = self._spill_index.pop(vm_id, None)
+        if not objects:
+            return 0
+        flushed = 0
+        for object_id, slots in objects.items():
+            spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
+            for index, peer in slots.items():
+                peer.drop_spill(spill_object, index)
+            flushed += len(slots)
+        self.stats.pages_flushed += flushed
+        return flushed
+
+    # -- introspection -------------------------------------------------------
+    def remote_pages_of(self, vm_id: int) -> int:
+        """Remote copies currently held for one home VM."""
+        objects = self._spill_index.get(vm_id, {})
+        return sum(len(slots) for slots in objects.values())
+
+    def _note_spill(self, now: float) -> None:
+        self.stats.pages_spilled += 1
+        self._channel.note_transfer(1)
+        if self._trace is not None:
+            self._trace.record(
+                f"remote_spill/{self.node_name}", now, self.stats.pages_spilled
+            )

@@ -95,6 +95,10 @@ class TmemOpResult:
     version: Optional[int] = None
     #: Pages released by a flush-object operation.
     pages_flushed: int = 0
+    #: True when the operation was serviced by a peer node's pool
+    #: (remote-tmem spill); the hypercall layer then adds the modeled
+    #: network cost to the latency charged to the guest.
+    remote: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -114,8 +118,11 @@ class TmemBatchResult:
 
     vm_id: int
     all_succeeded: bool = False
-    #: Plain ints (1 = S_TMEM, 0 = E_TMEM) — enum members would cost a
-    #: construction/branch per page on the hottest loop of the simulator.
+    #: Plain ints (1 = S_TMEM, 0 = E_TMEM, 2 = serviced remotely) — enum
+    #: members would cost a construction/branch per page on the hottest
+    #: loop of the simulator.  Remote successes are truthy like local
+    #: ones; the distinct value lets the guest's latency replay charge
+    #: the network cost for exactly the remote operations.
     statuses: List[int] = field(default_factory=list)
     get_versions: List[Optional[int]] = field(default_factory=list)
     puts_total: int = 0
@@ -123,10 +130,14 @@ class TmemBatchResult:
     gets_total: int = 0
     gets_failed: int = 0
     flushes_total: int = 0
+    #: Operations absorbed by / served from a peer node (clusters only).
+    puts_remote: int = 0
+    gets_remote: int = 0
 
     @property
     def puts_failed(self) -> int:
-        return self.puts_total - self.puts_succ
+        """Puts that failed outright (local refusal *and* no remote spill)."""
+        return self.puts_total - self.puts_succ - self.puts_remote
 
 
 class TmemBackend:
@@ -141,6 +152,17 @@ class TmemBackend:
         self._host = host_memory
         self._store = store
         self._accounting = accounting
+        #: Remote-tmem spill port (see :mod:`repro.hypervisor.remote_tmem`).
+        #: ``None`` on single hosts; a cluster attaches one per node so
+        #: that overflow puts can spill to a peer node's pool and remote
+        #: copies can be fetched/flushed.  Every hook below sits on a
+        #: *failure* path, so the local fast paths are unaffected.
+        self.remote: Optional["RemoteTmemBackend"] = None  # noqa: F821
+
+    @property
+    def remote_extra_latency_s(self) -> float:
+        """Network cost added to each remote put/get (0 on single hosts)."""
+        return self.remote.extra_latency_s if self.remote is not None else 0.0
 
     # -- helpers -----------------------------------------------------------------
     def _admit_put(self, account: VmTmemAccount) -> bool:
@@ -178,6 +200,15 @@ class TmemBackend:
             return TmemOpResult(TmemOpcode.PUT, TmemStatus.S_TMEM, vm_id, key)
 
         if not self._admit_put(account):
+            remote = self.remote
+            if remote is not None and remote.spill_put(
+                vm_id, key.object_id, key.index, version, now
+            ):
+                account.puts_remote += 1
+                account.cumul_puts_remote += 1
+                return TmemOpResult(
+                    TmemOpcode.PUT, TmemStatus.S_TMEM, vm_id, key, remote=True
+                )
             account.cumul_puts_failed += 1
             return TmemOpResult(TmemOpcode.PUT, TmemStatus.E_TMEM, vm_id, key)
 
@@ -202,6 +233,18 @@ class TmemBackend:
 
         page = pool.lookup(key)
         if page is None:
+            remote = self.remote
+            if remote is not None:
+                version = remote.remote_get(vm_id, key.object_id, key.index)
+                if version is not None:
+                    return TmemOpResult(
+                        TmemOpcode.GET,
+                        TmemStatus.S_TMEM,
+                        vm_id,
+                        key,
+                        version=version,
+                        remote=True,
+                    )
             return TmemOpResult(TmemOpcode.GET, TmemStatus.E_TMEM, vm_id, key)
 
         version = page.version
@@ -224,6 +267,14 @@ class TmemBackend:
 
         page = pool.remove(key)
         if page is None:
+            remote = self.remote
+            if remote is not None and remote.remote_flush(
+                vm_id, key.object_id, key.index
+            ):
+                return TmemOpResult(
+                    TmemOpcode.FLUSH_PAGE, TmemStatus.S_TMEM, vm_id, key,
+                    remote=True,
+                )
             return TmemOpResult(TmemOpcode.FLUSH_PAGE, TmemStatus.E_TMEM, vm_id, key)
         self._host.free_tmem_page()
         account.tmem_used -= 1
@@ -244,9 +295,17 @@ class TmemBackend:
         account.tmem_used -= removed
         if account.tmem_used < 0:
             raise TmemError(f"VM {vm_id} tmem_used went negative on flush_object")
-        status = TmemStatus.S_TMEM if removed else TmemStatus.E_TMEM
+        removed_remote = 0
+        if self.remote is not None:
+            removed_remote = self.remote.remote_flush_object(vm_id, object_id)
+        total_removed = removed + removed_remote
+        status = TmemStatus.S_TMEM if total_removed else TmemStatus.E_TMEM
         return TmemOpResult(
-            TmemOpcode.FLUSH_OBJECT, status, vm_id, pages_flushed=removed
+            TmemOpcode.FLUSH_OBJECT,
+            status,
+            vm_id,
+            pages_flushed=total_removed,
+            remote=bool(removed_remote),
         )
 
     # -- batched data path -------------------------------------------------------
@@ -281,10 +340,12 @@ class TmemBackend:
         lookup = pool.lookup_raw
         insert_or_existing = pool.insert_or_existing
         remove = pool.remove_raw
+        remote = self.remote
 
         puts_total = puts_succ = puts_failed = 0
         gets_total = gets_failed = 0
         flushes_total = 0
+        puts_remote = gets_remote = 0
         # Built lazily: stays None while every op succeeds, so the common
         # all-success batch never pays a per-op status append.
         statuses: Optional[List[int]] = None
@@ -304,6 +365,14 @@ class TmemBackend:
                         puts_succ += 1
                         if statuses is not None:
                             statuses.append(1)
+                        continue
+                    if remote is not None and remote.spill_put(
+                        vm_id, object_id, index, version, now
+                    ):
+                        puts_remote += 1
+                        if statuses is None:
+                            statuses = [1] * (op_count - 1)
+                        statuses.append(2)
                         continue
                     puts_failed += 1
                     if statuses is None:
@@ -340,6 +409,17 @@ class TmemBackend:
                     else lookup(object_id, index)
                 )
                 if page is None:
+                    if remote is not None:
+                        remote_version = remote.remote_get(
+                            vm_id, object_id, index
+                        )
+                        if remote_version is not None:
+                            gets_remote += 1
+                            append_get_version(remote_version)
+                            if statuses is None:
+                                statuses = [1] * (op_count - 1)
+                            statuses.append(2)
+                            continue
                     gets_failed += 1
                     append_get_version(None)
                     if statuses is None:
@@ -360,6 +440,15 @@ class TmemBackend:
                 flushes_total += 1
                 page = remove(object_id, index)
                 if page is None:
+                    if remote is not None and remote.remote_flush(
+                        vm_id, object_id, index
+                    ):
+                        # A remote flush costs nothing extra (the
+                        # invalidation piggybacks on the next message),
+                        # so it is an ordinary success status-wise.
+                        if statuses is not None:
+                            statuses.append(1)
+                        continue
                     if statuses is None:
                         statuses = [1] * (op_count - 1)
                     statuses.append(0)
@@ -390,6 +479,8 @@ class TmemBackend:
         account.cumul_gets_total += gets_total
         account.flushes_total += flushes_total
         account.cumul_flushes_total += flushes_total
+        account.puts_remote += puts_remote
+        account.cumul_puts_remote += puts_remote
         self._host.adjust_tmem_used(used - account.tmem_used)
         account.tmem_used = used
 
@@ -398,10 +489,16 @@ class TmemBackend:
         result.gets_total = gets_total
         result.gets_failed = gets_failed
         result.flushes_total = flushes_total
+        result.puts_remote = puts_remote
+        result.gets_remote = gets_remote
         return result
 
     def destroy_vm(self, vm_id: int) -> int:
         """Release every tmem page of a VM at teardown; returns pages freed."""
+        if self.remote is not None:
+            # Remote copies live on peer nodes and are not part of this
+            # VM's local accounting; drop them so the peers do not leak.
+            self.remote.flush_vm(vm_id)
         freed = self._store.destroy_vm_pools(vm_id)
         account = self._accounting.maybe_account(vm_id)
         for _ in range(freed):

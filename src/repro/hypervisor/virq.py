@@ -39,6 +39,8 @@ class VmStatsSample:
     gets_total: int
     flushes_total: int
     cumul_puts_failed: int
+    #: Puts refused locally but spilled to a peer node (clusters only).
+    puts_remote: int = 0
 
     @property
     def puts_failed(self) -> int:
@@ -80,11 +82,16 @@ class StatisticsSampler:
         *,
         interval_s: float,
         trace: Optional[TraceRecorder] = None,
+        free_trace_name: str = "tmem_free",
     ) -> None:
         self._engine = engine
         self._accounting = accounting
         self._interval = float(interval_s)
         self._trace = trace
+        #: Trace series holding the node's free tmem pages.  Clusters give
+        #: each node its own name ("tmem_free/<node>") so the per-node
+        #: series do not interleave in the shared recorder.
+        self._free_trace_name = free_trace_name
         self._listeners: List[SnapshotListener] = []
         self._cancel: Optional[Callable[[], None]] = None
         self._history: List[StatsSnapshot] = []
@@ -129,6 +136,12 @@ class StatisticsSampler:
         node = self._accounting.node_info()
         samples = []
         for account in sorted(self._accounting.accounts(), key=lambda a: a.vm_id):
+            if account.internal:
+                # Cluster-internal accounts (the remote-tmem spill
+                # client) are invisible to the Memory Manager: no
+                # sample, no trace, and therefore never a target.
+                account.reset_interval()
+                continue
             samples.append(
                 VmStatsSample(
                     vm_id=account.vm_id,
@@ -139,6 +152,7 @@ class StatisticsSampler:
                     gets_total=account.gets_total,
                     flushes_total=account.flushes_total,
                     cumul_puts_failed=account.cumul_puts_failed,
+                    puts_remote=account.puts_remote,
                 )
             )
             if self._trace is not None:
@@ -150,7 +164,7 @@ class StatisticsSampler:
             account.reset_interval()
 
         if self._trace is not None:
-            self._trace.record("tmem_free", now, node.free_tmem)
+            self._trace.record(self._free_trace_name, now, node.free_tmem)
 
         snapshot = StatsSnapshot(
             time=now,

@@ -10,7 +10,7 @@ creates VMs against it and starts the sampler before running the engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..config import SimulationConfig
 from ..devices.disk import VirtualDisk
@@ -53,6 +53,8 @@ class Hypervisor:
         host_memory_pages: int,
         tmem_pool_pages: int,
         trace: Optional[TraceRecorder] = None,
+        domid_allocator: Optional[Callable[[], int]] = None,
+        free_trace_name: str = "tmem_free",
     ) -> None:
         if tmem_pool_pages < 0:
             raise ConfigurationError(
@@ -75,11 +77,16 @@ class Hypervisor:
             self.accounting,
             interval_s=config.sampling.interval_s,
             trace=self.trace,
+            free_trace_name=free_trace_name,
         )
         self.swap_disk = VirtualDisk(config)
 
         self._domains: Dict[int, DomainRecord] = {}
         self._next_domid = 1  # dom0 is reserved for the privileged domain
+        #: Clusters pass a shared allocator so domain ids (and therefore
+        #: trace names such as ``tmem_used/vm<id>``) are unique across
+        #: every node; a lone hypervisor keeps its private counter.
+        self._domid_allocator = domid_allocator
 
     # -- domain lifecycle ------------------------------------------------------
     def create_domain(self, name: str, *, ram_pages: int, vcpus: int = 1) -> DomainRecord:
@@ -87,8 +94,11 @@ class Hypervisor:
         if vcpus <= 0:
             raise ConfigurationError(f"vcpus must be > 0, got {vcpus}")
         self.host_memory.reserve_vm_memory(ram_pages)
-        vm_id = self._next_domid
-        self._next_domid += 1
+        if self._domid_allocator is not None:
+            vm_id = self._domid_allocator()
+        else:
+            vm_id = self._next_domid
+            self._next_domid += 1
         record = DomainRecord(vm_id=vm_id, name=name, ram_pages=ram_pages, vcpus=vcpus)
         self._domains[vm_id] = record
         return record

@@ -1,6 +1,13 @@
 """Benchmark scenarios (Table II of the paper) and the scenario runner."""
 
-from .spec import VMSpec, WorkloadSpec, ScenarioSpec, PhaseTrigger
+from .spec import (
+    VMSpec,
+    WorkloadSpec,
+    ScenarioSpec,
+    PhaseTrigger,
+    NodeSpec,
+    ClusterTopology,
+)
 from .registry import (
     ScenarioEntry,
     register_scenario,
@@ -19,7 +26,13 @@ from .library import (
     PAPER_POLICIES,
 )
 from . import families as _families  # noqa: F401  (registers the families)
-from .families import bursty_scenario, churn_scenario, many_vms_scenario
+from .families import (
+    bursty_scenario,
+    churn_scenario,
+    many_vms_scenario,
+    cluster_scenario,
+    hotnode_scenario,
+)
 from .results import RunResult, VmResult, ScenarioResult
 from .runner import ScenarioRunner, run_scenario, register_workload_kind
 
@@ -28,6 +41,8 @@ __all__ = [
     "WorkloadSpec",
     "ScenarioSpec",
     "PhaseTrigger",
+    "NodeSpec",
+    "ClusterTopology",
     "ScenarioEntry",
     "register_scenario",
     "parse_scenario_spec",
@@ -42,6 +57,8 @@ __all__ = [
     "many_vms_scenario",
     "churn_scenario",
     "bursty_scenario",
+    "cluster_scenario",
+    "hotnode_scenario",
     "all_scenarios",
     "PAPER_POLICIES",
     "RunResult",

@@ -14,6 +14,18 @@ one or two numeric parameters, selectable with a spec string such as
   load is *phase-triggered*: each spike starts when VM1 enters a given
   PageRank iteration, producing sudden demand surges mid-run.
 
+Two families run on *multi-node clusters* (one simulation engine, one
+hypervisor + tmem pool + Memory Manager per node, remote-tmem spill over
+a modeled interconnect — see :mod:`repro.cluster`):
+
+* ``cluster`` — N symmetric nodes, each hosting M graph-analytics VMs
+  with a contended per-node pool; an equal-share coordinator keeps the
+  capacities level.  The cluster baseline.
+* ``hotnode`` — one overloaded node (usemem VMs far over-committing its
+  small pool) among idle peers with large pools; overflow puts spill to
+  the peers and the pressure-proportional coordinator migrates capacity
+  towards the hot node.
+
 All sizes honour the library's ``scale`` convention (multiply every MB
 figure by ``scale``), so the families run at paper sizes (``scale=1.0``)
 or at test sizes (``scale<=0.25``) alike.
@@ -24,9 +36,22 @@ from __future__ import annotations
 from ..errors import ScenarioError
 from .library import _scaled
 from .registry import register_scenario
-from .spec import PhaseTrigger, ScenarioSpec, VMSpec, WorkloadSpec
+from .spec import (
+    ClusterTopology,
+    NodeSpec,
+    PhaseTrigger,
+    ScenarioSpec,
+    VMSpec,
+    WorkloadSpec,
+)
 
-__all__ = ["many_vms_scenario", "churn_scenario", "bursty_scenario"]
+__all__ = [
+    "many_vms_scenario",
+    "churn_scenario",
+    "bursty_scenario",
+    "cluster_scenario",
+    "hotnode_scenario",
+]
 
 
 def _check_scale(scale: float) -> None:
@@ -199,4 +224,176 @@ def bursty_scenario(
         vms=steady + spike_vms,
         tmem_mb=_scaled(768, scale),
         phase_triggers=triggers,
+    )
+
+
+@register_scenario("cluster", parameters=("nodes", "vms_per_node", "ram_mb"))
+def cluster_scenario(
+    *, scale: float = 1.0, nodes: int = 2, vms_per_node: int = 2,
+    ram_mb: int = 512,
+) -> ScenarioSpec:
+    """N symmetric nodes of M over-committed graph-analytics VMs each."""
+    _check_scale(scale)
+    nodes = int(nodes)
+    vms_per_node = int(vms_per_node)
+    if nodes < 1:
+        raise ScenarioError(f"cluster needs nodes >= 1, got {nodes}")
+    if vms_per_node < 1:
+        raise ScenarioError(
+            f"cluster needs vms_per_node >= 1, got {vms_per_node}"
+        )
+    if ram_mb <= 0:
+        raise ScenarioError(f"cluster needs ram_mb > 0, got {ram_mb}")
+    vm_ram = _scaled(ram_mb, scale)
+    workload_params = {
+        # ~1.8x over-commit per VM, mirroring scenario-2's 750/512 ratio.
+        "graph_mb": _scaled(ram_mb * 1.47, scale),
+        "rank_vectors_mb": _scaled(ram_mb * 0.35, scale),
+        "iterations": 8,
+    }
+    # Half the aggregate node RAM, so each pool stays contended.
+    node_tmem = _scaled(ram_mb * vms_per_node / 2, scale)
+    vms = []
+    node_specs = []
+    for k in range(1, nodes + 1):
+        names = []
+        for i in range(1, vms_per_node + 1):
+            name = f"n{k}.VM{i}"
+            names.append(name)
+            vms.append(
+                VMSpec(
+                    name=name,
+                    ram_mb=vm_ram,
+                    vcpus=1,
+                    swap_mb=_scaled(4 * ram_mb, scale),
+                    jobs=(
+                        WorkloadSpec(kind="graph-analytics",
+                                     params=workload_params,
+                                     start_at=0.0, label="graph-analytics"),
+                    ),
+                )
+            )
+        node_specs.append(
+            NodeSpec(
+                name=f"node{k}",
+                vm_names=tuple(names),
+                tmem_mb=node_tmem,
+                # Double-pool headroom lets the coordinator grow a node.
+                host_memory_mb=vm_ram * vms_per_node + 2 * node_tmem + 256,
+            )
+        )
+    return ScenarioSpec(
+        name=f"cluster:nodes={nodes},vms_per_node={vms_per_node},ram_mb={ram_mb}",
+        description=(
+            f"{nodes} nodes x {vms_per_node} graph-analytics VMs "
+            f"({ram_mb} MB RAM each); {node_tmem} MB tmem per node, "
+            "remote-tmem spill, equal-share capacity coordination"
+        ),
+        vms=tuple(vms),
+        tmem_mb=node_tmem * nodes,
+        topology=ClusterTopology(
+            nodes=tuple(node_specs),
+            remote_spill=True,
+            coordinator="equal-share",
+        ),
+    )
+
+
+@register_scenario("hotnode", parameters=("nodes", "ram_mb", "hot_vms"))
+def hotnode_scenario(
+    *, scale: float = 1.0, nodes: int = 3, ram_mb: int = 512, hot_vms: int = 2
+) -> ScenarioSpec:
+    """One overloaded node spills into its idle peers' tmem pools."""
+    _check_scale(scale)
+    nodes = int(nodes)
+    hot_vms = int(hot_vms)
+    if nodes < 2:
+        raise ScenarioError(f"hotnode needs nodes >= 2, got {nodes}")
+    if hot_vms < 1:
+        raise ScenarioError(f"hotnode needs hot_vms >= 1, got {hot_vms}")
+    if ram_mb <= 0:
+        raise ScenarioError(f"hotnode needs ram_mb > 0, got {ram_mb}")
+    vm_ram = _scaled(ram_mb, scale)
+    increment_mb = _scaled(128, scale)
+    usemem_params = {
+        "start_mb": increment_mb,
+        "increment_mb": increment_mb,
+        # Each hot VM sweeps up to 2x its RAM: far more overflow than the
+        # hot node's small pool can take, so pages must spill or swap.
+        "max_mb": max(increment_mb, _scaled(2 * ram_mb, scale)),
+    }
+    # Peers run a light workload that fits in RAM and barely touches
+    # their (large) pools — idle remote capacity for the hot node.
+    peer_params = {
+        "graph_mb": _scaled(ram_mb * 0.6, scale),
+        "rank_vectors_mb": _scaled(ram_mb * 0.15, scale),
+        "iterations": 4,
+    }
+    hot_tmem = _scaled(128, scale)
+    peer_tmem = _scaled(768, scale)
+
+    vms = []
+    hot_names = []
+    for i in range(1, hot_vms + 1):
+        name = f"hot.VM{i}"
+        hot_names.append(name)
+        vms.append(
+            VMSpec(
+                name=name,
+                ram_mb=vm_ram,
+                vcpus=1,
+                swap_mb=_scaled(4 * ram_mb, scale),
+                jobs=(
+                    WorkloadSpec(kind="usemem", params=usemem_params,
+                                 start_at=0.0, label="usemem-hot"),
+                ),
+            )
+        )
+    node_specs = [
+        NodeSpec(
+            name="hot",
+            vm_names=tuple(hot_names),
+            tmem_mb=hot_tmem,
+            # Headroom so pressure-proportional rebalancing can grow the
+            # hot node's pool well beyond its starting size.
+            host_memory_mb=vm_ram * hot_vms + hot_tmem + peer_tmem + 256,
+        )
+    ]
+    for k in range(2, nodes + 1):
+        name = f"n{k}.VM1"
+        vms.append(
+            VMSpec(
+                name=name,
+                ram_mb=vm_ram,
+                vcpus=1,
+                swap_mb=_scaled(2048, scale),
+                jobs=(
+                    WorkloadSpec(kind="graph-analytics", params=peer_params,
+                                 start_at=0.0, label="graph-analytics"),
+                ),
+            )
+        )
+        node_specs.append(
+            NodeSpec(
+                name=f"node{k}",
+                vm_names=(name,),
+                tmem_mb=peer_tmem,
+                host_memory_mb=vm_ram + 2 * peer_tmem + 256,
+            )
+        )
+    return ScenarioSpec(
+        name=f"hotnode:nodes={nodes},ram_mb={ram_mb},hot_vms={hot_vms}",
+        description=(
+            f"1 hot node ({hot_vms} usemem VMs over-committing a "
+            f"{hot_tmem} MB pool) + {nodes - 1} idle peers with "
+            f"{peer_tmem} MB pools; overflow spills over the interconnect "
+            "and pressure-proportional coordination chases it"
+        ),
+        vms=tuple(vms),
+        tmem_mb=hot_tmem + peer_tmem * (nodes - 1),
+        topology=ClusterTopology(
+            nodes=tuple(node_specs),
+            remote_spill=True,
+            coordinator="pressure-prop:percent=15",
+        ),
     )

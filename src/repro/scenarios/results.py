@@ -162,6 +162,11 @@ class ScenarioResult:
     snapshots: int
     #: Wall-clock execution cost of the simulation itself (seconds).
     wall_clock_s: float = 0.0
+    #: Per-node summary of a multi-node (cluster) run: topology facts,
+    #: spill/fetch counters and coordinator capacity moves.  ``None`` for
+    #: classic single-host runs, whose serialized form (and therefore
+    #: fingerprint) is unchanged by the cluster layer.
+    cluster: Optional[Dict[str, Any]] = None
 
     # -- convenience accessors -------------------------------------------------
     def vm(self, name: str) -> VmResult:
@@ -212,7 +217,7 @@ class ScenarioResult:
     # -- serialization ---------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """Strict-JSON-safe representation of the full result (incl. traces)."""
-        return {
+        data = {
             "scenario_name": self.scenario_name,
             "policy_spec": self.policy_spec,
             "seed": self.seed,
@@ -224,6 +229,9 @@ class ScenarioResult:
             "snapshots": self.snapshots,
             "wall_clock_s": encode_float(self.wall_clock_s),
         }
+        if self.cluster is not None:
+            data["cluster"] = self.cluster
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
@@ -240,6 +248,7 @@ class ScenarioResult:
             target_updates=int(data["target_updates"]),
             snapshots=int(data["snapshots"]),
             wall_clock_s=decode_float(data["wall_clock_s"]),
+            cluster=data.get("cluster"),
         )
 
     def fingerprint(self) -> str:

@@ -1,17 +1,23 @@
 """Scenario runner: executes one scenario under one policy.
 
-The runner performs the full system assembly the paper describes:
+The runner performs the full system assembly the paper describes, now
+layered through the cluster abstractions:
 
-1. build the simulation engine, the hypervisor (with the scenario's tmem
-   pool) and the shared swap disk;
-2. create the VMs, register their tmem kernel modules and queue their
-   workload jobs;
-3. wire the privileged-domain TKM, the netlink channels and the Memory
-   Manager running the selected policy;
-4. install the scenario's cross-VM phase triggers (used by the Usemem
-   scenario) and run the engine until every VM is idle;
-5. collect per-VM run times, memory statistics and the tmem usage traces
-   into a :class:`~repro.scenarios.results.ScenarioResult`.
+1. build the simulation engine and the trace recorder shared by every
+   host of the run;
+2. build the topology — one :class:`~repro.cluster.node.Node` for the
+   classic single-host scenarios, or a
+   :class:`~repro.cluster.cluster.Cluster` of nodes when the spec
+   carries a :class:`~repro.scenarios.spec.ClusterTopology` (each node
+   owns its hypervisor, tmem pool, guests, TKM, Memory Manager and
+   netlink pair; multi-node clusters additionally wire the interconnect,
+   remote-tmem spill and the capacity coordinator);
+3. install the scenario's cross-VM phase triggers (used by the Usemem
+   scenario) over the merged VM population and run the engine until
+   every VM on every node is idle;
+4. collect per-VM run times, memory statistics and the tmem usage traces
+   into a :class:`~repro.scenarios.results.ScenarioResult` (plus a
+   per-node summary for cluster runs).
 
 The special policy spec ``"no-tmem"`` disables tmem in the guests
 entirely (the paper's no-tmem baseline): every evicted page goes straight
@@ -21,30 +27,23 @@ to the swap disk.
 from __future__ import annotations
 
 import time as _time
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
-import numpy as np
-
-from ..channels.netlink import NetlinkChannel
+from ..cluster.cluster import Cluster
+from ..cluster.node import Node
 from ..config import SimulationConfig
-from ..core.manager import MemoryManager
-from ..core.policy import TmemPolicy, create_policy
 from ..errors import ScenarioError, SimulationError
-from ..guest.tkm import PrivilegedTkm
-from ..guest.vm import VirtualMachine, WorkloadRun
-from ..hypervisor.xen import Hypervisor
+from ..guest.vm import VirtualMachine
 from ..sim.engine import SimulationEngine
 from ..sim.rng import RngFactory
 from ..sim.trace import TraceRecorder
 from ..units import SCENARIO_UNITS, MemoryUnits
-from ..workloads.base import Workload
 from ..workloads.registry import (
     WORKLOAD_REGISTRY,
     register_workload_kind,
-    workload_class,
 )
-from .results import RunResult, ScenarioResult, VmResult
-from .spec import ScenarioSpec, VMSpec, WorkloadSpec
+from .results import ScenarioResult, VmResult
+from .spec import ScenarioSpec
 
 __all__ = [
     "ScenarioRunner",
@@ -90,95 +89,65 @@ class ScenarioRunner:
         self.engine = SimulationEngine()
         self.trace = TraceRecorder()
 
-        units_ = self.config.units
-        self.hypervisor = Hypervisor(
-            self.engine,
-            self.config,
-            host_memory_pages=units_.pages_from_mib(spec.effective_host_memory_mb()),
-            tmem_pool_pages=(
-                0 if policy_spec == NO_TMEM_POLICY else units_.pages_from_mib(spec.tmem_mb)
-            ),
-            trace=self.trace,
-        )
-
         self._use_tmem = policy_spec != NO_TMEM_POLICY
-        self.policy: Optional[TmemPolicy] = None
-        self.manager: Optional[MemoryManager] = None
-        self.privileged_tkm: Optional[PrivilegedTkm] = None
-        self._stats_channel: Optional[NetlinkChannel] = None
-        self._target_channel: Optional[NetlinkChannel] = None
+        self.cluster: Optional[Cluster] = None
+        if spec.topology is not None:
+            self.cluster = Cluster(
+                spec,
+                policy_spec,
+                engine=self.engine,
+                config=self.config,
+                trace=self.trace,
+                rng_factory=self._rng_factory,
+                use_tmem=self._use_tmem,
+            )
+            self.nodes = self.cluster.nodes
+            self.vms: Dict[str, VirtualMachine] = self.cluster.merged_vms()
+        else:
+            node = Node(
+                "node1",
+                engine=self.engine,
+                config=self.config,
+                trace=self.trace,
+                rng_factory=self._rng_factory,
+                scenario_name=spec.name,
+                vm_specs=spec.vms,
+                tmem_mb=spec.tmem_mb,
+                host_memory_mb=spec.effective_host_memory_mb(),
+                policy_spec=policy_spec,
+                use_tmem=self._use_tmem,
+            )
+            self.nodes = (node,)
+            self.vms = dict(node.vms)
 
-        self.vms: Dict[str, VirtualMachine] = {}
-        self._triggered_vms: set[str] = set()
+        self._triggered_vms: set = set()
         #: VMs whose start is deferred to a phase trigger; populated by
         #: _install_triggers().  Initialized here so a missed
         #: _install_triggers() call cannot be silently masked by a
         #: getattr() fallback at run time.
-        self._trigger_started_vms: set[str] = set()
+        self._trigger_started_vms: set = set()
         self._stop_fired = False
-
-        self._build_vms()
-        if self._use_tmem:
-            self._build_control_plane()
         self._install_triggers()
 
-    # -- assembly ------------------------------------------------------------
-    def _workload_factory(
-        self, vm_spec: VMSpec, job: WorkloadSpec, job_index: int
-    ) -> Callable[[], Workload]:
-        workload_cls = workload_class(job.kind)
-        units = self.config.units
-        rng_name = f"{self.spec.name}/{vm_spec.name}/{job.kind}/{job_index}"
+    # -- single-host conveniences (the first node's view) ----------------------
+    @property
+    def hypervisor(self):
+        """The first node's hypervisor (the only one on single hosts)."""
+        return self.nodes[0].hypervisor
 
-        def factory() -> Workload:
-            rng = self._rng_factory.stream(rng_name)
-            return workload_cls(units=units, rng=rng, **dict(job.params))
+    @property
+    def policy(self):
+        return self.nodes[0].policy
 
-        return factory
+    @property
+    def manager(self):
+        return self.nodes[0].manager
 
-    def _build_vms(self) -> None:
-        units = self.config.units
-        for vm_spec in self.spec.vms:
-            vm = VirtualMachine(
-                self.hypervisor,
-                self.engine,
-                self.config,
-                name=vm_spec.name,
-                ram_pages=vm_spec.ram_pages(units),
-                swap_pages=vm_spec.swap_pages(units),
-                vcpus=vm_spec.vcpus,
-                use_tmem=self._use_tmem,
-            )
-            for job_index, job in enumerate(vm_spec.jobs):
-                vm.add_job(
-                    self._workload_factory(vm_spec, job, job_index),
-                    start_at=job.start_at,
-                    delay_after_previous=job.delay_after_previous,
-                    label=job.display_label,
-                )
-            self.vms[vm_spec.name] = vm
+    @property
+    def privileged_tkm(self):
+        return self.nodes[0].privileged_tkm
 
-    def _build_control_plane(self) -> None:
-        relay_latency = self.config.sampling.relay_latency_s
-        writeback_latency = self.config.sampling.writeback_latency_s
-        self._stats_channel = NetlinkChannel(
-            self.engine, latency_s=relay_latency, name="netlink-stats"
-        )
-        self._target_channel = NetlinkChannel(
-            self.engine, latency_s=writeback_latency, name="netlink-targets"
-        )
-        self.privileged_tkm = PrivilegedTkm(
-            self.hypervisor,
-            stats_channel=self._stats_channel,
-            target_channel=self._target_channel,
-        )
-        self.policy = create_policy(self.policy_spec)
-        self.manager = MemoryManager(
-            self.policy,
-            stats_channel=self._stats_channel,
-            target_channel=self._target_channel,
-        )
-
+    # -- trigger installation ----------------------------------------------------
     def _install_triggers(self) -> None:
         spec = self.spec
 
@@ -211,8 +180,10 @@ class ScenarioRunner:
     def run(self) -> ScenarioResult:
         """Execute the scenario and return its results."""
         wall_start = _time.perf_counter()
-        if self._use_tmem:
-            self.hypervisor.start()
+        if self.cluster is not None:
+            self.cluster.start()
+        else:
+            self.nodes[0].start()
 
         for name, vm in self.vms.items():
             if name not in self._trigger_started_vms:
@@ -231,11 +202,14 @@ class ScenarioRunner:
                 f"finish within {deadline:.0f} simulated seconds; still running: "
                 f"{unfinished}"
             )
-        # Take one final statistics sample so the traces cover the full run.
-        if self._use_tmem:
-            self.hypervisor.sampler.sample_now()
-            self.hypervisor.stop()
-        self.hypervisor.check_invariants()
+        # Take one final statistics sample per node so the traces cover
+        # the full run.
+        if self.cluster is not None:
+            self.cluster.finalize()
+            self.cluster.check_invariants()
+        else:
+            self.nodes[0].finalize()
+            self.nodes[0].check_invariants()
 
         wall_elapsed = _time.perf_counter() - wall_start
         return self._collect_results(wall_elapsed)
@@ -243,59 +217,38 @@ class ScenarioRunner:
     # -- result collection ----------------------------------------------------------
     def _collect_results(self, wall_clock_s: float) -> ScenarioResult:
         vm_results: Dict[str, VmResult] = {}
-        for name, vm in self.vms.items():
-            runs = tuple(
-                RunResult(
-                    vm_name=name,
-                    workload_name=run.workload_name,
-                    run_index=run.run_index,
-                    start_time_s=run.start_time,
-                    end_time_s=run.end_time if run.end_time is not None else float("nan"),
-                    duration_s=run.duration_s,
-                    stopped_early=run.stopped_early,
-                    phase_durations=dict(run.phase_durations),
-                    phase_order=tuple(run.phase_order),
-                )
-                for run in vm.runs
-                if run.finished
-            )
-            account = self.hypervisor.accounting.maybe_account(vm.vm_id)
-            kernel_stats = vm.kernel.stats
-            trace_name = f"tmem_used/vm{vm.vm_id}"
-            peak_tmem = 0
-            if trace_name in self.trace and len(self.trace.get(trace_name)):
-                peak_tmem = int(self.trace.get(trace_name).max())
-            vm_results[name] = VmResult(
-                vm_name=name,
-                vm_id=vm.vm_id,
-                runs=runs,
-                major_faults=kernel_stats.major_faults,
-                faults_from_tmem=kernel_stats.faults_from_tmem,
-                faults_from_disk=kernel_stats.faults_from_disk,
-                evictions_to_tmem=kernel_stats.evictions_to_tmem,
-                evictions_to_disk=kernel_stats.evictions_to_disk,
-                failed_tmem_puts=kernel_stats.failed_tmem_puts,
-                time_in_tmem_ops_s=kernel_stats.time_in_tmem_ops_s,
-                time_in_disk_io_s=kernel_stats.time_in_disk_io_s,
-                cumul_puts_total=account.cumul_puts_total if account else 0,
-                cumul_puts_succ=account.cumul_puts_succ if account else 0,
-                cumul_puts_failed=account.cumul_puts_failed if account else 0,
-                peak_tmem_pages=peak_tmem,
-            )
+        for node in self.nodes:
+            vm_results.update(node.collect_vm_results())
+
+        cluster_info = None
+        if self.cluster is not None:
+            cluster_info = {
+                "topology": {
+                    "node_count": len(self.nodes),
+                    "remote_spill": self.cluster.topology.remote_spill,
+                    "coordinator": self.cluster.topology.coordinator,
+                },
+                "nodes": self.cluster.describe_nodes(),
+                "capacity_moves": self.cluster.capacity_moves,
+                "interconnect_pages_moved": (
+                    self.cluster.channel.pages_moved
+                    if self.cluster.channel is not None
+                    else 0
+                ),
+            }
 
         return ScenarioResult(
             scenario_name=self.spec.name,
             policy_spec=self.policy_spec,
             seed=self.config.seed,
-            total_tmem_pages=self.hypervisor.total_tmem_pages,
+            total_tmem_pages=sum(node.total_tmem_pages for node in self.nodes),
             simulated_duration_s=self.engine.now,
             vms=vm_results,
             trace=self.trace,
-            target_updates=(
-                self.manager.stats.target_updates_sent if self.manager else 0
-            ),
-            snapshots=len(self.hypervisor.sampler.history),
+            target_updates=sum(node.target_updates for node in self.nodes),
+            snapshots=sum(node.snapshots for node in self.nodes),
             wall_clock_s=wall_clock_s,
+            cluster=cluster_info,
         )
 
 

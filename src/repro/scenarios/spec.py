@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 from ..errors import ScenarioError
 from ..units import MemoryUnits
 
-__all__ = ["WorkloadSpec", "VMSpec", "ScenarioSpec"]
+__all__ = ["WorkloadSpec", "VMSpec", "NodeSpec", "ClusterTopology", "ScenarioSpec"]
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,113 @@ class VMSpec:
 
 
 @dataclass(frozen=True)
+class NodeSpec:
+    """One physical node of a cluster scenario.
+
+    A node hosts a subset of the scenario's VMs, owns its own tmem pool,
+    and runs its own control plane (TKM + Memory Manager + policy).  The
+    spec is pure data; the live counterpart is
+    :class:`repro.cluster.node.Node`.
+    """
+
+    name: str
+    #: Names of the scenario's VMs placed on this node.
+    vm_names: Tuple[str, ...]
+    #: Size of this node's tmem pool.
+    tmem_mb: int
+    #: Physical memory of the node; defaults to VM RAM + tmem + headroom.
+    host_memory_mb: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("node name must not be empty")
+        if not self.vm_names:
+            raise ScenarioError(f"node {self.name!r} hosts no VMs")
+        if self.tmem_mb < 0:
+            raise ScenarioError(
+                f"node {self.name!r}: tmem_mb must be >= 0, got {self.tmem_mb}"
+            )
+        if len(self.vm_names) != len(set(self.vm_names)):
+            raise ScenarioError(f"node {self.name!r} lists duplicate VMs")
+
+    def effective_host_memory_mb(self, vm_ram_mb: int) -> int:
+        """This node's DRAM given the RAM of the VMs it hosts.
+
+        Mirrors :meth:`ScenarioSpec.effective_host_memory_mb`: explicit
+        sizes are validated, the default adds 256 MB of hypervisor/dom0
+        headroom on top of VM RAM and the tmem pool.
+        """
+        if self.host_memory_mb is not None:
+            if self.host_memory_mb < vm_ram_mb + self.tmem_mb:
+                raise ScenarioError(
+                    f"node {self.name!r}: host memory {self.host_memory_mb} "
+                    f"MB cannot hold {vm_ram_mb} MB of VM RAM plus "
+                    f"{self.tmem_mb} MB of tmem"
+                )
+            return self.host_memory_mb
+        return vm_ram_mb + self.tmem_mb + 256
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Multi-node layout plus cluster-level parameters of a scenario.
+
+    Attach one to :attr:`ScenarioSpec.topology` to run the scenario on a
+    cluster of nodes sharing one simulation engine.  The node list must
+    partition the scenario's VMs exactly.
+    """
+
+    nodes: Tuple[NodeSpec, ...]
+    #: Allow overflow puts to spill to peer nodes' pools (RAMster-style).
+    remote_spill: bool = True
+    #: One-way latency of the modeled interconnect.
+    interconnect_latency_s: float = 25.0e-6
+    #: Sustained payload bandwidth of the interconnect (bytes/second).
+    #: The default approximates a 10 GbE link.
+    interconnect_bandwidth_bytes_s: float = 1.25e9
+    #: Cluster coordinator policy spec (``"equal-share"``,
+    #: ``"pressure-prop:percent=10"``, ...); ``None`` leaves each node's
+    #: tmem capacity fixed.
+    coordinator: Optional[str] = None
+    #: Interval between coordinator rebalancing rounds.
+    rebalance_interval_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ScenarioError("cluster topology has no nodes")
+        names = [node.name for node in self.nodes]
+        if len(names) != len(set(names)):
+            raise ScenarioError("cluster topology has duplicate node names")
+        if self.interconnect_latency_s < 0:
+            raise ScenarioError(
+                "interconnect_latency_s must be >= 0, got "
+                f"{self.interconnect_latency_s}"
+            )
+        if self.interconnect_bandwidth_bytes_s <= 0:
+            raise ScenarioError(
+                "interconnect_bandwidth_bytes_s must be > 0, got "
+                f"{self.interconnect_bandwidth_bytes_s}"
+            )
+        if self.rebalance_interval_s <= 0:
+            raise ScenarioError(
+                "rebalance_interval_s must be > 0, got "
+                f"{self.rebalance_interval_s}"
+            )
+
+    def node_names(self) -> Tuple[str, ...]:
+        return tuple(node.name for node in self.nodes)
+
+    def node_of(self, vm_name: str) -> NodeSpec:
+        for node in self.nodes:
+            if vm_name in node.vm_names:
+                return node
+        raise ScenarioError(f"no node hosts VM {vm_name!r}")
+
+    def total_tmem_mb(self) -> int:
+        return sum(node.tmem_mb for node in self.nodes)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete benchmarking scenario."""
 
@@ -95,6 +202,8 @@ class ScenarioSpec:
     stop_trigger: Optional["PhaseTrigger"] = None
     #: Hard wall on the simulated duration of one run of this scenario.
     max_duration_s: float = 3600.0
+    #: Multi-node layout; ``None`` runs the classic single-host topology.
+    topology: Optional[ClusterTopology] = None
 
     def __post_init__(self) -> None:
         if not self.vms:
@@ -108,6 +217,18 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"max_duration_s must be > 0, got {self.max_duration_s}"
             )
+        if self.topology is not None:
+            placed = [
+                vm_name
+                for node in self.topology.nodes
+                for vm_name in node.vm_names
+            ]
+            if sorted(placed) != sorted(names):
+                raise ScenarioError(
+                    f"scenario {self.name!r}: cluster topology must place "
+                    f"every VM exactly once (VMs: {sorted(names)}, "
+                    f"placed: {sorted(placed)})"
+                )
 
     # -- derived sizes ------------------------------------------------------------
     def total_vm_ram_mb(self) -> int:

@@ -114,6 +114,32 @@ class TestResultStore:
         with pytest.raises(ExperimentError):
             store.load(point)
 
+    def test_truncated_envelope_rejected_with_experiment_error(self, tmp_path):
+        """A file cut mid-write is unreadable, not a crash with KeyError."""
+        store = ResultStore(tmp_path)
+        point = TINY.expand()[0]
+        result = execute_point(point)
+        full = store.save(point, result).read_text()
+        store.path_for(point).write_text(full[: len(full) // 2])
+        with pytest.raises(ExperimentError):
+            store.load(point)
+        # Valid JSON but a gutted envelope is equally unreadable.
+        store.path_for(point).write_text('{"format_version": 1, "point": {}}')
+        with pytest.raises(ExperimentError):
+            store.load(point)
+
+    def test_load_all_skips_corrupt_files_with_warning(self, tmp_path):
+        store = ResultStore(tmp_path)
+        points = TINY.expand()
+        good = execute_point(points[0])
+        store.save(points[0], good)
+        store.save(points[1], execute_point(points[1]))
+        store.path_for(points[1]).write_text("{truncated")
+        with pytest.warns(UserWarning, match="skipping unreadable"):
+            loaded = store.load_all()
+        assert list(loaded) == [points[0]]
+        assert loaded[points[0]].fingerprint() == good.fingerprint()
+
 
 class TestBackends:
     def test_create_backend(self):
@@ -196,6 +222,28 @@ class TestRunSweep:
         assert second.executed == ()
         assert len(second.reused) == TINY.size
         for point, result in second.results.items():
+            assert result.fingerprint() == first.results[point].fingerprint()
+
+    def test_resume_reruns_corrupted_points_instead_of_crashing(self, tmp_path):
+        """A truncated point JSON is skipped with a warning and re-run."""
+        store = ResultStore(tmp_path)
+        first = run_sweep(TINY, store=store)
+        points = TINY.expand()
+        # Simulate a sweep killed mid-write: one file is truncated, one
+        # is outright garbage.
+        full = store.path_for(points[1]).read_text()
+        store.path_for(points[1]).write_text(full[: len(full) // 3])
+        store.path_for(points[2]).write_text("{definitely not json")
+
+        with pytest.warns(UserWarning, match="will be re-run"):
+            second = run_sweep(TINY, store=store)
+
+        assert set(second.executed) == {points[1], points[2]}
+        assert set(second.reused) == {points[0], points[3]}
+        # The re-run overwrote the bad files with good ones.
+        third = run_sweep(TINY, store=store)
+        assert third.executed == ()
+        for point, result in third.results.items():
             assert result.fingerprint() == first.results[point].fingerprint()
 
     def test_fresh_ignores_store(self, tmp_path):

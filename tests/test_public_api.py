@@ -48,6 +48,7 @@ class TestPublicApi:
         for module in (
             "repro.core",
             "repro.core.policies",
+            "repro.cluster",
             "repro.hypervisor",
             "repro.guest",
             "repro.devices",
