@@ -61,6 +61,47 @@ def test_usemem_micro_speedup_floor(quick_bench_report):
     )
 
 
+def _assert_recorded_trajectory(current_name: str, baseline_name: str,
+                                tolerance: float, record_hint: str):
+    """Static check of one committed BENCH point against its predecessor.
+
+    Judged on the machine-independent batched/scalar speedup ratios of
+    the cases both records share.  Returns the loaded current report so
+    callers can add point-specific assertions.
+    """
+    from pathlib import Path
+
+    from repro import bench as bench_harness
+
+    root = Path(__file__).resolve().parent
+    current_path = root / current_name
+    baseline_path = root / baseline_name
+    assert current_path.exists(), (
+        f"benchmarks/{current_name} is missing; record it with {record_hint}"
+    )
+    current = bench_harness.load_report(current_path)
+    baseline = bench_harness.load_report(baseline_path)
+    current_speedups = dict(current.get("speedups", {}))
+    baseline_speedups = dict(baseline.get("speedups", {}))
+    assert current_speedups, f"{current_name} records no speedups"
+    problems = []
+    for case, base in baseline_speedups.items():
+        cur = current_speedups.get(case)
+        if cur is None:
+            continue
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            problems.append(
+                f"{case}: {cur:.2f}x fell below {floor:.2f}x "
+                f"({baseline_name} baseline {base:.2f}x)"
+            )
+    assert not problems, (
+        f"recorded {current_name} regresses vs {baseline_name}:\n"
+        + "\n".join(problems)
+    )
+    return current
+
+
 def test_recorded_pr3_trajectory_has_no_regression(bench_tolerance):
     """The committed PR-3 record must not regress vs the seed baseline.
 
@@ -69,37 +110,35 @@ def test_recorded_pr3_trajectory_has_no_regression(bench_tolerance):
     this static check keeps the committed history honest without
     re-measuring anything.
     """
-    from pathlib import Path
+    _assert_recorded_trajectory(
+        "BENCH_pr3.json", "BENCH_seed.json", bench_tolerance,
+        "PYTHONPATH=src python -m repro bench --label pr3 --output benchmarks",
+    )
 
+
+def test_recorded_pr4_trajectory_has_no_regression(bench_tolerance):
+    """The committed PR-4 record must not regress vs the PR-3 record.
+
+    ``benchmarks/BENCH_pr4.json`` is the perf point after the event-loop
+    overhaul; it must additionally carry the two things the overhaul
+    added — the ``manyvms-micro`` end-to-end case and the engine
+    micro-benchmark records.
+    """
     from repro import bench as bench_harness
 
-    root = Path(__file__).resolve().parent
-    pr3_path = root / "BENCH_pr3.json"
-    seed_path = root / "BENCH_seed.json"
-    assert pr3_path.exists(), (
-        "benchmarks/BENCH_pr3.json is missing; record it with "
-        "PYTHONPATH=src python -m repro bench --label pr3 --output benchmarks"
+    pr4 = _assert_recorded_trajectory(
+        "BENCH_pr4.json", "BENCH_pr3.json", bench_tolerance,
+        "PYTHONPATH=src python -m repro bench --label pr4 --output benchmarks",
     )
-    pr3 = bench_harness.load_report(pr3_path)
-    seed = bench_harness.load_report(seed_path)
-    pr3_speedups = dict(pr3.get("speedups", {}))
-    seed_speedups = dict(seed.get("speedups", {}))
-    assert pr3_speedups, "BENCH_pr3.json records no speedups"
-    problems = []
-    for case, base in seed_speedups.items():
-        cur = pr3_speedups.get(case)
-        if cur is None:
-            continue
-        floor = base * (1.0 - bench_tolerance)
-        if cur < floor:
-            problems.append(
-                f"{case}: {cur:.2f}x fell below {floor:.2f}x "
-                f"(seed baseline {base:.2f}x)"
-            )
-    assert not problems, (
-        "recorded BENCH_pr3.json regresses vs BENCH_seed.json:\n"
-        + "\n".join(problems)
+    assert "manyvms-micro" in dict(pr4.get("speedups", {})), (
+        "BENCH_pr4.json lacks the manyvms-micro case"
     )
+    engine_records = pr4.get("engine_records", [])
+    assert {r["case"] for r in engine_records} == set(
+        bench_harness.ENGINE_CASES
+    ), "BENCH_pr4.json lacks the engine micro-benchmark records"
+    for record in engine_records:
+        assert record["events_per_s"] > 0
 
 
 def test_no_regression_vs_recorded_baseline(

@@ -41,12 +41,16 @@ __all__ = [
     "BenchCase",
     "BenchRecord",
     "BenchReport",
+    "EngineBenchRecord",
     "MICRO_CASES",
     "QUICK_CASES",
+    "ENGINE_CASES",
     "DEFAULT_TOLERANCE",
     "DEFAULT_BASELINE",
     "run_case",
     "run_suite",
+    "run_engine_case",
+    "run_engine_suite",
     "compare_reports",
     "write_report",
     "load_report",
@@ -116,6 +120,10 @@ MICRO_CASES: Tuple[BenchCase, ...] = (
         scale=0.25,
         tmem_mb=1024,
     ),
+    # 16 zipf-shaped VMs on one node: the event-traffic-heavy shape PR 3
+    # multiplied.  Exercises the duplicate-tolerant burst planner and the
+    # slab engine under many interleaved event streams.
+    BenchCase(name="manyvms-micro", scenario="many-vms:n=16", scale=0.25),
 )
 
 #: Reduced suite for the smoke target (``repro bench --quick``).
@@ -128,6 +136,143 @@ QUICK_CASES: Tuple[BenchCase, ...] = (
         tmem_mb=1024,
     ),
 )
+
+
+#: Event counts for the engine micro-benchmarks.  Large enough that the
+#: per-event cost dominates interpreter warm-up, small enough that the
+#: whole engine suite stays under a second on a laptop.
+_ENGINE_EVENTS = 50_000
+
+#: The engine micro-benchmark cases (events/sec of the scheduling core).
+#:
+#: * ``schedule-fire`` — schedule + dispatch of one-shot events through
+#:   the heap (the slab's bread and butter).
+#: * ``self-reschedule`` — an event chain that re-schedules itself from
+#:   inside the callback, the shape of the VM driver's step loop with
+#:   fast-forward disabled.
+#: * ``fast-forward`` — the same chain with fast-forward enabled: the
+#:   engine advances inline and the heap is never touched.
+#: * ``recurring`` — one native periodic timer firing N times.
+#: * ``cancel-churn`` — schedule/cancel pairs plus a live event per
+#:   round: exercises slot recycling and lazy heap hygiene.
+ENGINE_CASES: Tuple[str, ...] = (
+    "schedule-fire",
+    "self-reschedule",
+    "fast-forward",
+    "recurring",
+    "cancel-churn",
+)
+
+
+@dataclass
+class EngineBenchRecord:
+    """Measurements of one engine micro-benchmark case."""
+
+    case: str
+    events: int
+    wall_clock_s: float
+    events_per_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "case": self.case,
+            "events": self.events,
+            "wall_clock_s": self.wall_clock_s,
+            "events_per_s": self.events_per_s,
+        }
+
+
+def _engine_case_body(case: str, events: int) -> int:
+    """Run one engine micro-benchmark case; returns events executed."""
+    from .sim.engine import SimulationEngine
+
+    if case == "schedule-fire":
+        engine = SimulationEngine()
+        nothing = lambda: None  # noqa: E731
+        schedule = engine.schedule_call_at
+        for i in range(events):
+            schedule(float(i), nothing)
+        engine.run()
+        return engine.events_executed
+    if case == "self-reschedule":
+        engine = SimulationEngine(fast_forward=False)
+        remaining = [events]
+
+        def chain() -> None:
+            remaining[0] -= 1
+            if remaining[0]:
+                engine.schedule_call_after(1.0, chain)
+
+        engine.schedule_call_after(1.0, chain)
+        engine.run()
+        return engine.events_executed
+    if case == "fast-forward":
+        engine = SimulationEngine(fast_forward=True)
+        remaining = [events]
+
+        def chain() -> None:
+            try_ff = engine.try_fast_forward
+            while remaining[0] > 1:
+                remaining[0] -= 1
+                if not try_ff(engine.now + 1.0):
+                    engine.schedule_call_after(1.0, chain)
+                    return
+            remaining[0] -= 1
+
+        engine.schedule_call_after(1.0, chain)
+        engine.run()
+        return engine.events_executed
+    if case == "recurring":
+        engine = SimulationEngine()
+        fired = [0]
+
+        def tick() -> None:
+            fired[0] += 1
+
+        timer = engine.schedule_recurring(1.0, tick)
+        engine.run(until=float(events))
+        timer.cancel()
+        return engine.events_executed
+    if case == "cancel-churn":
+        engine = SimulationEngine()
+        nothing = lambda: None  # noqa: E731
+        rounds = events // 2
+        for i in range(rounds):
+            doomed = engine.schedule_at(float(i) + 0.5, nothing)
+            engine.schedule_call_at(float(i), nothing)
+            doomed.cancel()
+        engine.run()
+        return engine.events_executed
+    raise ValueError(f"unknown engine bench case {case!r}")
+
+
+def run_engine_case(
+    case: str, *, events: int = _ENGINE_EVENTS, repeats: int = 3
+) -> EngineBenchRecord:
+    """Measure one engine micro-benchmark case (best of *repeats*)."""
+    walls = []
+    executed = 0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        executed = _engine_case_body(case, events)
+        walls.append(time.perf_counter() - start)
+    wall = min(walls)
+    return EngineBenchRecord(
+        case=case,
+        events=executed,
+        wall_clock_s=wall,
+        events_per_s=executed / wall if wall > 0 else float("inf"),
+    )
+
+
+def run_engine_suite(
+    *, events: int = _ENGINE_EVENTS, repeats: int = 3
+) -> List[EngineBenchRecord]:
+    """Run every engine micro-benchmark case."""
+    return [
+        run_engine_case(case, events=events, repeats=repeats)
+        for case in ENGINE_CASES
+    ]
 
 
 @dataclass
@@ -169,10 +314,18 @@ class BenchReport:
     records: List[BenchRecord] = field(default_factory=list)
     #: case name -> batched pages/s over scalar pages/s.
     speedups: Dict[str, float] = field(default_factory=dict)
+    #: Engine micro-benchmark records (events/sec of the scheduling core).
+    engine_records: List[EngineBenchRecord] = field(default_factory=list)
 
     def record_for(self, case: str, engine: str) -> Optional[BenchRecord]:
         for record in self.records:
             if record.case == case and record.engine == engine:
+                return record
+        return None
+
+    def engine_record_for(self, case: str) -> Optional[EngineBenchRecord]:
+        for record in self.engine_records:
+            if record.case == case:
                 return record
         return None
 
@@ -186,6 +339,7 @@ class BenchReport:
             "created_at": self.created_at,
             "records": [r.as_dict() for r in self.records],
             "speedups": dict(self.speedups),
+            "engine_records": [r.as_dict() for r in self.engine_records],
         }
 
 
@@ -280,6 +434,7 @@ def run_suite(
         batched = report.record_for(case.name, "batched")
         if scalar is not None and batched is not None and scalar.pages_per_s > 0:
             report.speedups[case.name] = batched.pages_per_s / scalar.pages_per_s
+    report.engine_records = run_engine_suite(repeats=repeats)
     return report
 
 
@@ -347,4 +502,14 @@ def format_report(report: BenchReport, *, baseline: Optional[Dict[str, object]] 
             if base is not None:
                 suffix = f"   (baseline {base:.2f}x)"
         lines.append(f"{case:16s} batched/scalar speedup: {speedup:.2f}x{suffix}")
+    if report.engine_records:
+        lines.append("")
+        lines.append(f"{'engine case':16s} {'events':>8s} {'wall[ms]':>9s} "
+                     f"{'events/s':>12s}")
+        for engine_record in report.engine_records:
+            lines.append(
+                f"{engine_record.case:16s} {engine_record.events:8d} "
+                f"{engine_record.wall_clock_s * 1e3:9.1f} "
+                f"{engine_record.events_per_s:12.0f}"
+            )
     return "\n".join(lines)

@@ -115,9 +115,12 @@ class InterNodeChannel:
         """Deliver *payload* to *on_delivery* after the one-way latency."""
         self.messages_sent += 1
         if self._latency > 0:
-            self._engine.schedule_after(
+            # Bound delivery callback + payload argument: the engine's
+            # slab invokes ``on_delivery(payload)`` without a closure.
+            self._engine.schedule_call_after(
                 self._latency,
-                lambda: on_delivery(payload),
+                on_delivery,
+                payload,
                 priority=priority,
                 label=f"{self._name}:{kind}",
             )

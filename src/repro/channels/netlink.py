@@ -85,20 +85,23 @@ class NetlinkChannel:
             return message
         self._log.append(message)
 
-        def _deliver() -> None:
-            for receiver in self._receivers:
-                receiver(message)
-
         if self._latency > 0:
-            self._engine.schedule_after(
+            # Bound method + argument instead of a per-message closure:
+            # the engine's slab invokes ``self._deliver(message)``.
+            self._engine.schedule_call_after(
                 self._latency,
-                _deliver,
+                self._deliver,
+                message,
                 priority=EventPriority.HYPERVISOR,
                 label=f"{self._name}:{kind}",
             )
         else:
-            _deliver()
+            self._deliver(message)
         return message
+
+    def _deliver(self, message: NetlinkMessage) -> None:
+        for receiver in self._receivers:
+            receiver(message)
 
     # -- introspection ---------------------------------------------------------
     @property

@@ -177,6 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default 0.20)")
     bench_p.add_argument("--no-fail", action="store_true",
                          help="report regressions without a non-zero exit")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="run the quick suite under cProfile and print "
+                              "the top-20 functions by cumulative time")
 
     return parser
 
@@ -361,10 +364,38 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_bench_profile(args: "argparse.Namespace") -> int:
+    """``smartmem bench --profile``: where does the bench time go?
+
+    Runs the quick suite once (batched engine only) under cProfile and
+    prints the top-20 functions by cumulative time, so perf PRs can cite
+    exactly which layer they attack.
+    """
+    import cProfile
+    import pstats
+
+    from . import bench
+
+    seed = args.seed if args.seed is not None else bench.BENCH_SEED
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for case in bench.QUICK_CASES:
+        bench._run_once(case.build_spec(), case.policy, "batched", seed)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative")
+    print("Top 20 functions by cumulative time (quick suite, batched engine):")
+    stats.print_stats(20)
+    return 0
+
+
 def _cmd_bench(args: "argparse.Namespace") -> int:
     from pathlib import Path
 
     from . import bench
+
+    if args.profile:
+        return _cmd_bench_profile(args)
 
     cases = bench.QUICK_CASES if args.quick else bench.MICRO_CASES
     label = args.label or ("quick" if args.quick else "micro")

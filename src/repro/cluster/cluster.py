@@ -112,7 +112,7 @@ class Cluster:
         self.coordinator: Optional[ClusterPolicy] = None
         self._capacity_moves = 0
         self._last_pressure: Dict[str, Tuple[int, int]] = {}
-        self._cancel_rebalance = None
+        self._rebalance_timer = None
 
         if multi_node and use_tmem:
             self.channel = InterNodeChannel(
@@ -155,7 +155,9 @@ class Cluster:
         for node in self.nodes:
             node.start()
         if self.coordinator is not None and len(self.nodes) > 1:
-            self._cancel_rebalance = self.engine.schedule_recurring(
+            # Engine-owned periodic timer record: re-arms in place each
+            # round instead of re-scheduling a closure per tick.
+            self._rebalance_timer = self.engine.schedule_recurring(
                 self.topology.rebalance_interval_s,
                 self._rebalance,
                 priority=EventPriority.TIMER,
@@ -163,9 +165,9 @@ class Cluster:
             )
 
     def finalize(self) -> None:
-        if self._cancel_rebalance is not None:
-            self._cancel_rebalance()
-            self._cancel_rebalance = None
+        if self._rebalance_timer is not None:
+            self._rebalance_timer.cancel()
+            self._rebalance_timer = None
         for node in self.nodes:
             node.finalize()
 

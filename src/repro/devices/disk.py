@@ -100,6 +100,46 @@ class VirtualDisk:
             )
         return latency
 
+    def read_one(self, now: float, vm_id: int) -> float:
+        """Single-page read with the accounting fused into one call.
+
+        Identical float arithmetic (and therefore identical latency
+        sequences) to ``read(now, 1, vm_id=vm_id)``; exists because the
+        guest's burst replay issues one call per swap fault on the
+        hottest loop of the simulator.
+        """
+        busy = self._busy_until
+        start = busy if busy > now else now
+        service_time = self._read_service_1p
+        completion = start + service_time
+        self._busy_until = completion
+        latency = completion - now
+        stats = self.stats
+        stats.busy_time_s += service_time
+        stats.total_wait_time_s += latency
+        stats.reads += 1
+        stats.pages_read += 1
+        per_vm = stats.per_vm_pages_read
+        per_vm[vm_id] = per_vm.get(vm_id, 0) + 1
+        return latency
+
+    def write_one(self, now: float, vm_id: int) -> float:
+        """Single-page write; the fused counterpart of :meth:`read_one`."""
+        busy = self._busy_until
+        start = busy if busy > now else now
+        service_time = self._write_service_1p
+        completion = start + service_time
+        self._busy_until = completion
+        latency = completion - now
+        stats = self.stats
+        stats.busy_time_s += service_time
+        stats.total_wait_time_s += latency
+        stats.writes += 1
+        stats.pages_written += 1
+        per_vm = stats.per_vm_pages_written
+        per_vm[vm_id] = per_vm.get(vm_id, 0) + 1
+        return latency
+
     def utilization(self, now: float) -> float:
         """Fraction of elapsed simulated time the device was busy."""
         if now <= 0:

@@ -31,7 +31,7 @@ indistinguishable, counter for counter, from its scalar equivalent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import repeat
+from itertools import compress, repeat
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import GuestError
@@ -369,6 +369,57 @@ class FrontswapBatch:
             return succeeded
 
         stored_pop = stored.pop
+        if (
+            not result.all_succeeded
+            and not self._flushes
+            and (not put_pages or not get_pages
+                 or set(put_pages).isdisjoint(get_pages))
+        ):
+            # Mixed success/failure batch without flushes: apply the
+            # effects kind-by-kind with C-level bulk operations, using
+            # the hypervisor's per-kind status subsequences.  The
+            # statuses list itself is exactly what the op-by-op walk
+            # would have returned (put/get branches echo the status,
+            # and there are no flushes to normalise), so it is passed
+            # through untouched.
+            put_ok = result.put_statuses
+            get_ok = result.get_statuses
+            if put_pages:
+                stored.update(
+                    compress(zip(put_pages, self._put_versions), put_ok)
+                )
+            loads = 0
+            if get_pages:
+                get_versions = result.get_versions
+                hit_pages = list(compress(get_pages, get_ok))
+                if hit_pages:
+                    expected = list(map(stored_pop, hit_pages, repeat(None)))
+                    got = list(compress(get_versions, get_ok))
+                    if expected != got:
+                        for page, exp, ver in zip(hit_pages, expected, got):
+                            if exp is not None and exp != ver:
+                                raise GuestError(
+                                    f"VM {client._vm_id}: frontswap page "
+                                    f"{page} returned stale data (version "
+                                    f"{ver} != {exp})"
+                                )
+                    loads = len(hit_pages)
+                missed = len(get_pages) - loads
+                if missed:
+                    stats.failed_loads += missed
+                    for page, ok in zip(get_pages, get_ok):
+                        if not ok and page in stored:
+                            raise GuestError(
+                                f"VM {client._vm_id}: frontswap page {page} "
+                                "vanished from a persistent tmem pool"
+                            )
+            stats.succ_stores += result.puts_succ + result.puts_remote
+            stats.failed_stores += result.puts_failed
+            stats.loads += loads
+            statuses = result.statuses
+            self._reset()
+            return statuses
+
         succeeded: List[int] = []
         append = succeeded.append
         get_versions = result.get_versions

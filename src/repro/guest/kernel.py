@@ -357,16 +357,23 @@ class GuestKernel:
     ) -> bool:
         """Whole-burst set-algebra plan for the dominant sweep shapes.
 
-        Applies when the burst consists of distinct pages and the
-        reclaimer's victim choice is insert-order independent (strict
-        LRU) with the burst's victims provably disjoint from the burst
-        itself.  Then the whole burst classifies up front with C-speed
-        membership maps — resident hits, tmem hits, swap faults, first
-        touches — victims for every eviction are selected in one batch,
-        recency updates collapse into one bulk promote, and the staged
-        tmem traffic ships in a single batched hypercall.  Returns False
-        when a precondition fails and the sequential planner must run
-        instead.
+        Applies when the reclaimer's victim choice is insert-order
+        independent (strict LRU) and the burst's victims are provably
+        disjoint from the burst itself.  Then the whole burst classifies
+        up front — resident hits, tmem hits, swap faults, first touches —
+        victims for every eviction are selected in one batch, recency
+        updates collapse into one bulk promote, and the staged tmem
+        traffic ships in a single batched hypercall.  Returns False when
+        a precondition fails and the sequential planner must run instead.
+
+        Bursts made of *distinct* pages classify with C-speed membership
+        maps.  Bursts with duplicate occurrences (the zipf-shaped
+        workloads re-touch hot pages within one burst) take one Python
+        classification pass instead: only the *first* occurrence of a
+        non-resident page is a major fault — every re-occurrence is a
+        minor hit of the freshly faulted page — so the miss sequence is
+        the first-occurrence subsequence and the eviction interleaving
+        is identical to the distinct case over that subsequence.
 
         Why up-front victim selection is exact here: victims pop from the
         LRU cold end while burst pages only ever move to the hot end, so
@@ -382,27 +389,51 @@ class GuestKernel:
         usable = self._usable_ram
         if size > usable:
             return False
-        if len(set(page_list)) != n:
-            return False
-        hit_mask = list(map(resident.__contains__, page_list))
-        n_hits = sum(hit_mask)
-        if n_hits:
-            misses = [p for p, hit in zip(page_list, hit_mask) if not hit]
+        # dict.fromkeys is the C-speed dedup that also preserves first-
+        # occurrence order — exactly the order misses must fault in.
+        distinct_map = dict.fromkeys(page_list)
+        contains = resident.members().__contains__
+        hit_mask: Optional[List[bool]] = None
+        hit_distinct: Optional[List[int]] = None
+        if len(distinct_map) == n:
+            # Distinct pages: C-speed membership map.
+            hit_mask = list(map(contains, page_list))
+            n_hits = sum(hit_mask)
+            if n_hits:
+                misses = [p for p, hit in zip(page_list, hit_mask) if not hit]
+            else:
+                misses = page_list
+            resident_in_burst = n_hits
+            burst_resident = distinct_map.keys()
         else:
-            misses = page_list
-        n_miss = n - n_hits
+            # Duplicate occurrences: classify first occurrences only —
+            # every re-occurrence is a minor hit whichever way the first
+            # occurrence resolved (resident, or faulted in by the burst).
+            distinct = list(distinct_map)
+            mask = list(map(contains, distinct))
+            resident_in_burst = sum(mask)
+            if resident_in_burst:
+                misses = [p for p, hit in zip(distinct, mask) if not hit]
+                hit_distinct = [p for p, hit in zip(distinct, mask) if hit]
+            else:
+                misses = distinct
+                hit_distinct = []
+            n_hits = n - len(misses)
+            burst_resident = None  # built only if the peek check runs
+        n_miss = len(misses)
         free_slots = usable - size
         victims_needed = n_miss - free_slots if n_miss > free_slots else 0
-        if victims_needed > size - n_hits:
+        if victims_needed > size - resident_in_burst:
             # Victims would dip into this burst's own pages: the plan
             # would no longer be insert-order independent.
             return False
-        if victims_needed and n_hits:
+        if victims_needed and resident_in_burst:
             upcoming = resident.peek_victims(victims_needed)
             if upcoming is None:
                 return False
-            page_set = set(page_list)
-            if not page_set.isdisjoint(upcoming):
+            if burst_resident is None:
+                burst_resident = set(hit_distinct)
+            if not burst_resident.isdisjoint(upcoming):
                 # A burst page is among the k coldest: whether it escapes
                 # eviction depends on intra-burst access order, which only
                 # the sequential planner tracks.
@@ -473,8 +504,11 @@ class GuestKernel:
                     append_plan((_F_FIRST, page, 0))
 
         if n_hits:
-            hit_pages = [p for p, hit in zip(page_list, hit_mask) if hit]
-            resident.promote_burst(page_list, hit_pages)
+            # The classification already split the burst: promote inserts
+            # the fresh pages and replays the occurrences as touches,
+            # leaving recency exactly as a scalar walk would (each page
+            # ordered by its last occurrence).
+            resident.promote_burst_planned(misses, page_list)
         else:
             resident.insert_many(page_list)
         outcome.minor_hits = n_hits
@@ -501,7 +535,8 @@ class GuestKernel:
         insert = resident.insert
         select_victim = resident.select_victim
         select_victims = resident.select_victims
-        holds = fs.holds if fs is not None else None
+        holds = fs.held_pages.__contains__ if fs is not None else None
+        in_swap_slots = swap.slots.__contains__
         stage_store = batch.stage_store if batch is not None else None
         plan_append = plan.append
         minor_hits = 0
@@ -540,7 +575,7 @@ class GuestKernel:
             if holds is not None and holds(page):
                 op_index = executed_ops + batch.stage_load(page)
                 plan_append((_F_TMEM, page, op_index))
-            elif page in swap or page in pending_swap:
+            elif in_swap_slots(page) or page in pending_swap:
                 pending_swap.discard(page)
                 plan_append((_F_SWAP, page, 0))
             else:
@@ -579,8 +614,8 @@ class GuestKernel:
         remote_get_lat = get_lat + self._remote_extra_s
         fault_overhead = config.guest.fault_overhead_s
         disk = self._disk
-        disk_write = disk.write
-        disk_read = disk.read
+        disk_write = disk.write_one
+        disk_read = disk.read_one
         swap = self._swap
         swap_store = swap.store
         swap_load = swap.load
@@ -608,14 +643,14 @@ class GuestKernel:
                     acc += fail_lat
                     tmem_time += fail_lat
                     failed_puts += 1
-                    disk_latency = disk_write(now + acc, 1, vm_id=vm_id)
+                    disk_latency = disk_write(now + acc, vm_id)
                     swap_store(page)
                     acc += disk_latency
                     disk_time += disk_latency
                     evictions_to_disk += 1
             elif kind == _EV_DISK:
                 evictions += 1
-                disk_latency = disk_write(now + acc, 1, vm_id=vm_id)
+                disk_latency = disk_write(now + acc, vm_id)
                 swap_store(page)
                 acc += disk_latency
                 disk_time += disk_latency
@@ -631,7 +666,7 @@ class GuestKernel:
             elif kind == _F_SWAP:
                 major += 1
                 acc += fault_overhead
-                disk_latency = disk_read(now + acc, 1, vm_id=vm_id)
+                disk_latency = disk_read(now + acc, vm_id)
                 swap_load(page)
                 acc += disk_latency
                 disk_time += disk_latency

@@ -30,7 +30,7 @@ reclaimers override them with O(batch) vectorized equivalents.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -45,6 +45,11 @@ __all__ = [
     "ClockArrayReclaim",
     "make_reclaimer",
 ]
+
+#: Consume an iterator at C speed, discarding the results (a bound
+#: ``extend`` on a zero-capacity deque).  Used to drain ``map`` objects
+#: whose per-element calls are executed purely for their side effects.
+_consume = deque(maxlen=0).extend
 
 
 class PageReclaimer(ABC):
@@ -88,6 +93,16 @@ class PageReclaimer(ABC):
     # -- batch API ---------------------------------------------------------
     # The defaults are semantically equivalent to issuing the scalar calls
     # in sequence; subclasses override them with cheaper implementations.
+    def members(self):
+        """An object whose ``__contains__`` answers residency at C speed.
+
+        Hot classification loops probe membership once per page; going
+        through the reclaimer's Python-level ``__contains__`` costs a
+        frame per probe.  Concrete reclaimers return their backing
+        dict/set so callers bind ``members().__contains__`` directly.
+        """
+        return self
+
     def contains_all(self, pages: Sequence[int]) -> bool:
         """True when every page of the batch is resident."""
         return all(map(self.__contains__, pages))
@@ -133,16 +148,36 @@ class PageReclaimer(ABC):
     def promote_burst(
         self, page_list: Sequence[int], hit_pages: Sequence[int]
     ) -> None:
-        """Apply one burst's recency updates: *hit_pages* (a subset of
-        *page_list*, already resident) are touched and the remaining
+        """Apply one burst's recency updates: *hit_pages* (the distinct
+        burst pages already resident) are touched and the remaining
         pages inserted, leaving recency as if *page_list* had been
-        processed one page at a time in order."""
+        processed one page at a time in order.  *page_list* may contain
+        duplicate occurrences; a re-occurrence of a freshly inserted
+        page is a touch, exactly as the scalar walk treats it.
+
+        Thin wrapper: classifies the burst and delegates to
+        :meth:`promote_burst_planned`, so there is exactly one
+        promotion implementation per reclaimer."""
         hits = set(hit_pages)
-        for page in page_list:
-            if page in hits:
-                self.touch(page)
-            else:
-                self.insert(page)
+        fresh = [p for p in dict.fromkeys(page_list) if p not in hits]
+        self.promote_burst_planned(fresh, page_list)
+
+    def promote_burst_planned(
+        self, fresh_pages: Sequence[int], occurrences: Sequence[int]
+    ) -> None:
+        """Like :meth:`promote_burst` with the classification precomputed.
+
+        *fresh_pages* are the burst's distinct non-resident pages in
+        first-occurrence order (the order a scalar walk inserts them);
+        *occurrences* is the full burst.  Inserting the fresh pages
+        first and then replaying every occurrence as a touch leaves
+        recency exactly as the scalar walk does — each page ends up
+        ordered by its *last* occurrence.
+        """
+        for page in fresh_pages:
+            self.insert(page)
+        for page in occurrences:
+            self.touch(page)
 
 
 class LruReclaim(PageReclaimer):
@@ -186,6 +221,9 @@ class LruReclaim(PageReclaimer):
         return iter(self._order.keys())
 
     # -- batch API ---------------------------------------------------------
+    def members(self):
+        return self._order
+
     def contains_all(self, pages: Sequence[int]) -> bool:
         return all(map(self._order.__contains__, pages))
 
@@ -197,12 +235,12 @@ class LruReclaim(PageReclaimer):
             return False
 
     def touch_many(self, pages: Sequence[int]) -> None:
-        move_to_end = self._order.move_to_end
         try:
-            for page in pages:
-                move_to_end(page)
-        except KeyError:
-            raise GuestError(f"touch() on non-resident page {page}") from None
+            _consume(map(self._order.move_to_end, pages))
+        except KeyError as exc:
+            raise GuestError(
+                f"touch() on non-resident page {exc.args[0]}"
+            ) from None
 
     def insert_many(self, pages: Sequence[int]) -> None:
         order = self._order
@@ -226,20 +264,23 @@ class LruReclaim(PageReclaimer):
             raise GuestError("select_victim() with no resident pages")
         return list(islice(self._order.keys(), count))
 
-    def promote_burst(
-        self, page_list: Sequence[int], hit_pages: Sequence[int]
+    # promote_burst is inherited: the base-class wrapper classifies and
+    # delegates to promote_burst_planned below, keeping exactly one
+    # promotion implementation.
+
+    def promote_burst_planned(
+        self, fresh_pages: Sequence[int], occurrences: Sequence[int]
     ) -> None:
-        # Touching is "delete + append": dropping every hit first and then
-        # bulk-appending the whole burst leaves the hot end in exact burst
-        # order — the same recency a page-at-a-time walk produces.
+        # Bulk-insert the fresh pages (their relative order is erased by
+        # the replay below), then replay every occurrence as a C-speed
+        # move-to-end: the final order is each page's last occurrence —
+        # exactly the recency a page-at-a-time scalar walk produces.
         order = self._order
-        delitem = order.__delitem__
-        for page in hit_pages:
-            delitem(page)
         before = len(order)
-        order.update(dict.fromkeys(page_list))
-        if len(order) != before + len(page_list):
-            raise GuestError("promote_burst() with duplicate or resident pages")
+        order.update(dict.fromkeys(fresh_pages))
+        if len(order) != before + len(fresh_pages):
+            raise GuestError("promote_burst_planned() with resident pages")
+        _consume(map(order.move_to_end, occurrences))
 
 
 class ClockReclaim(PageReclaimer):
@@ -411,6 +452,9 @@ class ClockArrayReclaim(PageReclaimer):
         return iter(used[self._alive[: self._end]].tolist())
 
     # -- batch API ---------------------------------------------------------
+    def members(self):
+        return self._slot
+
     def contains_all(self, pages: Sequence[int]) -> bool:
         return all(map(self._slot.__contains__, pages))
 

@@ -61,16 +61,20 @@ class SwapArea:
 
     def store(self, page: int) -> None:
         """Record that *page* has been written out to the swap device."""
-        if page in self._slots:
+        slots = self._slots
+        if page in slots:
             # Rewriting an existing swap slot is allowed (page dirtied again).
             return
-        if len(self._slots) >= self._capacity:
+        if len(slots) >= self._capacity:
             raise SwapError(
                 f"swap area full ({self._capacity} pages); guest would OOM"
             )
-        self._slots.add(page)
-        self.stats.swap_outs += 1
-        self.stats.peak_used_pages = max(self.stats.peak_used_pages, len(self._slots))
+        slots.add(page)
+        stats = self.stats
+        stats.swap_outs += 1
+        used = len(slots)
+        if used > stats.peak_used_pages:
+            stats.peak_used_pages = used
 
     def load(self, page: int) -> None:
         """Record that *page* has been read back from the swap device."""

@@ -210,9 +210,10 @@ class VirtualMachine:
         else:
             start_time = previous_end + job.delay_after_previous
         self._idle = False
-        self._engine.schedule_at(
+        self._engine.schedule_call_at(
             start_time,
-            lambda: self._begin_run(job),
+            self._begin_run,
+            job,
             priority=EventPriority.WORKLOAD,
             label=f"{self.name}:job-start",
         )
@@ -249,36 +250,56 @@ class VirtualMachine:
             listener(self, phase, now)
 
     def _execute_next_step(self) -> None:
-        run = self._current_run
-        steps = self._current_steps
-        assert run is not None and steps is not None
+        """Execute workload steps, fast-forwarding while provably safe.
 
-        if self._stop_requested:
-            self._finish_run(stopped_early=True)
+        Each iteration services one step's page accesses at the current
+        simulated time and computes when the next step begins.  When the
+        engine grants a fast-forward — the next step is *strictly*
+        earlier than every other live event, the run's ``until`` bound
+        and ``stop_when`` predicate permitting — the loop advances the
+        clock inline and continues, skipping the heap round-trip a
+        per-step event would cost.  Otherwise the next step is scheduled
+        as an ordinary event (equal timestamps must go through the heap
+        so priority/insertion ordering applies), which keeps the event
+        order — and therefore every simulated quantity — bit-identical
+        to the non-fast-forwarded execution.
+        """
+        engine = self._engine
+        kernel_access = self.kernel.access
+        while True:
+            run = self._current_run
+            steps = self._current_steps
+            assert run is not None and steps is not None
+
+            if self._stop_requested:
+                self._finish_run(stopped_early=True)
+                return
+            try:
+                step = next(steps)
+            except StopIteration:
+                self._finish_run(stopped_early=False)
+                return
+
+            if step.phase != self._current_phase:
+                self._enter_phase(step.phase)
+
+            now = engine.now
+            outcome = kernel_access(step.pages, now=now, write=step.write)
+            free_latency = 0.0
+            if step.frees:
+                free_latency = self.kernel.free(step.frees, now=now)
+            run.steps_executed += 1
+
+            duration = step.compute_time_s + outcome.latency_s + free_latency
+            if engine.try_fast_forward(now + duration):
+                continue
+            engine.schedule_call_after(
+                duration,
+                self._execute_next_step,
+                priority=EventPriority.WORKLOAD,
+                label=f"{self.name}:step",
+            )
             return
-        try:
-            step = next(steps)
-        except StopIteration:
-            self._finish_run(stopped_early=False)
-            return
-
-        if step.phase != self._current_phase:
-            self._enter_phase(step.phase)
-
-        now = self._engine.now
-        outcome = self.kernel.access(step.pages, now=now, write=step.write)
-        free_latency = 0.0
-        if step.frees:
-            free_latency = self.kernel.free(step.frees, now=now)
-        run.steps_executed += 1
-
-        duration = step.compute_time_s + outcome.latency_s + free_latency
-        self._engine.schedule_after(
-            duration,
-            self._execute_next_step,
-            priority=EventPriority.WORKLOAD,
-            label=f"{self.name}:step",
-        )
 
     def _finish_run(self, *, stopped_early: bool) -> None:
         run = self._current_run

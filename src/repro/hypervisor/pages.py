@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import TmemKeyError
 
-__all__ = ["PageKey", "TmemPage", "make_page_key", "make_tmem_page"]
+__all__ = ["PageKey", "TmemPage", "make_page_key"]
 
 #: ``@dataclass(slots=True)`` needs Python 3.10; on 3.9 (the oldest
 #: version CI exercises) we fall back to ordinary dataclasses — the slot
@@ -62,33 +63,6 @@ def make_page_key(pool_id: int, object_id: int, index: int) -> PageKey:
     return key
 
 
-def make_tmem_page(
-    pool_id: int,
-    object_id: int,
-    index: int,
-    owner_vm: int,
-    version: int,
-    put_time: float,
-) -> "TmemPage":
-    """Trusted fast constructor for a keyed :class:`TmemPage`.
-
-    Builds the page and its key in one call with direct slot writes —
-    the batched put path creates one record per stored page, so the
-    regular constructors' validation and argument plumbing would be pure
-    overhead there (the components are already guest-validated).
-    """
-    key = object.__new__(PageKey)
-    object.__setattr__(key, "pool_id", pool_id)
-    object.__setattr__(key, "object_id", object_id)
-    object.__setattr__(key, "index", index)
-    page = object.__new__(TmemPage)
-    page.key = key
-    page.owner_vm = owner_vm
-    page.version = version
-    page.put_time = put_time
-    return page
-
-
 @dataclass(**_SLOTS)
 class TmemPage:
     """One page held in the hypervisor's tmem pool.
@@ -99,7 +73,10 @@ class TmemPage:
     consistency property a real key--value store provides).
     """
 
-    key: PageKey
+    #: ``None`` for pool-resident records created by the batched put
+    #: path: their identity is their position in the pool radix, and
+    #: nothing reads ``key`` off a stored record.
+    key: Optional[PageKey]
     owner_vm: int
     version: int
     put_time: float

@@ -39,12 +39,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..devices.dram import HostMemory
 from ..errors import TmemError
 from .accounting import HypervisorAccounting, VmTmemAccount
-from .pages import PageKey, TmemPage, make_tmem_page
+from .pages import PageKey, TmemPage
 from .tmem_store import TmemStore
 
 __all__ = [
@@ -124,6 +124,13 @@ class TmemBatchResult:
     #: ones; the distinct value lets the guest's latency replay charge
     #: the network cost for exactly the remote operations.
     statuses: List[int] = field(default_factory=list)
+    #: Per-kind status subsequences, aligned with the batch's puts and
+    #: gets in staging order; filled only when ``statuses`` is (i.e. at
+    #: least one op did not succeed locally).  They let the guest apply
+    #: put/get effects with C-level bulk operations instead of an
+    #: op-by-op walk.
+    put_statuses: List[int] = field(default_factory=list)
+    get_statuses: List[int] = field(default_factory=list)
     get_versions: List[Optional[int]] = field(default_factory=list)
     puts_total: int = 0
     puts_succ: int = 0
@@ -337,10 +344,15 @@ class TmemBackend:
         persistent = pool.persistent
         owner = vm_id
 
-        lookup = pool.lookup_raw
-        insert_or_existing = pool.insert_or_existing
-        remove = pool.remove_raw
+        # The radix is probed and edited inline — one dict operation per
+        # op instead of a Python call frame through the pool accessors;
+        # the net page-count change is reported once at the end.
+        objects = pool.radix()
+        objects_get = objects.get
         remote = self.remote
+        new_record = object.__new__
+        page_cls = TmemPage
+        count_delta = 0
 
         puts_total = puts_succ = puts_failed = 0
         gets_total = gets_failed = 0
@@ -349,120 +361,174 @@ class TmemBackend:
         # Built lazily: stays None while every op succeeds, so the common
         # all-success batch never pays a per-op status append.
         statuses: Optional[List[int]] = None
+        append_status: Any = None
+        append_put_status: Any = None
+        append_get_status: Any = None
         op_count = 0
 
-        for opcode, object_id, index, version in ops:
-            op_count += 1
-            if opcode == BATCH_PUT:
-                puts_total += 1
-                if free == 0 or (limit is not None and used >= limit):
-                    # A put to an existing key still replaces in place
-                    # (no new frame), even with admission exhausted.
-                    existing = lookup(object_id, index)
+        def materialize(ops_done: int, puts_done: int, gets_done: int):
+            # First non-(locally-successful) op: back-fill the implicit
+            # all-success prefixes and return the four appenders.
+            # *ops_done*/*puts_done*/*gets_done* are the counts of
+            # already-successful ops/puts/gets (the current op is
+            # excluded by its caller).  Cold path: runs at most once per
+            # batch.  Everything is passed in and returned (instead of
+            # nonlocal/closure reads) so the hot loop's names stay fast
+            # locals rather than closure cells.
+            mat = [1] * ops_done
+            result.put_statuses = [1] * puts_done
+            result.get_statuses = [1] * gets_done
+            return (mat, mat.append, result.put_statuses.append,
+                    result.get_statuses.append)
+
+        try:
+            for opcode, object_id, index, version in ops:
+                op_count += 1
+                if opcode == BATCH_PUT:
+                    puts_total += 1
+                    bucket = objects_get(object_id)
+                    if free == 0 or (limit is not None and used >= limit):
+                        # A put to an existing key still replaces in place
+                        # (no new frame), even with admission exhausted.
+                        existing = bucket.get(index) if bucket is not None else None
+                        if existing is not None:
+                            existing.version = version
+                            existing.put_time = now
+                            puts_succ += 1
+                            if statuses is not None:
+                                append_status(1)
+                                append_put_status(1)
+                            continue
+                        if remote is not None and remote.spill_put(
+                            vm_id, object_id, index, version, now
+                        ):
+                            puts_remote += 1
+                            if statuses is None:
+                                (statuses, append_status, append_put_status,
+                                 append_get_status) = materialize(op_count - 1, puts_total - 1, gets_total)
+                            append_status(2)
+                            append_put_status(2)
+                            continue
+                        puts_failed += 1
+                        if statuses is None:
+                            (statuses, append_status, append_put_status,
+                             append_get_status) = materialize(op_count - 1, puts_total - 1, gets_total)
+                        append_status(0)
+                        append_put_status(0)
+                        continue
+                    if bucket is None:
+                        bucket = objects[object_id] = {}
+                        existing = None
+                    else:
+                        existing = bucket.get(index)
                     if existing is not None:
+                        # Replace in place: no new frame is consumed.
                         existing.version = version
                         existing.put_time = now
                         puts_succ += 1
                         if statuses is not None:
-                            statuses.append(1)
+                            append_status(1)
+                            append_put_status(1)
                         continue
-                    if remote is not None and remote.spill_put(
-                        vm_id, object_id, index, version, now
-                    ):
-                        puts_remote += 1
-                        if statuses is None:
-                            statuses = [1] * (op_count - 1)
-                        statuses.append(2)
-                        continue
-                    puts_failed += 1
-                    if statuses is None:
-                        statuses = [1] * (op_count - 1)
-                    statuses.append(0)
-                    continue
-                existing = insert_or_existing(
-                    object_id,
-                    index,
-                    make_tmem_page(
-                        pool_id, object_id, index, owner, version, now
-                    ),
-                )
-                if existing is not None:
-                    # Replace in place: the optimistic record is dropped.
-                    existing.version = version
-                    existing.put_time = now
+                    # Lean page record: batch-stored pages carry no PageKey
+                    # (their identity is their radix position; nothing reads
+                    # ``key`` off a pool-resident record).
+                    page = new_record(page_cls)
+                    page.key = None
+                    page.owner_vm = owner
+                    page.version = version
+                    page.put_time = now
+                    bucket[index] = page
+                    count_delta += 1
+                    used += 1
+                    free -= 1
                     puts_succ += 1
                     if statuses is not None:
-                        statuses.append(1)
-                    continue
-                used += 1
-                free -= 1
-                puts_succ += 1
-                if statuses is not None:
-                    statuses.append(1)
-            elif opcode == BATCH_GET:
-                gets_total += 1
-                # Frontswap (persistent) gets are exclusive: the frame is
-                # released and becomes available to later puts in the batch.
-                page = (
-                    remove(object_id, index)
-                    if persistent
-                    else lookup(object_id, index)
-                )
-                if page is None:
-                    if remote is not None:
-                        remote_version = remote.remote_get(
+                        append_status(1)
+                        append_put_status(1)
+                elif opcode == BATCH_GET:
+                    gets_total += 1
+                    # Frontswap (persistent) gets are exclusive: the frame is
+                    # released and becomes available to later puts in the batch.
+                    bucket = objects_get(object_id)
+                    if persistent:
+                        page = bucket.pop(index, None) if bucket is not None else None
+                        if page is not None and not bucket:
+                            del objects[object_id]
+                    else:
+                        page = bucket.get(index) if bucket is not None else None
+                    if page is None:
+                        if remote is not None:
+                            remote_version = remote.remote_get(
+                                vm_id, object_id, index
+                            )
+                            if remote_version is not None:
+                                gets_remote += 1
+                                append_get_version(remote_version)
+                                if statuses is None:
+                                    (statuses, append_status, append_put_status,
+                                     append_get_status) = materialize(op_count - 1, puts_total, gets_total - 1)
+                                append_status(2)
+                                append_get_status(2)
+                                continue
+                        gets_failed += 1
+                        append_get_version(None)
+                        if statuses is None:
+                            (statuses, append_status, append_put_status,
+                             append_get_status) = materialize(op_count - 1, puts_total, gets_total - 1)
+                        append_status(0)
+                        append_get_status(0)
+                        continue
+                    if persistent:
+                        count_delta -= 1
+                        used -= 1
+                        free += 1
+                        if used < 0:
+                            raise TmemError(
+                                f"VM {vm_id} tmem_used went negative on get"
+                            )
+                    append_get_version(page.version)
+                    if statuses is not None:
+                        append_status(1)
+                        append_get_status(1)
+                elif opcode == BATCH_FLUSH:
+                    flushes_total += 1
+                    bucket = objects_get(object_id)
+                    page = bucket.pop(index, None) if bucket is not None else None
+                    if page is None:
+                        if remote is not None and remote.remote_flush(
                             vm_id, object_id, index
-                        )
-                        if remote_version is not None:
-                            gets_remote += 1
-                            append_get_version(remote_version)
-                            if statuses is None:
-                                statuses = [1] * (op_count - 1)
-                            statuses.append(2)
+                        ):
+                            # A remote flush costs nothing extra (the
+                            # invalidation piggybacks on the next message),
+                            # so it is an ordinary success status-wise.
+                            if statuses is not None:
+                                append_status(1)
                             continue
-                    gets_failed += 1
-                    append_get_version(None)
-                    if statuses is None:
-                        statuses = [1] * (op_count - 1)
-                    statuses.append(0)
-                    continue
-                if persistent:
+                        if statuses is None:
+                            (statuses, append_status, append_put_status,
+                             append_get_status) = materialize(op_count - 1, puts_total, gets_total)
+                        append_status(0)
+                        continue
+                    if not bucket:
+                        del objects[object_id]
+                    count_delta -= 1
                     used -= 1
                     free += 1
                     if used < 0:
                         raise TmemError(
-                            f"VM {vm_id} tmem_used went negative on get"
+                            f"VM {vm_id} tmem_used went negative on flush"
                         )
-                append_get_version(page.version)
-                if statuses is not None:
-                    statuses.append(1)
-            elif opcode == BATCH_FLUSH:
-                flushes_total += 1
-                page = remove(object_id, index)
-                if page is None:
-                    if remote is not None and remote.remote_flush(
-                        vm_id, object_id, index
-                    ):
-                        # A remote flush costs nothing extra (the
-                        # invalidation piggybacks on the next message),
-                        # so it is an ordinary success status-wise.
-                        if statuses is not None:
-                            statuses.append(1)
-                        continue
-                    if statuses is None:
-                        statuses = [1] * (op_count - 1)
-                    statuses.append(0)
-                    continue
-                used -= 1
-                free += 1
-                if used < 0:
-                    raise TmemError(
-                        f"VM {vm_id} tmem_used went negative on flush"
-                    )
-                if statuses is not None:
-                    statuses.append(1)
-            else:
-                raise TmemError(f"unknown batched tmem opcode {opcode!r}")
+                    if statuses is not None:
+                        append_status(1)
+                else:
+                    raise TmemError(f"unknown batched tmem opcode {opcode!r}")
+        finally:
+            # Keep the pool's page count in sync with the raw radix
+            # edits even if an op raises mid-batch (unknown opcode,
+            # tmem_used invariant violation).
+            if count_delta:
+                pool.adjust_count(count_delta)
 
         if statuses is None:
             result.all_succeeded = True

@@ -128,6 +128,21 @@ class TmemPool:
         for pages in self._objects.values():
             yield from pages.values()
 
+    # -- batched hot-path accessors -----------------------------------------
+    def radix(self) -> Dict[int, Dict[int, TmemPage]]:
+        """The live object -> index -> page mapping.
+
+        Exposed so the batched hypercall path can probe and mutate the
+        radix without a Python call frame per operation.  Callers that
+        insert or remove entries directly must report the net page-count
+        change through :meth:`adjust_count` before returning.
+        """
+        return self._objects
+
+    def adjust_count(self, delta: int) -> None:
+        """Apply the net page-count change of a batch of raw radix edits."""
+        self._count += delta
+
 
 class TmemStore:
     """All tmem pools on the node, indexed by (vm_id, pool_id)."""

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from ..sim.engine import SimulationEngine
-from ..sim.events import EventPriority
+from ..sim.events import EventPriority, RecurringTimer
 from ..sim.trace import TraceRecorder
 from .accounting import HypervisorAccounting, UNLIMITED_TARGET
 
@@ -93,7 +93,7 @@ class StatisticsSampler:
         #: series do not interleave in the shared recorder.
         self._free_trace_name = free_trace_name
         self._listeners: List[SnapshotListener] = []
-        self._cancel: Optional[Callable[[], None]] = None
+        self._timer: Optional[RecurringTimer] = None
         self._history: List[StatsSnapshot] = []
 
     # -- wiring ------------------------------------------------------------
@@ -102,10 +102,15 @@ class StatisticsSampler:
         self._listeners.append(listener)
 
     def start(self) -> None:
-        """Begin raising the VIRQ every sampling interval."""
-        if self._cancel is not None:
+        """Begin raising the VIRQ every sampling interval.
+
+        The engine hands back a native :class:`RecurringTimer` record
+        that re-arms in place after every sample — no per-tick event
+        allocation or rescheduling closure.
+        """
+        if self._timer is not None:
             return
-        self._cancel = self._engine.schedule_recurring(
+        self._timer = self._engine.schedule_recurring(
             self._interval,
             self._sample,
             priority=EventPriority.TIMER,
@@ -113,9 +118,9 @@ class StatisticsSampler:
         )
 
     def stop(self) -> None:
-        if self._cancel is not None:
-            self._cancel()
-            self._cancel = None
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
 
     @property
     def history(self) -> Sequence[StatsSnapshot]:

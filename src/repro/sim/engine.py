@@ -1,35 +1,78 @@
-"""Heap-based discrete-event simulation engine."""
+"""Heap-based discrete-event simulation engine.
+
+The engine owns a monotonically non-decreasing clock (``now``) and a
+binary heap of plain ``(time, priority, seq, slot)`` tuples.  Per-event
+state — callback, optional argument, label, liveness — lives in a slab
+of parallel slot arrays recycled through a free list, so steady-state
+scheduling allocates no per-event record: pushing an event is one tuple
+plus a slot write, cancelling flips a slot flag, and ``pending_events``
+is a counter maintained on those transitions (O(1) to read).
+
+Recurring activity (e.g. the hypervisor's one-second statistics VIRQ,
+the cluster coordinator's rebalance tick) uses
+:meth:`schedule_recurring`, which returns an engine-owned
+:class:`~repro.sim.events.RecurringTimer` that re-arms in place after
+each firing — same slab slot, fresh heap entry — instead of scheduling
+a new closure per fire.
+
+The engine is single-threaded and deterministic: events at the same
+timestamp are ordered by priority then insertion order.  Components
+that can prove their next action precedes every other live event may
+use :meth:`try_fast_forward` to advance the clock inline and skip the
+heap round-trip entirely (see the VM driver's burst fast-forward path);
+the grant conditions replicate exactly the checks ``run()`` performs
+between events, so fast-forwarded runs are order-identical to
+heap-dispatched ones.
+"""
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from ..errors import ClockError, EventError, SimulationError
-from .events import Event, EventPriority
+from .events import EventHandle, EventPriority, RecurringTimer
 
 __all__ = ["SimulationEngine"]
 
+#: Slot states.  ``_LIVE`` and ``_TIMER`` are the two "will fire" states
+#: and are deliberately the largest values so liveness is one comparison
+#: (``state >= _LIVE``) on the hot pop path.
+_FREE = 0
+_CANCELLED = 1
+_LIVE = 2
+_TIMER = 3
+
+#: Sentinel distinguishing "no argument" from "argument is None".
+_NO_ARG = object()
+
 
 class SimulationEngine:
-    """A minimal but complete discrete-event engine.
+    """A minimal but complete discrete-event engine (slab-backed)."""
 
-    The engine owns a monotonically non-decreasing clock (``now``) and a
-    binary heap of :class:`~repro.sim.events.Event` records.  Components
-    schedule plain callbacks; recurring activity (e.g. the hypervisor's
-    one-second statistics VIRQ) uses :meth:`schedule_recurring`.
-
-    The engine is single-threaded and deterministic: events at the same
-    timestamp are ordered by priority then insertion order.
-    """
-
-    def __init__(self, *, start_time: float = 0.0) -> None:
+    def __init__(self, *, start_time: float = 0.0, fast_forward: bool = True) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        #: Heap of (time, priority, seq, slot) tuples.
+        self._queue: List[Tuple[float, int, int, int]] = []
         self._running = False
         self._stopped = False
         self._events_executed = 0
         self._live_events = 0
+        #: Per-engine insertion sequence; makes heap ordering total.
+        self._seq = 0
+        # -- the event slab ----------------------------------------------
+        self._slot_callback: List[Any] = []
+        self._slot_arg: List[Any] = []
+        self._slot_label: List[str] = []
+        self._slot_state: List[int] = []
+        self._slot_gen: List[int] = []
+        self._free_slots: List[int] = []
+        # -- run-scoped controls (consulted by try_fast_forward) ---------
+        self._run_until: Optional[float] = None
+        self._run_stop_when: Optional[Callable[[], bool]] = None
+        self._run_max_events: Optional[int] = None
+        self._run_executed = 0
+        self._fast_forward_enabled = bool(fast_forward)
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -39,22 +82,83 @@ class SimulationEngine:
 
     @property
     def events_executed(self) -> int:
-        """Number of callbacks run so far (for diagnostics and tests)."""
+        """Number of callbacks run so far, including fast-forwarded ones."""
         return self._events_executed
 
     @property
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still queued.
 
-        Maintained as a counter — events notify the engine on
-        cancellation — so reading it is O(1) rather than an O(n) scan.
+        Maintained as a counter on schedule/cancel/fire transitions, so
+        reading it is O(1) rather than an O(n) scan.  An armed recurring
+        timer counts as one pending event.
         """
         return self._live_events
 
-    def _note_cancellation(self) -> None:
+    @property
+    def fast_forward_enabled(self) -> bool:
+        """Whether :meth:`try_fast_forward` may grant inline advances."""
+        return self._fast_forward_enabled
+
+    # -- slab management -------------------------------------------------------
+    def _alloc_slot(self, callback: Any, arg: Any, label: str, state: int) -> int:
+        free = self._free_slots
+        if free:
+            slot = free.pop()
+            self._slot_callback[slot] = callback
+            self._slot_arg[slot] = arg
+            self._slot_label[slot] = label
+            self._slot_state[slot] = state
+        else:
+            slot = len(self._slot_callback)
+            self._slot_callback.append(callback)
+            self._slot_arg.append(arg)
+            self._slot_label.append(label)
+            self._slot_state.append(state)
+            self._slot_gen.append(0)
+        return slot
+
+    def _release_slot(self, slot: int) -> None:
+        self._slot_state[slot] = _FREE
+        self._slot_callback[slot] = None
+        self._slot_arg[slot] = _NO_ARG
+        self._slot_label[slot] = ""
+        self._slot_gen[slot] += 1
+        self._free_slots.append(slot)
+
+    def _cancel_slot(self, slot: int, gen: int) -> None:
+        """Cancel a one-shot event identified by (slot, generation).
+
+        Stale handles (the event already ran; the slot may have been
+        recycled) are detected by the generation mismatch and ignored.
+        """
+        if self._slot_gen[slot] != gen or self._slot_state[slot] != _LIVE:
+            return
+        self._slot_state[slot] = _CANCELLED
+        self._slot_callback[slot] = None
+        self._slot_arg[slot] = _NO_ARG
         self._live_events -= 1
 
+    def _cancel_timer(self, timer: RecurringTimer) -> None:
+        slot = timer._slot
+        if slot is None:
+            return
+        timer._slot = None
+        if self._slot_state[slot] == _TIMER:
+            self._slot_state[slot] = _CANCELLED
+            self._live_events -= 1
+
     # -- scheduling ------------------------------------------------------------
+    def _push(
+        self, time: float, callback: Any, arg: Any, priority: int, label: str
+    ) -> Tuple[int, int]:
+        slot = self._alloc_slot(callback, arg, label, _LIVE)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, priority, seq, slot))
+        self._live_events += 1
+        return slot, seq
+
     def schedule_at(
         self,
         time: float,
@@ -62,17 +166,27 @@ class SimulationEngine:
         *,
         priority: int = EventPriority.NORMAL,
         label: str = "",
-    ) -> Event:
+    ) -> EventHandle:
         """Schedule *callback* at absolute simulated time *time*."""
         if time < self._now:
             raise ClockError(
                 f"cannot schedule event at {time:.9f}s before now={self._now:.9f}s"
             )
-        event = Event.create(time, callback, priority=priority, label=label)
-        event.on_cancel = self._note_cancellation
-        heapq.heappush(self._queue, event)
-        self._live_events += 1
-        return event
+        priority = int(priority)
+        slot, seq = self._push(time, callback, _NO_ARG, priority, label)
+        # Direct slot writes instead of EventHandle.__init__: this runs
+        # once per schedule_at/schedule_after call, and the extra Python
+        # frame would be the single largest cost of scheduling.
+        handle = EventHandle.__new__(EventHandle)
+        handle._engine = self
+        handle._slot = slot
+        handle._gen = self._slot_gen[slot]
+        handle.time = time
+        handle.priority = priority
+        handle.sequence = seq
+        handle.label = label
+        handle._cancelled = False
+        return handle
 
     def schedule_after(
         self,
@@ -81,13 +195,50 @@ class SimulationEngine:
         *,
         priority: int = EventPriority.NORMAL,
         label: str = "",
-    ) -> Event:
+    ) -> EventHandle:
         """Schedule *callback* after *delay* seconds of simulated time."""
         if delay < 0:
             raise EventError(f"delay must be >= 0, got {delay}")
         return self.schedule_at(
             self._now + delay, callback, priority=priority, label=label
         )
+
+    def schedule_call_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        arg: Any = _NO_ARG,
+        *,
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+    ) -> None:
+        """Fire-and-forget variant of :meth:`schedule_at`.
+
+        Returns no handle (the event cannot be cancelled) and therefore
+        allocates nothing beyond the heap tuple and a slab slot.  When
+        *arg* is given the callback is invoked as ``callback(arg)``,
+        which lets hot callers pass a bound method plus its argument
+        instead of building a closure per event.
+        """
+        if time < self._now:
+            raise ClockError(
+                f"cannot schedule event at {time:.9f}s before now={self._now:.9f}s"
+            )
+        self._push(time, callback, arg, int(priority), label)
+
+    def schedule_call_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        arg: Any = _NO_ARG,
+        *,
+        priority: int = EventPriority.NORMAL,
+        label: str = "",
+    ) -> None:
+        """Fire-and-forget variant of :meth:`schedule_after`."""
+        if delay < 0:
+            raise EventError(f"delay must be >= 0, got {delay}")
+        self._push(self._now + delay, callback, arg, int(priority), label)
 
     def schedule_recurring(
         self,
@@ -97,11 +248,14 @@ class SimulationEngine:
         priority: int = EventPriority.TIMER,
         label: str = "",
         start_offset: Optional[float] = None,
-    ) -> Callable[[], None]:
+    ) -> RecurringTimer:
         """Run *callback* every *interval* seconds until cancelled.
 
-        Returns a zero-argument function that cancels the recurrence.  The
-        first invocation happens at ``now + (start_offset or interval)``.
+        Returns the engine-owned :class:`RecurringTimer`; call its
+        ``cancel()`` method (or call the record itself, which aliases
+        ``cancel`` for backward compatibility) to stop the recurrence.
+        The first invocation happens at ``now + (start_offset or
+        interval)``; after each firing the timer re-arms in place.
         """
         if interval <= 0:
             raise EventError(f"interval must be > 0, got {interval}")
@@ -109,47 +263,82 @@ class SimulationEngine:
         if first_delay < 0:
             raise EventError(f"start_offset must be >= 0, got {start_offset}")
 
-        state: dict[str, Any] = {"cancelled": False, "event": None}
-
-        def _fire() -> None:
-            if state["cancelled"]:
-                return
-            callback()
-            if not state["cancelled"] and not self._stopped:
-                state["event"] = self.schedule_after(
-                    interval, _fire, priority=priority, label=label
-                )
-
-        state["event"] = self.schedule_after(
-            first_delay, _fire, priority=priority, label=label
+        timer = RecurringTimer(self, float(interval), callback, int(priority), label)
+        slot = self._alloc_slot(timer, _NO_ARG, label, _TIMER)
+        timer._slot = slot
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(
+            self._queue, (self._now + first_delay, timer.priority, seq, slot)
         )
-
-        def cancel() -> None:
-            state["cancelled"] = True
-            event = state["event"]
-            if event is not None:
-                event.cancel()
-
-        return cancel
+        self._live_events += 1
+        return timer
 
     # -- execution ------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event.  Returns ``False`` when empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.time < self._now:
-                raise SimulationError(
-                    f"event {event.label!r} scheduled in the past: "
-                    f"{event.time} < {self._now}"
-                )
-            self._now = event.time
-            self._events_executed += 1
-            self._live_events -= 1
-            event.on_cancel = None  # a late cancel() must not re-decrement
-            event.callback()
-            return True
+        queue = self._queue
+        states = self._slot_state
+        pop = heapq.heappop
+        while queue:
+            time, _priority, _seq, slot = pop(queue)
+            state = states[slot]
+            if state == _LIVE:
+                if time < self._now:
+                    raise SimulationError(
+                        f"event {self._slot_label[slot]!r} scheduled in the "
+                        f"past: {time} < {self._now}"
+                    )
+                self._now = time
+                self._events_executed += 1
+                self._live_events -= 1
+                callback = self._slot_callback[slot]
+                arg = self._slot_arg[slot]
+                self._release_slot(slot)
+                if arg is _NO_ARG:
+                    callback()
+                else:
+                    callback(arg)
+                return True
+            if state == _TIMER:
+                if time < self._now:
+                    raise SimulationError(
+                        f"event {self._slot_label[slot]!r} scheduled in the "
+                        f"past: {time} < {self._now}"
+                    )
+                self._now = time
+                self._events_executed += 1
+                timer: RecurringTimer = self._slot_callback[slot]
+                # The firing entry is consumed: retire the slot (counter
+                # and state) *before* running the callback, so a raising
+                # callback — or a cancel() from inside it — leaves the
+                # engine consistent.  Re-arming flips it back.
+                self._live_events -= 1
+                states[slot] = _CANCELLED
+                rearmed = False
+                try:
+                    timer.callback()
+                    if not timer.cancelled and not self._stopped:
+                        states[slot] = _TIMER
+                        self._live_events += 1
+                        seq = self._seq
+                        self._seq = seq + 1
+                        heapq.heappush(
+                            queue,
+                            (self._now + timer.interval,
+                             timer.priority, seq, slot),
+                        )
+                        rearmed = True
+                finally:
+                    if not rearmed:
+                        # Cancelled, stopped, or the callback raised: the
+                        # timer is dead (exactly as the closure-based
+                        # engine left it) and the slot is recycled.
+                        timer._slot = None
+                        self._release_slot(slot)
+                return True
+            # Cancelled: discard the entry and recycle its slot.
+            self._release_slot(slot)
         return False
 
     def run(
@@ -167,32 +356,39 @@ class SimulationEngine:
             Stop once the clock would advance past this time.  Events at
             exactly ``until`` still execute.
         max_events:
-            Safety valve on the number of callbacks executed by this call.
+            Safety valve on the number of callbacks executed by this call
+            (fast-forwarded callbacks count).
         stop_when:
-            Predicate evaluated after every event; the run stops when it
-            returns ``True``.
+            Predicate evaluated after every event — including between
+            fast-forwarded events — the run stops when it returns ``True``.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         self._stopped = False
-        executed = 0
+        self._run_until = until
+        self._run_stop_when = stop_when
+        self._run_max_events = max_events
+        self._run_executed = 0
+        queue = self._queue
+        states = self._slot_state
         try:
-            while self._queue and not self._stopped:
+            while queue and not self._stopped:
                 # Peek without popping so `until` leaves the event queued.
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+                head = queue[0]
+                if states[head[3]] < _LIVE:
+                    heapq.heappop(queue)
+                    self._release_slot(head[3])
                     continue
-                if until is not None and head.time > until:
+                if until is not None and head[0] > until:
                     self._now = max(self._now, until)
                     break
                 if not self.step():
                     break
-                executed += 1
+                self._run_executed += 1
                 if stop_when is not None and stop_when():
                     break
-                if max_events is not None and executed >= max_events:
+                if max_events is not None and self._run_executed >= max_events:
                     raise SimulationError(
                         f"run() exceeded max_events={max_events}; "
                         "the simulation is probably livelocked"
@@ -202,24 +398,96 @@ class SimulationEngine:
                     self._now = max(self._now, until)
         finally:
             self._running = False
+            self._run_until = None
+            self._run_stop_when = None
+            self._run_max_events = None
         return self._now
 
     def stop(self) -> None:
         """Request that the current :meth:`run` stops after this event."""
         self._stopped = True
 
+    # -- fast-forward ----------------------------------------------------------
+    def try_fast_forward(self, target_time: float) -> bool:
+        """Advance the clock to *target_time* inline, skipping the heap.
+
+        Granted only when executing an event at *target_time* through
+        the heap could not possibly differ: the engine must be inside
+        :meth:`run`, not stopped, *target_time* must not exceed the
+        run's ``until`` bound, and every other live event must be
+        *strictly* later (equal timestamps go through the heap so that
+        priority/insertion ordering applies).  The run's ``stop_when``
+        predicate and ``max_events`` budget are honoured at exactly the
+        boundaries ``run()`` would check them, so a fast-forwarded run
+        is observationally identical to a heap-dispatched one.
+
+        On a grant the clock advances and the event counters tick; the
+        caller then executes its callback inline.  On a refusal the
+        caller must schedule normally.
+        """
+        if not self._fast_forward_enabled or not self._running or self._stopped:
+            return False
+        until = self._run_until
+        if until is not None and target_time > until:
+            return False
+        stop_when = self._run_stop_when
+        if stop_when is not None and stop_when():
+            # Refuse the grant WITHOUT latching a stop: the predicate is
+            # being evaluated mid-callback, before the caller has had a
+            # chance to schedule its continuation, so a predicate that
+            # inspects queue state (e.g. pending_events) may be only
+            # transiently true here.  The caller falls back to normal
+            # scheduling, and run() re-evaluates stop_when at the true
+            # event boundary — with the continuation queued — which is
+            # exactly the state heap dispatch evaluates it in.
+            return False
+        max_events = self._run_max_events
+        if max_events is not None and self._run_executed + 1 >= max_events:
+            # During a callback, _run_executed undercounts the executed
+            # callbacks by exactly one: the hosting heap event is only
+            # counted by run() after the callback returns.  Refusing at
+            # +1 makes a fast-forwarding chain execute the same number
+            # of callbacks as heap dispatch before run() raises its
+            # canonical livelock error.
+            return False
+        if target_time < self._now:
+            return False
+        head_time = self.peek_time()
+        if head_time is not None and head_time <= target_time:
+            return False
+        self._now = target_time
+        self._events_executed += 1
+        self._run_executed += 1
+        return True
+
     # -- introspection ----------------------------------------------------------
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if empty.
 
-        Cancelled events at the head of the heap are lazily discarded,
-        so peeking is O(cancelled heads) instead of sorting the queue.
+        Cancelled events at the head of the heap are lazily discarded
+        (their slots recycled), so peeking is O(cancelled heads) instead
+        of sorting the queue.
         """
         queue = self._queue
-        while queue and queue[0].cancelled:
+        states = self._slot_state
+        while queue:
+            head = queue[0]
+            if states[head[3]] >= _LIVE:
+                return head[0]
             heapq.heappop(queue)
-        return queue[0].time if queue else None
+            self._release_slot(head[3])
+        return None
 
     def drain_labels(self) -> Iterable[str]:
-        """Labels of all live queued events (diagnostic helper)."""
-        return [e.label for e in sorted(e for e in self._queue if not e.cancelled)]
+        """Labels of all live queued events, in (time, priority, seq) order.
+
+        Deterministic under the slab representation: the heap entries
+        are plain tuples already keyed by ``(time, priority, seq)``, so
+        sorting them yields exactly the order in which the events would
+        fire.
+        """
+        states = self._slot_state
+        labels = self._slot_label
+        entries = [entry for entry in self._queue if states[entry[3]] >= _LIVE]
+        entries.sort()
+        return [labels[entry[3]] for entry in entries]

@@ -8,6 +8,7 @@ samples and exposes them as numpy arrays for analysis.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
@@ -19,33 +20,48 @@ from ..serialize import decode_floats, encode_floats
 __all__ = ["TraceSeries", "TraceRecorder"]
 
 
+def _float_buffer() -> "array[float]":
+    return array("d")
+
+
 @dataclass
 class TraceSeries:
-    """A single named time series."""
+    """A single named time series.
+
+    Samples are stored in ``array('d')`` append buffers: one compact
+    C-double per sample instead of a boxed Python float, and the numpy
+    views below materialize straight from the buffer without touching
+    the interpreter per element.  The JSON form (``to_dict``/
+    ``from_dict``) is unchanged from the list-backed representation —
+    the encoder sees the same float sequence either way.
+    """
 
     name: str
-    _times: List[float] = field(default_factory=list)
-    _values: List[float] = field(default_factory=list)
+    _times: "array[float]" = field(default_factory=_float_buffer)
+    _values: "array[float]" = field(default_factory=_float_buffer)
 
     def append(self, time: float, value: float) -> None:
-        if self._times and time < self._times[-1]:
+        times = self._times
+        if times and time < times[-1]:
             raise AnalysisError(
                 f"trace {self.name!r}: non-monotonic sample at t={time} "
-                f"(last was {self._times[-1]})"
+                f"(last was {times[-1]})"
             )
-        self._times.append(float(time))
-        self._values.append(float(value))
+        times.append(time)
+        self._values.append(value)
 
     def __len__(self) -> int:
         return len(self._times)
 
     @property
     def times(self) -> np.ndarray:
-        return np.asarray(self._times, dtype=np.float64)
+        # np.array copies through the buffer protocol (one memcpy); a
+        # sharing view would pin the buffer and make later appends fail.
+        return np.array(self._times, dtype=np.float64)
 
     @property
     def values(self) -> np.ndarray:
-        return np.asarray(self._values, dtype=np.float64)
+        return np.array(self._values, dtype=np.float64)
 
     def as_tuples(self) -> List[Tuple[float, float]]:
         return list(zip(self._times, self._values))
@@ -86,8 +102,8 @@ class TraceSeries:
         series = cls(name=data["name"])
         # Assign directly instead of append(): the stored samples already
         # passed the monotonicity check when they were recorded.
-        series._times = decode_floats(data["times"])
-        series._values = decode_floats(data["values"])
+        series._times = array("d", decode_floats(data["times"]))
+        series._values = array("d", decode_floats(data["values"]))
         if len(series._times) != len(series._values):
             raise AnalysisError(
                 f"trace {series.name!r}: times/values length mismatch "

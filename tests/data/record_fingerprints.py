@@ -1,0 +1,41 @@
+"""Re-record tests/data/scenario_fingerprints.json.
+
+Run this only when a PR *intentionally* changes simulation semantics;
+the pins exist so that pure-performance PRs can prove they changed
+nothing.  Usage::
+
+    PYTHONPATH=src python tests/data/record_fingerprints.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.scenarios.library import PAPER_POLICIES
+from repro.scenarios.registry import scenario_by_name
+from repro.scenarios.runner import run_scenario
+
+SCENARIOS = (
+    "usemem-scenario",
+    "scenario-1",
+    "scenario-2",
+    "scenario-3",
+    "cluster:nodes=3",
+)
+
+
+def main() -> None:
+    pins = {}
+    for scenario in SCENARIOS:
+        spec = scenario_by_name(scenario, scale=0.1)
+        for policy in PAPER_POLICIES:
+            result = run_scenario(spec, policy, seed=2019)
+            pins[f"{scenario}|{policy}"] = result.fingerprint()
+    path = Path(__file__).parent / "scenario_fingerprints.json"
+    path.write_text(json.dumps(pins, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(pins)} pins to {path}")
+
+
+if __name__ == "__main__":
+    main()

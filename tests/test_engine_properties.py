@@ -1,0 +1,285 @@
+"""Property tests for the slab engine's ordering invariants.
+
+The engine overhaul (slab events, tuple heap entries, native recurring
+timers, inline fast-forward) must preserve the discrete-event contract:
+
+* events at the same timestamp fire in priority-then-insertion order;
+* a cancelled event never fires (one-shot or recurring);
+* ``run(until=...)`` leaves the head event queued, and a later ``run()``
+  picks up exactly where the bounded run stopped;
+* a driver that advances via :meth:`try_fast_forward` observes the same
+  execution sequence as one that schedules every step through the heap.
+
+Each property is exercised with fast-forward enabled and disabled.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventPriority
+
+# Times are multiples of 0.5 so that equal timestamps actually occur.
+_times = st.integers(min_value=0, max_value=40).map(lambda n: n * 0.5)
+_priorities = st.sampled_from(list(EventPriority))
+_events = st.lists(st.tuples(_times, _priorities), min_size=1, max_size=40)
+
+
+def _drive_chain(engine: SimulationEngine, delays, log, *, label="step"):
+    """A VM-driver-shaped chain: fast-forward when granted, else schedule."""
+    iterator = iter(delays)
+
+    def step() -> None:
+        while True:
+            log.append((label, engine.now))
+            try:
+                delay = next(iterator)
+            except StopIteration:
+                return
+            if engine.try_fast_forward(engine.now + delay):
+                continue
+            engine.schedule_call_after(
+                delay, step, priority=EventPriority.WORKLOAD, label=label
+            )
+            return
+
+    engine.schedule_call_after(
+        0.0, step, priority=EventPriority.WORKLOAD, label=label
+    )
+
+
+class TestOrderingInvariants:
+    @given(events=_events, fast_forward=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_same_timestamp_priority_then_insertion(self, events, fast_forward):
+        engine = SimulationEngine(fast_forward=fast_forward)
+        fired = []
+        for insertion, (time, priority) in enumerate(events):
+            engine.schedule_at(
+                time,
+                lambda t=time, p=priority, i=insertion: fired.append((t, int(p), i)),
+                priority=priority,
+            )
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(events)
+
+    @given(
+        events=_events,
+        cancel_mask=st.lists(st.booleans(), min_size=40, max_size=40),
+        fast_forward=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cancellation_never_fires(self, events, cancel_mask, fast_forward):
+        engine = SimulationEngine(fast_forward=fast_forward)
+        fired = []
+        handles = []
+        for index, (time, priority) in enumerate(events):
+            handles.append(
+                engine.schedule_at(
+                    time, lambda i=index: fired.append(i), priority=priority
+                )
+            )
+        cancelled = {
+            index
+            for index, handle in enumerate(handles)
+            if cancel_mask[index % len(cancel_mask)]
+        }
+        for index in cancelled:
+            handles[index].cancel()
+            handles[index].cancel()  # double-cancel must stay a no-op
+        engine.run()
+        assert cancelled.isdisjoint(fired)
+        assert len(fired) == len(events) - len(cancelled)
+        assert engine.pending_events == 0
+
+    @given(
+        interval=st.integers(min_value=1, max_value=5).map(float),
+        cancel_at=st.integers(min_value=1, max_value=10).map(float),
+        fast_forward=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cancelled_recurring_timer_never_fires_again(
+        self, interval, cancel_at, fast_forward
+    ):
+        engine = SimulationEngine(fast_forward=fast_forward)
+        ticks = []
+        timer = engine.schedule_recurring(interval, lambda: ticks.append(engine.now))
+        engine.schedule_at(cancel_at, timer.cancel, priority=EventPriority.LOW)
+        engine.run(until=100.0)
+        assert all(t <= cancel_at for t in ticks)
+        expected = [
+            interval * k
+            for k in range(1, int(cancel_at / interval) + 2)
+            if interval * k <= cancel_at
+        ]
+        assert ticks == expected
+
+    @given(events=_events, fast_forward=st.booleans(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_run_until_leaves_head_queued(self, events, fast_forward, data):
+        engine = SimulationEngine(fast_forward=fast_forward)
+        fired = []
+        for time, priority in events:
+            engine.schedule_at(
+                time, lambda t=time: fired.append(t), priority=priority
+            )
+        times = sorted(t for t, _ in events)
+        until = data.draw(
+            st.sampled_from(times) | st.just(times[len(times) // 2] + 0.25)
+        )
+        engine.run(until=until)
+        early = [t for t in times if t <= until]
+        assert fired == early
+        assert engine.pending_events == len(times) - len(early)
+        # The remainder is still queued and runs on the next call.
+        engine.run()
+        assert fired == times
+        assert engine.pending_events == 0
+
+
+class TestFastForwardEquivalence:
+    @given(
+        delays=st.lists(
+            st.integers(min_value=0, max_value=8).map(lambda n: n * 0.25),
+            min_size=1,
+            max_size=30,
+        ),
+        background=_events,
+        until=st.none() | st.integers(min_value=1, max_value=30).map(float),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chain_observes_identical_sequence(self, delays, background, until):
+        logs = {}
+        finals = {}
+        for fast_forward in (False, True):
+            engine = SimulationEngine(fast_forward=fast_forward)
+            log = []
+            _drive_chain(engine, delays, log)
+            for time, priority in background:
+                engine.schedule_at(
+                    time,
+                    lambda log=log, t=time, e=engine: log.append(("bg", t, e.now)),
+                    priority=priority,
+                )
+            engine.run(until=until)
+            engine.run()  # drain anything a bounded first run left queued
+            logs[fast_forward] = log
+            finals[fast_forward] = engine.now
+        assert logs[True] == logs[False]
+        assert finals[True] == finals[False]
+
+    @given(
+        delays=st.lists(
+            st.integers(min_value=1, max_value=8).map(lambda n: n * 0.25),
+            min_size=1,
+            max_size=20,
+        ),
+        max_events=st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_max_events_budget_is_identical(self, delays, max_events):
+        """The livelock guard fires after the same number of callbacks."""
+        import pytest
+
+        from repro.errors import SimulationError
+
+        outcomes = {}
+        for fast_forward in (False, True):
+            engine = SimulationEngine(fast_forward=fast_forward)
+            log = []
+            _drive_chain(engine, delays, log)
+            raised = False
+            try:
+                engine.run(max_events=max_events)
+            except SimulationError:
+                raised = True
+            outcomes[fast_forward] = (list(log), raised, engine.events_executed)
+        assert outcomes[True] == outcomes[False]
+
+    def test_queue_inspecting_stop_when_is_boundary_equivalent(self):
+        """A predicate that is only *transiently* true mid-callback must
+        not truncate a fast-forwarded run: stop_when is always decided
+        at the event boundary, with the continuation already queued."""
+        logs = {}
+        for fast_forward in (False, True):
+            engine = SimulationEngine(fast_forward=fast_forward)
+            log = []
+            _drive_chain(engine, [1.0, 1.0, 1.0], log)
+            # pending_events == 0 is transiently true inside the chain's
+            # callback (the next step is not scheduled yet), but false
+            # at every real event boundary until the chain ends.
+            engine.run(stop_when=lambda: engine.pending_events == 0)
+            logs[fast_forward] = log
+        assert logs[True] == logs[False]
+        assert [t for _, t in logs[True]] == [0.0, 1.0, 2.0, 3.0]
+
+    @given(
+        delays=st.lists(
+            st.integers(min_value=0, max_value=8).map(lambda n: n * 0.25),
+            min_size=1,
+            max_size=30,
+        ),
+        stop_after=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stop_when_boundary_is_respected(self, delays, stop_after):
+        """stop_when halts at the same event boundary with ff on and off."""
+        logs = {}
+        for fast_forward in (False, True):
+            engine = SimulationEngine(fast_forward=fast_forward)
+            log = []
+            _drive_chain(engine, delays, log)
+            engine.run(stop_when=lambda log=log: len(log) >= stop_after)
+            logs[fast_forward] = list(log)
+        assert logs[True] == logs[False]
+
+
+class TestDrainLabels:
+    def test_drain_labels_orders_by_time_priority_sequence(self):
+        engine = SimulationEngine()
+        engine.schedule_at(2.0, lambda: None, label="late")
+        engine.schedule_at(1.0, lambda: None, priority=EventPriority.WORKLOAD,
+                           label="w1")
+        engine.schedule_at(1.0, lambda: None, priority=EventPriority.TIMER,
+                           label="timer")
+        engine.schedule_at(1.0, lambda: None, priority=EventPriority.WORKLOAD,
+                           label="w2")
+        dead = engine.schedule_at(0.5, lambda: None, label="dead")
+        dead.cancel()
+        engine.schedule_recurring(1.5, lambda: None, label="recurring")
+        assert list(engine.drain_labels()) == [
+            "timer", "w1", "w2", "recurring", "late",
+        ]
+
+    def test_drain_labels_is_deterministic_across_heap_layouts(self):
+        """The same live set drains identically however it was built."""
+        import random
+
+        entries = [(float(t), p, f"e{t}-{int(p)}-{i}")
+                   for i, (t, p) in enumerate(
+                       (t, p) for t in range(5) for p in EventPriority)]
+        baseline = None
+        for seed in range(5):
+            shuffled = entries[:]
+            random.Random(seed).shuffle(shuffled)
+            engine = SimulationEngine()
+            by_label = {}
+            for time, priority, label in shuffled:
+                by_label[label] = engine.schedule_at(
+                    time, lambda: None, priority=priority, label=label
+                )
+            drained = list(engine.drain_labels())
+            # Ties (same time, same priority) break by insertion order,
+            # which differs per shuffle — compare the (time, priority)
+            # projection, which must be identically sorted every time.
+            projection = [
+                (by_label[label].time, by_label[label].priority)
+                for label in drained
+            ]
+            assert projection == sorted(projection)
+            if baseline is None:
+                baseline = projection
+            else:
+                assert projection == baseline

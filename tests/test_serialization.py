@@ -63,6 +63,49 @@ class TestTraceSerialization:
             TraceSeries.from_dict({"name": "x", "times": [0.0], "values": []})
 
 
+class TestTraceStorageBackend:
+    """The array('d') sample buffers must not change the JSON output."""
+
+    #: Canonical serialized bytes of the series built below, recorded
+    #: when samples were stored in plain Python lists.  The storage
+    #: backend is free to change; these bytes are not.
+    PINNED_JSON = (
+        '{"name": "pin", "times": [0.0, 0.5, 1.5, 2.25], '
+        '"values": [1.0, -2.5, 1e-300, 123456.789]}'
+    )
+
+    def _series(self) -> TraceSeries:
+        series = TraceSeries("pin")
+        for t, v in [(0.0, 1.0), (0.5, -2.5), (1.5, 1e-300), (2.25, 123456.789)]:
+            series.append(t, v)
+        return series
+
+    def test_serialization_bytes_are_pinned(self):
+        assert json.dumps(self._series().to_dict()) == self.PINNED_JSON
+
+    def test_round_trip_preserves_bytes(self):
+        restored = TraceSeries.from_dict(json.loads(self.PINNED_JSON))
+        assert json.dumps(restored.to_dict()) == self.PINNED_JSON
+        assert restored.as_tuples() == self._series().as_tuples()
+
+    def test_buffers_keep_appending_after_numpy_views(self):
+        """Taking .times/.values must not pin the buffer (BufferError)."""
+        series = self._series()
+        first = series.times
+        series.append(3.0, 9.0)
+        assert len(series) == 5
+        assert first.shape == (4,)  # the view is a snapshot copy
+
+    def test_nonfinite_values_round_trip(self):
+        series = TraceSeries("nf")
+        series.append(0.0, float("inf"))
+        series.append(1.0, float("nan"))
+        data = json.loads(json.dumps(series.to_dict()))
+        restored = TraceSeries.from_dict(data)
+        assert restored.values[0] == float("inf")
+        assert math.isnan(restored.values[1])
+
+
 class TestRunResultSerialization:
     def test_nan_end_time_round_trips(self):
         run = RunResult(

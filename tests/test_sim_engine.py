@@ -161,6 +161,40 @@ class TestRecurring:
         engine.run(until=4.5)
         assert engine.events_executed == 4
 
+    def test_raising_callback_retires_timer_consistently(self):
+        """A timer whose callback raises must not leak the live count."""
+        engine = SimulationEngine()
+
+        def boom():
+            raise RuntimeError("tick failed")
+
+        timer = engine.schedule_recurring(1.0, boom)
+        with pytest.raises(RuntimeError):
+            engine.run()
+        # The timer is dead, the counters are consistent, and the engine
+        # remains usable.
+        assert engine.pending_events == 0
+        timer.cancel()  # no-op, must not corrupt anything
+        assert engine.pending_events == 0
+        fired = []
+        engine.schedule_at(2.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [2.0]
+
+    def test_cancel_from_inside_timer_callback(self):
+        engine = SimulationEngine()
+        ticks = []
+
+        def tick():
+            ticks.append(engine.now)
+            if len(ticks) == 2:
+                timer.cancel()
+
+        timer = engine.schedule_recurring(1.0, tick)
+        engine.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert engine.pending_events == 0
+
 
 class TestEventOrdering:
     def test_event_create_assigns_increasing_sequence(self):
