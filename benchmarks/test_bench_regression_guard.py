@@ -141,6 +141,42 @@ def test_recorded_pr4_trajectory_has_no_regression(bench_tolerance):
         assert record["events_per_s"] > 0
 
 
+def test_recorded_pr5_trajectory_has_no_regression(bench_tolerance):
+    """The committed PR-5 record must not regress vs the PR-4 record.
+
+    ``benchmarks/BENCH_pr5.json`` is the perf point after the cluster
+    realism work (queueing interconnect, failure/migration, per-op
+    remote costs); besides holding the shared-case speedups it must
+    carry the two new cluster cases — ``contended-micro`` (every remote
+    op pays a queue-aware cost threaded through the batch result) and
+    ``failover-micro`` (mid-run node failure + failover migration) —
+    each with its batched engine still meaningfully ahead of scalar.
+    Future PRs are judged against these PR-5 numbers.
+    """
+    pr5 = _assert_recorded_trajectory(
+        "BENCH_pr5.json", "BENCH_pr4.json", bench_tolerance,
+        "PYTHONPATH=src python -m repro bench --label pr5 --output benchmarks",
+    )
+    speedups = dict(pr5.get("speedups", {}))
+    assert "contended-micro" in speedups, (
+        "BENCH_pr5.json lacks the contended-micro case"
+    )
+    assert "failover-micro" in speedups, (
+        "BENCH_pr5.json lacks the failover-micro case"
+    )
+    # Floors, not baselines: the batched engine's win shrinks when every
+    # remote op carries an individual cost, but it must stay a win.
+    assert speedups["contended-micro"] >= 1.1
+    assert speedups["failover-micro"] >= 1.5
+    for case in ("contended-micro", "failover-micro"):
+        for engine in ("scalar", "batched"):
+            record = next(
+                r for r in pr5["records"]
+                if r["case"] == case and r["engine"] == engine
+            )
+            assert record["pages"] > 0 and record["pages_per_s"] > 0
+
+
 def test_no_regression_vs_recorded_baseline(
     quick_bench_report, bench_baseline, bench_tolerance
 ):

@@ -8,6 +8,9 @@ experiments need:
 
 * :func:`node_summaries` — one row per node: its VMs' aggregate running
   time and fault mix, plus the node's spill activity;
+* :func:`link_summaries` — one row per directed interconnect link of a
+  *contended* run: payload volume, busy time, accumulated queue wait
+  and the deepest FIFO backlog observed;
 * :func:`cluster_rollup` — cluster totals: how much demand was served
   locally, remotely, and from disk, and how busy the interconnect was.
 
@@ -28,7 +31,9 @@ from .report import format_table
 
 __all__ = [
     "NodeSummary",
+    "LinkSummary",
     "node_summaries",
+    "link_summaries",
     "cluster_rollup",
     "render_cluster_table",
 ]
@@ -55,6 +60,31 @@ class NodeSummary:
     remote_gets: int
     #: Overflow puts no peer could absorb.
     spill_failures: int
+
+
+@dataclass(frozen=True)
+class LinkSummary:
+    """Aggregate view of one directed interconnect link (contended runs)."""
+
+    link: str
+    transfers: int
+    pages: int
+    #: Total payload service time the link was occupied (seconds).
+    busy_s: float
+    #: Total time transfers spent queued behind earlier ones (seconds).
+    queue_wait_s: float
+    #: Deepest FIFO backlog observed.
+    max_queue_depth: int
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction relative to the span transfers occupied it.
+
+        Computed against busy + wait time rather than the whole run, so
+        an idle link reports 0 and a saturated one approaches 1.
+        """
+        span = self.busy_s + self.queue_wait_s
+        return self.busy_s / span if span > 0 else 0.0
 
 
 def _require_cluster(result: ScenarioResult) -> Dict[str, Any]:
@@ -94,6 +124,26 @@ def node_summaries(result: ScenarioResult) -> List[NodeSummary]:
     return summaries
 
 
+def link_summaries(result: ScenarioResult) -> List[LinkSummary]:
+    """One :class:`LinkSummary` per directed link, sorted by name.
+
+    Empty for runs without a contended interconnect (the ``links``
+    section only exists when per-link queueing was modeled).
+    """
+    cluster = _require_cluster(result)
+    return [
+        LinkSummary(
+            link=name,
+            transfers=int(info["transfers"]),
+            pages=int(info["pages"]),
+            busy_s=float(info["busy_s"]),
+            queue_wait_s=float(info["queue_wait_s"]),
+            max_queue_depth=int(info["max_queue_depth"]),
+        )
+        for name, info in sorted(cluster.get("links", {}).items())
+    ]
+
+
 def cluster_rollup(result: ScenarioResult) -> Dict[str, Any]:
     """Cluster-wide totals of one multi-node run."""
     cluster = _require_cluster(result)
@@ -117,6 +167,25 @@ def cluster_rollup(result: ScenarioResult) -> Dict[str, Any]:
         "capacity_moves": int(cluster.get("capacity_moves", 0)),
         "interconnect_pages_moved": int(
             cluster.get("interconnect_pages_moved", 0)
+        ),
+        # Contention/failure additions; zero/empty on plain runs.
+        "max_queue_depth": int(cluster.get("max_queue_depth", 0)),
+        "interconnect_busy_s": float(
+            sum(link["busy_s"] for link in cluster.get("links", {}).values())
+        ),
+        "interconnect_queue_wait_s": float(
+            sum(
+                link["queue_wait_s"]
+                for link in cluster.get("links", {}).values()
+            )
+        ),
+        "failures": sum(
+            1 for event in cluster.get("events", ())
+            if event.get("kind") == "failure"
+        ),
+        "migrations": sum(
+            1 for event in cluster.get("events", ())
+            if event.get("kind") == "migration"
         ),
     }
 
@@ -161,4 +230,28 @@ def render_cluster_table(result: ScenarioResult, *, title: str = "") -> str:
         f"{rollup['interconnect_pages_moved']} pages over the interconnect"
     )
     table = f"{body}\n{extras}"
+    links = link_summaries(result)
+    if links:
+        link_rows: List[List[object]] = [
+            [
+                link.link,
+                link.transfers,
+                link.pages,
+                f"{link.busy_s * 1e3:.1f}",
+                f"{link.queue_wait_s * 1e3:.1f}",
+                link.max_queue_depth,
+            ]
+            for link in links
+        ]
+        link_table = format_table(
+            ["link", "transfers", "pages", "busy (ms)", "queued (ms)",
+             "max depth"],
+            link_rows,
+        )
+        table = f"{table}\n\n{link_table}"
+    if rollup["failures"] or rollup["migrations"]:
+        table = (
+            f"{table}\n{rollup['failures']} node failure(s), "
+            f"{rollup['migrations']} planned migration(s)"
+        )
     return f"{title}\n{table}" if title else table

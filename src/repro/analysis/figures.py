@@ -16,7 +16,7 @@ text tables and EXPERIMENTS.md records the shape comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 

@@ -7,7 +7,7 @@ EXPERIMENTS.md.  Only standard-library string formatting is used.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 from ..scenarios.results import ScenarioResult
 from .figures import FigureSeries

@@ -124,6 +124,20 @@ MICRO_CASES: Tuple[BenchCase, ...] = (
     # multiplied.  Exercises the duplicate-tolerant burst planner and the
     # slab engine under many interleaved event streams.
     BenchCase(name="manyvms-micro", scenario="many-vms:n=16", scale=0.25),
+    # Contended interconnect: every remote op reserves the per-link FIFO
+    # and carries its own queue-aware cost through the batch result —
+    # the per-op remote_costs plumbing is this case's hot path.
+    BenchCase(
+        name="contended-micro", scenario="contended:nodes=3", scale=0.1
+    ),
+    # Mid-run node failure + failover migration: loses the spill vault,
+    # recovers hosted pages to swap, re-homes a VM — exercises the
+    # failure machinery end to end under both guest engines.
+    BenchCase(
+        name="failover-micro",
+        scenario="failover:nodes=3,fail_at=10",
+        scale=0.1,
+    ),
 )
 
 #: Reduced suite for the smoke target (``repro bench --quick``).

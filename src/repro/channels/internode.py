@@ -3,46 +3,125 @@
 Remote-tmem (RAMster-style) traffic crosses host boundaries, so unlike
 the netlink channels inside one node it pays a *network* cost: a fixed
 per-message latency plus a bandwidth-limited transfer term for the page
-payload.  The channel provides two services:
+payload.  The channel provides three services:
 
 * a **synchronous cost model** for the data path
-  (:meth:`InterNodeChannel.transfer_cost_s` /
-  :meth:`InterNodeChannel.round_trip_cost_s`): a spilled put or a remote
-  get happens inside a guest's access burst, so its cost is simply added
-  to the burst latency, exactly like a tmem hypercall's cost;
-* **asynchronous control messages** (:meth:`InterNodeChannel.send`)
-  delivered through the simulation engine after the one-way latency —
+  (:meth:`InterNodeChannel.reserve`): a spilled put or a remote get
+  happens inside a guest's access burst, so its cost is simply added to
+  the burst latency, exactly like a tmem hypercall's cost;
+* **asynchronous bulk transfers** (:meth:`InterNodeChannel.
+  transfer_async`) delivered through the simulation engine — VM
+  migration uses this to model the guest-state copy;
+* **asynchronous control messages** (:meth:`InterNodeChannel.send`) —
   the cluster coordinator uses this to ship capacity-rebalancing
   decisions to the nodes.
 
-The channel also keeps transfer counters so analysis and tests can audit
-how much data actually moved between nodes.
+Contention model
+----------------
+
+Every directed node pair owns one *link*, a FIFO queue with a service
+time proportional to the payload size.  In **contended** mode
+(``contended=True``) a transfer must wait until the link's previous
+payloads finish: a request issued at ``t`` for ``n`` pages starts at
+``start = max(t, busy_until)``, occupies the link until ``start +
+n * page_transfer_s``, and costs the caller::
+
+    (start - t) + latency_s * 2 + n * page_transfer_s      (data path)
+    (start - t) + latency_s     + n * page_transfer_s      (one-way)
+
+so concurrent spills from multiple nodes queue behind each other
+instead of overlapping for free.  The link tracks its queue depth (live
+transfers), records it as a ``link_queue/<src>-><dst>`` trace, and
+accumulates busy time and total queue wait for the per-link section of
+cluster results.  Completion is observed via
+:meth:`~repro.sim.engine.SimulationEngine.schedule_call_after`, which
+keeps the trace and the depth counter exact without polling.
+
+In the default **uncontended** mode the channel reproduces the
+pre-queueing stateless cost model bit for bit: the cost of every
+transfer is the precomputed ``latency + pages * page_transfer`` with no
+queue wait, and no extra engine events are scheduled — single-host and
+uncontended-cluster results are unchanged.
+
+The channel also keeps transfer counters so analysis and tests can
+audit how much data actually moved between nodes.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..sim.engine import SimulationEngine
 from ..sim.events import EventPriority
 
-__all__ = ["InterNodeChannel"]
+__all__ = ["LinkState", "InterNodeChannel"]
+
+
+class LinkState:
+    """FIFO state and lifetime counters of one directed link."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "busy_until",
+        "queue_depth",
+        "max_queue_depth",
+        "transfers",
+        "pages",
+        "busy_s",
+        "queue_wait_s",
+    )
+
+    def __init__(self, src: str, dst: str) -> None:
+        self.src = src
+        self.dst = dst
+        #: Simulated time at which the last queued payload finishes.
+        self.busy_until = 0.0
+        #: Transfers currently queued or in flight.
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        self.transfers = 0
+        self.pages = 0
+        #: Accumulated service (payload) time.
+        self.busy_s = 0.0
+        #: Accumulated time transfers spent waiting behind earlier ones.
+        self.queue_wait_s = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary for the cluster result's ``links`` section."""
+        return {
+            "transfers": self.transfers,
+            "pages": self.pages,
+            "busy_s": self.busy_s,
+            "queue_wait_s": self.queue_wait_s,
+            "max_queue_depth": self.max_queue_depth,
+        }
 
 
 class InterNodeChannel:
-    """Latency/bandwidth model of the cluster interconnect.
+    """Queueing latency/bandwidth model of the cluster interconnect.
 
     Parameters
     ----------
     engine:
-        The shared simulation engine (used for control-message delivery).
+        The shared simulation engine (used for deliveries/completions).
     latency_s:
         One-way propagation + protocol latency of a message.
     bandwidth_bytes_s:
         Sustained payload bandwidth of one link, in bytes per second.
     page_bytes:
         Size of one simulated page (the payload unit of remote tmem).
+    contended:
+        Enable per-link FIFO queueing.  Off by default: the uncontended
+        channel is bit-identical to the historical stateless cost model.
+    trace:
+        Optional recorder for the ``link_queue/*`` depth traces
+        (contended mode only).
     """
 
     def __init__(
@@ -53,6 +132,8 @@ class InterNodeChannel:
         bandwidth_bytes_s: float,
         page_bytes: int,
         name: str = "internode",
+        contended: bool = False,
+        trace: Optional["Any"] = None,
     ) -> None:
         if latency_s < 0:
             raise ConfigurationError(f"latency_s must be >= 0, got {latency_s}")
@@ -68,11 +149,19 @@ class InterNodeChannel:
         self._page_bytes = int(page_bytes)
         self._name = name
         self._page_transfer_s = self._page_bytes / self._bandwidth
+        self.contended = bool(contended)
+        self._trace = trace
+        self._links: Dict[Tuple[str, str], LinkState] = {}
         self.pages_moved = 0
         self.bytes_moved = 0
         self.messages_sent = 0
 
     # -- cost model ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The shared engine's clock (the time remote ops are issued at)."""
+        return self._engine.now
+
     @property
     def latency_s(self) -> float:
         return self._latency
@@ -83,23 +172,147 @@ class InterNodeChannel:
         return self._page_transfer_s
 
     def transfer_cost_s(self, pages: int = 1) -> float:
-        """One-way cost of moving *pages* page payloads in one message."""
+        """Uncontended one-way cost of *pages* payloads in one message."""
         if pages < 0:
             raise ConfigurationError(f"pages must be >= 0, got {pages}")
         return self._latency + pages * self._page_transfer_s
 
     def round_trip_cost_s(self, pages: int = 1) -> float:
-        """Request/response cost with *pages* page payloads one way.
+        """Uncontended request/response cost with *pages* payloads one way.
 
-        This is the data-path cost of a remote tmem operation: the
-        request crosses the link, the payload (or acknowledgement)
-        crosses back.
+        This is the floor of the data-path cost of a remote tmem
+        operation: the request crosses the link, the payload (or
+        acknowledgement) crosses back.  In contended mode the actual
+        cost adds the link's queue wait (see :meth:`reserve`).
         """
         return 2.0 * self._latency + pages * self._page_transfer_s
 
+    # -- link state ---------------------------------------------------------
+    def link(self, src: str, dst: str) -> LinkState:
+        """The directed link *src* -> *dst*, created on first use."""
+        key = (src, dst)
+        state = self._links.get(key)
+        if state is None:
+            state = self._links[key] = LinkState(src, dst)
+        return state
+
+    def links(self) -> Dict[str, LinkState]:
+        """Live links keyed by ``"src->dst"``, in creation order."""
+        return {state.name: state for state in self._links.values()}
+
+    def describe_links(self) -> Dict[str, Dict[str, Any]]:
+        """Per-link counters for the cluster result, sorted by name."""
+        return {
+            state.name: state.describe()
+            for state in sorted(self._links.values(), key=lambda s: s.name)
+        }
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest FIFO backlog observed on any link."""
+        if not self._links:
+            return 0
+        return max(state.max_queue_depth for state in self._links.values())
+
+    def _record_depth(self, state: LinkState, now: float) -> None:
+        if self._trace is not None:
+            self._trace.record(f"link_queue/{state.name}", now, state.queue_depth)
+
+    def _complete(self, state: LinkState) -> None:
+        """Completion callback: one payload left the link's FIFO."""
+        state.queue_depth -= 1
+        self._record_depth(state, self._engine.now)
+
+    def _occupy(self, state: LinkState, pages: int, now: float) -> float:
+        """Queue *pages* on the link; returns the queue wait incurred.
+
+        Advances ``busy_until``, maintains the depth counter/trace and
+        schedules the completion event.  Callers add the propagation
+        latency themselves (one-way vs round-trip).
+        """
+        service = pages * self._page_transfer_s
+        start = state.busy_until if state.busy_until > now else now
+        wait = start - now
+        state.busy_until = start + service
+        state.transfers += 1
+        state.pages += pages
+        state.busy_s += service
+        state.queue_wait_s += wait
+        state.queue_depth += 1
+        if state.queue_depth > state.max_queue_depth:
+            state.max_queue_depth = state.queue_depth
+        self._record_depth(state, now)
+        self._engine.schedule_call_after(
+            wait + service,
+            self._complete,
+            state,
+            priority=EventPriority.HYPERVISOR,
+            label=f"{self._name}:drain:{state.name}",
+        )
+        return wait
+
+    def reserve(self, src: str, dst: str, pages: int, now: float) -> float:
+        """Synchronous data-path cost of a round-trip moving *pages*.
+
+        The payload travels *src* -> *dst* (a spilled put) or is pulled
+        back over the same directed link (a remote get names the hosting
+        peer as *src*).  Uncontended: exactly the stateless round trip.
+        Contended: the link's queue wait is added and the link stays
+        busy for the payload's service time, so later transfers queue.
+        """
+        if pages < 0:
+            raise ConfigurationError(f"pages must be >= 0, got {pages}")
+        self.pages_moved += pages
+        self.bytes_moved += pages * self._page_bytes
+        if not self.contended:
+            return self.round_trip_cost_s(pages)
+        state = self.link(src, dst)
+        wait = self._occupy(state, pages, now)
+        return wait + self.round_trip_cost_s(pages)
+
+    def transfer_async(
+        self,
+        src: str,
+        dst: str,
+        pages: int,
+        on_complete: Callable[[Any], None],
+        arg: Any,
+        *,
+        priority: int = EventPriority.HYPERVISOR,
+        label: str = "",
+    ) -> float:
+        """Move a bulk payload *src* -> *dst*; deliver *arg* on arrival.
+
+        Used for VM-migration state copies.  Returns the total transfer
+        duration (queue wait + one-way latency + service time); the
+        completion callback fires through the engine after that delay.
+        Unlike :meth:`reserve` this occupies the link in both modes —
+        migration is new machinery with no pinned history.
+        """
+        if pages < 0:
+            raise ConfigurationError(f"pages must be >= 0, got {pages}")
+        now = self._engine.now
+        state = self.link(src, dst)
+        wait = self._occupy(state, pages, now)
+        self.pages_moved += pages
+        self.bytes_moved += pages * self._page_bytes
+        cost = wait + self.transfer_cost_s(pages)
+        self._engine.schedule_call_after(
+            cost,
+            on_complete,
+            arg,
+            priority=priority,
+            label=label or f"{self._name}:copy:{state.name}",
+        )
+        return cost
+
     # -- accounting ---------------------------------------------------------
     def note_transfer(self, pages: int) -> None:
-        """Record *pages* payload pages moved over the link."""
+        """Record *pages* payload pages moved over the link.
+
+        Retained for callers that account a transfer whose cost was paid
+        elsewhere (the uncontended remote-tmem fast path).
+        """
         self.pages_moved += pages
         self.bytes_moved += pages * self._page_bytes
 
@@ -111,14 +324,26 @@ class InterNodeChannel:
         on_delivery: Callable[[Any], None],
         *,
         priority: int = EventPriority.HYPERVISOR,
+        src: str = "",
+        dst: str = "",
     ) -> None:
-        """Deliver *payload* to *on_delivery* after the one-way latency."""
+        """Deliver *payload* to *on_delivery* after the one-way latency.
+
+        Control messages carry no page payload, so their service time is
+        zero; in contended mode they still queue FIFO behind in-flight
+        payloads on the named link (when *src*/*dst* are given).
+        """
         self.messages_sent += 1
-        if self._latency > 0:
+        delay = self._latency
+        if self.contended and src and dst:
+            state = self.link(src, dst)
+            wait = self._occupy(state, 0, self._engine.now)
+            delay += wait
+        if delay > 0:
             # Bound delivery callback + payload argument: the engine's
             # slab invokes ``on_delivery(payload)`` without a closure.
             self._engine.schedule_call_after(
-                self._latency,
+                delay,
                 on_delivery,
                 payload,
                 priority=priority,
@@ -131,5 +356,5 @@ class InterNodeChannel:
         return (
             f"InterNodeChannel(latency={self._latency:g}s, "
             f"page_transfer={self._page_transfer_s:g}s, "
-            f"pages_moved={self.pages_moved})"
+            f"contended={self.contended}, pages_moved={self.pages_moved})"
         )

@@ -15,7 +15,7 @@ the latency is part of simulated time, not wall-clock time.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from ..sim.engine import SimulationEngine

@@ -89,7 +89,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--coordinator", type=str, default=None,
         help="cluster capacity coordinator for --nodes > 1 "
-             "(e.g. equal-share, pressure-prop:percent=15)",
+             "(e.g. equal-share, pressure-prop:percent=15, "
+             "spill-feedback:percent=15)",
+    )
+    run_p.add_argument(
+        "--contended", action="store_true",
+        help="model interconnect contention (per-link FIFO queueing) "
+             "on the --nodes cluster",
+    )
+    run_p.add_argument(
+        "--fail", action="append", dest="failures", default=None,
+        metavar="NODE@TIME",
+        help="fail a node mid-run, e.g. --fail node2@30 (repeatable; "
+             "its VMs migrate to surviving nodes)",
+    )
+    run_p.add_argument(
+        "--migrate", action="append", dest="migrations", default=None,
+        metavar="VM@NODE@TIME",
+        help="live-migrate a VM mid-run, e.g. --migrate n1.VM1@node2@20 "
+             "(repeatable)",
     )
     run_p.add_argument("--traces", action="store_true",
                        help="also print per-VM tmem usage traces")
@@ -227,6 +245,27 @@ def _cmd_tables(scale: float) -> int:
     return 0
 
 
+def _parse_failure_flag(text: str):
+    """``node2@30`` -> NodeFailure(node2, 30.0)."""
+    from .scenarios.spec import NodeFailure
+
+    node, _, when = text.rpartition("@")
+    if not node:
+        raise ValueError(f"--fail expects NODE@TIME, got {text!r}")
+    return NodeFailure(node=node, at_s=float(when))
+
+
+def _parse_migration_flag(text: str):
+    """``n1.VM1@node2@20`` -> VmMigration(n1.VM1, node2, 20.0)."""
+    from .scenarios.spec import VmMigration
+
+    head, _, when = text.rpartition("@")
+    vm, _, node = head.rpartition("@")
+    if not vm or not node:
+        raise ValueError(f"--migrate expects VM@NODE@TIME, got {text!r}")
+    return VmMigration(vm=vm, to_node=node, at_s=float(when))
+
+
 def _cmd_run(
     scenario: str,
     policies: Optional[List[str]],
@@ -236,15 +275,22 @@ def _cmd_run(
     show_fairness: bool,
     nodes: int = 1,
     coordinator: Optional[str] = None,
+    contended: bool = False,
+    failures: Optional[List[str]] = None,
+    migrations: Optional[List[str]] = None,
 ) -> int:
     spec = scenario_by_name(scenario, scale=scale)
     if nodes < 1:
         print("--nodes must be >= 1", file=sys.stderr)
         return 2
-    if coordinator is not None and nodes <= 1:
+    cluster_flags = (
+        coordinator is not None or contended or failures or migrations
+    )
+    if cluster_flags and nodes <= 1:
         print(
-            "--coordinator only applies to cluster runs; pass --nodes N "
-            "(N > 1) or use a cluster-native scenario",
+            "--coordinator/--contended/--fail/--migrate only apply to "
+            "cluster runs; pass --nodes N (N > 1) or use a cluster-native "
+            "scenario",
             file=sys.stderr,
         )
         return 2
@@ -258,7 +304,24 @@ def _cmd_run(
                 file=sys.stderr,
             )
             return 2
-        spec = clusterize(spec, nodes, coordinator=coordinator)
+        try:
+            failure_events = tuple(
+                _parse_failure_flag(text) for text in (failures or ())
+            )
+            migration_events = tuple(
+                _parse_migration_flag(text) for text in (migrations or ())
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        spec = clusterize(
+            spec,
+            nodes,
+            coordinator=coordinator,
+            contended=contended,
+            failures=failure_events,
+            migrations=migration_events,
+        )
     selected = policies if policies else list(PAPER_POLICIES)
 
     results: Dict[str, ScenarioResult] = {}
@@ -451,6 +514,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.fairness,
             nodes=args.nodes,
             coordinator=args.coordinator,
+            contended=args.contended,
+            failures=args.failures,
+            migrations=args.migrations,
         )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

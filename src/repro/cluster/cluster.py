@@ -9,13 +9,25 @@ machinery:
   the shared engine, with a shared domain-id allocator so VM ids (and
   the trace names derived from them) are unique cluster-wide;
 * one :class:`~repro.channels.internode.InterNodeChannel` modeling the
-  interconnect, and — when ``remote_spill`` is on and tmem is enabled —
-  one :class:`~repro.hypervisor.remote_tmem.RemoteTmemBackend` per node
-  so overflow puts spill to peers instead of hitting the swap disk;
+  interconnect (optionally *contended*: per-link FIFO queueing), and —
+  when ``remote_spill`` is on and tmem is enabled — one
+  :class:`~repro.hypervisor.remote_tmem.RemoteTmemBackend` per node so
+  overflow puts spill to peers instead of hitting the swap disk;
 * optionally a cluster coordinator policy
   (:mod:`repro.core.coordinator`) invoked on a recurring engine timer,
   which rebalances tmem *capacity* between the nodes' pools subject to
-  physical limits (shrink only free frames, grow only into fallow DRAM).
+  physical limits (shrink only free frames, grow only into fallow DRAM);
+* scheduled **node failures** and **VM migrations**
+  (:class:`~repro.scenarios.spec.NodeFailure` /
+  :class:`~repro.scenarios.spec.VmMigration`).  A failing node loses
+  its tmem contents: its VMs' local frontswap pages and any peer pages
+  it hosted are re-materialised on the owners' swap disks ("refault
+  from disk"), hosted cleancache pages are silently dropped, and the
+  dead node's VMs fail over to surviving nodes.  Both failover and
+  planned migration suspend the VM, copy its resident guest state over
+  the interconnect (paying the contended channel's queue wait), adopt
+  the VM's surviving remote-spill index at the new home and resume it
+  there — same domain id, same trace names, same workload queue.
 
 A one-node cluster wires no interconnect, no spill and no meaningful
 coordination — it is byte-for-byte today's single host, which the test
@@ -26,12 +38,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..channels.internode import InterNodeChannel
 from ..config import SimulationConfig
 from ..core.coordinator import ClusterPolicy, NodeTmemView, create_coordinator
 from ..errors import ClusterError
+from ..guest.vm import VirtualMachine
 from ..hypervisor.remote_tmem import RemoteTmemBackend
 from ..scenarios.spec import (
     ClusterTopology,
@@ -111,20 +124,36 @@ class Cluster:
         self.remote_backends: Dict[str, RemoteTmemBackend] = {}
         self.coordinator: Optional[ClusterPolicy] = None
         self._capacity_moves = 0
-        self._last_pressure: Dict[str, Tuple[int, int]] = {}
+        self._last_pressure: Dict[str, Tuple[int, int, int]] = {}
         self._rebalance_timer = None
+        #: Failure/migration records for the result's cluster section.
+        self.events: List[Dict[str, Any]] = []
+        self._migrations_in_flight = 0
+        #: Names of VMs whose state copy is currently in flight.  A VM
+        #: can have at most one live relocation: planned migrations of
+        #: an in-flight VM are skipped, and a failure of the copy's
+        #: destination chains a second failover at completion instead of
+        #: starting a concurrent one.
+        self._relocating: set = set()
 
-        if multi_node and use_tmem:
+        if multi_node:
             self.channel = InterNodeChannel(
                 engine,
                 latency_s=self.topology.interconnect_latency_s,
                 bandwidth_bytes_s=self.topology.interconnect_bandwidth_bytes_s,
                 page_bytes=config.units.page_bytes,
+                contended=self.topology.contended,
+                trace=trace,
             )
-            if self.topology.remote_spill:
+            if use_tmem and self.topology.remote_spill:
                 self._wire_remote_spill(domid_counter)
-            if self.topology.coordinator:
+            if use_tmem and self.topology.coordinator:
                 self.coordinator = create_coordinator(self.topology.coordinator)
+        self._vm_by_id: Dict[int, VirtualMachine] = {
+            vm.vm_id: vm
+            for node in self.nodes
+            for vm in node.vms.values()
+        }
 
     # -- wiring ---------------------------------------------------------------
     def _wire_remote_spill(self, domid_counter: "itertools.count") -> None:
@@ -135,12 +164,10 @@ class Cluster:
             )
             for node in self.nodes
         }
-        extra = backends[self.nodes[0].name].extra_latency_s
         for node in self.nodes:
             backend = backends[node.name]
             for vm in node.vms.values():
                 backend.register_home_vm(vm.vm_id)
-                vm.kernel.set_remote_latency(extra)
             peers = [
                 backends[other.name] for other in self.nodes if other is not node
             ]
@@ -163,6 +190,22 @@ class Cluster:
                 priority=EventPriority.TIMER,
                 label="cluster-rebalance",
             )
+        for failure in self.topology.failures:
+            self.engine.schedule_call_at(
+                failure.at_s,
+                self._fail_node,
+                failure.node,
+                priority=EventPriority.HYPERVISOR,
+                label=f"fail:{failure.node}",
+            )
+        for migration in self.topology.migrations:
+            self.engine.schedule_call_at(
+                migration.at_s,
+                self._start_planned_migration,
+                migration,
+                priority=EventPriority.HYPERVISOR,
+                label=f"migrate:{migration.vm}",
+            )
 
     def finalize(self) -> None:
         if self._rebalance_timer is not None:
@@ -170,6 +213,291 @@ class Cluster:
             self._rebalance_timer = None
         for node in self.nodes:
             node.finalize()
+
+    # -- node failure / VM migration -------------------------------------------
+    def _alive_nodes(self) -> List[Node]:
+        return [node for node in self.nodes if not node.failed]
+
+    def _pages_of(self, vm: VirtualMachine, slots) -> List[int]:
+        """Convert spill-index ``{object: {index: peer}}`` entries to
+        guest page numbers, in deterministic (object, index) order."""
+        frontswap = vm.kernel.frontswap
+        if frontswap is None:
+            return []
+        ppo = frontswap.pages_per_object
+        return [
+            object_id * ppo + index
+            for object_id in sorted(slots)
+            for index in sorted(slots[object_id])
+        ]
+
+    def _fail_node(self, node_name: str) -> None:
+        """Kill one node: lose its tmem, fail its VMs over to survivors."""
+        node = self._node_by_name[node_name]
+        if node.failed:
+            return
+        now = self.engine.now
+        survivors = [n for n in self._alive_nodes() if n is not node]
+        if not survivors:
+            raise ClusterError(
+                f"node {node_name!r} cannot fail: no surviving nodes"
+            )
+        node.mark_failed()
+        event: Dict[str, Any] = {
+            "kind": "failure",
+            "node": node_name,
+            "at_s": now,
+            "migrated_vms": [],
+            "lost_frontswap_pages": 0,
+            "dropped_ephemeral_pages": 0,
+        }
+        self.events.append(event)
+
+        dead_backend = self.remote_backends.get(node_name)
+        if dead_backend is not None:
+            # Pages the dead node hosted for surviving peers are gone:
+            # frontswap pages are re-materialised on the owners' swap
+            # disks (background recovery writes), cleancache pages are
+            # reconstructible and vanish silently.
+            for other in survivors:
+                backend = self.remote_backends.get(other.name)
+                if backend is None:
+                    continue
+                dropped_before = backend.stats.ephemeral_dropped
+                lost = backend.detach_peer(dead_backend)
+                event["dropped_ephemeral_pages"] += (
+                    backend.stats.ephemeral_dropped - dropped_before
+                )
+                for vm_id, slots in sorted(lost.items()):
+                    owner = self._vm_by_id[vm_id]
+                    frontswap = owner.kernel.frontswap
+                    ppo = frontswap.pages_per_object if frontswap else 1
+                    pages = [o * ppo + i for o, i in slots]
+                    recovered = owner.kernel.recover_lost_tmem_pages(
+                        pages, now=now
+                    )
+                    event["lost_frontswap_pages"] += recovered
+
+        # Fail the dead node's VMs over to the surviving nodes, in
+        # placement order (deterministic).  A VM whose own relocation
+        # *into* this node is still in flight is left alone here: its
+        # completion handler sees the dead destination and chains a
+        # fresh failover (starting a second concurrent copy would
+        # resume the guest before its state arrived).
+        for vm_name in list(node.vms):
+            if vm_name in self._relocating:
+                continue
+            vm = node.remove_vm(vm_name)
+            target = self._pick_failover_target(survivors, vm)
+            event["migrated_vms"].append(vm_name)
+            self._begin_relocation(vm, node, target, reason="failover")
+
+    def _pick_failover_target(
+        self, survivors: List[Node], vm: VirtualMachine
+    ) -> Node:
+        """Surviving node with the most fallow DRAM; ties keep topology
+        order.  Raises when no survivor can hold the VM's RAM."""
+        best: Optional[Node] = None
+        best_room = -1
+        ram = vm.domain.ram_pages
+        for candidate in survivors:
+            room = candidate.hypervisor.host_memory.unassigned_pages
+            if room >= ram and room > best_room:
+                best = candidate
+                best_room = room
+        if best is None:
+            raise ClusterError(
+                f"no surviving node has {ram} fallow pages to adopt "
+                f"VM {vm.name!r}"
+            )
+        return best
+
+    def _start_planned_migration(self, migration) -> None:
+        """Begin a live migration scheduled by the topology."""
+        vm = self.merged_vms().get(migration.vm)
+        if vm is None:  # pragma: no cover - spec validation prevents this
+            raise ClusterError(f"unknown VM {migration.vm!r}")
+        if migration.vm in self._relocating:
+            # One live relocation per VM: a planned move scheduled while
+            # a copy is still in flight is dropped (and recorded).
+            self.events.append({
+                "kind": "migration",
+                "vm": migration.vm,
+                "at_s": self.engine.now,
+                "skipped": "relocation already in flight",
+            })
+            return
+        source = next(
+            (n for n in self.nodes if migration.vm in n.vms), None
+        )
+        target = self._node_by_name[migration.to_node]
+        if source is None or source.failed or target.failed:
+            return  # the VM already failed over, or the target died
+        if source is target:
+            return
+        source.remove_vm(migration.vm)
+        self.events.append({
+            "kind": "migration",
+            "vm": migration.vm,
+            "from": source.name,
+            "to": target.name,
+            "at_s": self.engine.now,
+        })
+        self._begin_relocation(vm, source, target, reason="planned")
+
+    def _begin_relocation(
+        self, vm: VirtualMachine, source: Node, target: Node, *, reason: str
+    ) -> None:
+        """Common start of failover and planned migration.
+
+        Suspends the VM, unhooks its remote-spill index from the source
+        backend, performs source-side cleanup (planned: local frontswap
+        pages are written back to the guest swap area and the domain is
+        torn down cleanly; failover: the dead node's local copies are
+        simply lost and recovered on arrival), then ships the resident
+        guest state over the interconnect.  Completion re-homes the VM
+        on the target node.
+        """
+        now = self.engine.now
+        vm.suspend()
+        self._migrations_in_flight += 1
+        self._relocating.add(vm.name)
+
+        source_backend = self.remote_backends.get(source.name)
+        persistent_index: Dict = {}
+        ephemeral_index: Dict = {}
+        if source_backend is not None:
+            persistent_index, ephemeral_index = source_backend.extract_vm(
+                vm.vm_id
+            )
+
+        # Pages of this VM living in the source node's *local* pool: on
+        # a planned migration they are written back to swap before the
+        # move (tmem does not migrate); on failover they died with the
+        # node and are recovered (to swap) on arrival.
+        lost_local: List[int] = []
+        frontswap = vm.kernel.frontswap
+        if frontswap is not None:
+            remote_pages = set(self._pages_of(vm, persistent_index))
+            lost_local = sorted(
+                page for page in frontswap.held_pages
+                if page not in remote_pages
+            )
+
+        saved_account = None
+        old_account = source.hypervisor.accounting.maybe_account(vm.vm_id)
+        if old_account is not None:
+            saved_account = (
+                old_account.cumul_puts_total,
+                old_account.cumul_puts_succ,
+                old_account.cumul_puts_failed,
+                old_account.cumul_gets_total,
+                old_account.cumul_flushes_total,
+                old_account.cumul_puts_remote,
+            )
+
+        if reason == "planned":
+            # Clean source-side teardown: swap-writeback of local tmem
+            # pages (charged to the source disk), then a full domain
+            # destroy so the source's accounting and RAM are released.
+            if lost_local:
+                vm.kernel.recover_lost_tmem_pages(lost_local, now=now)
+                lost_local = []
+            source.hypervisor.destroy_domain(vm.vm_id)
+
+        # Re-home immediately (the VM stays suspended until the copy
+        # arrives): target RAM is reserved now, so a concurrent failover
+        # or pool growth cannot race it away, and peers dropping this
+        # VM's ephemeral pages mid-copy already notify the new backend.
+        vm.rehome(target.hypervisor)
+        target.adopt_vm(vm)
+        account = target.hypervisor.accounting.maybe_account(vm.vm_id)
+        if account is not None and saved_account is not None:
+            # Restore the lifetime hypercall accounting on the new home
+            # so per-VM results span the whole run.
+            (account.cumul_puts_total, account.cumul_puts_succ,
+             account.cumul_puts_failed, account.cumul_gets_total,
+             account.cumul_flushes_total, account.cumul_puts_remote,
+             ) = saved_account
+
+        target_backend = self.remote_backends.get(target.name)
+        repatriated: List[int] = []
+        if target_backend is not None:
+            pairs = target_backend.adopt_vm(
+                vm.vm_id, persistent_index, ephemeral_index
+            )
+            if pairs and frontswap is not None:
+                ppo = frontswap.pages_per_object
+                repatriated = [o * ppo + i for o, i in pairs]
+
+        # Failover: the dead node's local copies (and any remote copies
+        # that now live on the VM's own new home) are re-materialised on
+        # the guest's swap area, backed by shared storage.
+        lost = sorted(lost_local) + sorted(repatriated)
+        if lost:
+            vm.kernel.recover_lost_tmem_pages(lost, now=now)
+
+        copied_pages = max(1, vm.kernel.resident_pages)
+        state = {
+            "vm": vm,
+            "target": target,
+            "reason": reason,
+            "copied_pages": copied_pages,
+            "started_at": now,
+        }
+        assert self.channel is not None  # topologies are multi-node here
+        self.channel.transfer_async(
+            source.name,
+            target.name,
+            copied_pages,
+            self._finish_relocation,
+            state,
+            label=f"migrate:{vm.name}",
+        )
+
+    def _finish_relocation(self, state: Dict[str, Any]) -> None:
+        """The state copy arrived: record the event and resume the VM."""
+        vm: VirtualMachine = state["vm"]
+        target: Node = state["target"]
+        now = self.engine.now
+        self._migrations_in_flight -= 1
+        self._relocating.discard(vm.name)
+
+        if target.failed:
+            # The destination died while the copy was in flight: the
+            # state just landed on a carcass.  Chain a fresh failover
+            # to a surviving node; the VM stays suspended throughout.
+            target.remove_vm(vm.name)
+            for event in reversed(self.events):
+                if (event["kind"] == "failure"
+                        and event["node"] == target.name):
+                    event["migrated_vms"].append(vm.name)
+                    break
+            new_target = self._pick_failover_target(self._alive_nodes(), vm)
+            self._begin_relocation(vm, target, new_target, reason="failover")
+            return
+
+        if state["reason"] == "planned":
+            for event in reversed(self.events):
+                if (event["kind"] == "migration"
+                        and event.get("vm") == vm.name
+                        and "skipped" not in event
+                        and "completed_at_s" not in event):
+                    event["completed_at_s"] = now
+                    event["copied_pages"] = state["copied_pages"]
+                    event["downtime_s"] = now - state["started_at"]
+                    break
+        else:
+            for event in reversed(self.events):
+                if (event["kind"] == "failure"
+                        and vm.name in event.get("migrated_vms", ())):
+                    event["completed_at_s"] = now
+                    event["copied_pages"] = (
+                        event.get("copied_pages", 0) + state["copied_pages"]
+                    )
+                    break
+
+        vm.resume()
 
     def check_invariants(self) -> None:
         for node in self.nodes:
@@ -182,6 +510,8 @@ class Cluster:
     def _node_views(self) -> List[NodeTmemView]:
         views = []
         for node in self.nodes:
+            if node.failed:
+                continue
             host = node.hypervisor.host_memory
             accounting = node.hypervisor.accounting
             failed = sum(
@@ -189,10 +519,14 @@ class Cluster:
             )
             backend = self.remote_backends.get(node.name)
             spilled = backend.stats.pages_spilled if backend else 0
-            prev_failed, prev_spilled = self._last_pressure.get(
-                node.name, (0, 0)
+            dropped = (
+                backend.stats.ephemeral_dropped + backend.stats.pages_lost
+                if backend else 0
             )
-            self._last_pressure[node.name] = (failed, spilled)
+            prev_failed, prev_spilled, prev_dropped = self._last_pressure.get(
+                node.name, (0, 0, 0)
+            )
+            self._last_pressure[node.name] = (failed, spilled, dropped)
             views.append(
                 NodeTmemView(
                     name=node.name,
@@ -202,13 +536,17 @@ class Cluster:
                     failed_puts=failed - prev_failed,
                     spilled_puts=spilled - prev_spilled,
                     vm_count=len(node.vms),
+                    dropped_pages=dropped - prev_dropped,
                 )
             )
         return views
 
     def _rebalance(self) -> None:
         assert self.coordinator is not None
-        desired = self.coordinator.rebalance(self._node_views())
+        views = self._node_views()
+        if len(views) < 2:
+            return
+        desired = self.coordinator.rebalance(views)
         if not desired:
             return
         if self.channel is not None and self.channel.latency_s > 0:
@@ -230,6 +568,8 @@ class Cluster:
         shrinks: List[Tuple[Node, int]] = []
         grows: List[Tuple[Node, int]] = []
         for node in self.nodes:  # topology order keeps this deterministic
+            if node.failed:
+                continue
             target = desired.get(node.name)
             if target is None:
                 continue
@@ -297,12 +637,33 @@ class Cluster:
             merged.update(node.vms)
         return merged
 
+    @property
+    def realism_active(self) -> bool:
+        """True when this run uses the post-PR-5 cluster features.
+
+        The cluster section only grows its new keys (links, events,
+        ephemeral/failure counters) when one of them is in play, so the
+        serialized results — and therefore the pinned fingerprints — of
+        plain uncontended clusters are byte-identical to before.
+        """
+        topology = self.topology
+        if topology.contended or topology.failures or topology.migrations:
+            return True
+        return any(
+            backend.stats.ephemeral_spilled
+            or backend.stats.ephemeral_dropped
+            or backend.stats.hosted_drops
+            or backend.stats.pages_lost
+            for backend in self.remote_backends.values()
+        )
+
     def describe_nodes(self) -> Dict[str, Dict[str, object]]:
         """Per-node summary folded into ``ScenarioResult.cluster``."""
+        extras = self.realism_active
         summary: Dict[str, Dict[str, object]] = {}
         for node in self.nodes:
             backend = self.remote_backends.get(node.name)
-            summary[node.name] = {
+            info: Dict[str, object] = {
                 "vm_names": sorted(node.vms),
                 "tmem_pages_end": node.total_tmem_pages,
                 "spilled_puts": backend.stats.pages_spilled if backend else 0,
@@ -310,7 +671,39 @@ class Cluster:
                 "remote_flushes": backend.stats.pages_flushed if backend else 0,
                 "spill_failures": backend.stats.spill_failures if backend else 0,
             }
+            if extras:
+                info["failed"] = node.failed
+                info["ephemeral_spilled"] = (
+                    backend.stats.ephemeral_spilled if backend else 0
+                )
+                info["ephemeral_dropped"] = (
+                    backend.stats.ephemeral_dropped if backend else 0
+                )
+                info["hosted_drops"] = (
+                    backend.stats.hosted_drops if backend else 0
+                )
+                info["pages_lost"] = (
+                    backend.stats.pages_lost if backend else 0
+                )
+            summary[node.name] = info
         return summary
+
+    def describe_extras(self) -> Dict[str, object]:
+        """Contention/failure additions to the result's cluster section.
+
+        Empty — and therefore absent from the serialized result — unless
+        the run used contention, failures, migrations or ephemeral
+        spill, keeping historical cluster fingerprints intact.
+        """
+        if not self.realism_active:
+            return {}
+        extras: Dict[str, object] = {}
+        if self.channel is not None and self.channel.contended:
+            extras["links"] = self.channel.describe_links()
+            extras["max_queue_depth"] = self.channel.max_queue_depth
+        if self.events:
+            extras["events"] = [dict(event) for event in self.events]
+        return extras
 
 
 def clusterize(

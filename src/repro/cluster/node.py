@@ -68,6 +68,9 @@ class Node:
         self._rng_factory = rng_factory
         self._scenario_name = scenario_name
         self._use_tmem = use_tmem
+        #: Set when the node dies mid-run (cluster failure events);
+        #: finalize/invariant checks then skip the carcass.
+        self.failed = False
 
         units = config.units
         self.hypervisor = Hypervisor(
@@ -160,12 +163,35 @@ class Node:
 
     def finalize(self) -> None:
         """Take the final statistics sample and stop the sampler."""
-        if self._use_tmem:
+        if self._use_tmem and not self.failed:
             self.hypervisor.sampler.sample_now()
             self.hypervisor.stop()
 
     def check_invariants(self) -> None:
-        self.hypervisor.check_invariants()
+        if not self.failed:
+            self.hypervisor.check_invariants()
+
+    # -- failure / migration -----------------------------------------------------
+    def mark_failed(self) -> None:
+        """The node died: stop its sampler, freeze its state as-is.
+
+        The hypervisor object is left untouched (its RAM/tmem contents
+        are simply gone with the machine); accounting cleanup is neither
+        possible nor meaningful, so invariants and finalization skip
+        failed nodes.
+        """
+        self.failed = True
+        if self._use_tmem:
+            self.hypervisor.stop()
+
+    def adopt_vm(self, vm: "VirtualMachine") -> None:
+        """Take ownership of a migrated VM (already re-homed onto this
+        node's hypervisor)."""
+        self.vms[vm.name] = vm
+
+    def remove_vm(self, name: str) -> "VirtualMachine":
+        """Hand a migrating VM over to its new node."""
+        return self.vms.pop(name)
 
     # -- introspection ---------------------------------------------------------
     @property

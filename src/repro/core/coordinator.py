@@ -39,6 +39,7 @@ from .targets import equal_share, proportional_scale
 __all__ = [
     "NodeTmemView",
     "ClusterPolicy",
+    "SpillFeedbackCoordinator",
     "register_coordinator",
     "create_coordinator",
     "available_coordinators",
@@ -60,6 +61,11 @@ class NodeTmemView:
     #: Overflow puts the node spilled to peers since the previous round.
     spilled_puts: int
     vm_count: int
+    #: Remote pages of this node's VMs that peers dropped (ephemeral
+    #: evictions) or lost (peer failure) since the previous round — a
+    #: signal that the node's working set does not fit the cluster's
+    #: spare capacity and its *local* pool should grow.
+    dropped_pages: int = 0
 
     @property
     def pressure(self) -> int:
@@ -153,6 +159,10 @@ class PressureProportionalCoordinator(ClusterPolicy):
     def reset(self) -> None:
         self._scores.clear()
 
+    def _pressure_of(self, view: NodeTmemView) -> float:
+        """Raw per-round pressure sample; subclasses reweight this."""
+        return float(view.pressure)
+
     def rebalance(
         self, views: Sequence[NodeTmemView]
     ) -> Optional[Dict[str, int]]:
@@ -164,7 +174,7 @@ class PressureProportionalCoordinator(ClusterPolicy):
         for view in views:
             previous = self._scores.get(view.name, 0.0)
             self._scores[view.name] = (
-                (1 - alpha) * previous + alpha * float(view.pressure)
+                (1 - alpha) * previous + alpha * self._pressure_of(view)
             )
 
         # Integer pressure weights with a +1 prior; proportional_scale
@@ -233,6 +243,61 @@ class PressureProportionalCoordinator(ClusterPolicy):
         return f"{self.name}(percent={self.percent:g})"
 
 
+class SpillFeedbackCoordinator(PressureProportionalCoordinator):
+    """Feed remote-spill and drop rates back into capacity targets.
+
+    ``pressure-prop`` only sees *local* refusals.  On a cluster with
+    remote-tmem spill, a node can look healthy locally while its
+    overflow saturates the interconnect and parks pages on peers that
+    may drop (ephemeral) or lose (failure) them.  This coordinator
+    scores each node by::
+
+        failed_puts + spill_weight * spilled_puts
+                    + drop_weight  * dropped_pages
+
+    so sustained spilling — and especially pages coming *back* as drops
+    — pulls capacity towards the node that generated the traffic.  The
+    per-node policies (e.g. smart-alloc) then divide the enlarged local
+    pool among the node's VMs, which is the co-optimisation loop: local
+    targets decide who gets the pool, the spill feedback decides how big
+    the pool should be.  Rate limiting, smoothing and the per-node floor
+    are inherited from ``pressure-prop``.
+    """
+
+    def __init__(
+        self,
+        percent: float = 10.0,
+        *,
+        spill_weight: float = 1.0,
+        drop_weight: float = 4.0,
+        smoothing: float = 0.5,
+        floor: float = 0.25,
+    ) -> None:
+        super().__init__(percent, smoothing=smoothing, floor=floor)
+        if spill_weight < 0:
+            raise PolicyError(
+                f"spill_weight must be >= 0, got {spill_weight}"
+            )
+        if drop_weight < 0:
+            raise PolicyError(f"drop_weight must be >= 0, got {drop_weight}")
+        self.spill_weight = float(spill_weight)
+        self.drop_weight = float(drop_weight)
+
+    def _pressure_of(self, view: NodeTmemView) -> float:
+        return (
+            float(view.failed_puts)
+            + self.spill_weight * view.spilled_puts
+            + self.drop_weight * view.dropped_pages
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(percent={self.percent:g}, "
+            f"spill_weight={self.spill_weight:g}, "
+            f"drop_weight={self.drop_weight:g})"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Registry (mirrors repro.core.policy, including the spec-string syntax)
 # ---------------------------------------------------------------------------
@@ -286,3 +351,8 @@ register_coordinator(
     spec_syntax="pressure-prop:percent=<max % moved per round>"
     "[,smoothing=<0..1>,floor=<0..1>]",
 )(PressureProportionalCoordinator)
+register_coordinator(
+    "spill-feedback",
+    spec_syntax="spill-feedback:percent=<max % moved per round>"
+    "[,spill_weight=<w>,drop_weight=<w>,smoothing=<0..1>,floor=<0..1>]",
+)(SpillFeedbackCoordinator)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, Mapping, Optional, Sequence
 
 from ..errors import PolicyError
-from ..hypervisor.virq import StatsSnapshot, VmStatsSample
+from ..hypervisor.virq import StatsSnapshot
 
 __all__ = ["VmMemStats", "MemStatsView", "TargetVector", "StatsHistory"]
 

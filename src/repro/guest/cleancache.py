@@ -68,6 +68,12 @@ class CleancacheClient:
     def pool_id(self) -> int:
         return self._pool_id
 
+    def rebind(self, pool_id: int, hypercalls: HypercallInterface) -> None:
+        """Point the client at a new pool/hypercall interface (migration)."""
+        self._pool_id = pool_id
+        self._hypercalls = hypercalls
+        self._addresser = SwapEntryAddresser(pool_id=pool_id)
+
     def put_page(self, file_page: int, *, now: float) -> Tuple[bool, float]:
         """Offer an evicted clean page to cleancache."""
         self._version_clock += 1

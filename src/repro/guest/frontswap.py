@@ -78,6 +78,9 @@ class FrontswapClient:
         #: guest page number -> version stored in tmem
         self._stored: Dict[int, int] = {}
         self._version_clock = 0
+        #: Network cost of each remote op of the staged batches since the
+        #: last drain, in op order (see GuestKernel._replay_plan).
+        self._remote_costs: List[float] = []
         self.stats = FrontswapStats()
 
     # -- introspection -------------------------------------------------------
@@ -109,6 +112,42 @@ class FrontswapClient:
         it as read-only.
         """
         return self._stored
+
+    def rebind(self, pool_id: int, hypercalls: HypercallInterface) -> None:
+        """Point the client at a new pool/hypercall interface (migration).
+
+        Guest-side state — the stored-page map and the version clock —
+        is preserved: remotely spilled pages stay reachable through the
+        new node's spill index, and versions keep their global order.
+        """
+        self._pool_id = pool_id
+        self._hypercalls = hypercalls
+        self._addresser = SwapEntryAddresser(
+            pool_id=pool_id,
+            pages_per_object=self._addresser.pages_per_object,
+        )
+
+    def drain_remote_costs(self) -> List[float]:
+        """Per-op network costs of remote ops since the last drain.
+
+        The batched guest engine drains these once per burst and replays
+        them in op order, charging each remote put/get its exact
+        (queue-aware, on contended interconnects) network cost.
+        """
+        costs = self._remote_costs
+        if costs:
+            self._remote_costs = []
+        return costs
+
+    def forget(self, page: int) -> Optional[int]:
+        """Drop guest-side tracking of *page* without a flush hypercall.
+
+        Used by the cluster's node-failure recovery: the remote copy is
+        gone with the dead peer, so a later load must not expect it (and
+        must not trip the vanished-persistent-page check).  Returns the
+        forgotten version, or ``None`` if the page was not tracked.
+        """
+        return self._stored.pop(page, None)
 
     def reserve_versions(self, count: int) -> int:
         """Advance the version clock by *count*; returns the first version.
@@ -321,6 +360,8 @@ class FrontswapBatch:
         result, _latency = client._hypercalls.tmem_batch(
             client._vm_id, client._pool_id, self._ops, now=now
         )
+        if result.remote_costs:
+            client._remote_costs.extend(result.remote_costs)
         stored = client._stored
         stats = client.stats
 

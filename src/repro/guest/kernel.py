@@ -146,11 +146,6 @@ class GuestKernel:
         self._swap = SwapArea(swap_pages)
         self._known_pages: set[int] = set()
         self._batched = config.guest.access_engine == "batched"
-        #: Extra latency of a remote (peer-node) tmem put/get; installed
-        #: by the cluster wiring, 0 on single hosts.  Must equal the
-        #: hypercall layer's ``remote_extra_latency_s`` so the batched
-        #: replay charges exactly what the scalar path is charged.
-        self._remote_extra_s = 0.0
         self.stats = GuestMemStats()
 
     # -- introspection ---------------------------------------------------------
@@ -182,13 +177,34 @@ class GuestKernel:
     def is_resident(self, page: int) -> bool:
         return page in self._resident
 
-    def set_remote_latency(self, extra_latency_s: float) -> None:
-        """Install the per-operation network cost of remote tmem ops."""
-        if extra_latency_s < 0:
-            raise ConfigurationError(
-                f"remote latency must be >= 0, got {extra_latency_s}"
-            )
-        self._remote_extra_s = float(extra_latency_s)
+    def rebind_disk(self, disk: VirtualDisk) -> None:
+        """Point guest swap I/O at another node's virtual disk (migration)."""
+        self._disk = disk
+
+    def recover_lost_tmem_pages(
+        self, pages: Sequence[int], *, now: float
+    ) -> int:
+        """Re-materialise frontswap pages whose tmem copy was lost.
+
+        A node failure destroys tmem contents (local pages of the dying
+        node's VMs, and remote-spilled pages it hosted for peers).  The
+        affected pages are dirty anonymous pages, so they must survive:
+        the recovery path writes them to the guest's swap area — the
+        "refault from disk" fallback — as one background disk write that
+        occupies the (shared-storage) disk queue but is not charged to
+        any in-flight burst.  Returns the number of pages recovered.
+        """
+        fs = self._frontswap
+        recovered = 0
+        for page in pages:
+            if fs is not None and fs.forget(page) is None:
+                # Not tracked (already faulted back or freed meanwhile).
+                continue
+            self._swap.store(page)
+            recovered += 1
+        if recovered:
+            self._disk.write(now, recovered, vm_id=self.vm_id)
+        return recovered
 
     def memory_footprint_pages(self) -> int:
         """Pages the workload has touched and not freed (any location)."""
@@ -445,6 +461,7 @@ class GuestKernel:
         plan: List[Tuple[int, int, int]] = []
         append_plan = plan.append
         statuses: List[int] = []
+        remote_costs: List[float] = []
 
         if fs is not None:
             in_tmem = list(map(fs.held_pages.__contains__, misses))
@@ -491,6 +508,7 @@ class GuestKernel:
                     ],
                     )
                 statuses = batch.execute(now=now)
+                remote_costs = fs.drain_remote_costs()
         else:
             victim_cursor = 0
             for j in range(n_miss):
@@ -512,7 +530,7 @@ class GuestKernel:
         else:
             resident.insert_many(page_list)
         outcome.minor_hits = n_hits
-        self._replay_plan(plan, statuses, now, outcome)
+        self._replay_plan(plan, statuses, now, outcome, remote_costs)
         return True
 
     def _plan_and_replay_misses(
@@ -587,7 +605,10 @@ class GuestKernel:
             statuses.extend(batch.execute(now=now))
 
         outcome.minor_hits = minor_hits
-        self._replay_plan(plan, statuses, now, outcome)
+        # Remote costs accumulate on the client across the (possibly
+        # multiple) batch executions above, in op order.
+        remote_costs = fs.drain_remote_costs() if fs is not None else []
+        self._replay_plan(plan, statuses, now, outcome, remote_costs)
 
     def _replay_plan(
         self,
@@ -595,6 +616,7 @@ class GuestKernel:
         statuses: List[int],
         now: float,
         outcome: AccessOutcome,
+        remote_costs: Sequence[float] = (),
     ) -> None:
         """Accumulate latencies and issue I/O in scalar order.
 
@@ -602,16 +624,22 @@ class GuestKernel:
         performs, with the same constants and in the same order, so the
         burst latency, the cumulative time counters and the disk queue
         evolution are bit-identical across engines.
+
+        *remote_costs* holds the network cost of each remotely-serviced
+        op, in op order; a remote op accumulates as the single float the
+        hypercall layer returns on the scalar path (base + extra in one
+        add), or the engines would drift by rounding order.  On an
+        uncontended interconnect every entry equals the constant
+        round-trip; on a contended one each entry carries its own queue
+        wait — which the scalar path observed identically, because both
+        engines issue the channel reservations in the same order at the
+        same timestamps.
         """
         config = self._config
         put_lat = config.tmem_put_latency_s
         fail_lat = config.tmem_failed_put_latency_s
         get_lat = config.tmem_get_latency_s
-        # Remote ops must accumulate as the single float the hypercall
-        # layer returns on the scalar path (base + extra in one add), or
-        # the engines would drift by rounding order.
-        remote_put_lat = put_lat + self._remote_extra_s
-        remote_get_lat = get_lat + self._remote_extra_s
+        remote_cursor = 0
         fault_overhead = config.guest.fault_overhead_s
         disk = self._disk
         disk_write = disk.write_one
@@ -635,7 +663,11 @@ class GuestKernel:
                 evictions += 1
                 status = statuses[op_index]
                 if status:
-                    lat = put_lat if status == 1 else remote_put_lat
+                    if status == 1:
+                        lat = put_lat
+                    else:
+                        lat = put_lat + remote_costs[remote_cursor]
+                        remote_cursor += 1
                     acc += lat
                     tmem_time += lat
                     evictions_to_tmem += 1
@@ -658,7 +690,11 @@ class GuestKernel:
             elif kind == _F_TMEM:
                 major += 1
                 acc += fault_overhead
-                lat = get_lat if statuses[op_index] == 1 else remote_get_lat
+                if statuses[op_index] == 1:
+                    lat = get_lat
+                else:
+                    lat = get_lat + remote_costs[remote_cursor]
+                    remote_cursor += 1
                 acc += lat
                 tmem_time += lat
                 swap_discard(page)

@@ -69,6 +69,31 @@ class TmemKernelModule:
     def hypercall_stats(self):
         return self._hypervisor.hypercalls.stats_for(self._vm_id)
 
+    def rehome(self, hypervisor: Hypervisor) -> None:
+        """Re-register this module on another node's hypervisor.
+
+        Called during VM migration, after the target created the domain
+        record.  ``register_tmem_client`` creates fresh pools; the
+        existing frontswap/cleancache clients are re-bound to them so
+        their guest-side state (stored-page maps, version clocks)
+        survives the move.
+        """
+        record = hypervisor.register_tmem_client(
+            self._vm_id,
+            frontswap=self.frontswap is not None,
+            cleancache=self.cleancache is not None,
+        )
+        self._hypervisor = hypervisor
+        self._record = record
+        if self.frontswap is not None:
+            self.frontswap.rebind(
+                record.frontswap_pool_id, hypervisor.hypercalls
+            )
+        if self.cleancache is not None:
+            self.cleancache.rebind(
+                record.cleancache_pool_id, hypervisor.hypercalls
+            )
+
 
 @dataclass
 class RelayStats:

@@ -132,6 +132,9 @@ class VirtualMachine:
         self._phase_started_at = 0.0
         self._stop_requested = False
         self._idle = True
+        self._suspended = False
+        #: Deferred driver continuation captured while suspended.
+        self._pending_resume: Optional[Callable[[], None]] = None
         self._phase_listeners: List[PhaseListener] = []
         self._completion_listeners: List[CompletionListener] = []
 
@@ -184,6 +187,54 @@ class VirtualMachine:
         """Stop the VM after the step currently in flight (usemem scenario)."""
         self._stop_requested = True
 
+    # -- migration support -----------------------------------------------------
+    @property
+    def is_suspended(self) -> bool:
+        return self._suspended
+
+    def suspend(self) -> None:
+        """Pause the workload driver (migration state copy in progress).
+
+        The driver's in-flight step/job-start event still fires, but its
+        continuation is captured instead of executed; :meth:`resume`
+        replays it.  The simulated time spent suspended naturally extends
+        the run's wall clock — exactly the migration downtime.
+        """
+        self._suspended = True
+
+    def resume(self) -> None:
+        """Resume the workload driver after a migration completes."""
+        if not self._suspended:
+            return
+        self._suspended = False
+        continuation = self._pending_resume
+        self._pending_resume = None
+        if continuation is not None:
+            continuation()
+
+    def rehome(self, hypervisor: Hypervisor) -> None:
+        """Re-bind this VM to another node's hypervisor (VM migration).
+
+        The guest keeps its identity: the cluster-wide domain id (and
+        therefore every ``tmem_used/vm<id>`` trace name), its kernel
+        state (resident set, swap area — the virtual disk is shared
+        storage) and its frontswap/cleancache clients.  A fresh domain
+        record and fresh (empty) tmem pools are created on the target;
+        the cluster is responsible for the remote-spill index handover
+        and the hypervisor-side accounting copy.
+        """
+        record = hypervisor.create_domain(
+            self.name,
+            ram_pages=self.domain.ram_pages,
+            vcpus=self.domain.vcpus,
+            vm_id=self.vm_id,
+        )
+        self._hypervisor = hypervisor
+        self.domain = record
+        if self.tkm is not None:
+            self.tkm.rehome(hypervisor)
+        self.kernel.rebind_disk(hypervisor.swap_disk)
+
     # -- results ---------------------------------------------------------------------
     @property
     def runs(self) -> List[WorkloadRun]:
@@ -219,6 +270,9 @@ class VirtualMachine:
         )
 
     def _begin_run(self, job: _Job) -> None:
+        if self._suspended:
+            self._pending_resume = lambda: self._begin_run(job)
+            return
         workload = job.workload_factory()
         run = WorkloadRun(
             vm_name=self.name,
@@ -264,6 +318,9 @@ class VirtualMachine:
         order — and therefore every simulated quantity — bit-identical
         to the non-fast-forwarded execution.
         """
+        if self._suspended:
+            self._pending_resume = self._execute_next_step
+            return
         engine = self._engine
         kernel_access = self.kernel.access
         while True:

@@ -16,7 +16,7 @@ which is exactly the information flow the MM sees in the real system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from ..devices.dram import HostMemory

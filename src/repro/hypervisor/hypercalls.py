@@ -177,16 +177,13 @@ class HypercallInterface:
         self._require_registered(vm_id)
         result = self._backend.execute_batch(vm_id, pool_id, ops, now=now)
         stats = self.stats_for(vm_id)
-        remote_extra = (
-            self._backend.remote_extra_latency_s
-            if (result.puts_remote or result.gets_remote)
-            else 0.0
-        )
         puts_failed = result.puts_failed
+        # Remote operations carry their exact per-operation network cost
+        # (queue-aware on a contended interconnect) in the batch result.
         put_latency = (
             (result.puts_succ + result.puts_remote)
             * self._config.tmem_put_latency_s
-            + result.puts_remote * remote_extra
+            + result.remote_put_extra_s
             + puts_failed * self._config.tmem_failed_put_latency_s
         )
         stats.charge_many("put", result.puts_total, put_latency)
@@ -194,7 +191,7 @@ class HypercallInterface:
         gets_failed = result.gets_failed
         get_latency = (
             (result.gets_total - gets_failed) * self._config.tmem_get_latency_s
-            + result.gets_remote * remote_extra
+            + result.remote_get_extra_s
             + gets_failed * self._config.tmem_failed_put_latency_s
         )
         stats.charge_many("get", result.gets_total, get_latency)

@@ -15,26 +15,61 @@ local :class:`~repro.hypervisor.tmem_backend.TmemBackend` via its
   tmem pool owned by a cluster-internal "spill client" domain, so the
   peer's own accounting and invariants keep holding;
 * a **get** that misses locally is looked up in the spill index and
-  fetched (exclusively) from the peer that holds it;
+  fetched from the peer that holds it;
 * **flushes** chase remote copies the same way, so guest frees and VM
   teardown cannot leak frames on peers.
+
+Persistent vs ephemeral spill
+-----------------------------
+
+The tmem interface distinguishes *persistent* pools (frontswap: a stored
+page is guaranteed to come back) from *ephemeral* pools (cleancache: the
+hypervisor may drop pages at will because the guest can reconstruct them
+from disk).  The spill path preserves that split across the
+interconnect.  Every node hosts **two** spill pools:
+
+* the persistent pool holds peers' frontswap overflow — its pages are
+  fetched back exclusively and may never vanish;
+* the ephemeral pool holds peers' cleancache overflow — its pages are
+  read non-exclusively and, crucially, the hosting node **drops the
+  oldest foreign ephemeral page** whenever one of its *own* VMs needs a
+  frame the pool cannot supply (:meth:`reclaim_for_local`).  The owner
+  node is notified so its spill index stays exact; the owning guest
+  simply sees a cleancache miss later, which is always legal.
 
 Spilled pages keep their guest-assigned versions, so the frontswap
 consistency checks (stale/vanished page detection) extend across the
 interconnect unchanged.  Every remote put/get pays the
 :class:`~repro.channels.internode.InterNodeChannel` round-trip plus one
-page transfer on top of the ordinary hypercall cost.
+page transfer on top of the ordinary hypercall cost; on a *contended*
+channel the per-operation cost additionally includes the link's FIFO
+queue wait at the moment the operation is issued (``last_extra_s``
+always holds the cost of the most recent remote operation, which the
+hypercall layer and the batched guest replay charge to the guest).
+
+Node failure support
+--------------------
+
+:meth:`detach_peer` severs a dead peer: persistent pages it hosted are
+reported back per owning VM (the cluster re-materialises them on the
+owners' swap disks — the "refault from disk" recovery), ephemeral pages
+are silently dropped.  :meth:`extract_vm`/:meth:`adopt_vm` move a VM's
+spill-index entries between backends when the VM migrates to another
+node; hosting peers are rebound to the new owner so later ephemeral
+drops notify the right backend.
 
 Keys in a spill pool are namespaced by the *source VM*: the spill object
 id is ``vm_id * 2**32 + object_id``, which is collision-free because
 cluster domain ids are globally unique and guest object ids fit in 32
-bits (they derive from 32-bit page indexes).
+bits (they derive from 32-bit page indexes).  The persistent and
+ephemeral namespaces live in separate pools, so a VM using frontswap
+and cleancache simultaneously cannot collide either.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..channels.internode import InterNodeChannel
 from ..errors import ClusterError
@@ -49,24 +84,58 @@ __all__ = ["RemoteTmemStats", "RemoteTmemBackend"]
 #: Namespace stride for spill-pool object ids (see module docstring).
 _SPILL_OBJECT_STRIDE = 2 ** 32
 
+#: vm_id -> object_id -> page index -> hosting peer backend.
+SpillIndex = Dict[int, Dict[int, Dict[int, "RemoteTmemBackend"]]]
+
 
 @dataclass
 class RemoteTmemStats:
-    """Spill activity of one node (its home VMs' remote traffic)."""
+    """Spill activity of one node (its home VMs' remote traffic).
 
-    #: Overflow puts absorbed by a peer node.
+    After a VM migration the per-node split of these counters skews by
+    design: the new home records the VM's later fetches/flushes while
+    its earlier spills stay counted on the old home, so per-node
+    ``pages_resident_remote`` can go negative.  Cluster-wide sums stay
+    exact (migration moves index entries, never mints or loses pages).
+    """
+
+    #: Overflow frontswap puts absorbed by a peer node.
     pages_spilled: int = 0
-    #: Remote gets served back from a peer node.
+    #: Remote frontswap gets served back from a peer node.
     pages_fetched: int = 0
     #: Remote copies invalidated by guest flushes / VM teardown.
     pages_flushed: int = 0
     #: Overflow puts no peer could absorb (fell through to the swap disk).
     spill_failures: int = 0
+    #: Overflow cleancache puts absorbed by a peer's ephemeral pool.
+    ephemeral_spilled: int = 0
+    #: Remote cleancache hits served from a peer's ephemeral pool.
+    ephemeral_fetched: int = 0
+    #: This node's VMs' ephemeral pages dropped by peers under pressure
+    #: (or lost with a failed peer) — the reconstructible losses.
+    ephemeral_dropped: int = 0
+    #: Foreign ephemeral pages this node evicted to serve local demand.
+    hosted_drops: int = 0
+    #: This node's VMs' *persistent* pages lost with a failed peer (each
+    #: one is re-materialised on the owner's swap disk by the cluster).
+    pages_lost: int = 0
+    #: Persistent pages dropped at migration time because the VM's new
+    #: home was hosting them (a node cannot hold remote copies of its
+    #: own VMs); also re-materialised on the owner's swap disk, but a
+    #: planned, loss-free event — kept apart from ``pages_lost`` so
+    #: failure-free runs report zero losses.
+    pages_repatriated: int = 0
 
     @property
     def pages_resident_remote(self) -> int:
-        """Remote copies currently alive somewhere in the cluster."""
-        return self.pages_spilled - self.pages_fetched - self.pages_flushed
+        """Remote persistent copies currently alive in the cluster."""
+        return (
+            self.pages_spilled
+            - self.pages_fetched
+            - self.pages_flushed
+            - self.pages_lost
+            - self.pages_repatriated
+        )
 
 
 class RemoteTmemBackend:
@@ -75,9 +144,10 @@ class RemoteTmemBackend:
     One instance exists per cluster node.  It plays two roles:
 
     * for its **home VMs** it routes overflow puts to peers and tracks
-      where every remote copy lives (the spill index);
-    * for its **peers** it hosts their spilled pages in a local spill
-      pool, admission-limited only by this node's free tmem frames.
+      where every remote copy lives (the spill indexes, one per pool
+      kind);
+    * for its **peers** it hosts their spilled pages in local spill
+      pools, admission-limited only by this node's free tmem frames.
     """
 
     def __init__(
@@ -96,11 +166,23 @@ class RemoteTmemBackend:
         self._peers: List["RemoteTmemBackend"] = []
         self._spill_client_id: Optional[int] = None
         self._spill_pool_id: Optional[int] = None
-        #: vm_id -> object_id -> {page index -> hosting peer backend}.
-        self._spill_index: Dict[int, Dict[int, Dict[int, "RemoteTmemBackend"]]] = {}
-        #: Extra latency of one remote put/get (precomputed once so the
-        #: guest replay and the hypercall layer add the exact same float).
+        self._ephemeral_pool_id: Optional[int] = None
+        #: Persistent (frontswap) spill index of this node's home VMs.
+        self._spill_index: SpillIndex = {}
+        #: Ephemeral (cleancache) spill index of this node's home VMs.
+        self._ephemeral_index: SpillIndex = {}
+        #: Foreign ephemeral pages hosted locally, oldest first:
+        #: (spill_object_id, index) -> owning backend.  Insertion order
+        #: is the FIFO drop order of :meth:`reclaim_for_local`.
+        self._hosted_ephemeral: Dict[Tuple[int, int], "RemoteTmemBackend"] = {}
+        #: Uncontended network cost of one remote put/get (precomputed so
+        #: the guest replay and the hypercall layer add the same float).
         self.extra_latency_s = channel.round_trip_cost_s(1)
+        #: Cost of the most recent remote operation.  Equal to
+        #: ``extra_latency_s`` on an uncontended channel; includes the
+        #: per-operation queue wait on a contended one.
+        self.last_extra_s = self.extra_latency_s
+        self._contended = channel.contended
         self.stats = RemoteTmemStats()
 
     # -- wiring -------------------------------------------------------------
@@ -114,7 +196,7 @@ class RemoteTmemBackend:
         """Finish wiring once every node of the cluster exists.
 
         Registers the cluster's spill client with this node's accounting,
-        creates the local spill pool that will host peers' overflow, and
+        creates the local spill pools that will host peers' overflow, and
         attaches this port to the local tmem backend's failure paths.
         """
         if self._spill_client_id is not None:
@@ -131,6 +213,10 @@ class RemoteTmemBackend:
         self._hypervisor.accounting.register_vm(spill_client_id, internal=True)
         pool = self._hypervisor.store.create_pool(spill_client_id, persistent=True)
         self._spill_pool_id = pool.pool_id
+        ephemeral = self._hypervisor.store.create_pool(
+            spill_client_id, persistent=False
+        )
+        self._ephemeral_pool_id = ephemeral.pool_id
         self._hypervisor.backend.remote = self
 
     # -- hosting side (called by peers) -------------------------------------
@@ -138,56 +224,165 @@ class RemoteTmemBackend:
     def free_tmem_pages(self) -> int:
         return self._hypervisor.free_tmem_pages
 
+    def _pool_id_for(self, ephemeral: bool) -> int:
+        pool_id = self._ephemeral_pool_id if ephemeral else self._spill_pool_id
+        assert pool_id is not None
+        return pool_id
+
     def accept_spill(
-        self, spill_object_id: int, index: int, version: int, now: float
+        self,
+        owner: "RemoteTmemBackend",
+        spill_object_id: int,
+        index: int,
+        version: int,
+        now: float,
+        *,
+        ephemeral: bool = False,
     ) -> bool:
         """Store one foreign page in this node's spill pool."""
         assert self._spill_client_id is not None
-        key = make_page_key(self._spill_pool_id, spill_object_id, index)
+        pool_id = self._pool_id_for(ephemeral)
+        key = make_page_key(pool_id, spill_object_id, index)
         result = self._hypervisor.backend.put(
-            self._spill_client_id, self._spill_pool_id, key,
-            version=version, now=now,
+            self._spill_client_id, pool_id, key, version=version, now=now,
         )
         # The spill client has no mm_target, so admission is bounded by
         # free frames only; a refusal here simply means this peer is full.
-        return result.succeeded and not result.remote
+        if not result.succeeded or result.remote:
+            return False
+        if ephemeral:
+            self._hosted_ephemeral[(spill_object_id, index)] = owner
+        return True
 
-    def fetch_spill(self, spill_object_id: int, index: int) -> Optional[int]:
-        """Exclusively fetch one foreign page back; returns its version."""
+    def fetch_spill(
+        self, spill_object_id: int, index: int, *, ephemeral: bool = False
+    ) -> Optional[int]:
+        """Fetch one foreign page back; returns its version.
+
+        Persistent fetches are exclusive (the frame is released);
+        ephemeral fetches leave the hosted copy in place, mirroring
+        cleancache's non-exclusive gets.
+        """
         assert self._spill_client_id is not None
-        key = make_page_key(self._spill_pool_id, spill_object_id, index)
+        pool_id = self._pool_id_for(ephemeral)
+        key = make_page_key(pool_id, spill_object_id, index)
         result = self._hypervisor.backend.get(
-            self._spill_client_id, self._spill_pool_id, key
+            self._spill_client_id, pool_id, key
         )
         if not result.succeeded or result.remote:
             return None
         return result.version
 
-    def drop_spill(self, spill_object_id: int, index: int) -> bool:
+    def drop_spill(
+        self, spill_object_id: int, index: int, *, ephemeral: bool = False
+    ) -> bool:
         """Invalidate one foreign page held in the local spill pool."""
         assert self._spill_client_id is not None
-        key = make_page_key(self._spill_pool_id, spill_object_id, index)
+        pool_id = self._pool_id_for(ephemeral)
+        key = make_page_key(pool_id, spill_object_id, index)
         result = self._hypervisor.backend.flush_page(
-            self._spill_client_id, self._spill_pool_id, key
+            self._spill_client_id, pool_id, key
         )
+        if ephemeral:
+            self._hosted_ephemeral.pop((spill_object_id, index), None)
         return result.succeeded and not result.remote
 
+    def rebind_ephemeral_owner(
+        self,
+        spill_object_id: int,
+        index: int,
+        new_owner: "RemoteTmemBackend",
+    ) -> None:
+        """Point a hosted ephemeral page at its VM's new home backend."""
+        key = (spill_object_id, index)
+        if key in self._hosted_ephemeral:
+            self._hosted_ephemeral[key] = new_owner
+
+    def reclaim_for_local(self) -> bool:
+        """Drop the oldest hosted foreign ephemeral page; True if freed.
+
+        Called by the local :class:`TmemBackend` when one of this node's
+        own VMs needs a frame and the pool is full: foreign
+        *reconstructible* pages yield to local demand, exactly the
+        ephemeral/persistent priority of the tmem design.  The owning
+        node's index is updated synchronously (the invalidation
+        piggybacks on the next interconnect message, so no extra latency
+        is charged).
+        """
+        hosted = self._hosted_ephemeral
+        if not hosted:
+            return False
+        (spill_object_id, index), owner = next(iter(hosted.items()))
+        del hosted[(spill_object_id, index)]
+        pool_id = self._pool_id_for(True)
+        key = make_page_key(pool_id, spill_object_id, index)
+        result = self._hypervisor.backend.flush_page(
+            self._spill_client_id, pool_id, key
+        )
+        if not result.succeeded:  # pragma: no cover - index/pool desync
+            raise ClusterError(
+                f"node {self.node_name!r}: hosted ephemeral page "
+                f"({spill_object_id}, {index}) missing from the spill pool"
+            )
+        self.stats.hosted_drops += 1
+        owner._note_dropped(spill_object_id, index)
+        return True
+
+    def _bump_dropped(self, count: int) -> None:
+        """Count *count* ephemeral drops and sample the drop trace, so
+        the ``remote_dropped/<node>`` series always matches the stat
+        (pressure drops, failure losses and repatriations alike)."""
+        if count <= 0:
+            return
+        self.stats.ephemeral_dropped += count
+        if self._trace is not None:
+            self._trace.record(
+                f"remote_dropped/{self.node_name}",
+                self._channel.now,
+                self.stats.ephemeral_dropped,
+            )
+
+    def _note_dropped(self, spill_object_id: int, index: int) -> None:
+        """A peer dropped (or lost) one of our ephemeral pages."""
+        vm_id, object_id = divmod(spill_object_id, _SPILL_OBJECT_STRIDE)
+        objects = self._ephemeral_index.get(vm_id)
+        if objects is None:
+            return
+        slots = objects.get(object_id)
+        if slots is None or slots.pop(index, None) is None:
+            return
+        if not slots:
+            del objects[object_id]
+        self._bump_dropped(1)
+
     # -- spilling side (called by the local TmemBackend on failure paths) ----
+    def _index_for(self, ephemeral: bool) -> SpillIndex:
+        return self._ephemeral_index if ephemeral else self._spill_index
+
     def spill_put(
-        self, vm_id: int, object_id: int, index: int, version: int, now: float
+        self,
+        vm_id: int,
+        object_id: int,
+        index: int,
+        version: int,
+        now: float,
+        *,
+        ephemeral: bool = False,
     ) -> bool:
         """Try to place an overflow put on a peer; True when absorbed."""
         if vm_id not in self._home_vms or not self._peers:
             return False
         spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
-        objects = self._spill_index.setdefault(vm_id, {})
+        objects = self._index_for(ephemeral).setdefault(vm_id, {})
         slots = objects.setdefault(object_id, {})
 
         holder = slots.get(index)
         if holder is not None:
             # Replace in place on the peer already holding this page.
-            if holder.accept_spill(spill_object, index, version, now):
-                self._note_spill(now)
+            if holder.accept_spill(
+                self, spill_object, index, version, now, ephemeral=ephemeral
+            ):
+                self._note_spill(holder, now, ephemeral)
                 return True
             return False
 
@@ -196,18 +391,26 @@ class RemoteTmemBackend:
         for peer in sorted(
             self._peers, key=lambda p: -p.free_tmem_pages
         ):
-            if peer.accept_spill(spill_object, index, version, now):
+            if peer.accept_spill(
+                self, spill_object, index, version, now, ephemeral=ephemeral
+            ):
                 slots[index] = peer
-                self._note_spill(now)
+                self._note_spill(peer, now, ephemeral)
                 return True
         if not slots:
             del objects[object_id]
         self.stats.spill_failures += 1
         return False
 
-    def remote_get(self, vm_id: int, object_id: int, index: int) -> Optional[int]:
-        """Fetch a remote copy back (exclusive); returns its version."""
-        objects = self._spill_index.get(vm_id)
+    def remote_get(
+        self, vm_id: int, object_id: int, index: int, *, ephemeral: bool = False
+    ) -> Optional[int]:
+        """Fetch a remote copy back; returns its version.
+
+        Persistent copies move back (exclusive); ephemeral copies stay
+        hosted on the peer (non-exclusive, like cleancache gets).
+        """
+        objects = self._index_for(ephemeral).get(vm_id)
         if objects is None:
             return None
         slots = objects.get(object_id)
@@ -217,24 +420,37 @@ class RemoteTmemBackend:
         if peer is None:
             return None
         version = peer.fetch_spill(
-            vm_id * _SPILL_OBJECT_STRIDE + object_id, index
+            vm_id * _SPILL_OBJECT_STRIDE + object_id, index,
+            ephemeral=ephemeral,
         )
         if version is None:
+            if ephemeral:
+                # The peer dropped it between bookkeeping rounds; treat
+                # as an ordinary (legal) cleancache miss.
+                slots.pop(index, None)
+                if not slots:
+                    del objects[object_id]
+                return None
             raise ClusterError(
                 f"node {self.node_name!r}: spill index said VM {vm_id} page "
                 f"({object_id}, {index}) lives on {peer.node_name!r} but the "
                 "peer does not hold it"
             )
-        del slots[index]
-        if not slots:
-            del objects[object_id]
-        self.stats.pages_fetched += 1
-        self._channel.note_transfer(1)
+        if ephemeral:
+            self.stats.ephemeral_fetched += 1
+        else:
+            del slots[index]
+            if not slots:
+                del objects[object_id]
+            self.stats.pages_fetched += 1
+        self._charge_transfer(peer, self)
         return version
 
-    def remote_flush(self, vm_id: int, object_id: int, index: int) -> bool:
+    def remote_flush(
+        self, vm_id: int, object_id: int, index: int, *, ephemeral: bool = False
+    ) -> bool:
         """Invalidate one remote copy; True when one existed."""
-        objects = self._spill_index.get(vm_id)
+        objects = self._index_for(ephemeral).get(vm_id)
         if objects is None:
             return False
         slots = objects.get(object_id)
@@ -245,13 +461,18 @@ class RemoteTmemBackend:
             return False
         if not slots:
             del objects[object_id]
-        peer.drop_spill(vm_id * _SPILL_OBJECT_STRIDE + object_id, index)
+        peer.drop_spill(
+            vm_id * _SPILL_OBJECT_STRIDE + object_id, index,
+            ephemeral=ephemeral,
+        )
         self.stats.pages_flushed += 1
         return True
 
-    def remote_flush_object(self, vm_id: int, object_id: int) -> int:
+    def remote_flush_object(
+        self, vm_id: int, object_id: int, *, ephemeral: bool = False
+    ) -> int:
         """Invalidate every remote copy of one object; returns the count."""
-        objects = self._spill_index.get(vm_id)
+        objects = self._index_for(ephemeral).get(vm_id)
         if objects is None:
             return 0
         slots = objects.pop(object_id, None)
@@ -259,34 +480,176 @@ class RemoteTmemBackend:
             return 0
         spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
         for index, peer in slots.items():
-            peer.drop_spill(spill_object, index)
+            peer.drop_spill(spill_object, index, ephemeral=ephemeral)
         flushed = len(slots)
         self.stats.pages_flushed += flushed
         return flushed
 
     def flush_vm(self, vm_id: int) -> int:
         """Drop every remote copy of one VM (teardown); returns the count."""
-        objects = self._spill_index.pop(vm_id, None)
-        if not objects:
-            return 0
         flushed = 0
-        for object_id, slots in objects.items():
-            spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
-            for index, peer in slots.items():
-                peer.drop_spill(spill_object, index)
-            flushed += len(slots)
+        for ephemeral in (False, True):
+            objects = self._index_for(ephemeral).pop(vm_id, None)
+            if not objects:
+                continue
+            for object_id, slots in objects.items():
+                spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
+                for index, peer in slots.items():
+                    peer.drop_spill(spill_object, index, ephemeral=ephemeral)
+                flushed += len(slots)
         self.stats.pages_flushed += flushed
         return flushed
 
+    # -- failure / migration support -----------------------------------------
+    def detach_peer(
+        self, dead: "RemoteTmemBackend"
+    ) -> Dict[int, List[Tuple[int, int]]]:
+        """Sever a failed peer; returns the persistent pages lost on it.
+
+        The return value maps each home VM id to the ``(object_id,
+        index)`` pairs of its frontswap pages that were hosted on the
+        dead node — the cluster re-materialises those on the owners'
+        swap disks.  Ephemeral pages hosted on the dead node are
+        silently dropped (counted in ``stats.ephemeral_dropped``).
+        """
+        if dead in self._peers:
+            self._peers.remove(dead)
+        lost: Dict[int, List[Tuple[int, int]]] = {}
+        for vm_id, objects in list(self._spill_index.items()):
+            pages: List[Tuple[int, int]] = []
+            for object_id, slots in list(objects.items()):
+                for index in [i for i, p in slots.items() if p is dead]:
+                    del slots[index]
+                    pages.append((object_id, index))
+                if not slots:
+                    del objects[object_id]
+            if pages:
+                lost[vm_id] = pages
+                self.stats.pages_lost += len(pages)
+            if not objects:
+                del self._spill_index[vm_id]
+        for vm_id, objects in list(self._ephemeral_index.items()):
+            for object_id, slots in list(objects.items()):
+                doomed = [i for i, p in slots.items() if p is dead]
+                for index in doomed:
+                    del slots[index]
+                self._bump_dropped(len(doomed))
+                if not slots:
+                    del objects[object_id]
+            if not objects:
+                del self._ephemeral_index[vm_id]
+        return lost
+
+    def extract_vm(
+        self, vm_id: int
+    ) -> Tuple[Dict[int, Dict[int, "RemoteTmemBackend"]],
+               Dict[int, Dict[int, "RemoteTmemBackend"]]]:
+        """Pop one home VM's spill-index entries (it migrates away).
+
+        Hosted copies on peers are left untouched — the new home backend
+        adopts them via :meth:`adopt_vm`.
+        """
+        self._home_vms.discard(vm_id)
+        return (
+            self._spill_index.pop(vm_id, {}),
+            self._ephemeral_index.pop(vm_id, {}),
+        )
+
+    def adopt_vm(
+        self,
+        vm_id: int,
+        persistent: Dict[int, Dict[int, "RemoteTmemBackend"]],
+        ephemeral: Dict[int, Dict[int, "RemoteTmemBackend"]],
+    ) -> List[Tuple[int, int]]:
+        """Adopt a migrated VM: home registration + spill-index entries.
+
+        Pages hosted on *this* node cannot stay "remote" copies of their
+        own home — they are dropped (persistent ones are returned as
+        ``(object_id, index)`` pairs so the cluster can re-materialise
+        them on the owner's swap disk, ephemeral ones vanish legally).
+
+        Hosting peers of adopted ephemeral entries are rebound so later
+        drops notify this backend.
+        """
+        self.register_home_vm(vm_id)
+        repatriated: List[Tuple[int, int]] = []
+        kept: Dict[int, Dict[int, "RemoteTmemBackend"]] = {}
+        for object_id, slots in persistent.items():
+            surviving = {i: p for i, p in slots.items() if p is not self}
+            mine = len(slots) - len(surviving)
+            if mine:
+                spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
+                for index, peer in slots.items():
+                    if peer is self:
+                        peer.drop_spill(spill_object, index, ephemeral=False)
+                        repatriated.append((object_id, index))
+                self.stats.pages_repatriated += mine
+            if surviving:
+                kept[object_id] = surviving
+        if kept:
+            self._spill_index[vm_id] = kept
+        kept_ephemeral: Dict[int, Dict[int, "RemoteTmemBackend"]] = {}
+        for object_id, slots in ephemeral.items():
+            spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
+            surviving = {}
+            dropped = 0
+            for index, peer in slots.items():
+                if peer is self:
+                    peer.drop_spill(spill_object, index, ephemeral=True)
+                    dropped += 1
+                else:
+                    peer.rebind_ephemeral_owner(spill_object, index, self)
+                    surviving[index] = peer
+            self._bump_dropped(dropped)
+            if surviving:
+                kept_ephemeral[object_id] = surviving
+        if kept_ephemeral:
+            self._ephemeral_index[vm_id] = kept_ephemeral
+        return repatriated
+
     # -- introspection -------------------------------------------------------
     def remote_pages_of(self, vm_id: int) -> int:
-        """Remote copies currently held for one home VM."""
+        """Remote persistent copies currently held for one home VM."""
         objects = self._spill_index.get(vm_id, {})
         return sum(len(slots) for slots in objects.values())
 
-    def _note_spill(self, now: float) -> None:
+    def remote_ephemeral_pages_of(self, vm_id: int) -> int:
+        """Remote ephemeral copies currently indexed for one home VM."""
+        objects = self._ephemeral_index.get(vm_id, {})
+        return sum(len(slots) for slots in objects.values())
+
+    @property
+    def hosted_ephemeral_pages(self) -> int:
+        """Foreign ephemeral pages currently hosted on this node."""
+        return len(self._hosted_ephemeral)
+
+    # -- cost accounting -----------------------------------------------------
+    def _charge_transfer(
+        self, src: "RemoteTmemBackend", dst: "RemoteTmemBackend"
+    ) -> None:
+        """Account one payload page moving *src* -> *dst*.
+
+        Updates ``last_extra_s`` with the operation's network cost:
+        the constant round trip on an uncontended channel, or the
+        queue-aware cost reserved on the directed link when contended.
+        """
+        channel = self._channel
+        if channel.contended:
+            self.last_extra_s = channel.reserve(
+                src.node_name, dst.node_name, 1, channel.now
+            )
+        else:
+            channel.note_transfer(1)
+            self.last_extra_s = self.extra_latency_s
+
+    def _note_spill(
+        self, peer: "RemoteTmemBackend", now: float, ephemeral: bool
+    ) -> None:
+        self._charge_transfer(self, peer)
+        if ephemeral:
+            self.stats.ephemeral_spilled += 1
+            return
         self.stats.pages_spilled += 1
-        self._channel.note_transfer(1)
         if self._trace is not None:
             self._trace.record(
                 f"remote_spill/{self.node_name}", now, self.stats.pages_spilled

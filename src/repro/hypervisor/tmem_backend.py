@@ -132,6 +132,15 @@ class TmemBatchResult:
     put_statuses: List[int] = field(default_factory=list)
     get_statuses: List[int] = field(default_factory=list)
     get_versions: List[Optional[int]] = field(default_factory=list)
+    #: Network cost of each remotely-serviced operation, in op order
+    #: (one entry per status-2 op).  Constant per op on an uncontended
+    #: interconnect; includes the link's queue wait when contended.  The
+    #: guest's latency replay charges these instead of a flat constant.
+    remote_costs: List[float] = field(default_factory=list)
+    #: Per-kind sums of ``remote_costs`` (the hypercall layer's batch
+    #: latency accounting).
+    remote_put_extra_s: float = 0.0
+    remote_get_extra_s: float = 0.0
     puts_total: int = 0
     puts_succ: int = 0
     gets_total: int = 0
@@ -168,8 +177,11 @@ class TmemBackend:
 
     @property
     def remote_extra_latency_s(self) -> float:
-        """Network cost added to each remote put/get (0 on single hosts)."""
-        return self.remote.extra_latency_s if self.remote is not None else 0.0
+        """Network cost of the most recent remote put/get (0 on single
+        hosts).  On an uncontended interconnect this is a constant; on a
+        contended one it includes the per-operation queue wait, so the
+        hypercall layer must read it immediately after the operation."""
+        return self.remote.last_extra_s if self.remote is not None else 0.0
 
     # -- helpers -----------------------------------------------------------------
     def _admit_put(self, account: VmTmemAccount) -> bool:
@@ -208,16 +220,31 @@ class TmemBackend:
 
         if not self._admit_put(account):
             remote = self.remote
-            if remote is not None and remote.spill_put(
-                vm_id, key.object_id, key.index, version, now
-            ):
-                account.puts_remote += 1
-                account.cumul_puts_remote += 1
+            reclaimed = (
+                remote is not None
+                and not account.internal
+                and self._host.tmem_free_pages == 0
+                and (not account.has_target
+                     or account.tmem_used < account.mm_target)
+                and remote.reclaim_for_local()
+            )
+            if not reclaimed:
+                if remote is not None and remote.spill_put(
+                    vm_id, key.object_id, key.index, version, now,
+                    ephemeral=not pool.persistent,
+                ):
+                    account.puts_remote += 1
+                    account.cumul_puts_remote += 1
+                    return TmemOpResult(
+                        TmemOpcode.PUT, TmemStatus.S_TMEM, vm_id, key,
+                        remote=True,
+                    )
+                account.cumul_puts_failed += 1
                 return TmemOpResult(
-                    TmemOpcode.PUT, TmemStatus.S_TMEM, vm_id, key, remote=True
+                    TmemOpcode.PUT, TmemStatus.E_TMEM, vm_id, key
                 )
-            account.cumul_puts_failed += 1
-            return TmemOpResult(TmemOpcode.PUT, TmemStatus.E_TMEM, vm_id, key)
+            # A hosted foreign ephemeral page yielded its frame to local
+            # demand: fall through to the ordinary allocation below.
 
         self._host.allocate_tmem_page()
         pool.insert(TmemPage(key=key, owner_vm=vm_id, version=version, put_time=now))
@@ -242,7 +269,10 @@ class TmemBackend:
         if page is None:
             remote = self.remote
             if remote is not None:
-                version = remote.remote_get(vm_id, key.object_id, key.index)
+                version = remote.remote_get(
+                    vm_id, key.object_id, key.index,
+                    ephemeral=not pool.persistent,
+                )
                 if version is not None:
                     return TmemOpResult(
                         TmemOpcode.GET,
@@ -276,7 +306,8 @@ class TmemBackend:
         if page is None:
             remote = self.remote
             if remote is not None and remote.remote_flush(
-                vm_id, key.object_id, key.index
+                vm_id, key.object_id, key.index,
+                ephemeral=not pool.persistent,
             ):
                 return TmemOpResult(
                     TmemOpcode.FLUSH_PAGE, TmemStatus.S_TMEM, vm_id, key,
@@ -304,7 +335,9 @@ class TmemBackend:
             raise TmemError(f"VM {vm_id} tmem_used went negative on flush_object")
         removed_remote = 0
         if self.remote is not None:
-            removed_remote = self.remote.remote_flush_object(vm_id, object_id)
+            removed_remote = self.remote.remote_flush_object(
+                vm_id, object_id, ephemeral=not pool.persistent
+            )
         total_removed = removed + removed_remote
         status = TmemStatus.S_TMEM if total_removed else TmemStatus.E_TMEM
         return TmemOpResult(
@@ -350,6 +383,11 @@ class TmemBackend:
         objects = pool.radix()
         objects_get = objects.get
         remote = self.remote
+        ephemeral = not persistent
+        can_reclaim = remote is not None and not account.internal
+        remote_costs = result.remote_costs
+        remote_costs_append = remote_costs.append
+        remote_put_extra = remote_get_extra = 0.0
         new_record = object.__new__
         page_cls = TmemPage
         count_delta = 0
@@ -399,23 +437,38 @@ class TmemBackend:
                                 append_status(1)
                                 append_put_status(1)
                             continue
-                        if remote is not None and remote.spill_put(
-                            vm_id, object_id, index, version, now
+                        if (
+                            free == 0
+                            and (limit is None or used < limit)
+                            and can_reclaim
+                            and remote.reclaim_for_local()
                         ):
-                            puts_remote += 1
+                            # A hosted foreign ephemeral page yielded its
+                            # frame to local demand: admit this put below
+                            # through the ordinary insert path.
+                            free += 1
+                        else:
+                            if remote is not None and remote.spill_put(
+                                vm_id, object_id, index, version, now,
+                                ephemeral=ephemeral,
+                            ):
+                                puts_remote += 1
+                                extra = remote.last_extra_s
+                                remote_costs_append(extra)
+                                remote_put_extra += extra
+                                if statuses is None:
+                                    (statuses, append_status, append_put_status,
+                                     append_get_status) = materialize(op_count - 1, puts_total - 1, gets_total)
+                                append_status(2)
+                                append_put_status(2)
+                                continue
+                            puts_failed += 1
                             if statuses is None:
                                 (statuses, append_status, append_put_status,
                                  append_get_status) = materialize(op_count - 1, puts_total - 1, gets_total)
-                            append_status(2)
-                            append_put_status(2)
+                            append_status(0)
+                            append_put_status(0)
                             continue
-                        puts_failed += 1
-                        if statuses is None:
-                            (statuses, append_status, append_put_status,
-                             append_get_status) = materialize(op_count - 1, puts_total - 1, gets_total)
-                        append_status(0)
-                        append_put_status(0)
-                        continue
                     if bucket is None:
                         bucket = objects[object_id] = {}
                         existing = None
@@ -460,10 +513,13 @@ class TmemBackend:
                     if page is None:
                         if remote is not None:
                             remote_version = remote.remote_get(
-                                vm_id, object_id, index
+                                vm_id, object_id, index, ephemeral=ephemeral
                             )
                             if remote_version is not None:
                                 gets_remote += 1
+                                extra = remote.last_extra_s
+                                remote_costs_append(extra)
+                                remote_get_extra += extra
                                 append_get_version(remote_version)
                                 if statuses is None:
                                     (statuses, append_status, append_put_status,
@@ -497,7 +553,7 @@ class TmemBackend:
                     page = bucket.pop(index, None) if bucket is not None else None
                     if page is None:
                         if remote is not None and remote.remote_flush(
-                            vm_id, object_id, index
+                            vm_id, object_id, index, ephemeral=ephemeral
                         ):
                             # A remote flush costs nothing extra (the
                             # invalidation piggybacks on the next message),
@@ -557,6 +613,8 @@ class TmemBackend:
         result.flushes_total = flushes_total
         result.puts_remote = puts_remote
         result.gets_remote = gets_remote
+        result.remote_put_extra_s = remote_put_extra
+        result.remote_get_extra_s = remote_get_extra
         return result
 
     def destroy_vm(self, vm_id: int) -> int:

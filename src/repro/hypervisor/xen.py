@@ -89,16 +89,33 @@ class Hypervisor:
         self._domid_allocator = domid_allocator
 
     # -- domain lifecycle ------------------------------------------------------
-    def create_domain(self, name: str, *, ram_pages: int, vcpus: int = 1) -> DomainRecord:
-        """Create a VM record and reserve its static RAM."""
+    def create_domain(
+        self,
+        name: str,
+        *,
+        ram_pages: int,
+        vcpus: int = 1,
+        vm_id: Optional[int] = None,
+    ) -> DomainRecord:
+        """Create a VM record and reserve its static RAM.
+
+        *vm_id* adopts an existing cluster-wide domain id (VM migration:
+        the guest keeps its identity — and its trace names — across
+        hosts); by default the next id from the allocator is used.
+        """
         if vcpus <= 0:
             raise ConfigurationError(f"vcpus must be > 0, got {vcpus}")
+        if vm_id is not None and vm_id in self._domains:
+            raise ConfigurationError(
+                f"domain id {vm_id} is already in use on this host"
+            )
         self.host_memory.reserve_vm_memory(ram_pages)
-        if self._domid_allocator is not None:
-            vm_id = self._domid_allocator()
-        else:
-            vm_id = self._next_domid
-            self._next_domid += 1
+        if vm_id is None:
+            if self._domid_allocator is not None:
+                vm_id = self._domid_allocator()
+            else:
+                vm_id = self._next_domid
+                self._next_domid += 1
         record = DomainRecord(vm_id=vm_id, name=name, ram_pages=ram_pages, vcpus=vcpus)
         self._domains[vm_id] = record
         return record

@@ -6,6 +6,8 @@ from .spec import (
     ScenarioSpec,
     PhaseTrigger,
     NodeSpec,
+    NodeFailure,
+    VmMigration,
     ClusterTopology,
 )
 from .registry import (
@@ -32,6 +34,9 @@ from .families import (
     many_vms_scenario,
     cluster_scenario,
     hotnode_scenario,
+    contended_scenario,
+    failover_scenario,
+    migrate_scenario,
 )
 from .results import RunResult, VmResult, ScenarioResult
 from .runner import ScenarioRunner, run_scenario, register_workload_kind
@@ -42,6 +47,8 @@ __all__ = [
     "ScenarioSpec",
     "PhaseTrigger",
     "NodeSpec",
+    "NodeFailure",
+    "VmMigration",
     "ClusterTopology",
     "ScenarioEntry",
     "register_scenario",
@@ -59,6 +66,9 @@ __all__ = [
     "bursty_scenario",
     "cluster_scenario",
     "hotnode_scenario",
+    "contended_scenario",
+    "failover_scenario",
+    "migrate_scenario",
     "all_scenarios",
     "PAPER_POLICIES",
     "RunResult",

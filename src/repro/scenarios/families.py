@@ -25,6 +25,18 @@ a modeled interconnect — see :mod:`repro.cluster`):
   small pool) among idle peers with large pools; overflow puts spill to
   the peers and the pressure-proportional coordinator migrates capacity
   towards the hot node.
+* ``contended`` — hotnode-style spill pressure over a deliberately
+  narrow interconnect with per-link FIFO queueing: concurrent spills
+  queue instead of overlapping for free, the ``link_queue/*`` traces
+  show the backlog, and the spill-feedback coordinator pulls capacity
+  towards the node generating the traffic.
+* ``failover`` — every node overflows into one large "vault" node
+  (node2); at ``fail_at`` the vault dies: its hosted remote pages are
+  lost (frontswap refaults from disk), its own VMs fail over to
+  survivors with a modeled state copy over the contended channel.
+* ``migrate`` — a planned live migration: the loaded VM is suspended
+  mid-run, its resident state crosses the interconnect, and it resumes
+  on the peer node, keeping its identity and statistics.
 
 All sizes honour the library's ``scale`` convention (multiply every MB
 figure by ``scale``), so the families run at paper sizes (``scale=1.0``)
@@ -38,10 +50,12 @@ from .library import _scaled
 from .registry import register_scenario
 from .spec import (
     ClusterTopology,
+    NodeFailure,
     NodeSpec,
     PhaseTrigger,
     ScenarioSpec,
     VMSpec,
+    VmMigration,
     WorkloadSpec,
 )
 
@@ -51,6 +65,9 @@ __all__ = [
     "bursty_scenario",
     "cluster_scenario",
     "hotnode_scenario",
+    "contended_scenario",
+    "failover_scenario",
+    "migrate_scenario",
 ]
 
 
@@ -395,5 +412,259 @@ def hotnode_scenario(
             nodes=tuple(node_specs),
             remote_spill=True,
             coordinator="pressure-prop:percent=15",
+        ),
+    )
+
+
+@register_scenario("contended", parameters=("nodes", "ram_mb", "hot_vms"))
+def contended_scenario(
+    *, scale: float = 1.0, nodes: int = 3, ram_mb: int = 512, hot_vms: int = 2
+) -> ScenarioSpec:
+    """Spill-heavy cluster on a narrow, FIFO-queued interconnect."""
+    _check_scale(scale)
+    nodes = int(nodes)
+    hot_vms = int(hot_vms)
+    if nodes < 2:
+        raise ScenarioError(f"contended needs nodes >= 2, got {nodes}")
+    if hot_vms < 1:
+        raise ScenarioError(f"contended needs hot_vms >= 1, got {hot_vms}")
+    if ram_mb <= 0:
+        raise ScenarioError(f"contended needs ram_mb > 0, got {ram_mb}")
+    vm_ram = _scaled(ram_mb, scale)
+    increment_mb = _scaled(128, scale)
+    usemem_params = {
+        "start_mb": increment_mb,
+        "increment_mb": increment_mb,
+        # Every hot VM sweeps 2x its RAM: the small local pools overflow
+        # constantly, so the interconnect carries sustained spill traffic
+        # from every node at once and the per-link FIFOs actually queue.
+        "max_mb": max(increment_mb, _scaled(2 * ram_mb, scale)),
+    }
+    hot_tmem = _scaled(96, scale)
+    vault_tmem = _scaled(1024, scale)
+
+    vms = []
+    node_specs = []
+    for k in range(1, nodes + 1):
+        names = []
+        for i in range(1, hot_vms + 1):
+            name = f"n{k}.VM{i}"
+            names.append(name)
+            vms.append(
+                VMSpec(
+                    name=name,
+                    ram_mb=vm_ram,
+                    vcpus=1,
+                    swap_mb=_scaled(4 * ram_mb, scale),
+                    jobs=(
+                        WorkloadSpec(kind="usemem", params=usemem_params,
+                                     start_at=0.0, label="usemem"),
+                    ),
+                )
+            )
+        node_specs.append(
+            NodeSpec(
+                name=f"node{k}",
+                vm_names=tuple(names),
+                tmem_mb=hot_tmem,
+                host_memory_mb=(
+                    vm_ram * hot_vms + hot_tmem + vault_tmem + 256
+                ),
+            )
+        )
+    return ScenarioSpec(
+        name=f"contended:nodes={nodes},ram_mb={ram_mb},hot_vms={hot_vms}",
+        description=(
+            f"{nodes} nodes x {hot_vms} usemem VMs over-committing "
+            f"{hot_tmem} MB pools; spills cross a ~1 GbE interconnect "
+            "with per-link FIFO queueing and spill-feedback coordination"
+        ),
+        vms=tuple(vms),
+        tmem_mb=hot_tmem * nodes,
+        topology=ClusterTopology(
+            nodes=tuple(node_specs),
+            remote_spill=True,
+            contended=True,
+            # A tenth of the default 10 GbE: each 4 KiB page occupies the
+            # link long enough for concurrent spill bursts to queue.
+            interconnect_bandwidth_bytes_s=1.25e8,
+            coordinator="spill-feedback:percent=15",
+        ),
+    )
+
+
+@register_scenario("failover", parameters=("nodes", "ram_mb", "fail_at"))
+def failover_scenario(
+    *, scale: float = 1.0, nodes: int = 3, ram_mb: int = 512,
+    fail_at: float = 30.0,
+) -> ScenarioSpec:
+    """A spill vault node dies mid-run; its VMs fail over to survivors."""
+    _check_scale(scale)
+    nodes = int(nodes)
+    fail_at = float(fail_at)
+    if nodes < 3:
+        raise ScenarioError(f"failover needs nodes >= 3, got {nodes}")
+    if ram_mb <= 0:
+        raise ScenarioError(f"failover needs ram_mb > 0, got {ram_mb}")
+    if fail_at <= 0:
+        raise ScenarioError(f"failover needs fail_at > 0, got {fail_at}")
+    vm_ram = _scaled(ram_mb, scale)
+    increment_mb = _scaled(128, scale)
+    hot_params = {
+        "start_mb": increment_mb,
+        "increment_mb": increment_mb,
+        "max_mb": max(increment_mb, _scaled(2 * ram_mb, scale)),
+    }
+    light_params = {
+        "graph_mb": _scaled(ram_mb * 0.6, scale),
+        "rank_vectors_mb": _scaled(ram_mb * 0.15, scale),
+        # Enough iterations that the vault VM is still mid-run when the
+        # node dies, so failover moves a busy guest, not an idle one.
+        "iterations": 16,
+    }
+    small_tmem = _scaled(96, scale)
+    vault_tmem = _scaled(1024, scale)
+
+    vms = []
+    node_specs = []
+    for k in range(1, nodes + 1):
+        name = f"n{k}.VM1"
+        is_vault = k == 2
+        vms.append(
+            VMSpec(
+                name=name,
+                ram_mb=vm_ram,
+                vcpus=1,
+                swap_mb=_scaled(4 * ram_mb, scale),
+                jobs=(
+                    WorkloadSpec(
+                        kind="graph-analytics" if is_vault else "usemem",
+                        params=light_params if is_vault else hot_params,
+                        start_at=0.0,
+                        label="graph-analytics" if is_vault else "usemem",
+                    ),
+                ),
+            )
+        )
+        node_specs.append(
+            NodeSpec(
+                name=f"node{k}",
+                vm_names=(name,),
+                tmem_mb=vault_tmem if is_vault else small_tmem,
+                # Survivors keep enough fallow DRAM to adopt the vault
+                # node's VM (its RAM) on failover.
+                host_memory_mb=(
+                    vm_ram + vault_tmem + 256
+                    if is_vault
+                    else 2 * vm_ram + small_tmem + vault_tmem + 256
+                ),
+            )
+        )
+    return ScenarioSpec(
+        name=f"failover:nodes={nodes},ram_mb={ram_mb},fail_at={fail_at:g}",
+        description=(
+            f"{nodes - 1} overflowing nodes spill into node2's "
+            f"{vault_tmem} MB vault pool; node2 fails at t={fail_at:g}s — "
+            "spilled frontswap pages refault from disk, node2's VM "
+            "migrates to a survivor over the contended interconnect"
+        ),
+        vms=tuple(vms),
+        tmem_mb=vault_tmem + small_tmem * (nodes - 1),
+        topology=ClusterTopology(
+            nodes=tuple(node_specs),
+            remote_spill=True,
+            contended=True,
+            interconnect_bandwidth_bytes_s=1.25e8,
+            coordinator="spill-feedback:percent=15",
+            failures=(NodeFailure(node="node2", at_s=fail_at),),
+        ),
+    )
+
+
+@register_scenario("migrate", parameters=("nodes", "ram_mb", "at"))
+def migrate_scenario(
+    *, scale: float = 1.0, nodes: int = 2, ram_mb: int = 512, at: float = 20.0
+) -> ScenarioSpec:
+    """Planned live migration of a loaded VM onto an idle peer node."""
+    _check_scale(scale)
+    nodes = int(nodes)
+    at = float(at)
+    if nodes < 2:
+        raise ScenarioError(f"migrate needs nodes >= 2, got {nodes}")
+    if ram_mb <= 0:
+        raise ScenarioError(f"migrate needs ram_mb > 0, got {ram_mb}")
+    if at <= 0:
+        raise ScenarioError(f"migrate needs at > 0, got {at}")
+    vm_ram = _scaled(ram_mb, scale)
+    increment_mb = _scaled(128, scale)
+    hot_params = {
+        "start_mb": increment_mb,
+        "increment_mb": increment_mb,
+        "max_mb": max(increment_mb, _scaled(2 * ram_mb, scale)),
+    }
+    idle_params = {
+        "graph_mb": _scaled(ram_mb * 0.5, scale),
+        "rank_vectors_mb": _scaled(ram_mb * 0.12, scale),
+        "iterations": 4,
+    }
+    pool_mb = _scaled(256, scale)
+
+    vms = [
+        VMSpec(
+            name="n1.VM1",
+            ram_mb=vm_ram,
+            vcpus=1,
+            swap_mb=_scaled(4 * ram_mb, scale),
+            jobs=(
+                WorkloadSpec(kind="usemem", params=hot_params,
+                             start_at=0.0, label="usemem"),
+            ),
+        )
+    ]
+    node_specs = [
+        NodeSpec(
+            name="node1",
+            vm_names=("n1.VM1",),
+            tmem_mb=pool_mb,
+            host_memory_mb=vm_ram + pool_mb + 256,
+        )
+    ]
+    for k in range(2, nodes + 1):
+        name = f"n{k}.VM1"
+        vms.append(
+            VMSpec(
+                name=name,
+                ram_mb=vm_ram,
+                vcpus=1,
+                swap_mb=_scaled(2048, scale),
+                jobs=(
+                    WorkloadSpec(kind="graph-analytics", params=idle_params,
+                                 start_at=0.0, label="graph-analytics"),
+                ),
+            )
+        )
+        node_specs.append(
+            NodeSpec(
+                name=f"node{k}",
+                vm_names=(name,),
+                tmem_mb=pool_mb,
+                # Headroom for the incoming VM's RAM.
+                host_memory_mb=2 * vm_ram + pool_mb + 256,
+            )
+        )
+    return ScenarioSpec(
+        name=f"migrate:nodes={nodes},ram_mb={ram_mb},at={at:g}",
+        description=(
+            f"n1.VM1 (usemem, {ram_mb} MB) live-migrates to node2 at "
+            f"t={at:g}s: suspended, resident state copied over the "
+            "contended interconnect, resumed on the peer"
+        ),
+        vms=tuple(vms),
+        tmem_mb=pool_mb * nodes,
+        topology=ClusterTopology(
+            nodes=tuple(node_specs),
+            remote_spill=True,
+            contended=True,
+            migrations=(VmMigration(vm="n1.VM1", to_node="node2", at_s=at),),
         ),
     )

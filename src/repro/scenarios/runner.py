@@ -236,6 +236,9 @@ class ScenarioRunner:
                     else 0
                 ),
             }
+            # Contention/failure/migration sections appear only when the
+            # run used them (historical cluster fingerprints unchanged).
+            cluster_info.update(self.cluster.describe_extras())
 
         return ScenarioResult(
             scenario_name=self.spec.name,

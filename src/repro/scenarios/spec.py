@@ -11,12 +11,20 @@ and users can build their own specs for new experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ScenarioError
 from ..units import MemoryUnits
 
-__all__ = ["WorkloadSpec", "VMSpec", "NodeSpec", "ClusterTopology", "ScenarioSpec"]
+__all__ = [
+    "WorkloadSpec",
+    "VMSpec",
+    "NodeSpec",
+    "NodeFailure",
+    "VmMigration",
+    "ClusterTopology",
+    "ScenarioSpec",
+]
 
 
 @dataclass(frozen=True)
@@ -124,6 +132,55 @@ class NodeSpec:
 
 
 @dataclass(frozen=True)
+class NodeFailure:
+    """One scheduled node failure of a cluster scenario.
+
+    At ``at_s`` the named node dies: its local tmem contents are lost,
+    remote-tmem pages it hosted for peers are lost with it (frontswap
+    pages are re-materialised on the owners' swap disks, cleancache
+    pages silently dropped), and its VMs are migrated to surviving
+    nodes with a modeled state-copy cost over the interconnect.
+    """
+
+    node: str
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ScenarioError("failure node name must not be empty")
+        if self.at_s <= 0:
+            raise ScenarioError(
+                f"failure time must be > 0, got {self.at_s}"
+            )
+
+
+@dataclass(frozen=True)
+class VmMigration:
+    """One planned (live) VM migration of a cluster scenario.
+
+    At ``at_s`` the named VM is suspended, its guest state is copied to
+    ``to_node`` over the interconnect (paying the contended channel's
+    queue wait), and it resumes on the target node.  Local frontswap
+    pages are written back to the guest's swap area; remote spill copies
+    on surviving peers are adopted by the new home node.
+    """
+
+    vm: str
+    to_node: str
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if not self.vm:
+            raise ScenarioError("migration VM name must not be empty")
+        if not self.to_node:
+            raise ScenarioError("migration target node must not be empty")
+        if self.at_s <= 0:
+            raise ScenarioError(
+                f"migration time must be > 0, got {self.at_s}"
+            )
+
+
+@dataclass(frozen=True)
 class ClusterTopology:
     """Multi-node layout plus cluster-level parameters of a scenario.
 
@@ -140,12 +197,21 @@ class ClusterTopology:
     #: Sustained payload bandwidth of the interconnect (bytes/second).
     #: The default approximates a 10 GbE link.
     interconnect_bandwidth_bytes_s: float = 1.25e9
+    #: Model interconnect contention: per-link FIFO queueing, so
+    #: concurrent transfers pay a queue wait instead of overlapping for
+    #: free.  Off by default (the historical stateless cost model).
+    contended: bool = False
     #: Cluster coordinator policy spec (``"equal-share"``,
-    #: ``"pressure-prop:percent=10"``, ...); ``None`` leaves each node's
-    #: tmem capacity fixed.
+    #: ``"pressure-prop:percent=10"``,
+    #: ``"spill-feedback:percent=15"``, ...); ``None`` leaves each
+    #: node's tmem capacity fixed.
     coordinator: Optional[str] = None
     #: Interval between coordinator rebalancing rounds.
     rebalance_interval_s: float = 2.0
+    #: Scheduled node failures (with failover migration of their VMs).
+    failures: Tuple[NodeFailure, ...] = ()
+    #: Scheduled planned (live) VM migrations.
+    migrations: Tuple[VmMigration, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.nodes:
@@ -168,6 +234,38 @@ class ClusterTopology:
                 "rebalance_interval_s must be > 0, got "
                 f"{self.rebalance_interval_s}"
             )
+        name_set = set(names)
+        failed = set()
+        for failure in self.failures:
+            if failure.node not in name_set:
+                raise ScenarioError(
+                    f"failure names unknown node {failure.node!r}"
+                )
+            if failure.node in failed:
+                raise ScenarioError(
+                    f"node {failure.node!r} fails more than once"
+                )
+            failed.add(failure.node)
+        if failed and len(failed) >= len(self.nodes):
+            raise ScenarioError("every node of the cluster fails")
+        placed = {
+            vm_name for node in self.nodes for vm_name in node.vm_names
+        }
+        by_node = {node.name: node for node in self.nodes}
+        for migration in self.migrations:
+            if migration.vm not in placed:
+                raise ScenarioError(
+                    f"migration names unknown VM {migration.vm!r}"
+                )
+            if migration.to_node not in name_set:
+                raise ScenarioError(
+                    f"migration names unknown node {migration.to_node!r}"
+                )
+            if migration.vm in by_node[migration.to_node].vm_names:
+                raise ScenarioError(
+                    f"VM {migration.vm!r} already lives on node "
+                    f"{migration.to_node!r}"
+                )
 
     def node_names(self) -> Tuple[str, ...]:
         return tuple(node.name for node in self.nodes)

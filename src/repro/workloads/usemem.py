@@ -14,12 +14,12 @@ for the per-allocation running times reported in Figure 7.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 
 from ..errors import WorkloadError
-from ..units import MIB, MemoryUnits
+from ..units import MemoryUnits
 from .access_patterns import sequential_pages
 from .base import Workload, WorkloadPhase, WorkloadStep
 

@@ -19,7 +19,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.cluster import Cluster, clusterize
+from repro.cluster import clusterize
 from repro.config import GuestConfig, SimulationConfig
 from repro.core.coordinator import (
     NodeTmemView,

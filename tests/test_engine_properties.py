@@ -181,7 +181,6 @@ class TestFastForwardEquivalence:
     @settings(max_examples=40, deadline=None)
     def test_max_events_budget_is_identical(self, delays, max_events):
         """The livelock guard fires after the same number of callbacks."""
-        import pytest
 
         from repro.errors import SimulationError
 

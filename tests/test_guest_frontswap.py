@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import GuestError, SwapError, TmemKeyError
+from repro.errors import SwapError, TmemKeyError
 from repro.guest.addressing import SwapEntryAddresser
 from repro.guest.cleancache import CleancacheClient
 from repro.guest.frontswap import FrontswapClient

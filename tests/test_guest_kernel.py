@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import GuestConfig, SimulationConfig
-from repro.devices.disk import VirtualDisk
 from repro.errors import ConfigurationError
 from repro.guest.frontswap import FrontswapClient
 from repro.guest.kernel import GuestKernel

@@ -1,0 +1,211 @@
+"""Property tests for the queueing interconnect channel.
+
+The contended :class:`~repro.channels.internode.InterNodeChannel` must be
+
+* **deterministic** — the same request sequence yields the same costs,
+  completion times and link counters, run after run (seeded workloads
+  depend on this for bit-identical fingerprints);
+* **conserving** — every enqueued transfer is delivered exactly once
+  (completion events fire once per reserve/async transfer, the queue
+  depth drains back to zero, page counters add up);
+* **FIFO per link** — transfers on one directed link complete in the
+  order they were enqueued, never overlapping: each service window
+  starts no earlier than the previous one ended.
+
+The uncontended mode must stay bit-identical to the historical
+stateless cost model: a reserve returns exactly the precomputed round
+trip and schedules no engine events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channels.internode import InterNodeChannel
+from repro.errors import ConfigurationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.trace import TraceRecorder
+
+PAGE = 4096
+LATENCY = 25.0e-6
+BANDWIDTH = 1.25e8
+
+
+def make_channel(*, contended: bool, trace=None):
+    engine = SimulationEngine()
+    channel = InterNodeChannel(
+        engine,
+        latency_s=LATENCY,
+        bandwidth_bytes_s=BANDWIDTH,
+        page_bytes=PAGE,
+        contended=contended,
+        trace=trace,
+    )
+    return engine, channel
+
+
+def random_requests(seed: int, count: int):
+    """Deterministic stream of (at_s, src, dst, pages) requests."""
+    rng = np.random.default_rng(seed)
+    nodes = ["n1", "n2", "n3"]
+    at = 0.0
+    for _ in range(count):
+        at += float(rng.uniform(0.0, 2e-4))
+        src, dst = rng.choice(nodes, size=2, replace=False)
+        yield at, str(src), str(dst), int(rng.integers(1, 32))
+
+
+class TestUncontendedIdentity:
+    def test_reserve_matches_stateless_round_trip(self):
+        engine, channel = make_channel(contended=False)
+        for pages in (0, 1, 7, 100):
+            assert channel.reserve("a", "b", pages, 0.0) == (
+                channel.round_trip_cost_s(pages)
+            )
+
+    def test_reserve_schedules_no_events(self):
+        engine, channel = make_channel(contended=False)
+        channel.reserve("a", "b", 5, 0.0)
+        assert engine.pending_events == 0
+
+    def test_note_transfer_accounting_is_preserved(self):
+        engine, channel = make_channel(contended=False)
+        channel.note_transfer(3)
+        channel.reserve("a", "b", 2, 0.0)
+        assert channel.pages_moved == 5
+        assert channel.bytes_moved == 5 * PAGE
+
+
+class TestContendedQueueing:
+    def test_back_to_back_transfers_queue(self):
+        engine, channel = make_channel(contended=True)
+        service = 4 * channel.page_transfer_s
+        first = channel.reserve("a", "b", 4, 0.0)
+        second = channel.reserve("a", "b", 4, 0.0)
+        assert first == channel.round_trip_cost_s(4)
+        # The second transfer waits out the first one's service time.
+        assert second == pytest.approx(service + channel.round_trip_cost_s(4))
+        # Opposite direction is a different link: no wait.
+        assert channel.reserve("b", "a", 4, 0.0) == channel.round_trip_cost_s(4)
+
+    def test_queue_depth_traces_and_drain(self):
+        trace = TraceRecorder()
+        engine, channel = make_channel(contended=True, trace=trace)
+        for _ in range(5):
+            channel.reserve("a", "b", 10, 0.0)
+        link = channel.link("a", "b")
+        assert link.queue_depth == 5
+        assert link.max_queue_depth == 5
+        engine.run()
+        assert link.queue_depth == 0
+        series = trace.get("link_queue/a->b")
+        values = list(series.values)
+        assert max(values) == 5
+        assert values[-1] == 0
+
+    def test_zero_latency_send_is_immediate_when_uncontended(self):
+        engine = SimulationEngine()
+        channel = InterNodeChannel(
+            engine, latency_s=0.0, bandwidth_bytes_s=BANDWIDTH,
+            page_bytes=PAGE,
+        )
+        seen = []
+        channel.send("k", 42, seen.append)
+        assert seen == [42]
+
+    def test_rejects_bad_parameters(self):
+        engine = SimulationEngine()
+        with pytest.raises(ConfigurationError):
+            InterNodeChannel(engine, latency_s=-1.0,
+                             bandwidth_bytes_s=1.0, page_bytes=PAGE)
+        _, channel = make_channel(contended=True)
+        with pytest.raises(ConfigurationError):
+            channel.reserve("a", "b", -1, 0.0)
+
+
+class TestConservationAndFifo:
+    """Randomized request streams: delivery exactly once, FIFO per link."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 2019])
+    def test_async_transfers_conserve_and_fifo(self, seed):
+        engine, channel = make_channel(contended=True)
+        delivered = []
+        expected_pages = 0
+        order = {}
+        for i, (at, src, dst, pages) in enumerate(
+            random_requests(seed, 200)
+        ):
+            expected_pages += pages
+            order.setdefault((src, dst), []).append(i)
+            engine.schedule_call_at(
+                at,
+                (lambda s=src, d=dst, p=pages, idx=i: channel.transfer_async(
+                    s, d, p,
+                    lambda arg: delivered.append(arg),
+                    (idx, s, d, p),
+                )),
+            )
+        engine.run()
+
+        # Exactly-once delivery, nothing left queued.
+        assert len(delivered) == 200
+        assert sorted(idx for idx, *_ in delivered) == list(range(200))
+        assert channel.pages_moved == expected_pages
+        for link in channel.links().values():
+            assert link.queue_depth == 0
+
+        # Per-link FIFO: deliveries on one directed link happen in
+        # enqueue order.
+        per_link = {}
+        for idx, src, dst, _pages in delivered:
+            per_link.setdefault((src, dst), []).append(idx)
+        for key, got in per_link.items():
+            assert got == order[key]
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_request_stream_is_deterministic(self, seed):
+        def run_once():
+            engine, channel = make_channel(contended=True)
+            costs = []
+            for at, src, dst, pages in random_requests(seed, 150):
+                engine.schedule_call_at(
+                    at,
+                    (lambda s=src, d=dst, p=pages:
+                     costs.append(channel.reserve(s, d, p, engine.now))),
+                )
+            engine.run()
+            summary = {
+                name: (link.transfers, link.pages, link.busy_s,
+                       link.queue_wait_s, link.max_queue_depth)
+                for name, link in channel.links().items()
+            }
+            return costs, summary
+
+        first_costs, first_summary = run_once()
+        second_costs, second_summary = run_once()
+        # Bit-identical, not approximately equal.
+        assert first_costs == second_costs
+        assert first_summary == second_summary
+        assert any(wait > 0 for *_x, wait, _d in first_summary.values())
+
+    def test_service_windows_never_overlap(self):
+        """FIFO service: each window starts after the previous ends."""
+        engine, channel = make_channel(contended=True)
+        windows = []
+        for at, src, dst, pages in random_requests(5, 100):
+            if (src, dst) != ("n1", "n2"):
+                continue
+
+            def issue(p=pages, t=at):
+                link = channel.link("n1", "n2")
+                before = link.busy_until
+                channel.reserve("n1", "n2", p, engine.now)
+                start = max(before, engine.now)
+                windows.append((start, link.busy_until))
+
+            engine.schedule_call_at(at, issue)
+        engine.run()
+        assert len(windows) > 5
+        for (_s1, e1), (s2, _e2) in zip(windows, windows[1:]):
+            assert s2 >= e1

@@ -2,7 +2,6 @@
 
 import importlib
 
-import pytest
 
 import repro
 
@@ -28,7 +27,6 @@ class TestPublicApi:
     def test_custom_policy_registration(self):
         """Users can add their own policy and select it by name."""
         from repro.core.policy import TmemPolicy, create_policy, register_policy
-        from repro.core.stats import TargetVector
         from repro.core.targets import equal_share
 
         name = "half-pool-test-policy"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.metrics import jain_fairness, mean_fairness
+from repro.analysis.metrics import mean_fairness
 from repro.errors import ScenarioError
 from repro.scenarios.library import scenario_1, scenario_2, usemem_scenario
 from repro.scenarios.runner import NO_TMEM_POLICY, ScenarioRunner, run_scenario

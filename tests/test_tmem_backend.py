@@ -3,15 +3,13 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.config import SimulationConfig
 from repro.devices.dram import HostMemory
 from repro.errors import HypercallError
-from repro.hypervisor.accounting import HypervisorAccounting, UNLIMITED_TARGET
+from repro.hypervisor.accounting import HypervisorAccounting
 from repro.hypervisor.pages import PageKey
 from repro.hypervisor.tmem_backend import TmemBackend
 from repro.hypervisor.tmem_store import TmemStore
 from repro.hypervisor.xen import Hypervisor
-from repro.sim.engine import SimulationEngine
 
 
 def build_backend(tmem_pages=8, vms=(1,)):

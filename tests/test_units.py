@@ -7,7 +7,6 @@ from repro.errors import ConfigurationError
 from repro.units import (
     GIB,
     KIB,
-    MIB,
     XEN_PAGE_BYTES,
     DEFAULT_UNITS,
     SCENARIO_UNITS,

@@ -1,6 +1,5 @@
 """Tests for the VirtualMachine workload driver."""
 
-import numpy as np
 import pytest
 
 from repro.config import SimulationConfig
