@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""CI smoke test for the distributed sweep service.
+
+Starts ``smartmem serve`` plus two real ``smartmem worker`` processes,
+SIGKILLs one of them as soon as the first result lands (mid-sweep, so
+its in-flight lease has to expire and be reassigned), waits for the
+sweep to settle, and asserts the archived per-point fingerprints are
+bit-identical to an in-process SerialBackend run of the same spec.
+
+Exits 0 on success, 1 with a diagnostic on any divergence. Run with::
+
+    PYTHONPATH=src python scripts/distributed_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments import SerialBackend, SweepSpec  # noqa: E402
+
+SPEC = SweepSpec(
+    scenarios=("usemem-scenario",),
+    policies=("greedy", "no-tmem"),
+    seeds=(1, 2),
+    scales=(0.25,),
+)
+#: Short enough that the killed worker's lease reassigns quickly, long
+#: enough that live workers (heartbeating at expiry/3) never lose one.
+LEASE_EXPIRY_S = 3.0
+
+
+def fail(message: str) -> "int":
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def spawn(argv: list, env: dict) -> subprocess.Popen:
+    return subprocess.Popen([sys.executable, "-m", "repro", *argv], env=env)
+
+
+def run_smoke(results_dir: Path) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+
+    points = SPEC.expand()
+    print(f"== serial reference: {SPEC.describe()}")
+    reference = {
+        point: result.fingerprint()
+        for point, result in zip(points, SerialBackend().run(points))
+    }
+
+    print("== serve + 2 workers, one killed mid-sweep")
+    url_file = results_dir / "url.txt"
+    serve = spawn(
+        ["serve",
+         "--scenario", SPEC.scenarios[0],
+         *[arg for p in SPEC.policies for arg in ("--policy", p)],
+         *[arg for s in SPEC.seeds for arg in ("--seed", str(s))],
+         "--scale", str(SPEC.scales[0]),
+         "--results-dir", str(results_dir),
+         "--port", "0", "--url-file", str(url_file),
+         "--lease-expiry", str(LEASE_EXPIRY_S)],
+        env,
+    )
+    workers: list = []
+    try:
+        deadline = time.time() + 60.0
+        while not url_file.exists():
+            if serve.poll() is not None:
+                return fail(f"server exited early (rc={serve.returncode})")
+            if time.time() > deadline:
+                return fail("server never published its URL")
+            time.sleep(0.1)
+        url = url_file.read_text().strip()
+        workers = [
+            spawn(["worker", "--url", url, "--id", f"smoke-worker-{i}",
+                   "--heartbeat-interval", str(LEASE_EXPIRY_S / 3.0)], env)
+            for i in range(2)
+        ]
+
+        # Kill worker 0 the moment the first result is archived: it is
+        # either mid-simulation (lease must expire and reassign) or
+        # between points — both must leave the sweep unharmed.
+        deadline = time.time() + 300.0
+        while not list(results_dir.glob("*.json")):
+            if serve.poll() is not None:
+                return fail("server exited before the first result")
+            if time.time() > deadline:
+                return fail("no result archived within 300s")
+            time.sleep(0.05)
+        workers[0].send_signal(signal.SIGKILL)
+        print(f"  killed {workers[0].pid} (smoke-worker-0) mid-sweep")
+
+        rc = serve.wait(timeout=300)
+        if rc != 0:
+            return fail(f"server exit code {rc}, expected 0")
+        workers[1].wait(timeout=60)
+        if workers[1].returncode != 0:
+            return fail(f"surviving worker exited {workers[1].returncode}")
+    finally:
+        for proc in (serve, *workers):
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    print("== comparing fingerprints")
+    archived = {}
+    for path in sorted(results_dir.glob("*.json")):
+        envelope = json.loads(path.read_text())
+        archived[path.stem] = envelope["fingerprint"]
+    mismatches = []
+    for point, expected in reference.items():
+        got = archived.pop(point.point_id, None)
+        status = "ok" if got == expected else "MISMATCH"
+        print(f"  {point}: {expected[:16]}... {status}")
+        if got != expected:
+            mismatches.append(f"{point}: archived {got!r} != serial {expected!r}")
+    if archived:
+        mismatches.append(f"unexpected extra results: {sorted(archived)}")
+    if mismatches:
+        return fail("; ".join(mismatches))
+    print(f"PASS: {len(reference)} fingerprints identical to serial "
+          "despite the worker kill")
+    return 0
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="smartmem-smoke-") as tmp:
+        return run_smoke(Path(tmp))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

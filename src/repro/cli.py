@@ -36,6 +36,19 @@ performance baseline (see PERFORMANCE.md)::
 
     smartmem bench
     smartmem bench --quick
+
+Run a sweep distributed over remote workers: start the lease-based job
+queue on one host, attach any number of workers (machines may join and
+leave mid-sweep; leases expire and retry), and let the server dedupe
+results into the store::
+
+    smartmem serve --num-seeds 5 --results-dir sweep-results
+    smartmem worker --url http://server:8734        # on each worker host
+
+Or let the sweep command host server + local worker threads itself —
+same HTTP protocol, zero setup::
+
+    smartmem sweep --backend remote --num-workers 4
 """
 
 from __future__ import annotations
@@ -114,50 +127,64 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--fairness", action="store_true",
                        help="also print the mean Jain fairness per policy")
 
+    def add_sweep_axes(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--scenario",
+            action="append",
+            dest="scenarios",
+            default=None,
+            help="scenario spec, repeatable (default: the paper's four); "
+                 "families take parameters, e.g. many-vms:n=8",
+        )
+        p.add_argument(
+            "--policy",
+            action="append",
+            dest="policies",
+            default=None,
+            help="policy spec, repeatable (default: the paper's policy set)",
+        )
+        p.add_argument(
+            "--seed",
+            action="append",
+            dest="seeds",
+            type=int,
+            default=None,
+            help="explicit seed, repeatable (overrides --num-seeds/--seed-base)",
+        )
+        p.add_argument("--num-seeds", type=int, default=3,
+                       help="number of consecutive seeds (default 3)")
+        p.add_argument("--seed-base", type=int, default=2019,
+                       help="first seed when using --num-seeds (default 2019)")
+        p.add_argument(
+            "--scale",
+            action="append",
+            dest="scales",
+            type=float,
+            default=None,
+            help="size scale factor, repeatable (default: 0.25)",
+        )
+
+    def add_lease_knobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--lease-expiry", type=float, default=30.0,
+                       help="seconds without a heartbeat before a leased "
+                            "point is reassigned (default 30)")
+        p.add_argument("--max-attempts", type=int, default=5,
+                       help="lease grants per point before it is "
+                            "dead-lettered (default 5)")
+
     sweep_p = sub.add_parser(
         "sweep",
         help="run a scenarios x policies x seeds sweep and aggregate results",
     )
-    sweep_p.add_argument(
-        "--scenario",
-        action="append",
-        dest="scenarios",
-        default=None,
-        help="scenario spec, repeatable (default: the paper's four); "
-             "families take parameters, e.g. many-vms:n=8",
-    )
-    sweep_p.add_argument(
-        "--policy",
-        action="append",
-        dest="policies",
-        default=None,
-        help="policy spec, repeatable (default: the paper's policy set)",
-    )
-    sweep_p.add_argument(
-        "--seed",
-        action="append",
-        dest="seeds",
-        type=int,
-        default=None,
-        help="explicit seed, repeatable (overrides --num-seeds/--seed-base)",
-    )
-    sweep_p.add_argument("--num-seeds", type=int, default=3,
-                         help="number of consecutive seeds (default 3)")
-    sweep_p.add_argument("--seed-base", type=int, default=2019,
-                         help="first seed when using --num-seeds (default 2019)")
-    sweep_p.add_argument(
-        "--scale",
-        action="append",
-        dest="scales",
-        type=float,
-        default=None,
-        help="size scale factor, repeatable (default: 0.25)",
-    )
-    sweep_p.add_argument("--backend", choices=("serial", "process"),
+    add_sweep_axes(sweep_p)
+    sweep_p.add_argument("--backend", choices=("serial", "process", "remote"),
                          default="serial", help="execution backend")
     sweep_p.add_argument("--max-workers", type=int, default=None,
                          help="worker processes for --backend process "
                               "(default: CPU count)")
+    sweep_p.add_argument("--num-workers", type=int, default=2,
+                         help="local worker threads for --backend remote "
+                              "(default 2)")
     sweep_p.add_argument("--results-dir", type=str, default="sweep-results",
                          help="directory for per-point result JSON files "
                               "(default: sweep-results)")
@@ -165,6 +192,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="keep results in memory only")
     sweep_p.add_argument("--fresh", action="store_true",
                          help="re-simulate every point even if archived")
+    add_lease_knobs(sweep_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve a sweep as a lease-based HTTP job queue for "
+             "'smartmem worker' clients",
+    )
+    add_sweep_axes(serve_p)
+    serve_p.add_argument("--results-dir", type=str, default="sweep-results",
+                         help="directory results are deduped into "
+                              "(default: sweep-results)")
+    serve_p.add_argument("--fresh", action="store_true",
+                         help="re-run every point even if archived")
+    serve_p.add_argument("--host", type=str, default="127.0.0.1",
+                         help="bind address (default 127.0.0.1; use 0.0.0.0 "
+                              "for LAN workers)")
+    serve_p.add_argument("--port", type=int, default=8734,
+                         help="bind port (default 8734; 0 = ephemeral)")
+    add_lease_knobs(serve_p)
+    serve_p.add_argument("--url-file", type=str, default=None,
+                         help="write the bound URL to this file once "
+                              "listening (lets scripts discover an "
+                              "ephemeral port)")
+    serve_p.add_argument("--linger", type=float, default=2.0,
+                         help="seconds to keep answering after the sweep "
+                              "settles so polling workers see 'done' and "
+                              "exit cleanly (default 2)")
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="lease and run experiment points from a 'smartmem serve' queue",
+    )
+    worker_p.add_argument("--url", required=True,
+                          help="server base URL, e.g. http://host:8734")
+    worker_p.add_argument("--id", dest="worker_id", default=None,
+                          help="worker name shown in server logs "
+                               "(default: host-pid)")
+    worker_p.add_argument("--heartbeat-interval", type=float, default=2.0,
+                          help="seconds between lease renewals (default 2)")
+    worker_p.add_argument("--timeout", type=float, default=10.0,
+                          help="per-request HTTP timeout in seconds "
+                               "(default 10)")
 
     sub.add_parser(
         "list", help="list scenarios, registered policies and workload kinds"
@@ -365,8 +434,9 @@ def _cmd_run(
     return 0
 
 
-def _cmd_sweep(args: "argparse.Namespace") -> int:
-    from .experiments import ResultStore, SweepSpec, create_backend, run_sweep
+def _sweep_spec_from_args(args: "argparse.Namespace"):
+    """Build the SweepSpec shared by ``sweep`` and ``serve`` (None = bad args)."""
+    from .experiments import SweepSpec
 
     scenarios = tuple(args.scenarios) if args.scenarios else paper_scenario_names()
     policies = tuple(args.policies) if args.policies else tuple(PAPER_POLICIES)
@@ -375,14 +445,40 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
     else:
         if args.num_seeds < 1:
             print("--num-seeds must be >= 1", file=sys.stderr)
-            return 2
+            return None
         seeds = tuple(range(args.seed_base, args.seed_base + args.num_seeds))
     scales = tuple(args.scales) if args.scales else (0.25,)
-
-    spec = SweepSpec(
+    return SweepSpec(
         scenarios=scenarios, policies=policies, seeds=seeds, scales=scales
     )
-    backend = create_backend(args.backend, max_workers=args.max_workers)
+
+
+def _print_failed_summary(failed) -> None:
+    """One summary line + per-point detail for permanently failed points."""
+    print(
+        f"FAILED: {len(failed)} point(s) permanently failed (dead-lettered) — "
+        "transient errors were retried with backoff before giving up",
+        file=sys.stderr,
+    )
+    for point, error in failed.items():
+        print(f"  dead-letter: {point}: {error}", file=sys.stderr)
+
+
+def _cmd_sweep(args: "argparse.Namespace") -> int:
+    from .experiments import ResultStore, create_backend, run_sweep
+
+    spec = _sweep_spec_from_args(args)
+    if spec is None:
+        return 2
+    if args.backend == "remote":
+        backend = create_backend(
+            "remote",
+            num_workers=args.num_workers,
+            lease_expiry_s=args.lease_expiry,
+            max_attempts=args.max_attempts,
+        )
+    else:
+        backend = create_backend(args.backend, max_workers=args.max_workers)
     store = None if args.no_store else ResultStore(args.results_dir)
 
     print(f"sweep: {spec.describe()} [backend={args.backend}]", file=sys.stderr)
@@ -412,7 +508,7 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
         render_aggregate_table(
             aggregate_sweep(outcome.results),
             title=(
-                f"Sweep aggregate — {len(seeds)} seed(s), "
+                f"Sweep aggregate — {len(spec.seeds)} seed(s), "
                 f"backend={outcome.backend_name}, "
                 f"{outcome.wall_clock_s:.1f}s wall clock"
             ),
@@ -424,6 +520,136 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
         if outcome.reused:
             print("reused results reflect the code that produced them; "
                   "pass --fresh after simulator/policy changes")
+    if outcome.failed:
+        # Partial failure must be loud and machine-visible, not a log
+        # line: print the dead-letter summary and exit nonzero.
+        print(file=sys.stderr)
+        _print_failed_summary(outcome.failed)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: "argparse.Namespace") -> int:
+    import signal
+    import time as _time
+    from pathlib import Path
+
+    from .experiments import LeaseQueue, ResultStore, SweepServer
+
+    spec = _sweep_spec_from_args(args)
+    if spec is None:
+        return 2
+    store = ResultStore(args.results_dir)
+    points = spec.expand()
+    todo = list(points) if args.fresh else store.missing(points)
+    print(f"serve: {spec.describe()}", file=sys.stderr)
+    if not todo:
+        print(
+            f"all {len(points)} point(s) already archived in {store.root}/; "
+            "nothing to serve",
+            file=sys.stderr,
+        )
+        return 0
+
+    queue = LeaseQueue(
+        todo,
+        lease_expiry_s=args.lease_expiry,
+        max_attempts=args.max_attempts,
+    )
+    done = 0
+
+    def recorded(point, result) -> None:
+        nonlocal done
+        store.save(point, result)
+        done += 1
+        print(f"  [{done}/{len(todo)}] recorded {point}", file=sys.stderr)
+
+    server = SweepServer(
+        queue, host=args.host, port=args.port, on_result=recorded
+    )
+    interrupted = []
+
+    def on_signal(signum, frame) -> None:
+        # Graceful drain: stop granting leases; in-flight results still
+        # land in the store, then the main loop exits.
+        interrupted.append(signum)
+        server.drain()
+
+    old_term = signal.signal(signal.SIGTERM, on_signal)
+    old_int = signal.signal(signal.SIGINT, on_signal)
+    server.start()
+    try:
+        print(
+            f"serving {len(todo)} point(s) on {server.url} — attach workers "
+            f"with: smartmem worker --url {server.url}",
+            file=sys.stderr,
+        )
+        if args.url_file:
+            Path(args.url_file).write_text(server.url + "\n")
+        while not server.is_settled and not interrupted:
+            server.tick()
+            _time.sleep(0.05)
+        # Give polling workers a moment to observe done=True and exit.
+        deadline = _time.monotonic() + max(args.linger, 0.0)
+        while _time.monotonic() < deadline and not interrupted:
+            _time.sleep(0.05)
+    finally:
+        server.stop()
+        signal.signal(signal.SIGTERM, old_term)
+        signal.signal(signal.SIGINT, old_int)
+
+    counts = queue.counts()
+    dead = queue.dead_letters()
+    print(
+        f"sweep settled: {counts['done']} recorded, {len(dead)} dead-lettered "
+        f"(results in {store.root}/)",
+        file=sys.stderr,
+    )
+    if interrupted:
+        print("interrupted: drained leases and stopped early", file=sys.stderr)
+        return 130
+    if dead:
+        _print_failed_summary({d.point: d.summary() for d in dead})
+        return 1
+    return 0
+
+
+def _cmd_worker(args: "argparse.Namespace") -> int:
+    import os
+    import signal
+    import socket
+
+    from .errors import TransportError
+    from .experiments import HttpTransport, SweepClient, Worker
+
+    worker_id = args.worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    transport = HttpTransport(args.url, timeout_s=args.timeout)
+    client = SweepClient(transport, worker_id, seed=os.getpid())
+    worker = Worker(
+        client, heartbeat_interval_s=args.heartbeat_interval
+    )
+
+    def on_signal(signum, frame) -> None:
+        print(
+            f"worker {worker_id}: draining (finishing in-flight point)",
+            file=sys.stderr,
+        )
+        worker.request_drain()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    print(f"worker {worker_id}: polling {args.url}", file=sys.stderr)
+    try:
+        summary = worker.run()
+    except TransportError as exc:
+        print(f"worker {worker_id}: server unreachable: {exc}", file=sys.stderr)
+        return 3
+    print(
+        f"worker {worker_id}: done — {summary.completed} completed, "
+        f"{summary.duplicates} duplicate(s), {summary.failures} failure(s)"
+        f"{' (drained)' if summary.drained else ''}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -504,6 +730,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "run":
         return _cmd_run(
             args.scenario,

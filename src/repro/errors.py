@@ -27,6 +27,9 @@ __all__ = [
     "WorkloadError",
     "AnalysisError",
     "ExperimentError",
+    "WireError",
+    "TransportError",
+    "ProtocolError",
     "ClusterError",
 ]
 
@@ -116,6 +119,18 @@ class AnalysisError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment sweep was mis-specified or a stored result is missing."""
+
+
+class WireError(ExperimentError):
+    """A wire envelope (sweep-service HTTP payload) was malformed."""
+
+
+class TransportError(ExperimentError):
+    """A sweep-service request failed to reach the server (retriable)."""
+
+
+class ProtocolError(ExperimentError):
+    """The sweep server rejected a request (non-retriable client error)."""
 
 
 class ClusterError(ReproError):

@@ -13,6 +13,19 @@ this package makes that a first-class object:
 * :class:`~repro.experiments.store.ResultStore` archives one JSON file
   per point so sweeps are resumable and results re-loadable;
 * :func:`~repro.experiments.sweep.run_sweep` ties the three together.
+
+The distributed layer (PR 6) rides on the same pieces:
+
+* :class:`~repro.experiments.leases.LeaseQueue` — the lease / retry /
+  dead-letter state machine;
+* :class:`~repro.experiments.service.SweepServer` — the stdlib HTTP job
+  queue behind ``smartmem serve``;
+* :mod:`~repro.experiments.worker` — the lease/execute/submit client
+  behind ``smartmem worker``;
+* :class:`~repro.experiments.backends.RemoteBackend` — hosts server +
+  local workers in-process so ``run_sweep`` is transport-agnostic;
+* :mod:`~repro.experiments.chaos` — deterministic fault injection
+  (crashes, stalls, dropped/duplicated requests) for churn tests.
 """
 
 from .spec import ExperimentPoint, SweepSpec
@@ -20,10 +33,15 @@ from .backends import (
     ExecutionBackend,
     SerialBackend,
     ProcessPoolBackend,
+    RemoteBackend,
     execute_point,
     create_backend,
     available_backends,
 )
+from .leases import DeadLetter, LeaseGrant, LeaseQueue, RecordOutcome
+from .service import SweepServer
+from .worker import HttpTransport, SweepClient, Worker, WorkerSummary
+from .chaos import ChaosConfig, ChaosTransport, WorkerCrash
 from .store import ResultStore
 from .sweep import SweepOutcome, run_sweep
 
@@ -33,9 +51,22 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "RemoteBackend",
     "execute_point",
     "create_backend",
     "available_backends",
+    "LeaseQueue",
+    "LeaseGrant",
+    "RecordOutcome",
+    "DeadLetter",
+    "SweepServer",
+    "HttpTransport",
+    "SweepClient",
+    "Worker",
+    "WorkerSummary",
+    "ChaosConfig",
+    "ChaosTransport",
+    "WorkerCrash",
     "ResultStore",
     "SweepOutcome",
     "run_sweep",

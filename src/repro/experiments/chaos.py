@@ -1,0 +1,175 @@
+"""Deterministic chaos harness for the distributed sweep service.
+
+Everything here injects failure *in-process* and *reproducibly* (each
+injector owns a seeded ``random.Random``), so churn scenarios — worker
+crashes mid-lease, stalled workers, dropped and duplicated HTTP
+requests — are plain unit/property tests instead of flaky integration
+theatre.
+
+* :class:`ChaosConfig` / :class:`ChaosTransport` — wraps a worker
+  transport and, per request, drops it before delivery (the server
+  never sees it), drops the response after delivery (the server acted,
+  the worker must retry — exercising idempotency), or delivers it twice
+  (exercising result dedupe).
+* :class:`WorkerCrash` + :func:`crashing_executor` — makes an executor
+  die abruptly on chosen executions; the surrounding worker thread dies
+  with it, leaving the lease to expire and the point to be retried
+  elsewhere.
+* :func:`flaky_executor` — transient failures that *are* reported,
+  exercising the retry-budget/backoff path rather than lease expiry.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import TransportError
+from .spec import ExperimentPoint
+
+__all__ = [
+    "WorkerCrash",
+    "ChaosConfig",
+    "ChaosTransport",
+    "crashing_executor",
+    "flaky_executor",
+]
+
+
+class WorkerCrash(BaseException):
+    """Simulated abrupt worker death (kill -9, OOM, power loss).
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    recovery paths cannot accidentally turn a simulated hard crash into
+    a clean, reported failure — exactly like a real SIGKILL, nothing
+    user-level runs after it.
+    """
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-request fault probabilities for :class:`ChaosTransport`.
+
+    Probabilities are evaluated in order drop-request, duplicate,
+    drop-response, at most one fault per request.  ``seed`` makes the
+    fault sequence reproducible; give each worker a distinct seed.
+    """
+
+    seed: int = 0
+    drop_request: float = 0.0    # lost before the server sees it
+    drop_response: float = 0.0   # server processed it; reply lost
+    duplicate: float = 0.0       # delivered twice back-to-back
+
+    def __post_init__(self) -> None:
+        for name in ("drop_request", "drop_response", "duplicate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+
+class ChaosTransport:
+    """Wraps a transport; injects faults deterministically per POST.
+
+    GETs (status polls) pass through untouched — they carry no state
+    transitions, so faulting them tests nothing.
+    """
+
+    def __init__(self, inner: Any, config: ChaosConfig) -> None:
+        self.inner = inner
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._lock = threading.Lock()
+        self.injected: Dict[str, int] = {
+            "drop_request": 0, "drop_response": 0, "duplicate": 0,
+        }
+
+    def _draw(self) -> Optional[str]:
+        with self._lock:
+            roll = self._rng.random()
+        cfg = self.config
+        if roll < cfg.drop_request:
+            fault = "drop_request"
+        elif roll < cfg.drop_request + cfg.duplicate:
+            fault = "duplicate"
+        elif roll < cfg.drop_request + cfg.duplicate + cfg.drop_response:
+            fault = "drop_response"
+        else:
+            return None
+        with self._lock:
+            self.injected[fault] += 1
+        return fault
+
+    def post(self, path: str, kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        fault = self._draw()
+        if fault == "drop_request":
+            raise TransportError(f"chaos: dropped request to {path}")
+        if fault == "duplicate":
+            self.inner.post(path, kind, payload)
+            return self.inner.post(path, kind, payload)
+        reply = self.inner.post(path, kind, payload)
+        if fault == "drop_response":
+            raise TransportError(f"chaos: dropped response from {path}")
+        return reply
+
+    def get(self, path: str) -> Dict[str, Any]:
+        return self.inner.get(path)
+
+
+Executor = Callable[[ExperimentPoint], Any]
+
+
+def crashing_executor(
+    inner: Executor,
+    *,
+    crash_times: int,
+    seed: int = 0,
+    crash_probability: float = 1.0,
+) -> Executor:
+    """Kill the worker abruptly on up to *crash_times* executions.
+
+    With ``crash_probability == 1.0`` the first *crash_times* executions
+    crash (deterministic "worker dies mid-lease"); lower probabilities
+    crash randomly-but-reproducibly.  The counter is shared across the
+    workers of one sweep, so chaos is bounded and the sweep must still
+    finish — crashes beyond the budget are never injected.
+    """
+    rng = random.Random(seed)
+    lock = threading.Lock()
+    remaining = [crash_times]
+
+    def execute(point: ExperimentPoint) -> Any:
+        with lock:
+            crash = remaining[0] > 0 and rng.random() < crash_probability
+            if crash:
+                remaining[0] -= 1
+        if crash:
+            raise WorkerCrash(f"chaos: worker crashed while running {point}")
+        return inner(point)
+
+    return execute
+
+
+def flaky_executor(
+    inner: Executor, *, fail_times: int, error: str = "chaos: transient failure"
+) -> Executor:
+    """Fail (cleanly, reported) the first *fail_times* executions.
+
+    Unlike :func:`crashing_executor` the worker survives and reports the
+    failure, so this drives the retry-budget/backoff machinery instead
+    of lease expiry.
+    """
+    lock = threading.Lock()
+    remaining = [fail_times]
+
+    def execute(point: ExperimentPoint) -> Any:
+        with lock:
+            fail = remaining[0] > 0
+            if fail:
+                remaining[0] -= 1
+        if fail:
+            raise RuntimeError(f"{error} ({point})")
+        return inner(point)
+
+    return execute

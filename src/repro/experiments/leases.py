@@ -1,0 +1,316 @@
+"""Lease-based job-queue state machine for distributed sweeps.
+
+:class:`LeaseQueue` is the pure core of the sweep service
+(:mod:`repro.experiments.service`): it hands out time-limited leases on
+:class:`~repro.experiments.spec.ExperimentPoint`\\ s, reclaims leases
+whose holder stopped heartbeating, schedules retries with exponential
+backoff + deterministic jitter, and dead-letters points that exhaust
+their retry budget.  It performs **no I/O and never reads the clock** —
+every transition takes an explicit ``now``, so the exact interleavings a
+distributed system can produce (worker dies mid-lease, result arrives
+after expiry, duplicate submissions, ...) are unit- and
+property-testable with a logical clock.
+
+Invariants the queue guarantees (property-tested in
+``tests/test_leases.py``):
+
+* a point's result is recorded at most once (`record` is idempotent —
+  duplicates are acknowledged, not re-recorded);
+* once recorded, a point stays ``done`` forever;
+* a point is granted at most ``max_attempts`` leases unless a late
+  result resurrects it, so every point ends ``done`` or ``dead``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .spec import ExperimentPoint
+
+__all__ = [
+    "PENDING",
+    "LEASED",
+    "DONE",
+    "DEAD",
+    "LeaseGrant",
+    "RecordOutcome",
+    "DeadLetter",
+    "LeaseQueue",
+]
+
+# Point lifecycle states.
+PENDING = "pending"   # waiting for a worker (possibly backing off)
+LEASED = "leased"     # held by a worker, expires unless heartbeated
+DONE = "done"         # result recorded (exactly once)
+DEAD = "dead"         # retry budget exhausted — dead-lettered
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """One lease handed to a worker: run *point*, report before *expires_at*."""
+
+    lease_id: str
+    point: ExperimentPoint
+    attempt: int            # 1-based; attempt > 1 means this is a retry
+    expires_at: float       # queue-clock deadline (extended by heartbeats)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "lease_id": self.lease_id,
+            "point": self.point.to_dict(),
+            "attempt": self.attempt,
+            "expires_at": self.expires_at,
+        }
+
+
+@dataclass(frozen=True)
+class RecordOutcome:
+    """What :meth:`LeaseQueue.record` did with a submitted result."""
+
+    recorded: bool      # True: this submission is the one that counted
+    duplicate: bool     # True: the point already had a recorded result
+    resurrected: bool   # True: the point had been dead-lettered
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A point that permanently failed, with its error history."""
+
+    point: ExperimentPoint
+    attempts: int
+    errors: Tuple[str, ...]
+
+    def summary(self) -> str:
+        last = self.errors[-1] if self.errors else "unknown error"
+        return f"{self.point} after {self.attempts} attempt(s): {last}"
+
+
+@dataclass
+class _Entry:
+    point: ExperimentPoint
+    status: str = PENDING
+    attempts: int = 0             # number of leases ever granted
+    eligible_at: float = 0.0      # earliest time acquire() may lease it
+    lease_id: Optional[str] = None
+    worker: Optional[str] = None
+    expires_at: float = 0.0
+    errors: List[str] = field(default_factory=list)
+    fingerprint: Optional[str] = None
+    payload: Optional[Dict[str, Any]] = None
+
+
+class LeaseQueue:
+    """Lease/retry/dead-letter state machine over a fixed set of points.
+
+    All methods take an explicit monotonic ``now``; callers own the
+    clock.  Jitter comes from a private seeded RNG so retry schedules
+    are reproducible.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[ExperimentPoint],
+        *,
+        lease_expiry_s: float = 30.0,
+        max_attempts: int = 5,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 15.0,
+        backoff_jitter: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if lease_expiry_s <= 0:
+            raise ExperimentError(
+                f"lease_expiry_s must be > 0, got {lease_expiry_s}"
+            )
+        if max_attempts < 1:
+            raise ExperimentError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        ids = [point.point_id for point in points]
+        if len(set(ids)) != len(ids):
+            raise ExperimentError("lease queue points must be unique")
+        self.lease_expiry_s = float(lease_expiry_s)
+        self.max_attempts = int(max_attempts)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.backoff_jitter = float(backoff_jitter)
+        self._rng = random.Random(seed)
+        self._order: List[str] = ids
+        self._entries: Dict[str, _Entry] = {
+            point.point_id: _Entry(point=point) for point in points
+        }
+        self._by_lease: Dict[str, _Entry] = {}
+        self._lease_counter = 0
+
+    # -- transitions ---------------------------------------------------------
+    def acquire(self, worker: str, now: float) -> Optional[LeaseGrant]:
+        """Lease the first eligible pending point to *worker*, if any."""
+        self.expire(now)
+        for point_id in self._order:
+            entry = self._entries[point_id]
+            if entry.status != PENDING or entry.eligible_at > now:
+                continue
+            entry.attempts += 1
+            self._lease_counter += 1
+            entry.lease_id = f"lease-{self._lease_counter}-{entry.attempts}"
+            entry.worker = worker
+            entry.status = LEASED
+            entry.expires_at = now + self.lease_expiry_s
+            self._by_lease[entry.lease_id] = entry
+            return LeaseGrant(
+                lease_id=entry.lease_id,
+                point=entry.point,
+                attempt=entry.attempts,
+                expires_at=entry.expires_at,
+            )
+        return None
+
+    def heartbeat(self, lease_id: str, now: float) -> bool:
+        """Extend an active lease; False means the lease is gone (stop work)."""
+        self.expire(now)
+        entry = self._by_lease.get(lease_id)
+        if entry is None or entry.status != LEASED:
+            return False
+        entry.expires_at = now + self.lease_expiry_s
+        return True
+
+    def record(
+        self,
+        point: ExperimentPoint,
+        fingerprint: str,
+        payload: Optional[Dict[str, Any]],
+        now: float,
+    ) -> RecordOutcome:
+        """Record a point's result exactly once (keyed by point, not lease).
+
+        A worker whose lease expired may still finish and submit; because
+        point execution is deterministic, the first result to arrive wins
+        and later ones are acknowledged as duplicates.  A submission for
+        a dead-lettered point resurrects it to ``done`` — a late success
+        beats giving up.
+        """
+        self.expire(now)
+        entry = self._entries.get(point.point_id)
+        if entry is None:
+            raise ExperimentError(f"unknown point {point} submitted to queue")
+        if entry.status == DONE:
+            return RecordOutcome(recorded=False, duplicate=True, resurrected=False)
+        resurrected = entry.status == DEAD
+        self._release(entry)
+        entry.status = DONE
+        entry.fingerprint = fingerprint
+        entry.payload = payload
+        return RecordOutcome(recorded=True, duplicate=False, resurrected=resurrected)
+
+    def fail(self, lease_id: str, error: str, now: float) -> bool:
+        """Report a failed attempt; False means the lease was already gone."""
+        self.expire(now)
+        entry = self._by_lease.get(lease_id)
+        if entry is None or entry.status != LEASED:
+            return False
+        self._fail_entry(entry, error, now)
+        return True
+
+    def expire(self, now: float) -> List[LeaseGrant]:
+        """Reclaim leases whose deadline passed; they retry like failures."""
+        expired: List[LeaseGrant] = []
+        for point_id in self._order:
+            entry = self._entries[point_id]
+            if entry.status == LEASED and entry.expires_at <= now:
+                expired.append(
+                    LeaseGrant(
+                        lease_id=entry.lease_id or "?",
+                        point=entry.point,
+                        attempt=entry.attempts,
+                        expires_at=entry.expires_at,
+                    )
+                )
+                self._fail_entry(
+                    entry,
+                    f"lease expired (worker {entry.worker or '?'} stopped "
+                    "heartbeating)",
+                    now,
+                )
+        return expired
+
+    def _fail_entry(self, entry: _Entry, error: str, now: float) -> None:
+        entry.errors.append(error)
+        self._release(entry)
+        if entry.attempts >= self.max_attempts:
+            entry.status = DEAD
+        else:
+            entry.status = PENDING
+            entry.eligible_at = now + self._backoff(entry.attempts)
+
+    def _release(self, entry: _Entry) -> None:
+        if entry.lease_id is not None:
+            self._by_lease.pop(entry.lease_id, None)
+        entry.lease_id = None
+        entry.worker = None
+        entry.expires_at = 0.0
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter: base * 2^(n-1)."""
+        delay = min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
+        return delay * (1.0 + self.backoff_jitter * self._rng.random())
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def is_settled(self) -> bool:
+        """True when every point is done or dead-lettered."""
+        return all(
+            entry.status in (DONE, DEAD) for entry in self._entries.values()
+        )
+
+    def counts(self) -> Dict[str, int]:
+        out = {PENDING: 0, LEASED: 0, DONE: 0, DEAD: 0}
+        for entry in self._entries.values():
+            out[entry.status] += 1
+        return out
+
+    def next_eligible_delay(self, now: float) -> Optional[float]:
+        """Seconds until some pending point becomes leasable (0 = now).
+
+        None when nothing is pending — the caller should wait on leases
+        settling (or exit if :attr:`is_settled`).
+        """
+        delays = [
+            max(0.0, entry.eligible_at - now)
+            for entry in self._entries.values()
+            if entry.status == PENDING
+        ]
+        return min(delays) if delays else None
+
+    def dead_letters(self) -> List[DeadLetter]:
+        return [
+            DeadLetter(
+                point=entry.point,
+                attempts=entry.attempts,
+                errors=tuple(entry.errors),
+            )
+            for point_id in self._order
+            for entry in (self._entries[point_id],)
+            if entry.status == DEAD
+        ]
+
+    def results(self) -> Dict[ExperimentPoint, Optional[Dict[str, Any]]]:
+        """point -> recorded payload for every done point, in queue order."""
+        return {
+            entry.point: entry.payload
+            for point_id in self._order
+            for entry in (self._entries[point_id],)
+            if entry.status == DONE
+        }
+
+    def fingerprints(self) -> Dict[ExperimentPoint, str]:
+        return {
+            entry.point: entry.fingerprint
+            for entry in self._entries.values()
+            if entry.status == DONE and entry.fingerprint is not None
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)

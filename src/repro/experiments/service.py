@@ -1,0 +1,298 @@
+"""HTTP sweep service: a lease-based job queue over a :class:`LeaseQueue`.
+
+:class:`SweepServer` wraps a :class:`~repro.experiments.leases.LeaseQueue`
+in a stdlib ``ThreadingHTTPServer`` speaking the versioned wire-envelope
+protocol from :mod:`repro.serialize`.  Workers
+(:mod:`repro.experiments.worker`) lease points, heartbeat while
+simulating, and stream serialized results back; the server records each
+point exactly once (duplicates from retried or duplicated HTTP requests
+are acknowledged, not re-recorded) and hands recorded results to an
+``on_result`` callback — the ``smartmem serve`` CLI uses that to dedupe
+into the on-disk :class:`~repro.experiments.store.ResultStore`.
+
+Endpoints (all bodies are wire envelopes, see ``serialize.wire_encode``):
+
+========================  =======================================================
+``POST /api/v1/lease``      ``{worker}`` -> ``{lease|null, done, retry_after_s}``
+``POST /api/v1/heartbeat``  ``{lease_id}`` -> ``{ok}``
+``POST /api/v1/result``     ``{lease_id, worker, point, fingerprint, result}``
+                            -> ``{recorded, duplicate}``
+``POST /api/v1/fail``       ``{lease_id, worker, error}`` -> ``{ok}``
+``GET  /api/v1/status``     -> ``{counts, done, total, dead_letters}``
+========================  =======================================================
+
+The server never trusts a submitted fingerprint: it re-derives the
+fingerprint from the submitted result payload and rejects mismatches
+(a torn or corrupted upload), so a recorded result is always internally
+consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import ProtocolError, WireError
+from ..scenarios.results import ScenarioResult
+from ..serialize import wire_decode, wire_encode
+from .leases import LeaseQueue
+from .spec import ExperimentPoint
+
+__all__ = ["SweepServer"]
+
+#: Called (from a request-handler thread) for each result that was
+#: actually recorded — exactly once per point.
+RecordedCallback = Callable[[ExperimentPoint, ScenarioResult], None]
+
+#: Hint returned with empty lease responses: how long an idle worker
+#: should wait before polling again.
+_DEFAULT_POLL_HINT_S = 0.25
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes wire-envelope requests to the owning :class:`SweepServer`."""
+
+    # Quiet by default: one access-log line per heartbeat would drown
+    # the sweep progress output.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> "SweepServer":
+        return self.server.sweep_service  # type: ignore[attr-defined]
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = self.rfile.read(length)
+        except (TypeError, ValueError, OSError):
+            self._reply(400, "error", {"error": "unreadable request body"})
+            return
+        try:
+            kind, payload = wire_decode(body)
+        except WireError as exc:
+            self._reply(400, "error", {"error": str(exc)})
+            return
+        route = {
+            "/api/v1/lease": self.service.handle_lease,
+            "/api/v1/heartbeat": self.service.handle_heartbeat,
+            "/api/v1/result": self.service.handle_result,
+            "/api/v1/fail": self.service.handle_fail,
+        }.get(self.path)
+        if route is None:
+            self._reply(404, "error", {"error": f"unknown endpoint {self.path}"})
+            return
+        try:
+            reply_kind, reply = route(kind, payload)
+        except ProtocolError as exc:
+            self._reply(400, "error", {"error": str(exc)})
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply(500, "error", {"error": f"internal error: {exc!r}"})
+            return
+        self._reply(200, reply_kind, reply)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/api/v1/status":
+            self._reply(404, "error", {"error": f"unknown endpoint {self.path}"})
+            return
+        self._reply(200, "status", self.service.status())
+
+    def _reply(self, code: int, kind: str, payload: Dict[str, Any]) -> None:
+        data = wire_encode(kind, payload)
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-reply; its retry will re-ask
+
+
+class SweepServer:
+    """Serve a :class:`LeaseQueue` over loopback/LAN HTTP.
+
+    Thread-safety: ``ThreadingHTTPServer`` handles each request on its
+    own thread; every queue transition happens under one lock.  The
+    *clock* is injectable for tests (defaults to ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        queue: LeaseQueue,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_result: Optional[RecordedCallback] = None,
+        clock: Callable[[], float] = time.monotonic,
+        poll_hint_s: float = _DEFAULT_POLL_HINT_S,
+    ) -> None:
+        self.queue = queue
+        self.on_result = on_result
+        self.clock = clock
+        self.poll_hint_s = poll_hint_s
+        self._lock = threading.Lock()
+        self._draining = False
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.sweep_service = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "SweepServer":
+        """Serve requests on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ProtocolError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="sweep-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def drain(self) -> None:
+        """Stop granting new leases; in-flight work may still complete."""
+        with self._lock:
+            self._draining = True
+
+    def tick(self) -> None:
+        """Reclaim expired leases.  Call periodically from the wait loop.
+
+        Expiry is otherwise only checked when a request arrives, so a
+        sweep whose last worker died silently needs this to make
+        progress again.
+        """
+        with self._lock:
+            self.queue.expire(self.clock())
+
+    @property
+    def is_settled(self) -> bool:
+        with self._lock:
+            return self.queue.is_settled
+
+    # -- request handlers (called from handler threads) ----------------------
+    def handle_lease(
+        self, kind: str, payload: Dict[str, Any]
+    ) -> Tuple[str, Dict[str, Any]]:
+        self._expect(kind, "lease_request")
+        worker = self._field(payload, "worker", str)
+        with self._lock:
+            now = self.clock()
+            grant = None if self._draining else self.queue.acquire(worker, now)
+            done = self.queue.is_settled
+            if grant is not None:
+                return "lease_granted", {"lease": grant.to_dict(), "done": False,
+                                         "retry_after_s": 0.0}
+            delay = self.queue.next_eligible_delay(now)
+        # No grant: either settled, draining, everything is leased out,
+        # or all pending points are still backing off.
+        hint = self.poll_hint_s if delay is None else max(delay, 0.01)
+        return "lease_granted", {
+            "lease": None,
+            "done": done or self._draining,
+            "retry_after_s": round(min(hint, 5.0), 4),
+        }
+
+    def handle_heartbeat(
+        self, kind: str, payload: Dict[str, Any]
+    ) -> Tuple[str, Dict[str, Any]]:
+        self._expect(kind, "heartbeat")
+        lease_id = self._field(payload, "lease_id", str)
+        with self._lock:
+            ok = self.queue.heartbeat(lease_id, self.clock())
+        return "heartbeat_ack", {"ok": ok}
+
+    def handle_result(
+        self, kind: str, payload: Dict[str, Any]
+    ) -> Tuple[str, Dict[str, Any]]:
+        self._expect(kind, "result")
+        point_data = self._field(payload, "point", dict)
+        result_data = self._field(payload, "result", dict)
+        claimed = self._field(payload, "fingerprint", str)
+        try:
+            point = ExperimentPoint.from_dict(point_data)
+            result = ScenarioResult.from_dict(result_data)
+        except Exception as exc:
+            raise ProtocolError(f"malformed result submission: {exc!r}") from exc
+        fingerprint = result.fingerprint()
+        if fingerprint != claimed:
+            # A torn/corrupted upload: never record it.  The worker sees
+            # a 400 and reports the attempt as failed, so the point is
+            # retried rather than silently poisoned.
+            raise ProtocolError(
+                f"fingerprint mismatch for {point}: claimed {claimed[:12]}..., "
+                f"derived {fingerprint[:12]}..."
+            )
+        with self._lock:
+            outcome = self.queue.record(
+                point, fingerprint, result_data, self.clock()
+            )
+        if outcome.recorded and self.on_result is not None:
+            self.on_result(point, result)
+        return "result_ack", {
+            "recorded": outcome.recorded,
+            "duplicate": outcome.duplicate,
+        }
+
+    def handle_fail(
+        self, kind: str, payload: Dict[str, Any]
+    ) -> Tuple[str, Dict[str, Any]]:
+        self._expect(kind, "fail")
+        lease_id = self._field(payload, "lease_id", str)
+        error = self._field(payload, "error", str)
+        with self._lock:
+            ok = self.queue.fail(lease_id, error, self.clock())
+        return "fail_ack", {"ok": ok}
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = self.queue.counts()
+            dead = [letter.summary() for letter in self.queue.dead_letters()]
+            done = self.queue.is_settled
+        return {
+            "counts": counts,
+            "done": done,
+            "total": len(self.queue),
+            "dead_letters": dead,
+        }
+
+    # -- validation helpers --------------------------------------------------
+    @staticmethod
+    def _expect(kind: str, expected: str) -> None:
+        if kind != expected:
+            raise ProtocolError(f"expected message kind {expected!r}, got {kind!r}")
+
+    @staticmethod
+    def _field(payload: Dict[str, Any], name: str, typ: type) -> Any:
+        value = payload.get(name)
+        if not isinstance(value, typ):
+            raise ProtocolError(
+                f"payload field {name!r} must be {typ.__name__}, "
+                f"got {type(value).__name__}"
+            )
+        return value
+
+    # -- context manager -----------------------------------------------------
+    def __enter__(self) -> "SweepServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -40,7 +40,14 @@ class ResultStore:
 
     # -- writing -------------------------------------------------------------
     def save(self, point: ExperimentPoint, result: ScenarioResult) -> Path:
-        """Write one point's result (atomically: temp file + rename)."""
+        """Write one point's result crash-safely.
+
+        Write to a temp file in the same directory, ``fsync`` it, then
+        ``os.replace`` onto the final name: a worker or server killed at
+        any instant leaves either the complete old file, the complete
+        new file, or a ``*.tmp`` straggler that readers ignore — never a
+        torn JSON that a later resume has to warn about and re-run.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         envelope = {
             "format_version": FORMAT_VERSION,
@@ -52,9 +59,33 @@ class ResultStore:
         # Unique temp name: concurrent sweeps sharing a results dir must
         # not interleave writes into the same temp file before the rename.
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(envelope, allow_nan=False, indent=0))
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(envelope, allow_nan=False, indent=0))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._fsync_dir()
         return path
+
+    def _fsync_dir(self) -> None:
+        """Persist the rename itself (best-effort; not all OSes allow it)."""
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:  # pragma: no cover - e.g. Windows
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+        finally:
+            os.close(fd)
 
     # -- reading -------------------------------------------------------------
     def _read(self, path: Path) -> Tuple[ExperimentPoint, ScenarioResult]:
@@ -104,22 +135,29 @@ class ResultStore:
         return [point for point in points if not self.contains(point)]
 
     def _iter(self) -> Iterator[Tuple[ExperimentPoint, ScenarioResult]]:
-        """Iterate readable results; warn about (and skip) corrupt files.
+        """Iterate readable results; skip corrupt files with ONE warning.
 
         Bulk loading is best-effort on purpose: one truncated file from a
         killed sweep must not make the whole archive unreadable.  Direct
-        addressing via :meth:`load` stays strict.
+        addressing via :meth:`load` stays strict.  However many files are
+        damaged, a single summary warning (count + example) is emitted at
+        the end instead of one line per file.
         """
         if not self.root.exists():
             return
+        skipped: List[Tuple[Path, str]] = []
         for path in sorted(self.root.glob("*.json")):
             try:
                 yield self._read(path)
             except ExperimentError as exc:
-                warnings.warn(
-                    f"skipping unreadable result file {path}: {exc}",
-                    stacklevel=2,
-                )
+                skipped.append((path, str(exc)))
+        if skipped:
+            example_path, example_error = skipped[0]
+            warnings.warn(
+                f"skipped {len(skipped)} unreadable result file(s) under "
+                f"{self.root} (e.g. {example_path}: {example_error})",
+                stacklevel=2,
+            )
 
     def __len__(self) -> int:
         if not self.root.exists():

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ExperimentError
@@ -38,7 +38,8 @@ class SweepOutcome:
     """Everything produced by one :func:`run_sweep` call."""
 
     spec: SweepSpec
-    #: Point -> result, in the spec's expansion order.
+    #: Point -> result, in the spec's expansion order.  Points that
+    #: permanently failed are absent (see :attr:`failed`).
     results: Dict[ExperimentPoint, ScenarioResult]
     #: Points simulated by this call.
     executed: Tuple[ExperimentPoint, ...]
@@ -47,6 +48,14 @@ class SweepOutcome:
     #: Wall-clock duration of the whole sweep (seconds).
     wall_clock_s: float = 0.0
     backend_name: str = "serial"
+    #: Point -> error description for points the backend dead-lettered
+    #: (exhausted retry budget).  Empty for backends that raise instead.
+    failed: Dict[ExperimentPoint, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every point of the spec has a result."""
+        return not self.failed
 
     # -- selection helpers ---------------------------------------------------
     def select(
@@ -97,6 +106,7 @@ def run_sweep(
     points = spec.expand()
     reused: Dict[ExperimentPoint, ScenarioResult] = {}
     todo: List[ExperimentPoint] = []
+    unreadable: List[Tuple[ExperimentPoint, str]] = []
     for point in points:
         if store is not None and resume and store.contains(point):
             try:
@@ -104,13 +114,9 @@ def run_sweep(
             except ExperimentError as exc:
                 # A truncated or corrupted point file (e.g. from a sweep
                 # killed mid-write on a non-atomic filesystem) must not
-                # sink the whole sweep: warn, re-simulate the point, and
-                # let the fresh save overwrite the bad file.
-                warnings.warn(
-                    f"ignoring unreadable stored result for {point}: {exc}; "
-                    "the point will be re-run",
-                    stacklevel=2,
-                )
+                # sink the whole sweep: re-simulate the point and let the
+                # fresh save overwrite the bad file.
+                unreadable.append((point, str(exc)))
                 todo.append(point)
                 continue
             reused[point] = result
@@ -118,6 +124,15 @@ def run_sweep(
                 progress(point, result, True)
         else:
             todo.append(point)
+    if unreadable:
+        # One summary warning, however many files were torn — a large
+        # damaged archive must not emit thousands of warning lines.
+        example_point, example_error = unreadable[0]
+        warnings.warn(
+            f"re-running {len(unreadable)} point(s) with unreadable stored "
+            f"results (e.g. {example_point}: {example_error})",
+            stacklevel=2,
+        )
 
     def on_result(point: ExperimentPoint, result: ScenarioResult) -> None:
         if store is not None:
@@ -125,12 +140,26 @@ def run_sweep(
         if progress is not None:
             progress(point, result, False)
 
-    fresh = backend.run(todo, on_result=on_result)
+    failed: Dict[ExperimentPoint, str] = {}
+
+    def on_failure(point: ExperimentPoint, error: str) -> None:
+        failed[point] = error
+
+    fresh = backend.run(todo, on_result=on_result, on_failure=on_failure)
 
     results: Dict[ExperimentPoint, ScenarioResult] = {}
-    fresh_by_point = dict(zip(todo, fresh))
+    fresh_by_point = {
+        point: result
+        for point, result in zip(todo, fresh)
+        if result is not None
+    }
     for point in points:
-        results[point] = reused[point] if point in reused else fresh_by_point[point]
+        if point in reused:
+            results[point] = reused[point]
+        elif point in fresh_by_point:
+            results[point] = fresh_by_point[point]
+        elif point not in failed:  # pragma: no cover - backend contract
+            raise ExperimentError(f"backend returned no outcome for {point}")
 
     return SweepOutcome(
         spec=spec,
@@ -139,5 +168,6 @@ def run_sweep(
         reused=tuple(reused),
         wall_clock_s=time.perf_counter() - started,
         backend_name=backend.name,
+        failed=failed,
     )
 

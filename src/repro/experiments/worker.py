@@ -1,0 +1,346 @@
+"""Sweep worker: lease points over HTTP, simulate, stream results back.
+
+The moving parts, bottom-up:
+
+* :class:`HttpTransport` — one ``POST``/``GET`` over ``urllib`` with a
+  hard request timeout.  Raises
+  :class:`~repro.errors.TransportError` for anything that might succeed
+  on retry (connection refused, timeout, 5xx) and
+  :class:`~repro.errors.ProtocolError` for 4xx rejections that won't.
+* :class:`SweepClient` — typed wrappers for the service endpoints, each
+  retried with exponential backoff + jitter on transport errors, so a
+  worker rides out server restarts and dropped packets.
+* :class:`Heartbeater` — a daemon thread that renews the current lease
+  while the (blocking, possibly long) simulation runs.
+* :class:`Worker` — the lease/execute/submit loop with graceful drain:
+  ``request_drain()`` (wired to SIGTERM/SIGINT by the CLI) finishes the
+  in-flight point, reports it, and exits cleanly.
+
+A worker is deliberately stateless between points: everything that must
+survive worker death lives server-side in the
+:class:`~repro.experiments.leases.LeaseQueue`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ProtocolError, TransportError, WireError
+from ..scenarios.results import ScenarioResult
+from ..serialize import wire_decode, wire_encode
+from .spec import ExperimentPoint
+
+__all__ = [
+    "HttpTransport",
+    "SweepClient",
+    "Heartbeater",
+    "Worker",
+    "WorkerSummary",
+]
+
+#: Runs one point and returns its result (default: backends.execute_point).
+PointExecutor = Callable[[ExperimentPoint], ScenarioResult]
+
+
+class HttpTransport:
+    """Plain stdlib HTTP transport speaking wire envelopes."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def post(self, path: str, kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=wire_encode(kind, payload),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._send(request)
+
+    def get(self, path: str) -> Dict[str, Any]:
+        request = urllib.request.Request(self.base_url + path, method="GET")
+        return self._send(request)
+
+    def _send(self, request: urllib.request.Request) -> Dict[str, Any]:
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                body = resp.read()
+        except urllib.error.HTTPError as exc:
+            # 4xx: the server understood us and said no — retrying the
+            # identical request cannot help.  5xx: maybe transient.
+            detail = self._error_detail(exc)
+            if 400 <= exc.code < 500:
+                raise ProtocolError(f"server rejected request ({exc.code}): {detail}")
+            raise TransportError(f"server error ({exc.code}): {detail}")
+        except (urllib.error.URLError, TimeoutError, ConnectionError, OSError) as exc:
+            raise TransportError(f"request to {request.full_url} failed: {exc}")
+        try:
+            _, payload = wire_decode(body)
+        except WireError as exc:
+            raise TransportError(f"undecodable server reply: {exc}")
+        return payload
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        try:
+            _, payload = wire_decode(exc.read())
+            return str(payload.get("error", "no detail"))
+        except Exception:
+            return exc.reason if isinstance(exc.reason, str) else repr(exc.reason)
+
+
+class SweepClient:
+    """Endpoint wrappers with retry/backoff/reconnect on transport errors."""
+
+    def __init__(
+        self,
+        transport: Any,
+        worker_id: str,
+        *,
+        max_retries: int = 8,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.transport = transport
+        self.worker_id = worker_id
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+
+    def _call(self, path: str, kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST with retries.  Every service endpoint is idempotent or
+        duplicate-tolerant (leases expire, results dedupe, heartbeats and
+        fails are no-ops when stale), so blind retry is always safe."""
+        last: Optional[TransportError] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self.transport.post(path, kind, payload)
+            except TransportError as exc:
+                last = exc
+                if attempt == self.max_retries:
+                    break
+                delay = min(
+                    self.backoff_cap_s, self.backoff_base_s * (2 ** attempt)
+                )
+                self._sleep(delay * (1.0 + 0.25 * self._rng.random()))
+        raise TransportError(
+            f"giving up on {path} after {self.max_retries + 1} attempts: {last}"
+        )
+
+    def lease(self) -> Dict[str, Any]:
+        return self._call(
+            "/api/v1/lease", "lease_request", {"worker": self.worker_id}
+        )
+
+    def heartbeat(self, lease_id: str) -> bool:
+        reply = self._call("/api/v1/heartbeat", "heartbeat", {"lease_id": lease_id})
+        return bool(reply.get("ok"))
+
+    def submit_result(
+        self,
+        lease_id: str,
+        point: ExperimentPoint,
+        result: ScenarioResult,
+    ) -> Dict[str, Any]:
+        return self._call(
+            "/api/v1/result",
+            "result",
+            {
+                "lease_id": lease_id,
+                "worker": self.worker_id,
+                "point": point.to_dict(),
+                "fingerprint": result.fingerprint(),
+                "result": result.to_dict(),
+            },
+        )
+
+    def fail(self, lease_id: str, error: str) -> bool:
+        reply = self._call(
+            "/api/v1/fail",
+            "fail",
+            {"lease_id": lease_id, "worker": self.worker_id, "error": error},
+        )
+        return bool(reply.get("ok"))
+
+    def status(self) -> Dict[str, Any]:
+        return self.transport.get("/api/v1/status")
+
+
+class Heartbeater(threading.Thread):
+    """Renews one lease every *interval_s* until stopped.
+
+    Transport errors are swallowed (the main loop owns error handling);
+    a heartbeat explicitly rejected by the server (``ok: false``) means
+    the lease was reassigned — :attr:`lost` flips so the worker can stop
+    wasting cycles on a point someone else now owns.
+    """
+
+    def __init__(
+        self, client: SweepClient, lease_id: str, interval_s: float
+    ) -> None:
+        super().__init__(name=f"heartbeat-{lease_id}", daemon=True)
+        self._client = client
+        self._lease_id = lease_id
+        self._interval_s = interval_s
+        # NB: not "_stop" — that would shadow threading.Thread._stop().
+        self._halt = threading.Event()
+        self.lost = False
+
+    def run(self) -> None:
+        while not self._halt.wait(self._interval_s):
+            try:
+                if not self._client.heartbeat(self._lease_id):
+                    self.lost = True
+                    return
+            except (TransportError, ProtocolError):
+                continue
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=2.0)
+
+
+@dataclass
+class WorkerSummary:
+    """What one worker run accomplished."""
+
+    worker_id: str
+    completed: int = 0
+    duplicates: int = 0
+    failures: int = 0
+    drained: bool = False
+    errors: List[str] = field(default_factory=list)
+
+
+class Worker:
+    """The lease -> execute -> submit loop.
+
+    *executor* defaults to :func:`repro.experiments.backends.execute_point`
+    (imported lazily to avoid a module cycle); tests and the chaos
+    harness substitute stubs/saboteurs.
+    """
+
+    def __init__(
+        self,
+        client: SweepClient,
+        *,
+        executor: Optional[PointExecutor] = None,
+        heartbeat_interval_s: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+        on_point: Optional[Callable[[ExperimentPoint, str], None]] = None,
+    ) -> None:
+        self.client = client
+        self._executor = executor
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self._sleep = sleep
+        self._drain = threading.Event()
+        #: Observation hook: (point, "completed"|"duplicate"|"failed").
+        self.on_point = on_point
+
+    @property
+    def executor(self) -> PointExecutor:
+        if self._executor is None:
+            from .backends import execute_point
+
+            self._executor = execute_point
+        return self._executor
+
+    def request_drain(self) -> None:
+        """Finish the in-flight point (if any), then exit the loop."""
+        self._drain.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    def run(self) -> WorkerSummary:
+        """Work until the server reports the sweep settled (or drain/death).
+
+        Raises :class:`~repro.errors.TransportError` only once the
+        client's full reconnect budget is exhausted, and lets any
+        exception the chaos harness designates as a *crash* propagate —
+        an abrupt worker death must not be reported back as a clean
+        failure, that's the whole point of lease expiry.
+        """
+        summary = WorkerSummary(worker_id=self.client.worker_id)
+        while not self._drain.is_set():
+            reply = self.client.lease()
+            lease = reply.get("lease")
+            if lease is None:
+                if reply.get("done"):
+                    break
+                self._sleep(float(reply.get("retry_after_s") or 0.1))
+                continue
+            lease_id = str(lease["lease_id"])
+            point = ExperimentPoint.from_dict(lease["point"])
+            self._run_leased_point(lease_id, point, summary)
+        summary.drained = self._drain.is_set()
+        return summary
+
+    # -- one point -----------------------------------------------------------
+    def _run_leased_point(
+        self, lease_id: str, point: ExperimentPoint, summary: WorkerSummary
+    ) -> None:
+        beater = Heartbeater(self.client, lease_id, self.heartbeat_interval_s)
+        beater.start()
+        try:
+            result = self.executor(point)
+        except BaseException as exc:
+            # Always silence the heartbeater first: whatever killed the
+            # executor, a worker that stopped working must stop renewing
+            # its lease or the point can never be reassigned.
+            beater.stop()
+            if not isinstance(exc, Exception):
+                # Hard death (chaos WorkerCrash, KeyboardInterrupt,
+                # SystemExit): no clean failure report — the server only
+                # learns via lease expiry, like a real kill -9.
+                raise
+            self._report_failure(lease_id, point, exc, summary)
+            return
+        beater.stop()
+        # Submit even if the lease was lost mid-run: execution is
+        # deterministic, so the server either records it (we won the
+        # race) or acknowledges a duplicate.  Either way the work counts.
+        try:
+            ack = self.client.submit_result(lease_id, point, result)
+        except ProtocolError as exc:
+            # Rejected submission (e.g. fingerprint mismatch from a torn
+            # upload): report the attempt as failed so the point retries.
+            self._report_failure(lease_id, point, exc, summary)
+            return
+        if ack.get("duplicate"):
+            summary.duplicates += 1
+            self._observe(point, "duplicate")
+        else:
+            summary.completed += 1
+            self._observe(point, "completed")
+
+    def _report_failure(
+        self,
+        lease_id: str,
+        point: ExperimentPoint,
+        exc: Exception,
+        summary: WorkerSummary,
+    ) -> None:
+        summary.failures += 1
+        summary.errors.append(f"{point}: {exc!r}")
+        self._observe(point, "failed")
+        try:
+            self.client.fail(lease_id, f"{type(exc).__name__}: {exc}")
+        except (TransportError, ProtocolError):
+            pass  # lease expiry will retry the point anyway
+
+    def _observe(self, point: ExperimentPoint, event: str) -> None:
+        if self.on_point is not None:
+            self.on_point(point, event)

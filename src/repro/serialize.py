@@ -12,14 +12,32 @@ JSON values and back:
 Finite floats pass through unchanged; Python's ``json`` module emits the
 shortest round-tripping decimal form, so finite values survive a
 dump/load cycle bit-exactly.
+
+The module also defines the **wire envelope** used by the distributed
+sweep service (:mod:`repro.experiments.service`): every HTTP request and
+response body is strict JSON of the form ``{"v": 1, "kind": "<message
+kind>", "payload": {...}}``.  Versioning the envelope lets a server
+reject a worker from an incompatible build with a clear error instead
+of a confusing KeyError deep in a handler.
 """
 
 from __future__ import annotations
 
+import json
 import math
-from typing import List, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-__all__ = ["encode_float", "decode_float", "encode_floats", "decode_floats"]
+from .errors import WireError
+
+__all__ = [
+    "encode_float",
+    "decode_float",
+    "encode_floats",
+    "decode_floats",
+    "WIRE_FORMAT_VERSION",
+    "wire_encode",
+    "wire_decode",
+]
 
 JsonFloat = Union[float, str, None]
 
@@ -51,3 +69,56 @@ def encode_floats(values: Sequence[float]) -> List[JsonFloat]:
 
 def decode_floats(values: Sequence[JsonFloat]) -> List[float]:
     return [decode_float(v) for v in values]
+
+
+# --------------------------------------------------------------------------
+# Wire envelopes (distributed sweep service)
+# --------------------------------------------------------------------------
+
+#: Bumped when the sweep-service HTTP protocol changes incompatibly.
+WIRE_FORMAT_VERSION = 1
+
+
+def wire_encode(kind: str, payload: Mapping[str, Any]) -> bytes:
+    """Encode one service message as strict-JSON UTF-8 bytes."""
+    envelope = {
+        "v": WIRE_FORMAT_VERSION,
+        "kind": kind,
+        "payload": dict(payload),
+    }
+    return json.dumps(envelope, allow_nan=False, separators=(",", ":")).encode("utf-8")
+
+
+def wire_decode(
+    data: Union[bytes, str], *, expect_kind: Optional[str] = None
+) -> Tuple[str, Dict[str, Any]]:
+    """Decode a wire envelope, validating version and shape.
+
+    Raises :class:`~repro.errors.WireError` on malformed JSON, an
+    unsupported version, or (when *expect_kind* is given) an unexpected
+    message kind.
+    """
+    if isinstance(data, bytes):
+        try:
+            data = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"wire message is not UTF-8: {exc}") from exc
+    try:
+        envelope = json.loads(data)
+    except ValueError as exc:
+        raise WireError(f"wire message is not valid JSON: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise WireError(f"wire envelope must be an object, got {type(envelope).__name__}")
+    version = envelope.get("v")
+    if version != WIRE_FORMAT_VERSION:
+        raise WireError(
+            f"unsupported wire format version {version!r} "
+            f"(this build speaks {WIRE_FORMAT_VERSION})"
+        )
+    kind = envelope.get("kind")
+    payload = envelope.get("payload")
+    if not isinstance(kind, str) or not isinstance(payload, dict):
+        raise WireError("wire envelope needs a string 'kind' and object 'payload'")
+    if expect_kind is not None and kind != expect_kind:
+        raise WireError(f"expected wire message kind {expect_kind!r}, got {kind!r}")
+    return kind, payload

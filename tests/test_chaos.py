@@ -1,0 +1,266 @@
+"""Chaos harness: worker churn, dropped/duplicated requests, dead letters.
+
+The headline acceptance test lives here: a RemoteBackend sweep with
+chaos killing workers mid-lease and corrupting the transport produces
+per-point fingerprints **bit-identical** to a plain SerialBackend run.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ExperimentError, TransportError
+from repro.experiments import (
+    ChaosConfig,
+    ChaosTransport,
+    RemoteBackend,
+    SerialBackend,
+    SweepSpec,
+    WorkerCrash,
+    execute_point,
+)
+from repro.experiments.chaos import crashing_executor, flaky_executor
+from repro.experiments.store import ResultStore
+from repro.experiments.sweep import run_sweep
+
+TINY = SweepSpec(
+    scenarios=("usemem-scenario",),
+    policies=("greedy", "no-tmem"),
+    seeds=(1, 2),
+    scales=(0.1,),
+)
+
+
+def fast_remote(**kwargs):
+    kwargs.setdefault("num_workers", 2)
+    kwargs.setdefault("lease_expiry_s", 1.0)
+    kwargs.setdefault("backoff_base_s", 0.02)
+    kwargs.setdefault("backoff_cap_s", 0.2)
+    return RemoteBackend(**kwargs)
+
+
+class RecordingTransport:
+    """Test double: records every POST, replies with a canned payload."""
+
+    def __init__(self, reply=None):
+        self.posts = []
+        self.reply = reply if reply is not None else {"ok": True}
+
+    def post(self, path, kind, payload):
+        self.posts.append((path, kind, payload))
+        return dict(self.reply)
+
+    def get(self, path):
+        return {"path": path}
+
+
+class TestChaosTransport:
+    def test_no_faults_is_transparent(self):
+        inner = RecordingTransport()
+        chaos = ChaosTransport(inner, ChaosConfig(seed=1))
+        assert chaos.post("/p", "k", {"a": 1}) == {"ok": True}
+        assert chaos.get("/s") == {"path": "/s"}
+        assert inner.posts == [("/p", "k", {"a": 1})]
+        assert sum(chaos.injected.values()) == 0
+
+    def test_fault_sequence_is_deterministic_per_seed(self):
+        def faults(seed, n=200):
+            inner = RecordingTransport()
+            chaos = ChaosTransport(
+                inner,
+                ChaosConfig(
+                    seed=seed, drop_request=0.2, drop_response=0.2, duplicate=0.2
+                ),
+            )
+            out = []
+            for i in range(n):
+                try:
+                    chaos.post("/p", "k", {"i": i})
+                    out.append("ok")
+                except TransportError as exc:
+                    out.append(str(exc))
+            return out, dict(chaos.injected)
+
+        assert faults(5) == faults(5)
+        assert faults(5) != faults(6)
+
+    def test_drop_request_never_reaches_server(self):
+        inner = RecordingTransport()
+        chaos = ChaosTransport(inner, ChaosConfig(seed=0, drop_request=1.0))
+        with pytest.raises(TransportError, match="dropped request"):
+            chaos.post("/p", "k", {})
+        assert inner.posts == []
+        assert chaos.injected["drop_request"] == 1
+
+    def test_drop_response_delivers_then_raises(self):
+        inner = RecordingTransport()
+        chaos = ChaosTransport(inner, ChaosConfig(seed=0, drop_response=1.0))
+        with pytest.raises(TransportError, match="dropped response"):
+            chaos.post("/p", "k", {})
+        assert len(inner.posts) == 1  # the server DID act on it
+
+    def test_duplicate_delivers_twice(self):
+        inner = RecordingTransport()
+        chaos = ChaosTransport(inner, ChaosConfig(seed=0, duplicate=1.0))
+        assert chaos.post("/p", "k", {"x": 1}) == {"ok": True}
+        assert len(inner.posts) == 2
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(drop_request=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(duplicate=-0.1)
+
+
+class TestChaosExecutors:
+    def test_crashing_executor_raises_worker_crash_then_recovers(self):
+        calls = []
+        executor = crashing_executor(
+            lambda p: calls.append(p) or "ok", crash_times=2
+        )
+        with pytest.raises(WorkerCrash):
+            executor("p1")
+        with pytest.raises(WorkerCrash):
+            executor("p2")
+        assert executor("p3") == "ok"
+        assert calls == ["p3"]
+
+    def test_worker_crash_is_not_an_exception(self):
+        # The whole point: `except Exception` must NOT catch it.
+        assert not issubclass(WorkerCrash, Exception)
+
+    def test_crash_budget_is_shared_across_threads(self):
+        executor = crashing_executor(lambda p: "ok", crash_times=5)
+        crashes = []
+
+        def hammer():
+            for _ in range(50):
+                try:
+                    executor("p")
+                except WorkerCrash:
+                    crashes.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(crashes) == 5
+
+    def test_flaky_executor_fails_cleanly_then_recovers(self):
+        executor = flaky_executor(lambda p: "ok", fail_times=1)
+        with pytest.raises(RuntimeError, match="transient failure"):
+            executor("p1")
+        assert executor("p1") == "ok"
+
+
+class TestRemoteBackendUnderChaos:
+    def test_remote_matches_serial_fingerprints_under_chaos(self):
+        """Acceptance criterion (ISSUE 6): chaos-ridden RemoteBackend
+        sweep == SerialBackend sweep, fingerprint for fingerprint."""
+        points = TINY.expand()
+        serial = SerialBackend().run(list(points))
+        backend = fast_remote(
+            chaos=ChaosConfig(
+                seed=7, drop_request=0.08, drop_response=0.08, duplicate=0.08
+            ),
+            executor=crashing_executor(execute_point, crash_times=2, seed=3),
+        )
+        remote = backend.run(list(points))
+        assert len(remote) == len(serial)
+        for s, r in zip(serial, remote):
+            assert r is not None
+            assert r.fingerprint() == s.fingerprint()
+
+    def test_worker_kill_mid_lease_reassigns_and_completes(self):
+        """Every initial worker dies on its first point; replacements
+        finish the sweep (worker churn survival)."""
+        points = TINY.expand()
+        backend = fast_remote(
+            num_workers=2,
+            executor=crashing_executor(execute_point, crash_times=2),
+        )
+        results = backend.run(list(points))
+        assert all(r is not None for r in results)
+        serial = SerialBackend().run(list(points))
+        assert [r.fingerprint() for r in results] == [
+            s.fingerprint() for s in serial
+        ]
+
+    def test_transient_failures_retry_within_budget(self):
+        points = TINY.expand()
+        backend = fast_remote(
+            max_attempts=3,
+            executor=flaky_executor(execute_point, fail_times=2),
+        )
+        results = backend.run(list(points))
+        assert all(r is not None for r in results)
+
+    def test_permanent_failures_dead_letter_and_raise(self):
+        def doomed(point):
+            raise RuntimeError("this point can never work")
+
+        backend = fast_remote(max_attempts=2, executor=doomed)
+        with pytest.raises(ExperimentError, match="permanently failed"):
+            backend.run(TINY.expand()[:1])
+
+    def test_permanent_failures_reported_via_on_failure(self):
+        def doomed(point):
+            raise RuntimeError("this point can never work")
+
+        failures = []
+        backend = fast_remote(max_attempts=2, executor=doomed)
+        results = backend.run(
+            TINY.expand()[:1],
+            on_failure=lambda point, error: failures.append((point, error)),
+        )
+        assert results == [None]
+        assert len(failures) == 1
+        assert "this point can never work" in failures[0][1]
+
+    def test_out_of_workers_raises(self):
+        backend = fast_remote(
+            num_workers=1,
+            max_worker_restarts=1,
+            max_attempts=10,
+            executor=crashing_executor(execute_point, crash_times=50),
+        )
+        with pytest.raises(ExperimentError, match="ran out of workers"):
+            backend.run(TINY.expand()[:1])
+
+    def test_run_sweep_remote_with_chaos_resumable_store(self, tmp_path):
+        """Full run_sweep integration: chaos sweep persists results that
+        a later serial sweep resumes without recomputation."""
+        store = ResultStore(tmp_path)
+        backend = fast_remote(
+            chaos=ChaosConfig(seed=11, drop_response=0.1, duplicate=0.1),
+            executor=crashing_executor(execute_point, crash_times=1, seed=5),
+        )
+        first = run_sweep(TINY, backend=backend, store=store)
+        assert first.ok
+        assert len(first.executed) == len(TINY.expand())
+        second = run_sweep(TINY, backend=SerialBackend(), store=store)
+        assert len(second.executed) == 0
+        assert len(second.reused) == len(TINY.expand())
+        firsts = {p: r.fingerprint() for p, r in first.results.items()}
+        seconds = {p: r.fingerprint() for p, r in second.results.items()}
+        assert firsts == seconds
+
+    def test_dead_letters_surface_in_sweep_outcome(self, tmp_path):
+        """run_sweep maps dead-lettered points into SweepOutcome.failed
+        instead of raising, and records the good points."""
+        spec = TINY
+
+        def doomed_greedy(point):
+            if point.policy == "greedy":
+                raise RuntimeError("greedy sabotaged")
+            return execute_point(point)
+
+        backend = fast_remote(max_attempts=2, executor=doomed_greedy)
+        outcome = run_sweep(spec, backend=backend, store=ResultStore(tmp_path))
+        assert not outcome.ok
+        assert len(outcome.failed) == 2  # greedy x 2 seeds
+        assert all(p.policy == "greedy" for p in outcome.failed)
+        assert all("greedy sabotaged" in e for e in outcome.failed.values())
+        done = [p for p in outcome.results if p.policy == "no-tmem"]
+        assert len(done) == 2

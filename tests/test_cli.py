@@ -106,6 +106,63 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "churn:n=4" in out
 
+    def test_sweep_remote_backend_matches_serial_archive(self, capsys, tmp_path):
+        """`sweep --backend remote` completes and archives results with
+        fingerprints identical to a serial run of the same spec."""
+        import json
+
+        axes = [
+            "--scenario", "usemem-scenario",
+            "--policy", "greedy",
+            "--num-seeds", "2",
+            "--scale", "0.1",
+        ]
+        serial_dir, remote_dir = tmp_path / "serial", tmp_path / "remote"
+        assert main(["sweep", *axes, "--results-dir", str(serial_dir)]) == 0
+        capsys.readouterr()
+        assert main([
+            "sweep", *axes,
+            "--backend", "remote",
+            "--num-workers", "2",
+            "--lease-expiry", "5",
+            "--results-dir", str(remote_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=remote" in out
+
+        def fingerprints(directory):
+            out = {}
+            for path in directory.glob("*.json"):
+                envelope = json.loads(path.read_text())
+                out[path.name] = envelope["fingerprint"]
+            return out
+
+        serial_fps = fingerprints(serial_dir)
+        assert serial_fps and fingerprints(remote_dir) == serial_fps
+
+    def test_sweep_remote_dead_letters_exit_nonzero(self, capsys, tmp_path):
+        """Points that permanently fail dead-letter, are summarized on
+        stderr, and flip the exit code — the sweep still archives the
+        points that worked."""
+        code = main([
+            "sweep",
+            "--scenario", "usemem-scenario",
+            "--policy", "no-tmem",
+            "--policy", "no-such-policy",
+            "--seed", "1",
+            "--scale", "0.1",
+            "--backend", "remote",
+            "--max-attempts", "2",
+            "--lease-expiry", "5",
+            "--results-dir", str(tmp_path / "r"),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "FAILED: 1 point(s) permanently failed" in err
+        assert "dead-letter" in err and "no-such-policy" in err
+        # The healthy point was still simulated and archived.
+        assert len(list((tmp_path / "r").glob("*.json"))) == 1
+
     def test_bench_command_writes_report(self, capsys, tmp_path):
         code = main([
             "bench", "--quick",

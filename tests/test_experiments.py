@@ -1,6 +1,7 @@
 """Experiment orchestration: sweep specs, stores, backends, run_sweep."""
 
 import os
+import warnings
 
 import pytest
 
@@ -128,30 +129,75 @@ class TestResultStore:
         with pytest.raises(ExperimentError):
             store.load(point)
 
-    def test_load_all_skips_corrupt_files_with_warning(self, tmp_path):
+    def test_load_all_skips_corrupt_files_with_one_warning(self, tmp_path):
+        """However many files are torn, bulk reads warn exactly once."""
         store = ResultStore(tmp_path)
         points = TINY.expand()
         good = execute_point(points[0])
         store.save(points[0], good)
         store.save(points[1], execute_point(points[1]))
+        store.save(points[2], execute_point(points[2]))
         store.path_for(points[1]).write_text("{truncated")
-        with pytest.warns(UserWarning, match="skipping unreadable"):
+        store.path_for(points[2]).write_text("{truncated")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
             loaded = store.load_all()
+        messages = [str(w.message) for w in caught]
+        assert len(messages) == 1, messages
+        assert "skipped 2 unreadable result file(s)" in messages[0]
+        assert "e.g." in messages[0]  # an example path for debugging
         assert list(loaded) == [points[0]]
         assert loaded[points[0]].fingerprint() == good.fingerprint()
+
+    def test_save_survives_interrupted_write(self, tmp_path, monkeypatch):
+        """A save that dies between write and rename leaves no debris.
+
+        The temp file is fsynced then os.replace'd onto the final name;
+        if the process dies in between, readers must see either nothing
+        or the complete file — and the failure path must clean up the
+        temp file rather than litter the archive.
+        """
+        import repro.experiments.store as store_mod
+
+        store = ResultStore(tmp_path)
+        point = TINY.expand()[0]
+        result = execute_point(point)
+
+        def exploding_replace(src, dst):
+            raise OSError("killed between fsync and rename")
+
+        monkeypatch.setattr(store_mod.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            store.save(point, result)
+        monkeypatch.undo()
+        assert not store.contains(point)
+        assert list(tmp_path.glob("*.tmp")) == []
+        # And a real save still lands atomically afterwards.
+        store.save(point, result)
+        assert store.load(point).fingerprint() == result.fingerprint()
 
 
 class TestBackends:
     def test_create_backend(self):
-        assert set(available_backends()) == {"serial", "process"}
+        from repro.experiments import RemoteBackend
+
+        assert set(available_backends()) == {"serial", "process", "remote"}
         assert isinstance(create_backend("serial"), SerialBackend)
         backend = create_backend("process", max_workers=2)
         assert isinstance(backend, ProcessPoolBackend)
         assert backend.max_workers == 2
+        remote = create_backend("remote", max_workers=3, lease_expiry_s=1.5)
+        assert isinstance(remote, RemoteBackend)
+        assert remote.num_workers == 3
+        assert remote.lease_expiry_s == 1.5
         with pytest.raises(ExperimentError):
             create_backend("quantum")
         with pytest.raises(ExperimentError):
+            create_backend("serial", bogus_option=1)
+        with pytest.raises(ExperimentError):
             ProcessPoolBackend(max_workers=0)
+        with pytest.raises(ExperimentError):
+            RemoteBackend(num_workers=0)
 
     def test_serial_backend_preserves_order_and_reports(self):
         points = TINY.expand()
@@ -235,8 +281,15 @@ class TestRunSweep:
         store.path_for(points[1]).write_text(full[: len(full) // 3])
         store.path_for(points[2]).write_text("{definitely not json")
 
-        with pytest.warns(UserWarning, match="will be re-run"):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
             second = run_sweep(TINY, store=store)
+        resume_warnings = [
+            str(w.message) for w in caught if "unreadable" in str(w.message)
+        ]
+        # One consolidated warning for both bad files, with an example.
+        assert len(resume_warnings) == 1, resume_warnings
+        assert "re-running 2 point(s)" in resume_warnings[0]
 
         assert set(second.executed) == {points[1], points[2]}
         assert set(second.reused) == {points[0], points[3]}
@@ -270,6 +323,36 @@ class TestRunSweep:
         )
         assert len(calls) == TINY.size
         assert sum(1 for _, reused in calls if reused) == 1
+
+    def test_dead_lettered_points_surface_in_outcome(self):
+        """A backend that gives up on a point reports it via `failed`."""
+        from repro.experiments.backends import ExecutionBackend
+
+        points = TINY.expand()
+        doomed = points[1]
+
+        class PartialBackend(ExecutionBackend):
+            name = "partial"
+
+            def run(self, pts, *, on_result=None, on_failure=None):
+                out = []
+                for point in pts:
+                    if point == doomed:
+                        on_failure(point, "retry budget exhausted")
+                        out.append(None)
+                        continue
+                    result = execute_point(point)
+                    if on_result is not None:
+                        on_result(point, result)
+                    out.append(result)
+                return out
+
+        outcome = run_sweep(TINY, backend=PartialBackend())
+        assert not outcome.ok
+        assert set(outcome.failed) == {doomed}
+        assert "retry budget exhausted" in outcome.failed[doomed]
+        assert doomed not in outcome.results
+        assert len(outcome.results) == TINY.size - 1
 
     def test_select_and_by_policy(self):
         outcome = run_sweep(TINY)

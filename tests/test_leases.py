@@ -1,0 +1,310 @@
+"""Lease state machine: unit tests + property tests over interleavings.
+
+The two headline invariants (ISSUE 6):
+
+* **exactly-once** — no point is ever recorded twice, whatever the
+  interleaving of acquires, expiries, failures and (duplicate) record
+  submissions;
+* **liveness** — every point eventually ends ``done`` or dead-lettered
+  under arbitrary crash/expiry interleavings, and the number of leases
+  granted per point never exceeds the retry budget.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentPoint, LeaseQueue
+from repro.experiments.leases import DEAD, DONE, LEASED, PENDING
+
+
+def make_points(n):
+    return [
+        ExperimentPoint("usemem-scenario", f"greedy-{i}" if i else "greedy",
+                        seed=i, scale=0.1)
+        for i in range(n)
+    ]
+
+
+def make_queue(n=3, **kwargs):
+    kwargs.setdefault("lease_expiry_s", 10.0)
+    kwargs.setdefault("max_attempts", 3)
+    kwargs.setdefault("backoff_base_s", 1.0)
+    kwargs.setdefault("backoff_jitter", 0.0)
+    return LeaseQueue(make_points(n), **kwargs)
+
+
+class TestLeaseQueueUnit:
+    def test_acquire_in_order_then_exhausted(self):
+        queue = make_queue(2)
+        g1 = queue.acquire("w1", now=0.0)
+        g2 = queue.acquire("w2", now=0.0)
+        assert g1.point == make_points(2)[0]
+        assert g2.point == make_points(2)[1]
+        assert queue.acquire("w3", now=0.0) is None
+        assert queue.counts() == {PENDING: 0, LEASED: 2, DONE: 0, DEAD: 0}
+
+    def test_record_completes_and_dedupes(self):
+        queue = make_queue(1)
+        grant = queue.acquire("w1", now=0.0)
+        first = queue.record(grant.point, "fp", {"x": 1}, now=1.0)
+        assert first.recorded and not first.duplicate
+        dup = queue.record(grant.point, "fp", {"x": 1}, now=2.0)
+        assert dup.duplicate and not dup.recorded
+        assert queue.is_settled
+        assert queue.results()[grant.point] == {"x": 1}
+        assert queue.fingerprints()[grant.point] == "fp"
+
+    def test_unknown_point_rejected(self):
+        queue = make_queue(1)
+        stranger = ExperimentPoint("scenario-1", "greedy", seed=99, scale=0.5)
+        with pytest.raises(ExperimentError):
+            queue.record(stranger, "fp", None, now=0.0)
+
+    def test_expiry_reassigns_with_backoff(self):
+        queue = make_queue(1, lease_expiry_s=5.0, backoff_base_s=2.0)
+        g1 = queue.acquire("w1", now=0.0)
+        assert g1.attempt == 1
+        # Not expired yet: nothing to take.
+        assert queue.acquire("w2", now=4.0) is None
+        # Expired at t=5; the point backs off 2s (attempt 1) before
+        # becoming eligible again.
+        expired = queue.expire(now=5.0)
+        assert [g.point for g in expired] == [g1.point]
+        assert queue.acquire("w2", now=5.5) is None
+        g2 = queue.acquire("w2", now=7.1)
+        assert g2 is not None and g2.attempt == 2
+        assert g2.lease_id != g1.lease_id
+
+    def test_heartbeat_extends_lease(self):
+        queue = make_queue(1, lease_expiry_s=5.0)
+        grant = queue.acquire("w1", now=0.0)
+        assert queue.heartbeat(grant.lease_id, now=4.0)
+        # Would have expired at 5.0 without the heartbeat.
+        assert queue.acquire("w2", now=6.0) is None
+        assert queue.heartbeat(grant.lease_id, now=8.0)
+        assert queue.counts()[LEASED] == 1
+
+    def test_heartbeat_after_expiry_is_rejected(self):
+        queue = make_queue(1, lease_expiry_s=5.0, backoff_base_s=0.0)
+        grant = queue.acquire("w1", now=0.0)
+        assert not queue.heartbeat(grant.lease_id, now=5.0)
+        # The point went back to pending and is someone else's now.
+        g2 = queue.acquire("w2", now=5.0)
+        assert g2 is not None and g2.attempt == 2
+
+    def test_fail_schedules_retry_then_dead_letters(self):
+        queue = make_queue(1, max_attempts=2, backoff_base_s=1.0)
+        g1 = queue.acquire("w1", now=0.0)
+        assert queue.fail(g1.lease_id, "boom", now=1.0)
+        assert queue.acquire("w1", now=1.5) is None  # backing off
+        g2 = queue.acquire("w1", now=3.0)
+        assert g2.attempt == 2
+        assert queue.fail(g2.lease_id, "boom again", now=4.0)
+        assert queue.is_settled
+        [letter] = queue.dead_letters()
+        assert letter.attempts == 2
+        assert letter.errors == ("boom", "boom again")
+        assert "boom again" in letter.summary()
+
+    def test_stale_fail_is_ignored(self):
+        queue = make_queue(1, lease_expiry_s=5.0, backoff_base_s=0.0)
+        g1 = queue.acquire("w1", now=0.0)
+        queue.expire(now=10.0)
+        g2 = queue.acquire("w2", now=10.0)
+        # w1 comes back from the dead and reports failure on its old
+        # lease: must not affect w2's active lease.
+        assert not queue.fail(g1.lease_id, "late boom", now=11.0)
+        assert queue.heartbeat(g2.lease_id, now=11.0)
+
+    def test_late_result_after_expiry_records_exactly_once(self):
+        """The lost worker finishes anyway; first submission wins."""
+        queue = make_queue(1, lease_expiry_s=5.0, backoff_base_s=0.0)
+        g1 = queue.acquire("w1", now=0.0)
+        queue.expire(now=6.0)
+        g2 = queue.acquire("w2", now=6.0)
+        assert g2.attempt == 2
+        # w1's straggler result arrives while w2 is still simulating.
+        late = queue.record(g1.point, "fp", {"from": "w1"}, now=7.0)
+        assert late.recorded
+        # w2 finishes and submits the (deterministic, identical) result.
+        dup = queue.record(g2.point, "fp", {"from": "w2"}, now=8.0)
+        assert dup.duplicate and not dup.recorded
+        assert queue.results()[g1.point] == {"from": "w1"}
+
+    def test_late_result_resurrects_dead_letter(self):
+        queue = make_queue(1, max_attempts=1)
+        g1 = queue.acquire("w1", now=0.0)
+        queue.fail(g1.lease_id, "boom", now=1.0)
+        assert queue.dead_letters()
+        outcome = queue.record(g1.point, "fp", None, now=2.0)
+        assert outcome.recorded and outcome.resurrected
+        assert not queue.dead_letters()
+        assert queue.is_settled
+
+    def test_next_eligible_delay(self):
+        queue = make_queue(2, backoff_base_s=4.0)
+        assert queue.next_eligible_delay(now=0.0) == 0.0
+        g1 = queue.acquire("w1", now=0.0)
+        g2 = queue.acquire("w1", now=0.0)
+        assert queue.next_eligible_delay(now=0.0) is None  # all leased
+        queue.fail(g1.lease_id, "x", now=0.0)
+        assert queue.next_eligible_delay(now=0.0) == pytest.approx(4.0)
+        queue.fail(g2.lease_id, "x", now=0.0)
+        assert queue.next_eligible_delay(now=2.0) == pytest.approx(2.0)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        queue = make_queue(
+            1, max_attempts=10, backoff_base_s=1.0, backoff_cap_s=4.0,
+            backoff_jitter=0.0, lease_expiry_s=1000.0,
+        )
+        delays = []
+        now = 0.0
+        for _ in range(5):
+            grant = queue.acquire("w", now=now)
+            queue.fail(grant.lease_id, "x", now=now)
+            entry = queue._entries[grant.point.point_id]
+            delays.append(entry.eligible_at - now)
+            now = entry.eligible_at
+        assert delays == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def delays(seed):
+            queue = make_queue(
+                1, max_attempts=5, backoff_jitter=0.5, seed=seed,
+                lease_expiry_s=1000.0,
+            )
+            out, now = [], 0.0
+            for _ in range(4):
+                grant = queue.acquire("w", now=now)
+                queue.fail(grant.lease_id, "x", now=now)
+                entry = queue._entries[grant.point.point_id]
+                out.append(entry.eligible_at - now)
+                now = entry.eligible_at
+            return out
+
+        assert delays(7) == delays(7)
+        assert delays(7) != delays(8)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            make_queue(1, lease_expiry_s=0.0)
+        with pytest.raises(ExperimentError):
+            make_queue(1, max_attempts=0)
+        point = make_points(1)[0]
+        with pytest.raises(ExperimentError):
+            LeaseQueue([point, point])
+
+
+# --------------------------------------------------------------------------
+# Property tests: arbitrary interleavings
+# --------------------------------------------------------------------------
+
+#: One scripted step: (op, worker index or None).
+OPS = st.sampled_from(["acquire", "record", "fail", "expire", "advance"])
+
+
+@st.composite
+def interleavings(draw):
+    n_points = draw(st.integers(min_value=1, max_value=4))
+    steps = draw(st.lists(OPS, min_size=1, max_size=60))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return n_points, steps, seed
+
+
+class _Model:
+    """Drives a LeaseQueue with a scripted interleaving, checking
+    exactly-once recording against an independent model."""
+
+    def __init__(self, n_points, seed):
+        self.queue = LeaseQueue(
+            make_points(n_points),
+            lease_expiry_s=5.0,
+            max_attempts=3,
+            backoff_base_s=1.0,
+            backoff_cap_s=4.0,
+            backoff_jitter=0.25,
+            seed=seed,
+        )
+        self.now = 0.0
+        self.live_grants = []   # grants we still might act on
+        self.recorded_count = {}
+
+    def step(self, op):
+        queue = self.queue
+        if op == "advance":
+            self.now += 2.6
+        elif op == "acquire":
+            grant = queue.acquire("w", self.now)
+            if grant is not None:
+                self.live_grants.append(grant)
+        elif op == "expire":
+            queue.expire(self.now + 5.0)
+            self.now += 5.0
+        elif op in ("record", "fail") and self.live_grants:
+            grant = self.live_grants.pop(0)
+            if op == "record":
+                outcome = queue.record(grant.point, "fp", None, self.now)
+                count = self.recorded_count.get(grant.point, 0)
+                # exactly-once: recorded=True only the first time ever
+                assert outcome.recorded == (count == 0)
+                assert outcome.duplicate == (count > 0)
+                self.recorded_count[grant.point] = count + 1 if count == 0 else count
+            else:
+                queue.fail(grant.lease_id, "scripted failure", self.now)
+
+    def check_invariants(self):
+        queue = self.queue
+        counts = queue.counts()
+        assert sum(counts.values()) == len(queue)
+        for entry in queue._entries.values():
+            assert entry.attempts <= queue.max_attempts
+            if entry.status == DONE:
+                # done points hold their recorded payload forever
+                assert entry.point in self.recorded_count
+
+
+@settings(max_examples=120, deadline=None)
+@given(interleavings())
+def test_exactly_once_under_arbitrary_interleavings(script):
+    n_points, steps, seed = script
+    model = _Model(n_points, seed)
+    for op in steps:
+        model.step(op)
+        model.check_invariants()
+
+
+@settings(max_examples=120, deadline=None)
+@given(interleavings())
+def test_every_point_eventually_settles(script):
+    """After any scripted chaos prefix, draining the queue terminates
+    with every point done or dead-lettered, within the retry budget."""
+    n_points, steps, seed = script
+    model = _Model(n_points, seed)
+    for op in steps:
+        model.step(op)
+
+    queue, now = model.queue, model.now
+    rounds = 0
+    while not queue.is_settled:
+        rounds += 1
+        assert rounds < 1000, "queue failed to settle"
+        now += 6.0  # beyond lease expiry and max backoff
+        queue.expire(now)
+        grant = queue.acquire("drain", now)
+        if grant is None:
+            continue
+        # Alternate crash-and-retry with eventual success, seeded so the
+        # schedule is reproducible.
+        if (grant.attempt + hash(grant.point) % 2) % 2 == 0:
+            queue.fail(grant.lease_id, "drain failure", now)
+        else:
+            queue.record(grant.point, "fp", None, now)
+
+    counts = queue.counts()
+    assert counts[PENDING] == 0 and counts[LEASED] == 0
+    assert counts[DONE] + counts[DEAD] == len(queue)
+    for letter in queue.dead_letters():
+        assert letter.attempts == queue.max_attempts
+        assert len(letter.errors) == queue.max_attempts

@@ -1,0 +1,387 @@
+"""HTTP sweep service: server/worker lifecycle over real loopback HTTP.
+
+Uses a stub executor (one real simulation result, reused) so the tests
+exercise the distributed machinery — leases, heartbeats, duplicate
+submissions, expiry reassignment, drain — rather than simulation speed.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ProtocolError, TransportError, WireError
+from repro.experiments import (
+    ExperimentPoint,
+    HttpTransport,
+    LeaseQueue,
+    SweepClient,
+    SweepServer,
+    SweepSpec,
+    Worker,
+    execute_point,
+)
+from repro.serialize import wire_decode, wire_encode
+
+TINY = SweepSpec(
+    scenarios=("usemem-scenario",),
+    policies=("greedy", "no-tmem"),
+    seeds=(1, 2),
+    scales=(0.1,),
+)
+
+
+@pytest.fixture(scope="module")
+def canned_result():
+    """One real ScenarioResult, computed once for the whole module."""
+    return execute_point(TINY.expand()[0])
+
+
+@pytest.fixture
+def server_factory():
+    servers = []
+
+    def build(points, **kwargs):
+        queue = LeaseQueue(
+            points,
+            lease_expiry_s=kwargs.pop("lease_expiry_s", 10.0),
+            max_attempts=kwargs.pop("max_attempts", 3),
+            backoff_base_s=kwargs.pop("backoff_base_s", 0.01),
+            backoff_jitter=0.0,
+        )
+        server = SweepServer(queue, **kwargs).start()
+        servers.append(server)
+        return server
+
+    yield build
+    for server in servers:
+        server.stop()
+
+
+def make_client(server, worker_id="w0", **kwargs):
+    kwargs.setdefault("max_retries", 2)
+    kwargs.setdefault("backoff_base_s", 0.01)
+    return SweepClient(
+        HttpTransport(server.url, timeout_s=5.0), worker_id, **kwargs
+    )
+
+
+class TestServerEndpoints:
+    def test_lease_result_status_happy_path(self, server_factory, canned_result):
+        points = TINY.expand()[:2]
+        recorded = []
+        server = server_factory(
+            list(points), on_result=lambda p, r: recorded.append(p)
+        )
+        client = make_client(server)
+
+        reply = client.lease()
+        assert reply["lease"]["point"] == points[0].to_dict()
+        assert reply["lease"]["attempt"] == 1
+        ack = client.submit_result(
+            reply["lease"]["lease_id"], points[0], canned_result
+        )
+        assert ack == {"recorded": True, "duplicate": False}
+        assert recorded == [points[0]]
+
+        status = client.status()
+        assert status["total"] == 2
+        assert status["counts"]["done"] == 1
+        assert not status["done"]
+
+    def test_duplicate_submission_acknowledged_not_rerecorded(
+        self, server_factory, canned_result
+    ):
+        point = TINY.expand()[0]
+        recorded = []
+        server = server_factory([point], on_result=lambda p, r: recorded.append(p))
+        client = make_client(server)
+        lease = client.lease()["lease"]
+        first = client.submit_result(lease["lease_id"], point, canned_result)
+        second = client.submit_result(lease["lease_id"], point, canned_result)
+        assert first == {"recorded": True, "duplicate": False}
+        assert second == {"recorded": False, "duplicate": True}
+        assert recorded == [point]  # on_result fired exactly once
+
+    def test_lease_expiry_reassigns_to_other_worker(
+        self, server_factory, canned_result
+    ):
+        point = TINY.expand()[0]
+        server = server_factory([point], lease_expiry_s=0.2)
+        w1, w2 = make_client(server, "w1"), make_client(server, "w2")
+        first = w1.lease()["lease"]
+        # w2 can't have it while the lease is live.
+        assert w2.lease()["lease"] is None
+        time.sleep(0.3)
+        server.tick()
+        time.sleep(0.05)  # let the retry backoff (10ms) elapse
+        regrant = w2.lease()["lease"]
+        assert regrant is not None
+        assert regrant["attempt"] == 2
+        # w1 finished anyway (deterministic result): dedupe, not error.
+        late = w1.submit_result(first["lease_id"], point, canned_result)
+        assert late["recorded"] is True
+        dup = w2.submit_result(regrant["lease_id"], point, canned_result)
+        assert dup == {"recorded": False, "duplicate": True}
+
+    def test_heartbeat_keeps_lease_alive(self, server_factory, canned_result):
+        point = TINY.expand()[0]
+        server = server_factory([point], lease_expiry_s=0.4)
+        w1, w2 = make_client(server, "w1"), make_client(server, "w2")
+        lease = w1.lease()["lease"]
+        for _ in range(4):
+            time.sleep(0.15)
+            assert w1.heartbeat(lease["lease_id"])
+            assert w2.lease()["lease"] is None
+        ack = w1.submit_result(lease["lease_id"], point, canned_result)
+        assert ack["recorded"] is True
+
+    def test_fail_reports_and_retries(self, server_factory):
+        point = TINY.expand()[0]
+        server = server_factory([point], max_attempts=2)
+        client = make_client(server)
+        lease = client.lease()["lease"]
+        assert client.fail(lease["lease_id"], "transient explosion")
+        time.sleep(0.05)
+        retry = client.lease()["lease"]
+        assert retry["attempt"] == 2
+        assert client.fail(retry["lease_id"], "permanent explosion")
+        status = client.status()
+        assert status["done"] is True
+        assert status["counts"]["dead"] == 1
+        assert "permanent explosion" in status["dead_letters"][0]
+
+    def test_fingerprint_mismatch_rejected(self, server_factory, canned_result):
+        point = TINY.expand()[0]
+        server = server_factory([point])
+        client = make_client(server)
+        lease = client.lease()["lease"]
+        with pytest.raises(ProtocolError, match="fingerprint mismatch"):
+            client.transport.post(
+                "/api/v1/result",
+                "result",
+                {
+                    "lease_id": lease["lease_id"],
+                    "worker": "w0",
+                    "point": point.to_dict(),
+                    "fingerprint": "0" * 64,  # claims the wrong hash
+                    "result": canned_result.to_dict(),
+                },
+            )
+        # Nothing was recorded.
+        assert client.status()["counts"]["done"] == 0
+
+    def test_malformed_requests_rejected(self, server_factory):
+        server = server_factory(TINY.expand()[:1])
+        transport = HttpTransport(server.url, timeout_s=5.0)
+        with pytest.raises(ProtocolError):  # unknown endpoint -> 404
+            transport.post("/api/v1/nope", "lease_request", {"worker": "w"})
+        with pytest.raises(ProtocolError):  # wrong message kind
+            transport.post("/api/v1/lease", "heartbeat", {"worker": "w"})
+        with pytest.raises(ProtocolError):  # missing field
+            transport.post("/api/v1/lease", "lease_request", {})
+        with pytest.raises(ProtocolError):  # field of the wrong type
+            transport.post("/api/v1/lease", "lease_request", {"worker": 7})
+
+    def test_wire_version_mismatch_rejected(self, server_factory):
+        import json
+        import urllib.request
+
+        server = server_factory(TINY.expand()[:1])
+        body = wire_encode("lease_request", {"worker": "w"})
+        envelope = json.loads(body)
+        envelope["v"] = 999
+        request = urllib.request.Request(
+            server.url + "/api/v1/lease",
+            data=json.dumps(envelope).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert info.value.code == 400
+        _, payload = wire_decode(info.value.read())
+        assert "wire format version" in payload["error"]
+
+    def test_drain_stops_granting(self, server_factory):
+        server = server_factory(TINY.expand()[:2])
+        client = make_client(server)
+        assert client.lease()["lease"] is not None
+        server.drain()
+        reply = client.lease()
+        assert reply["lease"] is None
+        assert reply["done"] is True  # workers should exit
+
+
+class TestWireEnvelope:
+    def test_round_trip(self):
+        kind, payload = wire_decode(wire_encode("ping", {"a": [1, 2]}))
+        assert kind == "ping" and payload == {"a": [1, 2]}
+
+    def test_rejects_garbage(self):
+        with pytest.raises(WireError):
+            wire_decode(b"\xff\xfe")
+        with pytest.raises(WireError):
+            wire_decode("not json")
+        with pytest.raises(WireError):
+            wire_decode("[1,2,3]")
+        with pytest.raises(WireError):
+            wire_decode('{"v": 2, "kind": "x", "payload": {}}')
+        with pytest.raises(WireError):
+            wire_decode('{"v": 1, "kind": 5, "payload": {}}')
+        with pytest.raises(WireError):
+            wire_decode(wire_encode("a", {}), expect_kind="b")
+
+
+class TestWorkerLoop:
+    def test_workers_complete_a_sweep(self, server_factory, canned_result):
+        points = TINY.expand()
+        recorded = []
+        server = server_factory(
+            list(points), on_result=lambda p, r: recorded.append(p)
+        )
+
+        def run_worker(name):
+            worker = Worker(
+                make_client(server, name),
+                executor=lambda point: canned_result,
+                heartbeat_interval_s=0.2,
+            )
+            return worker.run()
+
+        summaries = []
+        threads = [
+            threading.Thread(target=lambda n=n: summaries.append(run_worker(n)))
+            for n in ("w1", "w2")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert sorted(recorded) == sorted(points)
+        assert sum(s.completed for s in summaries) == len(points)
+        assert sum(s.failures for s in summaries) == 0
+        assert server.is_settled
+
+    def test_worker_reports_clean_failures_to_dead_letter(self, server_factory):
+        point = TINY.expand()[0]
+        server = server_factory([point], max_attempts=2)
+
+        def explode(p):
+            raise RuntimeError("deterministic bug in this point")
+
+        worker = Worker(
+            make_client(server), executor=explode, heartbeat_interval_s=0.2
+        )
+        summary = worker.run()
+        assert summary.failures == 2
+        status = make_client(server).status()
+        assert status["counts"]["dead"] == 1
+        assert "deterministic bug" in status["dead_letters"][0]
+
+    def test_worker_drain_finishes_current_point(self, server_factory, canned_result):
+        points = TINY.expand()
+        server = server_factory(list(points))
+        worker_box = {}
+
+        def slow_executor(point):
+            # Drain arrives mid-execution; the worker must finish and
+            # submit this point, then stop leasing.
+            worker_box["worker"].request_drain()
+            time.sleep(0.05)
+            return canned_result
+
+        worker = Worker(
+            make_client(server), executor=slow_executor,
+            heartbeat_interval_s=0.2,
+        )
+        worker_box["worker"] = worker
+        summary = worker.run()
+        assert summary.drained
+        assert summary.completed == 1
+        status = make_client(server).status()
+        assert status["counts"]["done"] == 1
+        assert status["counts"]["pending"] == len(points) - 1
+
+    def test_worker_survives_server_restart(self, canned_result):
+        """Reconnect/backoff: the server dies mid-sweep and comes back
+        on the same port; the worker rides it out."""
+        points = list(TINY.expand()[:2])
+        queue1 = LeaseQueue(points, lease_expiry_s=5.0)
+        server1 = SweepServer(queue1).start()
+        host, port = server1._httpd.server_address[:2]
+        client = make_client(server1, max_retries=30, backoff_base_s=0.02)
+        worker = Worker(
+            client, executor=lambda p: canned_result, heartbeat_interval_s=0.5
+        )
+        result_thread = threading.Thread(target=lambda: worker.run())
+
+        # Let the worker complete one point, then bounce the server.
+        lease = client.lease()["lease"]
+        client.submit_result(lease["lease_id"], points[0], canned_result)
+        server1.stop()
+
+        result_thread.start()
+        time.sleep(0.2)  # worker is now failing requests and backing off
+        queue2 = LeaseQueue([points[1]], lease_expiry_s=5.0)
+        server2 = SweepServer(queue2, port=port).start()
+        try:
+            result_thread.join(timeout=30.0)
+            assert not result_thread.is_alive()
+            assert queue2.is_settled
+        finally:
+            server2.stop()
+
+    def test_transport_gives_up_when_server_gone(self):
+        client = SweepClient(
+            HttpTransport("http://127.0.0.1:1", timeout_s=0.2),
+            "w0",
+            max_retries=2,
+            backoff_base_s=0.01,
+        )
+        with pytest.raises(TransportError, match="giving up"):
+            client.lease()
+
+
+class TestWorkerCli:
+    def test_worker_subcommand_runs_sweep_to_completion(
+        self, server_factory, canned_result, monkeypatch
+    ):
+        """`smartmem worker --url ...` drains a queue and exits 0."""
+        from repro import cli
+        from repro.experiments import backends
+
+        monkeypatch.setattr(
+            backends, "execute_point", lambda point: canned_result
+        )
+        points = TINY.expand()[:2]
+        server = server_factory(list(points))
+        rc = cli.main(
+            [
+                "worker",
+                "--url",
+                server.url,
+                "--id",
+                "cli-worker",
+                "--heartbeat-interval",
+                "0.2",
+            ]
+        )
+        assert rc == 0
+        assert server.is_settled
+
+    def test_worker_exits_nonzero_when_server_unreachable(self):
+        from repro import cli
+
+        rc = cli.main(
+            ["worker", "--url", "http://127.0.0.1:1", "--timeout", "0.2"]
+        )
+        assert rc == 3
+
+
+def test_experiment_point_round_trips_through_lease_wire(canned_result):
+    """The grant payload a worker receives rebuilds the exact point."""
+    point = ExperimentPoint("many-vms:n=4", "smart-alloc:P=2", seed=7, scale=0.5)
+    queue = LeaseQueue([point])
+    grant = queue.acquire("w", now=0.0)
+    _, decoded = wire_decode(wire_encode("lease_granted", grant.to_dict()))
+    assert ExperimentPoint.from_dict(decoded["point"]) == point
