@@ -177,6 +177,53 @@ def test_recorded_pr5_trajectory_has_no_regression(bench_tolerance):
             assert record["pages"] > 0 and record["pages_per_s"] > 0
 
 
+def test_recorded_pr7_trajectory_has_no_regression(bench_tolerance):
+    """The committed PR-7 record must not regress vs the PR-5 record.
+
+    ``benchmarks/BENCH_pr7.json`` is the perf point after the replay
+    vectorization + sharded-execution PR.  Absolute walls are not
+    comparable across recording sessions (the shared host's speed
+    drifts), so the trajectory is judged on the machine-independent
+    batched/scalar speedups — and PR 7's replay work must show up there
+    as a *gain*, not merely a non-regression:
+
+    * ``usemem-micro`` (the pure hypercall-path case the replay
+      vectorization targets) recorded 5.30x vs PR 5's 4.44x; the floor
+      below encodes the >= 1.2x single-core batched-wall gain measured
+      when the work landed (69.5 ms -> 39.1 ms same-session A/B).
+    * ``manyvms-micro`` and ``contended-micro`` (the spill fast path
+      and all-puts-fail short-circuit) each rose ~1.3-1.5x in ratio.
+
+    The new ``cluster-shard-micro`` case must be present with its shard
+    count and the report's host core count recorded, so future shard
+    numbers are interpretable across machines.
+    """
+    pr7 = _assert_recorded_trajectory(
+        "BENCH_pr7.json", "BENCH_pr5.json", bench_tolerance,
+        "PYTHONPATH=src python -m repro bench --label pr7 --output benchmarks",
+    )
+    speedups = dict(pr7.get("speedups", {}))
+    # Gains, not just parity (recorded 5.30x / 2.22x / 2.24x).
+    assert speedups["usemem-micro"] >= 5.0
+    assert speedups["manyvms-micro"] >= 2.0
+    assert speedups["contended-micro"] >= 2.0
+    assert "cluster-shard-micro" in speedups, (
+        "BENCH_pr7.json lacks the cluster-shard-micro case"
+    )
+    assert pr7.get("cpu_count", 0) >= 1, (
+        "BENCH_pr7.json does not record the host core count"
+    )
+    shard_records = [
+        r for r in pr7["records"] if r["case"] == "cluster-shard-micro"
+    ]
+    assert shard_records, "BENCH_pr7.json has no cluster-shard-micro records"
+    for record in shard_records:
+        assert record.get("shards"), (
+            "cluster-shard-micro record lacks its shard count"
+        )
+        assert record["pages"] > 0 and record["pages_per_s"] > 0
+
+
 def test_no_regression_vs_recorded_baseline(
     quick_bench_report, bench_baseline, bench_tolerance
 ):

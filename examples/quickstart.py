@@ -13,6 +13,15 @@ Run with::
 
 The default scale (0.25) keeps the run under a few seconds; use
 ``--scale 1.0`` for the paper-sized configuration.
+
+Going further:
+
+* Multi-node runs and **sharded execution** (one engine per node group
+  in worker processes, ``smartmem run shard:nodes=4 --shards auto``) —
+  see README.md "Architecture: Node and Cluster layers" / "Sharded
+  execution" and :func:`repro.cluster.run_scenario_sharded`.
+* The ``relaxed`` access engine for throughput-over-bit-identity runs —
+  see PERFORMANCE.md "The relaxed engine and aggregate pinning".
 """
 
 from __future__ import annotations

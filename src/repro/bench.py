@@ -78,6 +78,10 @@ class BenchCase:
     tmem_mb: Optional[int] = None
     #: Override usemem's access-burst length; None keeps the default.
     burst_pages: Optional[int] = None
+    #: Run cluster cases through the sharded runner: ``"auto"``, a
+    #: worker count, or None for the classic shared engine.  Only
+    #: meaningful for scenarios with a topology.
+    shards: "Optional[int | str]" = None
 
     def build_spec(self) -> ScenarioSpec:
         spec = scenario_by_name(self.scenario, scale=self.scale)
@@ -137,6 +141,17 @@ MICRO_CASES: Tuple[BenchCase, ...] = (
         name="failover-micro",
         scenario="failover:nodes=3,fail_at=10",
         scale=0.1,
+    ),
+    # Four decoupled nodes through the sharded runner (one engine per
+    # node in worker processes where cores allow).  The only case whose
+    # wall clock reflects sharded execution; its record carries the
+    # worker count actually used, and the report carries the host's
+    # core count, so regression comparisons stay like-for-like.
+    BenchCase(
+        name="cluster-shard-micro",
+        scenario="shard:nodes=4,vms_per_node=2",
+        scale=0.25,
+        shards="auto",
     ),
 )
 
@@ -301,6 +316,8 @@ class BenchRecord:
     events_per_s: float
     pages: int
     pages_per_s: float
+    #: Shard workers the run actually used; None = shared engine.
+    shards: Optional[int] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -312,6 +329,7 @@ class BenchRecord:
             "events_per_s": self.events_per_s,
             "pages": self.pages,
             "pages_per_s": self.pages_per_s,
+            "shards": self.shards,
         }
 
 
@@ -325,6 +343,8 @@ class BenchReport:
     host: str
     python: str
     created_at: str
+    #: Host CPU cores at record time — context for shard walls.
+    cpu_count: int = 0
     records: List[BenchRecord] = field(default_factory=list)
     #: case name -> batched pages/s over scalar pages/s.
     speedups: Dict[str, float] = field(default_factory=dict)
@@ -351,23 +371,52 @@ class BenchReport:
             "host": self.host,
             "python": self.python,
             "created_at": self.created_at,
+            "cpu_count": self.cpu_count,
             "records": [r.as_dict() for r in self.records],
             "speedups": dict(self.speedups),
             "engine_records": [r.as_dict() for r in self.engine_records],
         }
 
 
-def _run_once(spec: ScenarioSpec, policy: str, engine: str, seed: int):
+def _run_once(
+    spec: ScenarioSpec,
+    policy: str,
+    engine: str,
+    seed: int,
+    shards: "Optional[int | str]" = None,
+):
+    """One measured run; returns (wall, simulated, events, pages, shards).
+
+    The returned ``shards`` is the worker count a sharded run actually
+    used (None for the classic shared-engine path), so records document
+    the executed configuration rather than the requested one.
+    """
     config = SimulationConfig(
         units=SCENARIO_UNITS, guest=GuestConfig(access_engine=engine)
     )
+    if shards is not None and spec.topology is not None:
+        from .cluster.sharded import ShardedClusterRunner
+
+        sharded_runner = ShardedClusterRunner(
+            spec, policy, shards=shards, config=config, seed=seed
+        )
+        start = time.perf_counter()
+        result = sharded_runner.run()
+        wall = time.perf_counter() - start
+        return (
+            wall,
+            result.simulated_duration_s,
+            sharded_runner.events_executed,
+            sharded_runner.pages_accessed,
+            len(sharded_runner.buckets),
+        )
     runner = ScenarioRunner(spec, policy, config=config, seed=seed)
     start = time.perf_counter()
     result = runner.run()
     wall = time.perf_counter() - start
     pages = sum(vm.kernel.stats.accesses for vm in runner.vms.values())
     events = runner.engine.events_executed
-    return wall, result.simulated_duration_s, events, pages
+    return wall, result.simulated_duration_s, events, pages, None
 
 
 def run_case(
@@ -376,13 +425,21 @@ def run_case(
     engine: str = "batched",
     seed: int = BENCH_SEED,
     repeats: int = 3,
+    shards: "Optional[int | str]" = None,
 ) -> BenchRecord:
-    """Run one case under one engine; wall clock is the median of repeats."""
+    """Run one case under one engine; wall clock is the median of repeats.
+
+    *shards* overrides the case's own shard setting when given.
+    """
     spec = case.build_spec()
+    effective_shards = shards if shards is not None else case.shards
     walls = []
     simulated = events = pages = 0
+    used_shards: Optional[int] = None
     for _ in range(max(1, repeats)):
-        wall, simulated, events, pages = _run_once(spec, case.policy, engine, seed)
+        wall, simulated, events, pages, used_shards = _run_once(
+            spec, case.policy, engine, seed, effective_shards
+        )
         walls.append(wall)
     wall = statistics.median(walls)
     return BenchRecord(
@@ -394,6 +451,7 @@ def run_case(
         events_per_s=events / wall if wall > 0 else float("inf"),
         pages=pages,
         pages_per_s=pages / wall if wall > 0 else float("inf"),
+        shards=used_shards,
     )
 
 
@@ -404,12 +462,17 @@ def run_suite(
     engines: Sequence[str] = ("scalar", "batched"),
     seed: int = BENCH_SEED,
     repeats: int = 3,
+    shards: "Optional[int | str]" = None,
 ) -> BenchReport:
     """Run every case under every engine and derive per-case speedups.
 
     Engine runs are interleaved per case so that slow host drift (cron
-    jobs, thermal throttling) biases both engines equally.
+    jobs, thermal throttling) biases both engines equally.  *shards*
+    overrides every cluster case's shard setting (CI uses this to sweep
+    2- and 4-worker configurations).
     """
+    import os as _os
+
     report = BenchReport(
         label=label,
         seed=seed,
@@ -417,21 +480,23 @@ def run_suite(
         host=platform.node() or "unknown",
         python=platform.python_version(),
         created_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        cpu_count=_os.cpu_count() or 0,
     )
     for case in cases:
         spec = case.build_spec()
+        effective_shards = shards if shards is not None else case.shards
         walls: Dict[str, List[float]] = {engine: [] for engine in engines}
-        metrics: Dict[str, Tuple[float, int, int]] = {}
+        metrics: Dict[str, Tuple[float, int, int, Optional[int]]] = {}
         for _ in range(max(1, repeats)):
             for engine in engines:
-                wall, simulated, events, pages = _run_once(
-                    spec, case.policy, engine, seed
+                wall, simulated, events, pages, used_shards = _run_once(
+                    spec, case.policy, engine, seed, effective_shards
                 )
                 walls[engine].append(wall)
-                metrics[engine] = (simulated, events, pages)
+                metrics[engine] = (simulated, events, pages, used_shards)
         for engine in engines:
             wall = statistics.median(walls[engine])
-            simulated, events, pages = metrics[engine]
+            simulated, events, pages, used_shards = metrics[engine]
             report.records.append(
                 BenchRecord(
                     case=case.name,
@@ -442,6 +507,7 @@ def run_suite(
                     events_per_s=events / wall if wall > 0 else float("inf"),
                     pages=pages,
                     pages_per_s=pages / wall if wall > 0 else float("inf"),
+                    shards=used_shards,
                 )
             )
         scalar = report.record_for(case.name, "scalar")
@@ -477,12 +543,34 @@ def compare_reports(
     machine-independent property of the code — so a baseline recorded on
     one host remains meaningful on another.  A case regresses when its
     speedup falls more than ``tolerance`` below the baseline's.
+
+    Cases whose *shard configuration* differs between the two reports
+    are skipped: a 4-worker run and a shared-engine run of the same
+    scenario have different wall-clock structure, so their speedups are
+    not comparable (each configuration regresses only against itself).
     """
+
+    def shards_of(records, case: str) -> Optional[int]:
+        for record in records:
+            record_data = (
+                record.as_dict() if isinstance(record, BenchRecord) else record
+            )
+            if (
+                record_data.get("case") == case
+                and record_data.get("engine") == "batched"
+            ):
+                return record_data.get("shards")
+        return None
+
     problems: List[str] = []
     base_speedups: Dict[str, float] = dict(baseline.get("speedups", {}))
     for case, base in base_speedups.items():
         cur = current.speedups.get(case)
         if cur is None:
+            continue
+        if shards_of(current.records, case) != shards_of(
+            baseline.get("records", []), case
+        ):
             continue
         floor = base * (1.0 - tolerance)
         if cur < floor:
@@ -495,18 +583,22 @@ def compare_reports(
 
 def format_report(report: BenchReport, *, baseline: Optional[Dict[str, object]] = None) -> str:
     """Human-readable summary table of a suite run."""
+    cores = f", {report.cpu_count} cores" if report.cpu_count else ""
     lines = [
         f"Benchmark suite '{report.label}' — seed {report.seed}, "
-        f"{report.repeats} repeats, host {report.host}",
+        f"{report.repeats} repeats, host {report.host}{cores}",
         "",
         f"{'case':16s} {'engine':8s} {'wall[ms]':>9s} {'events/s':>12s} "
         f"{'pages/s':>12s}",
     ]
     for record in report.records:
+        shard_note = (
+            f"  [{record.shards} shard(s)]" if record.shards is not None else ""
+        )
         lines.append(
             f"{record.case:16s} {record.engine:8s} "
             f"{record.wall_clock_s * 1e3:9.1f} {record.events_per_s:12.0f} "
-            f"{record.pages_per_s:12.0f}"
+            f"{record.pages_per_s:12.0f}{shard_note}"
         )
     lines.append("")
     for case, speedup in report.speedups.items():

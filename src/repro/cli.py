@@ -122,6 +122,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="live-migrate a VM mid-run, e.g. --migrate n1.VM1@node2@20 "
              "(repeatable)",
     )
+    run_p.add_argument(
+        "--shards", type=str, default=None, metavar="N|auto",
+        help="run the cluster sharded: one engine per node group in "
+             "worker processes ('auto' = one per node, capped at the "
+             "CPU count).  Results are bit-identical to the shared "
+             "engine; coupled topologies (spill, coordinator, "
+             "contention, failures, migrations) fall back to one exact "
+             "worker",
+    )
     run_p.add_argument("--traces", action="store_true",
                        help="also print per-VM tmem usage traces")
     run_p.add_argument("--fairness", action="store_true",
@@ -185,6 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--num-workers", type=int, default=2,
                          help="local worker threads for --backend remote "
                               "(default 2)")
+    sweep_p.add_argument(
+        "--shards", type=str, default=None, metavar="N|auto",
+        help="shard cluster points across engine workers (serial "
+             "backend: real processes; process backend: inline within "
+             "each pool worker).  Fingerprints are identical either "
+             "way",
+    )
     sweep_p.add_argument("--results-dir", type=str, default="sweep-results",
                          help="directory for per-point result JSON files "
                               "(default: sweep-results)")
@@ -264,6 +280,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default 0.20)")
     bench_p.add_argument("--no-fail", action="store_true",
                          help="report regressions without a non-zero exit")
+    bench_p.add_argument(
+        "--shards", type=str, default=None, metavar="N|auto",
+        help="override the shard setting of every cluster case (CI "
+             "sweeps 2- and 4-worker configurations with this)",
+    )
     bench_p.add_argument("--profile", action="store_true",
                          help="run the quick suite under cProfile and print "
                               "the top-20 functions by cumulative time")
@@ -347,11 +368,20 @@ def _cmd_run(
     contended: bool = False,
     failures: Optional[List[str]] = None,
     migrations: Optional[List[str]] = None,
+    shards: Optional[str] = None,
 ) -> int:
     spec = scenario_by_name(scenario, scale=scale)
     if nodes < 1:
         print("--nodes must be >= 1", file=sys.stderr)
         return 2
+    if shards is not None and shards != "auto":
+        try:
+            if int(shards) < 1:
+                raise ValueError
+        except ValueError:
+            print("--shards expects a positive integer or 'auto'",
+                  file=sys.stderr)
+            return 2
     cluster_flags = (
         coordinator is not None or contended or failures or migrations
     )
@@ -395,8 +425,34 @@ def _cmd_run(
 
     results: Dict[str, ScenarioResult] = {}
     for policy in selected:
-        print(f"running {spec.name} under {policy} ...", file=sys.stderr)
-        results[policy] = run_scenario(spec, policy, seed=seed)
+        if shards is not None and spec.topology is not None:
+            from .cluster import ShardedClusterRunner
+
+            runner = ShardedClusterRunner(
+                spec, policy, shards=shards, seed=seed
+            )
+            if runner.coupled_reason is not None:
+                print(
+                    f"running {spec.name} under {policy} "
+                    f"(1 exact shard worker: {runner.coupled_reason}) ...",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"running {spec.name} under {policy} "
+                    f"({len(runner.buckets)} shard workers) ...",
+                    file=sys.stderr,
+                )
+            results[policy] = runner.run()
+        else:
+            if shards is not None:
+                print(
+                    f"--shards ignored: {spec.name} has no cluster "
+                    "topology",
+                    file=sys.stderr,
+                )
+            print(f"running {spec.name} under {policy} ...", file=sys.stderr)
+            results[policy] = run_scenario(spec, policy, seed=seed)
 
     print()
     print(render_runtime_table(results, title=f"Running times — {spec.name} (scale={scale})"))
@@ -471,6 +527,10 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
     if spec is None:
         return 2
     if args.backend == "remote":
+        if args.shards is not None:
+            print("--shards is not supported by the remote backend",
+                  file=sys.stderr)
+            return 2
         backend = create_backend(
             "remote",
             num_workers=args.num_workers,
@@ -478,7 +538,9 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
             max_attempts=args.max_attempts,
         )
     else:
-        backend = create_backend(args.backend, max_workers=args.max_workers)
+        backend = create_backend(
+            args.backend, max_workers=args.max_workers, shards=args.shards
+        )
     store = None if args.no_store else ResultStore(args.results_dir)
 
     print(f"sweep: {spec.describe()} [backend={args.backend}]", file=sys.stderr)
@@ -693,7 +755,13 @@ def _cmd_bench(args: "argparse.Namespace") -> int:
         args.tolerance if args.tolerance is not None else bench.DEFAULT_TOLERANCE
     )
     print(f"running benchmark suite '{label}' ...", file=sys.stderr)
-    report = bench.run_suite(cases, label=label, seed=seed, repeats=args.repeats)
+    report = bench.run_suite(
+        cases,
+        label=label,
+        seed=seed,
+        repeats=args.repeats,
+        shards=args.shards,
+    )
 
     baseline = None
     baseline_path = (
@@ -747,6 +815,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             contended=args.contended,
             failures=args.failures,
             migrations=args.migrations,
+            shards=args.shards,
         )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -16,6 +16,11 @@ layers:
   (:class:`~repro.hypervisor.remote_tmem.RemoteTmemBackend`) and a
   cluster coordinator (:mod:`repro.core.coordinator`) rebalances tmem
   capacity between nodes.
+* :class:`~repro.cluster.sharded.ShardedClusterRunner` — the same
+  cluster executed with one engine shard per node group in worker
+  processes; fingerprints are bit-identical to the shared-engine run
+  (decoupled topologies run in parallel, coupled ones fall back to an
+  exact single-engine worker).
 
 :func:`~repro.cluster.cluster.clusterize` lifts any single-host scenario
 spec onto an N-node topology by replicating its VMs per node.
@@ -23,5 +28,19 @@ spec onto an N-node topology by replicating its VMs per node.
 
 from .node import Node
 from .cluster import Cluster, clusterize
+from .sharded import (
+    ShardedClusterRunner,
+    coupling_reason,
+    resolve_shards,
+    run_scenario_sharded,
+)
 
-__all__ = ["Node", "Cluster", "clusterize"]
+__all__ = [
+    "Node",
+    "Cluster",
+    "clusterize",
+    "ShardedClusterRunner",
+    "coupling_reason",
+    "resolve_shards",
+    "run_scenario_sharded",
+]

@@ -103,6 +103,10 @@ class GuestConfig:
     #: whole access burst at once and issues batched tmem hypercalls;
     #: "scalar" is the page-at-a-time reference implementation.  Both
     #: produce bit-identical statistics, traces and scenario results.
+    #: "relaxed" additionally replays planned bursts with vectorized
+    #: latency math: all integer counters stay identical to "batched",
+    #: but float time accumulators may differ in the last units of
+    #: precision (deterministic, pinned separately; see PERFORMANCE.md).
     access_engine: str = "batched"
 
     def __post_init__(self) -> None:
@@ -119,10 +123,10 @@ class GuestConfig:
             raise ConfigurationError(
                 f"unknown reclaim_algorithm {self.reclaim_algorithm!r}"
             )
-        if self.access_engine not in ("batched", "scalar"):
+        if self.access_engine not in ("batched", "scalar", "relaxed"):
             raise ConfigurationError(
                 f"unknown access_engine {self.access_engine!r}; "
-                "expected 'batched' or 'scalar'"
+                "expected 'batched', 'scalar' or 'relaxed'"
             )
 
 

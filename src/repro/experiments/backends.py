@@ -57,16 +57,42 @@ ResultCallback = Callable[[ExperimentPoint, ScenarioResult], None]
 FailureCallback = Callable[[ExperimentPoint, str], None]
 
 
-def execute_point(point: ExperimentPoint) -> ScenarioResult:
-    """Run one experiment point and return its result."""
+def execute_point(
+    point: ExperimentPoint,
+    *,
+    shards: "int | str | None" = None,
+    inline_shards: bool = False,
+) -> ScenarioResult:
+    """Run one experiment point and return its result.
+
+    *shards* routes cluster points through
+    :class:`~repro.cluster.sharded.ShardedClusterRunner` (bit-identical
+    fingerprints, so sharded and unsharded sweeps archive and resume
+    interchangeably).  *inline_shards* runs the shard tasks in-process —
+    the right mode inside a pool worker, where nesting process spawns
+    would oversubscribe the host.
+    """
     spec = scenario_by_name(point.scenario, scale=point.scale)
+    if shards is not None and spec.topology is not None:
+        from ..cluster.sharded import run_scenario_sharded
+
+        return run_scenario_sharded(
+            spec,
+            point.policy,
+            shards=shards,
+            seed=point.seed,
+            inline=inline_shards,
+        )
     return run_scenario(spec, point.policy, seed=point.seed)
 
 
-def _execute_point_worker(point_data: Dict[str, Any]) -> Dict[str, Any]:
+def _execute_point_worker(
+    point_data: Dict[str, Any],
+    shards: "int | str | None" = None,
+) -> Dict[str, Any]:
     """Process-pool worker: run one point, return its serialized result."""
     point = ExperimentPoint.from_dict(point_data)
-    return execute_point(point).to_dict()
+    return execute_point(point, shards=shards, inline_shards=True).to_dict()
 
 
 class ExecutionBackend(ABC):
@@ -97,9 +123,17 @@ class ExecutionBackend(ABC):
 
 
 class SerialBackend(ExecutionBackend):
-    """Run every point in the current process, sequentially."""
+    """Run every point in the current process, sequentially.
+
+    With *shards* set, cluster points run through the sharded runner
+    (real worker processes) — one way to parallelize a sweep whose
+    points are few but individually large.
+    """
 
     name = "serial"
+
+    def __init__(self, shards: "int | str | None" = None) -> None:
+        self.shards = shards
 
     def run(
         self,
@@ -110,7 +144,7 @@ class SerialBackend(ExecutionBackend):
     ) -> List[Optional[ScenarioResult]]:
         results: List[ScenarioResult] = []
         for point in points:
-            result = execute_point(point)
+            result = execute_point(point, shards=self.shards)
             if on_result is not None:
                 on_result(point, result)
             results.append(result)
@@ -122,12 +156,19 @@ class ProcessPoolBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        shards: "int | str | None" = None,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ExperimentError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
         self.max_workers = max_workers or os.cpu_count() or 1
+        # Pool workers shard inline (no nested process spawns); the
+        # fingerprints are identical either way.
+        self.shards = shards
 
     def run(
         self,
@@ -142,7 +183,9 @@ class ProcessPoolBackend(ExecutionBackend):
         workers = min(self.max_workers, len(points))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_execute_point_worker, point.to_dict()): index
+                pool.submit(
+                    _execute_point_worker, point.to_dict(), self.shards
+                ): index
                 for index, point in enumerate(points)
             }
             for future in as_completed(futures):
@@ -367,7 +410,8 @@ def create_backend(
     ``max_workers`` maps to the process pool size or (for ``remote``)
     the number of local worker threads; other keyword *options* are
     passed through to the backend constructor (``remote`` accepts e.g.
-    ``lease_expiry_s``, ``max_attempts``, ``chaos``).
+    ``lease_expiry_s``, ``max_attempts``, ``chaos``; ``serial`` and
+    ``process`` accept ``shards`` for sharded cluster execution).
     """
     try:
         cls = _BACKENDS[name]
@@ -381,7 +425,15 @@ def create_backend(
         if max_workers is not None:
             options.setdefault("num_workers", max_workers)
         return cls(**options)
-    if options:
+    if cls is SerialBackend:
+        unknown = set(options) - {"shards"}
+        if unknown:
+            raise ExperimentError(
+                f"backend {name!r} only takes the 'shards' option, "
+                f"got {sorted(unknown)}"
+            )
+        return cls(**options)
+    if options:  # pragma: no cover - every registered backend is handled
         raise ExperimentError(
             f"backend {name!r} takes no options, got {sorted(options)}"
         )

@@ -224,6 +224,75 @@ class FrontswapClient:
         """Start staging a burst of tmem operations (see module docs)."""
         return FrontswapBatch(self)
 
+    def execute_planned(
+        self,
+        put_pages: List[int],
+        get_pages: List[int],
+        gets_before_puts,
+        *,
+        now: float,
+    ) -> Optional[Optional[List[int]]]:
+        """Ship one planned burst through the closed-form hypercall path.
+
+        *put_pages* are the eviction victims in put order, *get_pages*
+        the tmem-resident misses in get order, and *gets_before_puts*
+        the per-put count of gets the op sequence places before that put
+        (the planner derives it from the burst interleaving).  Applies
+        the exact per-page effects of the equivalent staged batch —
+        stored-page tracking, version audit, statistics — with bulk
+        C-level operations.
+
+        Returns ``None`` when the hypervisor declines the planned path
+        (remote tmem, a target installed, or a non-persistent pool) and
+        the caller must stage a conventional batch; the version clock is
+        untouched in that case.  Otherwise returns the per-put success
+        flags, or ``None``-inside-success semantics matching the batch
+        result: the value is ``[]``-safe — all puts succeeded is
+        signalled by the literal ``True`` so callers can distinguish
+        "declined" (``None``) from "all ok" cheaply.
+        """
+        first_version = self._version_clock + 1
+        planned = self._hypercalls.tmem_planned(
+            self._vm_id,
+            self._pool_id,
+            put_pages,
+            first_version,
+            get_pages,
+            gets_before_puts,
+            self._addresser.pages_per_object,
+            now=now,
+        )
+        if planned is None:
+            return None
+        put_statuses, get_versions = planned
+        n_puts = len(put_pages)
+        self._version_clock += n_puts
+        stored = self._stored
+        stats = self.stats
+        if n_puts:
+            versions = range(first_version, first_version + n_puts)
+            if put_statuses is None:
+                stored.update(zip(put_pages, versions))
+                stats.succ_stores += n_puts
+            else:
+                stored.update(
+                    compress(zip(put_pages, versions), put_statuses)
+                )
+                succ = sum(put_statuses)
+                stats.succ_stores += succ
+                stats.failed_stores += n_puts - succ
+        if get_pages:
+            expected = list(map(stored.pop, get_pages, repeat(None)))
+            if expected != get_versions:
+                for page, exp, ver in zip(get_pages, expected, get_versions):
+                    if exp is not None and exp != ver:
+                        raise GuestError(
+                            f"VM {self._vm_id}: frontswap page {page} "
+                            f"returned stale data (version {ver} != {exp})"
+                        )
+            stats.loads += len(get_pages)
+        return True if put_statuses is None else put_statuses
+
     def invalidate_area(self) -> Tuple[int, float]:
         """Flush everything (swapoff / guest shutdown).
 

@@ -45,6 +45,7 @@ disk submit timestamps by nanoseconds relative to pre-batching revisions
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import accumulate, islice
 from typing import Iterable, List, Sequence, Tuple, Optional
 
 import numpy as np
@@ -145,7 +146,9 @@ class GuestKernel:
         self._resident = make_reclaimer(config.guest.reclaim_algorithm)
         self._swap = SwapArea(swap_pages)
         self._known_pages: set[int] = set()
-        self._batched = config.guest.access_engine == "batched"
+        engine = config.guest.access_engine
+        self._batched = engine != "scalar"
+        self._relaxed = engine == "relaxed"
         self.stats = GuestMemStats()
 
     # -- introspection ---------------------------------------------------------
@@ -465,6 +468,50 @@ class GuestKernel:
 
         if fs is not None:
             in_tmem = list(map(fs.held_pages.__contains__, misses))
+            get_pages = [p for p, held in zip(misses, in_tmem) if held]
+            if victims_needed or get_pages:
+                # Closed-form planned path: the burst's put/get
+                # interleaving is known up front (puts are consecutive
+                # from miss index ``free_slots`` on, with at most one
+                # exclusive get between consecutive puts), so the
+                # hypervisor can resolve the whole admission sequence
+                # with two array operations instead of an op walk.  The
+                # backend declines (returns None) when remote tmem or a
+                # target makes admission history-dependent.
+                if victims_needed:
+                    # Exclusive prefix counts of gets, sliced to the put
+                    # positions (miss index ``free_slots`` onward).
+                    gets_before_puts = list(
+                        islice(
+                            accumulate(in_tmem, initial=0),
+                            free_slots,
+                            n_miss,
+                        )
+                    )
+                else:
+                    gets_before_puts = []
+                planned = fs.execute_planned(
+                    victims, get_pages, gets_before_puts, now=now
+                )
+                if planned is not None:
+                    if n_hits:
+                        resident.promote_burst_planned(misses, page_list)
+                    else:
+                        resident.insert_many(page_list)
+                    outcome.minor_hits = n_hits
+                    put_flags = None if planned is True else planned
+                    # The vectorized replay's fixed array overhead only
+                    # pays off on long bursts; short ones replay exactly.
+                    replay = (
+                        self._replay_burst_relaxed
+                        if self._relaxed and n_miss >= 64
+                        else self._replay_burst
+                    )
+                    replay(
+                        misses, in_tmem, in_swap, victims, put_flags,
+                        free_slots, now, outcome,
+                    )
+                    return True
             batch = fs.begin_batch()
             version = fs.reserve_versions(victims_needed)
             ppo = fs.pages_per_object
@@ -503,10 +550,8 @@ class GuestKernel:
                     put_versions=list(
                         range(version - victims_needed, version)
                     ),
-                    get_pages=[
-                        p for p, held in zip(misses, in_tmem) if held
-                    ],
-                    )
+                    get_pages=get_pages,
+                )
                 statuses = batch.execute(now=now)
                 remote_costs = fs.drain_remote_costs()
         else:
@@ -723,6 +768,218 @@ class GuestKernel:
         outcome.first_touches = first
         stats.time_in_tmem_ops_s = tmem_time
         stats.time_in_disk_io_s = disk_time
+
+    def _replay_burst(
+        self,
+        misses: List[int],
+        in_tmem: List[bool],
+        in_swap: List[bool],
+        victims: Sequence[int],
+        put_flags: Optional[List[int]],
+        free_slots: int,
+        now: float,
+        outcome: AccessOutcome,
+    ) -> None:
+        """Latency/IO replay of a planned burst, fused over the plan inputs.
+
+        The planned fast path already knows the burst's full event
+        sequence from the classification vectors, so no intermediate
+        plan tuples or status lists exist: this loop walks the miss
+        sequence directly, performing exactly the float additions (same
+        constants, same order) :meth:`_replay_plan` performs for the
+        equivalent plan — the two are interchangeable bit for bit.
+        Planned bursts carry no remote operations (the closed-form path
+        declines when remote tmem is attached) and every get hits, so
+        only the per-put success flags (*put_flags*; ``None`` = all
+        succeeded) vary the replay.
+        """
+        config = self._config
+        put_lat = config.tmem_put_latency_s
+        fail_lat = config.tmem_failed_put_latency_s
+        get_lat = config.tmem_get_latency_s
+        fault_overhead = config.guest.fault_overhead_s
+        disk = self._disk
+        disk_write = disk.write_one
+        disk_read = disk.read_one
+        swap = self._swap
+        swap_store = swap.store
+        swap_load = swap.load
+        swap_discard = swap.discard
+        vm_id = self.vm_id
+        stats = self.stats
+
+        acc = outcome.latency_s
+        tmem_time = stats.time_in_tmem_ops_s
+        disk_time = stats.time_in_disk_io_s
+        evictions_to_tmem = evictions_to_disk = 0
+        from_tmem = from_disk = first = 0
+        victim_cursor = 0
+
+        for j, page in enumerate(misses):
+            if j >= free_slots:
+                victim = victims[victim_cursor]
+                if put_flags is None or put_flags[victim_cursor]:
+                    acc += put_lat
+                    tmem_time += put_lat
+                    evictions_to_tmem += 1
+                else:
+                    acc += fail_lat
+                    tmem_time += fail_lat
+                    disk_latency = disk_write(now + acc, vm_id)
+                    swap_store(victim)
+                    acc += disk_latency
+                    disk_time += disk_latency
+                    evictions_to_disk += 1
+                victim_cursor += 1
+            acc += fault_overhead
+            if in_tmem[j]:
+                acc += get_lat
+                tmem_time += get_lat
+                swap_discard(page)
+                from_tmem += 1
+            elif in_swap[j]:
+                disk_latency = disk_read(now + acc, vm_id)
+                swap_load(page)
+                acc += disk_latency
+                disk_time += disk_latency
+                from_disk += 1
+            else:
+                first += 1
+
+        outcome.latency_s = acc
+        outcome.evictions = len(victims)
+        outcome.evictions_to_tmem = evictions_to_tmem
+        outcome.evictions_to_disk = evictions_to_disk
+        outcome.failed_tmem_puts = evictions_to_disk
+        outcome.major_faults = len(misses)
+        outcome.faults_from_tmem = from_tmem
+        outcome.faults_from_disk = from_disk
+        outcome.first_touches = first
+        stats.time_in_tmem_ops_s = tmem_time
+        stats.time_in_disk_io_s = disk_time
+
+    def _replay_burst_relaxed(
+        self,
+        misses: List[int],
+        in_tmem: List[bool],
+        in_swap: List[bool],
+        victims: Sequence[int],
+        put_flags: Optional[List[int]],
+        free_slots: int,
+        now: float,
+        outcome: AccessOutcome,
+    ) -> None:
+        """Vectorized replay of a planned burst (``access_engine="relaxed"``).
+
+        Computes the burst's latency, disk-queue evolution and time
+        counters with bulk numpy operations instead of a per-event walk.
+        Every *integer* outcome — fault/eviction classification, swap
+        and disk op counts, tmem counters — is identical to the exact
+        replay by construction; the float latency accumulators are
+        mathematically equal but may differ from the exact engine in the
+        last units of precision because the additions associate
+        differently.  Relaxed-mode runs are still fully deterministic
+        and fingerprint-pinned separately (see
+        ``tests/data/scenario_fingerprints_relaxed.json``).
+
+        The disk replay exploits the burst-atomicity of swap I/O: the
+        guest keeps one swap request outstanding, so within a burst only
+        the *first* disk op can queue behind the device (every later
+        submit time already includes the previous completion), and the
+        whole FIFO evolution reduces to one wait term plus a sum of
+        service times.
+        """
+        config = self._config
+        put_lat = config.tmem_put_latency_s
+        fail_lat = config.tmem_failed_put_latency_s
+        get_lat = config.tmem_get_latency_s
+        fault_overhead = config.guest.fault_overhead_s
+        disk = self._disk
+        r_serv = disk.read_service_1p
+        w_serv = disk.write_service_1p
+        stats = self.stats
+
+        n_miss = len(misses)
+        n_puts = len(victims)
+        tmem_mask = np.asarray(in_tmem, dtype=bool)
+        read_mask = np.asarray(in_swap, dtype=bool)
+        read_mask &= ~tmem_mask
+
+        # Per-slot latency constants, interleaved as the exact replay
+        # orders them: the eviction (if any) of miss j, then its fault.
+        ev = np.zeros(n_miss)
+        ev_write = np.zeros(n_miss, dtype=bool)
+        failed_victims: List[int] = []
+        if n_puts:
+            if put_flags is None:
+                ev[free_slots:] = put_lat
+            else:
+                flags = np.asarray(put_flags, dtype=bool)
+                ev[free_slots:] = np.where(flags, put_lat, fail_lat + w_serv)
+                ev_write[free_slots:] = ~flags
+                failed_victims = [
+                    v for v, ok in zip(victims, put_flags) if not ok
+                ]
+        fault = np.full(n_miss, fault_overhead)
+        fault[tmem_mask] += get_lat
+        fault[read_mask] += r_serv
+
+        lat = np.empty(2 * n_miss)
+        lat[0::2] = ev
+        lat[1::2] = fault
+        cum = np.cumsum(lat)
+
+        n_writes = len(failed_victims)
+        n_reads = int(read_mask.sum())
+        n_gets = int(tmem_mask.sum())
+        acc0 = outcome.latency_s
+        total = float(cum[-1])
+        wait0 = 0.0
+        if n_writes or n_reads:
+            disk_mask = np.empty(2 * n_miss, dtype=bool)
+            disk_mask[0::2] = ev_write
+            disk_mask[1::2] = read_mask
+            disk_idx = np.flatnonzero(disk_mask)
+            k_first = int(disk_idx[0])
+            serv_first = w_serv if (k_first & 1) == 0 else r_serv
+            submit_first = now + acc0 + float(cum[k_first]) - serv_first
+            busy = disk.busy_until
+            if busy > submit_first:
+                wait0 = busy - submit_first
+            busy_final = now + acc0 + float(cum[int(disk_idx[-1])]) + wait0
+            disk.commit_replay(
+                busy_until=busy_final,
+                reads=n_reads,
+                writes=n_writes,
+                wait_s=wait0,
+                vm_id=self.vm_id,
+            )
+
+        swap = self._swap
+        if failed_victims:
+            swap.store_many(failed_victims)
+        if n_gets:
+            swap.discard_many(
+                [p for p, held in zip(misses, in_tmem) if held]
+            )
+        if n_reads:
+            swap.load_many(np.extract(read_mask, misses).tolist())
+
+        outcome.latency_s = acc0 + total + wait0
+        outcome.evictions = n_puts
+        outcome.evictions_to_tmem = n_puts - n_writes
+        outcome.evictions_to_disk = n_writes
+        outcome.failed_tmem_puts = n_writes
+        outcome.major_faults = n_miss
+        outcome.faults_from_tmem = n_gets
+        outcome.faults_from_disk = n_reads
+        outcome.first_touches = n_miss - n_gets - n_reads
+        stats.time_in_tmem_ops_s += (
+            (n_puts - n_writes) * put_lat
+            + n_writes * fail_lat
+            + n_gets * get_lat
+        )
+        stats.time_in_disk_io_s += wait0 + n_writes * w_serv + n_reads * r_serv
 
     # -- freeing ------------------------------------------------------------------
     def free(self, pages: Sequence[int] | Iterable[int], *, now: float) -> float:

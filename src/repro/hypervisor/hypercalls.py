@@ -199,6 +199,59 @@ class HypercallInterface:
         stats.charge_many("flush_page", result.flushes_total, flush_latency)
         return result, put_latency + get_latency + flush_latency
 
+    def tmem_planned(
+        self,
+        vm_id: int,
+        pool_id: int,
+        put_pages: Sequence[int],
+        first_version: int,
+        get_pages: Sequence[int],
+        gets_before_puts,
+        pages_per_object: int,
+        *,
+        now: float,
+    ):
+        """Issue one planned burst through the closed-form backend path.
+
+        Thin accounting wrapper over :meth:`~repro.hypervisor.
+        tmem_backend.TmemBackend.execute_planned`; see its docstring for
+        the plan shape and preconditions.  Charges exactly what
+        :meth:`tmem_batch` would for the equivalent op sequence — with no
+        remote tmem attached (a planned-path precondition) the remote
+        extras are identically zero, so the simpler expressions below
+        produce bit-equal latencies.  Returns ``None`` when the backend
+        declines the fast path, else ``(put_statuses, get_versions)``.
+        """
+        self._require_registered(vm_id)
+        planned = self._backend.execute_planned(
+            vm_id,
+            pool_id,
+            put_pages,
+            first_version,
+            get_pages,
+            gets_before_puts,
+            pages_per_object,
+            now=now,
+        )
+        if planned is None:
+            return None
+        put_statuses, get_versions = planned
+        stats = self.stats_for(vm_id)
+        puts_total = len(put_pages)
+        puts_succ = (
+            puts_total if put_statuses is None else sum(put_statuses)
+        )
+        puts_failed = puts_total - puts_succ
+        put_latency = (
+            puts_succ * self._config.tmem_put_latency_s
+            + puts_failed * self._config.tmem_failed_put_latency_s
+        )
+        stats.charge_many("put", puts_total, put_latency)
+        gets_total = len(get_pages)
+        get_latency = gets_total * self._config.tmem_get_latency_s
+        stats.charge_many("get", gets_total, get_latency)
+        return put_statuses, get_versions
+
     # -- SmarTmem control-path hypercalls ------------------------------------------
     def tmem_set_targets(
         self, caller_vm_id: int, targets: Mapping[int, int]

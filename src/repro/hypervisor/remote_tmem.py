@@ -165,6 +165,7 @@ class RemoteTmemBackend:
         self._home_vms: set = set()
         self._peers: List["RemoteTmemBackend"] = []
         self._spill_client_id: Optional[int] = None
+        self._spill_account = None
         self._spill_pool_id: Optional[int] = None
         self._ephemeral_pool_id: Optional[int] = None
         #: Persistent (frontswap) spill index of this node's home VMs.
@@ -211,6 +212,7 @@ class RemoteTmemBackend:
         # from the sampler so per-node policies never target it and
         # spill admission stays bounded by free frames only.
         self._hypervisor.accounting.register_vm(spill_client_id, internal=True)
+        self._spill_account = self._hypervisor.accounting.account(spill_client_id)
         pool = self._hypervisor.store.create_pool(spill_client_id, persistent=True)
         self._spill_pool_id = pool.pool_id
         ephemeral = self._hypervisor.store.create_pool(
@@ -387,16 +389,36 @@ class RemoteTmemBackend:
             return False
 
         # Prefer the peer with the most free tmem; ties keep wiring order
-        # so the choice is deterministic.
-        for peer in sorted(
-            self._peers, key=lambda p: -p.free_tmem_pages
-        ):
-            if peer.accept_spill(
+        # so the choice is deterministic.  A max-scan picks the same peer
+        # the stable sort on -free would try first, without allocating.
+        peers = self._peers
+        best = peers[0]
+        best_free = best.free_tmem_pages
+        for peer in peers[1:]:
+            free = peer.free_tmem_pages
+            if free > best_free:
+                best = peer
+                best_free = free
+        if best_free > 0:
+            # A peer with free frames always absorbs: the spill client is
+            # internal (no mm_target, no recursive spilling), so its put
+            # is admitted on free frames alone.
+            if best.accept_spill(
                 self, spill_object, index, version, now, ephemeral=ephemeral
             ):
-                slots[index] = peer
-                self._note_spill(peer, now, ephemeral)
+                slots[index] = best
+                self._note_spill(best, now, ephemeral)
                 return True
+        else:
+            # Every peer is full.  Trying them would fail one by one; the
+            # only observable effect of each failed attempt is the put
+            # accounting on that peer's spill client, so apply it
+            # directly and skip the per-peer put machinery.
+            for peer in peers:
+                account = peer._spill_account
+                account.puts_total += 1
+                account.cumul_puts_total += 1
+                account.cumul_puts_failed += 1
         if not slots:
             del objects[object_id]
         self.stats.spill_failures += 1

@@ -41,6 +41,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..devices.dram import HostMemory
 from ..errors import TmemError
 from .accounting import HypervisorAccounting, VmTmemAccount
@@ -616,6 +618,140 @@ class TmemBackend:
         result.remote_put_extra_s = remote_put_extra
         result.remote_get_extra_s = remote_get_extra
         return result
+
+    # -- closed-form planned data path -------------------------------------------
+    def execute_planned(
+        self,
+        vm_id: int,
+        pool_id: int,
+        put_pages: Sequence[int],
+        first_version: int,
+        get_pages: Sequence[int],
+        gets_before_puts: Sequence[int],
+        pages_per_object: int,
+        *,
+        now: float,
+    ) -> Optional[Tuple[Optional[List[int]], List[int]]]:
+        """Service one planned access burst without materializing ops.
+
+        The guest's vectorized planner knows the exact interleaving of a
+        burst's puts and gets before issuing them: puts are consecutive
+        (one per miss once the free frames are consumed) with at most one
+        exclusive get between consecutive puts.  Under the greedy
+        admission rule (no per-VM target) on a single host, admission
+        then has a closed form: with ``f_i = free_frames +
+        gets_before_puts[i]`` non-decreasing in steps of at most one,
+        the running success count is ``s_i = min(i + 1, f_i)``, and
+        because ``f_i - i`` is non-increasing the whole burst admits
+        fully iff ``f_last >= n_puts`` — one comparison replaces the
+        per-op admission walk in the common case.  The resulting
+        counters, pool contents and statuses are bit-identical to
+        :meth:`execute_batch` over the equivalent op sequence.
+
+        Preconditions (guaranteed by the planner, not re-checked): every
+        put key is absent from the pool (victims are resident, therefore
+        not tmem-held), every get key is present (the client's stored-page
+        map mirrors the pool on a single host), puts and gets are
+        disjoint, ``gets_before_puts`` is non-decreasing with steps <= 1.
+
+        Returns ``None`` when the fast path does not apply (remote tmem
+        attached, a target installed, or a non-persistent pool) — the
+        caller must then fall back to :meth:`execute_batch`.  Otherwise
+        returns ``(put_statuses, get_versions)`` where ``put_statuses``
+        is ``None`` when every put succeeded, else one 1/0 per put.
+        """
+        account = self._accounting.account(vm_id)
+        if self.remote is not None or account.has_target:
+            return None
+        pool = self._store.get_pool(vm_id, pool_id)
+        if not pool.persistent:
+            return None
+
+        n_puts = len(put_pages)
+        n_gets = len(get_pages)
+        objects = pool.radix()
+        objects_get = objects.get
+
+        put_statuses: Optional[List[int]] = None
+        puts_succ = n_puts
+        if n_puts:
+            free = self._host.tmem_free_pages
+            new_record = object.__new__
+            page_cls = TmemPage
+            version = first_version
+            if free + gets_before_puts[-1] >= n_puts:
+                # Every put admits: skip the admission walk entirely.
+                for page_no in put_pages:
+                    object_id, index = divmod(page_no, pages_per_object)
+                    page = new_record(page_cls)
+                    page.key = None
+                    page.owner_vm = vm_id
+                    page.version = version
+                    page.put_time = now
+                    version += 1
+                    bucket = objects_get(object_id)
+                    if bucket is None:
+                        objects[object_id] = {index: page}
+                    else:
+                        bucket[index] = page
+            elif free == 0 and gets_before_puts[-1] == 0:
+                # No free frames and no gets interleave the puts: the
+                # admission bound stays at zero, so every put fails.
+                put_statuses = [0] * n_puts
+                puts_succ = 0
+            else:
+                put_statuses = []
+                append_flag = put_statuses.append
+                succ = 0
+                for page_no, gets_done in zip(put_pages, gets_before_puts):
+                    if succ < free + gets_done:
+                        succ += 1
+                        append_flag(1)
+                        object_id, index = divmod(page_no, pages_per_object)
+                        page = new_record(page_cls)
+                        page.key = None
+                        page.owner_vm = vm_id
+                        page.version = version
+                        page.put_time = now
+                        bucket = objects_get(object_id)
+                        if bucket is None:
+                            objects[object_id] = {index: page}
+                        else:
+                            bucket[index] = page
+                    else:
+                        append_flag(0)
+                    version += 1
+                puts_succ = succ
+
+        get_versions: List[int] = []
+        if n_gets:
+            append_version = get_versions.append
+            for page_no in get_pages:
+                object_id, index = divmod(page_no, pages_per_object)
+                bucket = objects_get(object_id)
+                page = bucket.pop(index, None) if bucket is not None else None
+                if page is None:
+                    raise TmemError(
+                        f"VM {vm_id}: planned get missed page "
+                        f"({object_id}, {index}) in a persistent pool"
+                    )
+                if not bucket:
+                    del objects[object_id]
+                append_version(page.version)
+
+        count_delta = puts_succ - n_gets
+        if count_delta:
+            pool.adjust_count(count_delta)
+        account.puts_total += n_puts
+        account.cumul_puts_total += n_puts
+        account.puts_succ += puts_succ
+        account.cumul_puts_succ += puts_succ
+        account.cumul_puts_failed += n_puts - puts_succ
+        account.gets_total += n_gets
+        account.cumul_gets_total += n_gets
+        self._host.adjust_tmem_used(count_delta)
+        account.tmem_used += count_delta
+        return put_statuses, get_versions
 
     def destroy_vm(self, vm_id: int) -> int:
         """Release every tmem page of a VM at teardown; returns pages freed."""

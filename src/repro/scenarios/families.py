@@ -37,6 +37,10 @@ a modeled interconnect — see :mod:`repro.cluster`):
 * ``migrate`` — a planned live migration: the loaded VM is suspended
   mid-run, its resident state crosses the interconnect, and it resumes
   on the peer node, keeping its identity and statistics.
+* ``shard`` — the decoupled twin of ``cluster``: the same per-node load
+  with no spill, no coordinator and no contention, so the nodes never
+  interact and :class:`~repro.cluster.sharded.ShardedClusterRunner` can
+  run one engine per node in parallel worker processes.
 
 All sizes honour the library's ``scale`` convention (multiply every MB
 figure by ``scale``), so the families run at paper sizes (``scale=1.0``)
@@ -68,6 +72,7 @@ __all__ = [
     "contended_scenario",
     "failover_scenario",
     "migrate_scenario",
+    "shard_scenario",
 ]
 
 
@@ -666,5 +671,84 @@ def migrate_scenario(
             remote_spill=True,
             contended=True,
             migrations=(VmMigration(vm="n1.VM1", to_node="node2", at_s=at),),
+        ),
+    )
+
+
+@register_scenario("shard", parameters=("nodes", "vms_per_node", "ram_mb"))
+def shard_scenario(
+    *, scale: float = 1.0, nodes: int = 4, vms_per_node: int = 2,
+    ram_mb: int = 512,
+) -> ScenarioSpec:
+    """N *decoupled* nodes of M over-committed graph-analytics VMs each.
+
+    The shard-friendly twin of ``cluster``: same per-node load, but no
+    remote-tmem spill, no capacity coordinator and an uncontended
+    interconnect, so the nodes never interact.  This is the topology
+    class :class:`~repro.cluster.sharded.ShardedClusterRunner` can split
+    one-engine-per-node across worker processes while staying
+    bit-identical to the shared-engine run; the coupled families fall
+    back to a single exact worker instead.
+    """
+    _check_scale(scale)
+    nodes = int(nodes)
+    vms_per_node = int(vms_per_node)
+    if nodes < 1:
+        raise ScenarioError(f"shard needs nodes >= 1, got {nodes}")
+    if vms_per_node < 1:
+        raise ScenarioError(
+            f"shard needs vms_per_node >= 1, got {vms_per_node}"
+        )
+    if ram_mb <= 0:
+        raise ScenarioError(f"shard needs ram_mb > 0, got {ram_mb}")
+    vm_ram = _scaled(ram_mb, scale)
+    workload_params = {
+        # Same ~1.8x over-commit as the cluster family, so per-node
+        # behaviour is comparable across the two.
+        "graph_mb": _scaled(ram_mb * 1.47, scale),
+        "rank_vectors_mb": _scaled(ram_mb * 0.35, scale),
+        "iterations": 8,
+    }
+    node_tmem = _scaled(ram_mb * vms_per_node / 2, scale)
+    vms = []
+    node_specs = []
+    for k in range(1, nodes + 1):
+        names = []
+        for i in range(1, vms_per_node + 1):
+            name = f"n{k}.VM{i}"
+            names.append(name)
+            vms.append(
+                VMSpec(
+                    name=name,
+                    ram_mb=vm_ram,
+                    vcpus=1,
+                    swap_mb=_scaled(4 * ram_mb, scale),
+                    jobs=(
+                        WorkloadSpec(kind="graph-analytics",
+                                     params=workload_params,
+                                     start_at=0.0, label="graph-analytics"),
+                    ),
+                )
+            )
+        node_specs.append(
+            NodeSpec(
+                name=f"node{k}",
+                vm_names=tuple(names),
+                tmem_mb=node_tmem,
+                host_memory_mb=vm_ram * vms_per_node + 2 * node_tmem + 256,
+            )
+        )
+    return ScenarioSpec(
+        name=f"shard:nodes={nodes},vms_per_node={vms_per_node},ram_mb={ram_mb}",
+        description=(
+            f"{nodes} decoupled nodes x {vms_per_node} graph-analytics VMs "
+            f"({ram_mb} MB RAM each); {node_tmem} MB tmem per node, no "
+            "spill or coordination — shardable one engine per node"
+        ),
+        vms=tuple(vms),
+        tmem_mb=node_tmem * nodes,
+        topology=ClusterTopology(
+            nodes=tuple(node_specs),
+            remote_spill=False,
         ),
     )

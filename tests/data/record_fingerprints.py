@@ -1,10 +1,22 @@
-"""Re-record tests/data/scenario_fingerprints.json.
+"""Re-record tests/data/scenario_fingerprints*.json.
 
 Run this only when a PR *intentionally* changes simulation semantics;
 the pins exist so that pure-performance PRs can prove they changed
 nothing.  Usage::
 
     PYTHONPATH=src python tests/data/record_fingerprints.py
+
+Two files are written:
+
+* ``scenario_fingerprints.json`` — the full bit-exact
+  ``ScenarioResult.fingerprint()`` of every (scenario, policy) pin
+  point under the default (batched) guest engine.
+* ``scenario_fingerprints_relaxed.json`` — the
+  ``ScenarioResult.aggregate_fingerprint()`` of the same points.  The
+  aggregate hash covers only integer counters, run/phase structure and
+  end-of-run trace values, which every access engine — including the
+  float-reassociating ``relaxed`` one — must reproduce exactly; the
+  pin test re-runs these points under ``relaxed`` and compares.
 """
 
 from __future__ import annotations
@@ -12,9 +24,11 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.config import GuestConfig, SimulationConfig
 from repro.scenarios.library import PAPER_POLICIES
 from repro.scenarios.registry import scenario_by_name
 from repro.scenarios.runner import run_scenario
+from repro.units import SCENARIO_UNITS
 
 SCENARIOS = (
     "usemem-scenario",
@@ -27,14 +41,27 @@ SCENARIOS = (
 
 def main() -> None:
     pins = {}
+    aggregate_pins = {}
+    config = SimulationConfig(
+        units=SCENARIO_UNITS, guest=GuestConfig(access_engine="batched")
+    )
     for scenario in SCENARIOS:
         spec = scenario_by_name(scenario, scale=0.1)
         for policy in PAPER_POLICIES:
-            result = run_scenario(spec, policy, seed=2019)
+            result = run_scenario(spec, policy, config=config, seed=2019)
             pins[f"{scenario}|{policy}"] = result.fingerprint()
-    path = Path(__file__).parent / "scenario_fingerprints.json"
+            aggregate_pins[f"{scenario}|{policy}"] = (
+                result.aggregate_fingerprint()
+            )
+    here = Path(__file__).parent
+    path = here / "scenario_fingerprints.json"
     path.write_text(json.dumps(pins, indent=2, sort_keys=True) + "\n")
     print(f"wrote {len(pins)} pins to {path}")
+    relaxed_path = here / "scenario_fingerprints_relaxed.json"
+    relaxed_path.write_text(
+        json.dumps(aggregate_pins, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {len(aggregate_pins)} aggregate pins to {relaxed_path}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,325 @@
+"""Sharded cluster execution (PR 7): fingerprint identity and safety rails.
+
+The contract of :class:`repro.cluster.sharded.ShardedClusterRunner` is
+that ``run().fingerprint()`` equals the shared-engine run's fingerprint
+for *every* topology: decoupled ones genuinely run one engine per node
+group, coupled ones (spill, coordinator, contention, failures,
+migrations, cross-node triggers) take the exact single-engine fallback.
+The property tests here randomize topology shape, seed, policy and
+shard count over the decoupled ``shard`` family; dedicated tests cover
+the coupled fallback, the real process path, and the clear
+:class:`ClusterError` raised for scenarios a spawned worker could not
+rebuild.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.sharded import (
+    ShardedClusterRunner,
+    _chunk,
+    coupling_reason,
+    resolve_shards,
+    run_scenario_sharded,
+)
+from repro.errors import ClusterError, SimulationError
+from repro.scenarios.registry import scenario_by_name
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import PhaseTrigger
+from repro.workloads.registry import WORKLOAD_REGISTRY, register_workload_kind
+from repro.workloads.usemem import UsememWorkload
+
+SCALE = 0.05
+POLICIES = ["no-tmem", "greedy", "smart-alloc:P=2"]
+
+
+# ---------------------------------------------------------------------------
+# coupling analysis
+# ---------------------------------------------------------------------------
+class TestCouplingReason:
+    def test_shard_family_is_decoupled(self):
+        spec = scenario_by_name("shard:nodes=3", scale=SCALE)
+        assert coupling_reason(spec) is None
+
+    def test_single_host_scenario(self):
+        spec = scenario_by_name("usemem-scenario", scale=SCALE)
+        assert "single-host" in coupling_reason(spec)
+
+    def test_single_node_topology(self):
+        spec = scenario_by_name("shard:nodes=1", scale=SCALE)
+        assert "single-node" in coupling_reason(spec)
+
+    def test_remote_spill_couples_only_with_tmem(self):
+        spec = scenario_by_name("cluster:nodes=3", scale=SCALE)
+        assert "spill" in coupling_reason(spec, use_tmem=True)
+        # Without tmem there are no puts, hence nothing to spill: the
+        # no-tmem policy decouples even a spill-enabled topology.
+        assert coupling_reason(spec, use_tmem=False) is None
+
+    def test_coordinator_couples(self):
+        spec = scenario_by_name("hotnode:nodes=3", scale=SCALE)
+        reason = coupling_reason(spec)
+        assert "spill" in reason or "coordinator" in reason
+
+    def test_contended_couples_even_without_tmem(self):
+        spec = scenario_by_name("contended:nodes=3", scale=SCALE)
+        assert "contended" in coupling_reason(spec, use_tmem=False)
+
+    def test_failures_and_migrations_couple(self):
+        from repro.scenarios.spec import NodeFailure, VmMigration
+
+        spec = scenario_by_name("shard:nodes=2", scale=SCALE)
+        failing = dataclasses.replace(
+            spec,
+            topology=dataclasses.replace(
+                spec.topology, failures=(NodeFailure(node="node2", at_s=5.0),)
+            ),
+        )
+        assert "fail" in coupling_reason(failing, use_tmem=False)
+        migrating = dataclasses.replace(
+            spec,
+            topology=dataclasses.replace(
+                spec.topology,
+                migrations=(
+                    VmMigration(vm="n1.VM1", to_node="node2", at_s=5.0),
+                ),
+            ),
+        )
+        assert "migration" in coupling_reason(migrating, use_tmem=False)
+        # The coupled families themselves are caught too (their reason
+        # may be an earlier check, e.g. the contended interconnect).
+        assert coupling_reason(scenario_by_name("failover", scale=SCALE))
+        assert coupling_reason(scenario_by_name("migrate", scale=SCALE))
+
+    def test_cross_node_phase_trigger_couples(self):
+        spec = scenario_by_name("shard:nodes=2,vms_per_node=1", scale=SCALE)
+        trigger = PhaseTrigger(
+            watch_vm="n1.VM1", phase_prefix="touch", start_vm="n2.VM1"
+        )
+        coupled = dataclasses.replace(spec, phase_triggers=(trigger,))
+        assert "crosses nodes" in coupling_reason(coupled)
+        # Same-node triggers stay decoupled.
+        same_node = dataclasses.replace(
+            scenario_by_name("shard:nodes=2", scale=SCALE),
+            phase_triggers=(
+                PhaseTrigger(
+                    watch_vm="n1.VM1", phase_prefix="touch",
+                    start_vm="n1.VM2",
+                ),
+            ),
+        )
+        assert coupling_reason(same_node) is None
+
+    def test_stop_trigger_couples(self):
+        spec = scenario_by_name("shard:nodes=2", scale=SCALE)
+        stopper = PhaseTrigger(watch_vm="n1.VM1", phase_prefix="touch")
+        coupled = dataclasses.replace(spec, stop_trigger=stopper)
+        assert "stop trigger" in coupling_reason(coupled)
+
+
+class TestResolveShards:
+    def test_none_means_one(self):
+        assert resolve_shards(None, 4) == 1
+
+    def test_auto_caps_at_groups_and_cpus(self):
+        import os
+
+        count = resolve_shards("auto", 4)
+        assert 1 <= count <= min(4, os.cpu_count() or 1)
+        assert resolve_shards("auto", 1) == 1
+
+    def test_integers_and_strings(self):
+        assert resolve_shards(2, 4) == 2
+        assert resolve_shards("3", 4) == 3  # CLI passes strings through
+        assert resolve_shards(8, 3) == 3  # capped at the group count
+
+    @pytest.mark.parametrize("bad", [0, -1, "0", "banana"])
+    def test_invalid_values(self, bad):
+        with pytest.raises(ClusterError):
+            resolve_shards(bad, 4)
+
+
+class TestChunk:
+    def test_even_split(self):
+        groups = [("a",), ("b",), ("c",), ("d",)]
+        assert _chunk(groups, 2) == [("a", "b"), ("c", "d")]
+
+    def test_uneven_split_keeps_every_name_once(self):
+        groups = [(f"n{i}",) for i in range(5)]
+        chunks = _chunk(groups, 3)
+        assert len(chunks) == 3
+        assert all(chunks)
+        flat = [name for chunk in chunks for name in chunk]
+        assert flat == [f"n{i}" for i in range(5)]
+
+    def test_more_buckets_than_groups(self):
+        chunks = _chunk([("a",), ("b",)], 5)
+        assert chunks == [("a",), ("b",)]
+
+
+# ---------------------------------------------------------------------------
+# fingerprint identity (the core guarantee)
+# ---------------------------------------------------------------------------
+class TestShardedIdentity:
+    @settings(deadline=None, max_examples=6)
+    @given(
+        nodes=st.integers(2, 3),
+        vms_per_node=st.integers(1, 2),
+        seed=st.integers(0, 2**31 - 1),
+        shards=st.integers(1, 4),
+        policy=st.sampled_from(POLICIES),
+    )
+    def test_decoupled_matches_shared_engine(
+        self, nodes, vms_per_node, seed, shards, policy
+    ):
+        spec = scenario_by_name(
+            f"shard:nodes={nodes},vms_per_node={vms_per_node}", scale=SCALE
+        )
+        shared = run_scenario(spec, policy, seed=seed)
+        sharded = run_scenario_sharded(
+            spec, policy, shards=shards, seed=seed, inline=True
+        )
+        assert sharded.fingerprint() == shared.fingerprint()
+
+    @settings(deadline=None, max_examples=4)
+    @given(
+        scenario=st.sampled_from(
+            ["failover", "migrate", "cluster:nodes=2", "contended:nodes=2"]
+        ),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_coupled_fallback_matches_shared_engine(self, scenario, seed):
+        """Coupled families (mid-run failures, migrations, spill,
+        contention) stay bit-identical through the exact fallback."""
+        spec = scenario_by_name(scenario, scale=SCALE)
+        runner = ShardedClusterRunner(
+            spec, "greedy", shards=4, seed=seed, inline=True
+        )
+        assert runner.exact
+        assert runner.coupled_reason is not None
+        shared = run_scenario(spec, "greedy", seed=seed)
+        assert runner.run().fingerprint() == shared.fingerprint()
+
+    def test_no_tmem_decouples_a_spill_topology(self):
+        spec = scenario_by_name("cluster:nodes=2", scale=SCALE)
+        runner = ShardedClusterRunner(
+            spec, "no-tmem", shards=2, seed=11, inline=True
+        )
+        assert not runner.exact
+        shared = run_scenario(spec, "no-tmem", seed=11)
+        assert runner.run().fingerprint() == shared.fingerprint()
+
+    def test_counters_match_shared_engine(self):
+        """events_executed / pages_accessed sum to the shared run's."""
+        from repro.scenarios.runner import ScenarioRunner
+
+        spec = scenario_by_name("shard:nodes=2", scale=SCALE)
+        shared_runner = ScenarioRunner(spec, "greedy", seed=3)
+        shared_runner.run()
+        sharded = ShardedClusterRunner(
+            spec, "greedy", shards=2, seed=3, inline=True
+        )
+        sharded.run()
+        pages = sum(
+            vm.kernel.stats.accesses for vm in shared_runner.vms.values()
+        )
+        assert sharded.pages_accessed == pages
+        assert sharded.events_executed > 0
+
+    def test_process_mode_matches_shared_engine(self):
+        """The real spawn-worker path (2 workers) is bit-identical too."""
+        spec = scenario_by_name("shard:nodes=2,vms_per_node=1", scale=SCALE)
+        shared = run_scenario(spec, "greedy", seed=5)
+        runner = ShardedClusterRunner(spec, "greedy", shards=2, seed=5)
+        assert not runner.exact
+        assert len(runner.buckets) == 2
+        assert runner.run().fingerprint() == shared.fingerprint()
+
+    def test_process_mode_exact_fallback(self):
+        """A coupled scenario through the worker path (1 exact worker)."""
+        spec = scenario_by_name("failover", scale=SCALE)
+        shared = run_scenario(spec, "greedy", seed=5)
+        runner = ShardedClusterRunner(spec, "greedy", shards=2, seed=5)
+        assert runner.exact
+        assert runner.run().fingerprint() == shared.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# deadline handling
+# ---------------------------------------------------------------------------
+class TestDeadline:
+    def test_deadline_miss_matches_shared_message(self):
+        spec = dataclasses.replace(
+            scenario_by_name("shard:nodes=2", scale=SCALE),
+            max_duration_s=0.25,
+        )
+        with pytest.raises(SimulationError) as shared_err:
+            run_scenario(spec, "greedy", seed=1)
+        with pytest.raises(SimulationError) as sharded_err:
+            run_scenario_sharded(spec, "greedy", shards=2, seed=1, inline=True)
+        assert str(sharded_err.value) == str(shared_err.value)
+
+
+# ---------------------------------------------------------------------------
+# worker-safety rails (clear errors instead of opaque remote tracebacks)
+# ---------------------------------------------------------------------------
+class TestShardableValidation:
+    def test_custom_workload_kind_is_rejected_for_processes(self):
+        class LocalWorkload(UsememWorkload):
+            pass
+
+        register_workload_kind("sharded-test-local", LocalWorkload)
+        try:
+            spec = scenario_by_name("shard:nodes=2", scale=SCALE)
+            vms = tuple(
+                dataclasses.replace(
+                    vm,
+                    jobs=tuple(
+                        dataclasses.replace(job, kind="sharded-test-local")
+                        for job in vm.jobs
+                    ),
+                )
+                for vm in spec.vms
+            )
+            custom = dataclasses.replace(spec, vms=vms)
+            runner = ShardedClusterRunner(custom, "greedy", shards=2, seed=1)
+            with pytest.raises(ClusterError, match="custom workload kind"):
+                runner.run()
+        finally:
+            WORKLOAD_REGISTRY.pop("sharded-test-local", None)
+
+    def test_unknown_workload_kind_is_rejected(self):
+        spec = scenario_by_name("shard:nodes=2", scale=SCALE)
+        vms = tuple(
+            dataclasses.replace(
+                vm,
+                jobs=tuple(
+                    dataclasses.replace(job, kind="no-such-kind")
+                    for job in vm.jobs
+                ),
+            )
+            for vm in spec.vms
+        )
+        broken = dataclasses.replace(spec, vms=vms)
+        runner = ShardedClusterRunner(broken, "greedy", shards=2, seed=1)
+        with pytest.raises(ClusterError, match="not registered"):
+            runner.run()
+
+    def test_unpicklable_spec_is_rejected(self):
+        spec = scenario_by_name("shard:nodes=2", scale=SCALE)
+        first = spec.vms[0]
+        poisoned_job = dataclasses.replace(
+            first.jobs[0],
+            params={**first.jobs[0].params, "hook": lambda: None},
+        )
+        vms = (
+            dataclasses.replace(first, jobs=(poisoned_job,)),
+        ) + spec.vms[1:]
+        unpicklable = dataclasses.replace(spec, vms=vms)
+        runner = ShardedClusterRunner(unpicklable, "greedy", shards=2, seed=1)
+        with pytest.raises(ClusterError, match="not serializable"):
+            runner.run()
