@@ -224,6 +224,52 @@ def test_recorded_pr7_trajectory_has_no_regression(bench_tolerance):
         assert record["pages"] > 0 and record["pages_per_s"] > 0
 
 
+def test_recorded_pr8_trajectory_has_no_regression(bench_tolerance):
+    """The committed PR-8 record must not regress vs the PR-7 record.
+
+    ``benchmarks/BENCH_pr8.json`` is the perf point after the epoch
+    cluster engine landed.  Besides holding the shared-case speedups it
+    must carry the two new coupled bench cases — ``coupled-shard-micro``
+    and ``coupled-contended-micro``, both run under
+    ``cluster_engine="epoch"`` — and the ``epoch_scaling`` section
+    recording each case's batched wall at 1 and 4 shards.  The >= 2x
+    4-shard scaling target is only assertable where 4 real cores exist;
+    on fewer cores the section still proves the measurement ran and the
+    walls are sane (barrier round-trips on a time-sliced core are pure
+    overhead, and the record keeps that honest rather than hiding it).
+    """
+    pr8 = _assert_recorded_trajectory(
+        "BENCH_pr8.json", "BENCH_pr7.json", bench_tolerance,
+        "PYTHONPATH=src python -m repro bench --label pr8 --output benchmarks",
+    )
+    speedups = dict(pr8.get("speedups", {}))
+    for case in ("coupled-shard-micro", "coupled-contended-micro"):
+        assert case in speedups, f"BENCH_pr8.json lacks the {case} case"
+        for engine in ("scalar", "batched"):
+            record = next(
+                r for r in pr8["records"]
+                if r["case"] == case and r["engine"] == engine
+            )
+            assert record.get("cluster_engine") == "epoch", (
+                f"{case}/{engine} record did not run under the epoch engine"
+            )
+            assert record["pages"] > 0 and record["pages_per_s"] > 0
+    scaling = {e["case"]: e for e in pr8.get("epoch_scaling", [])}
+    assert set(scaling) >= {"coupled-shard-micro", "coupled-contended-micro"}, (
+        "BENCH_pr8.json lacks the epoch_scaling 1-vs-4-shard measurements"
+    )
+    for entry in scaling.values():
+        assert entry["cluster_engine"] == "epoch"
+        assert entry["wall_s_shards1"] > 0 and entry["wall_s_shards4"] > 0
+        assert entry["scaling"] > 0
+        if pr8.get("cpu_count", 0) >= 4:
+            assert entry["scaling"] >= 2.0, (
+                f"{entry['case']}: epoch engine only scaled "
+                f"{entry['scaling']:.2f}x from 1 to 4 shards on a "
+                f"{pr8['cpu_count']}-core host (target 2x)"
+            )
+
+
 def test_no_regression_vs_recorded_baseline(
     quick_bench_report, bench_baseline, bench_tolerance
 ):

@@ -1,0 +1,101 @@
+"""Micro-bench sweep for the relaxed engine's numpy replay gate.
+
+The relaxed guest engine replays a planned burst either with the exact
+per-event walk (:meth:`GuestKernel._replay_burst`) or with the
+vectorized numpy replay (:meth:`GuestKernel._replay_burst_relaxed`).
+The vectorized form trades a fixed array-construction overhead for a
+much lower per-miss cost, so it only pays off past a crossover burst
+length.  ``repro.guest.kernel.RELAXED_NUMPY_MIN_MISSES`` holds that
+crossover; this script re-measures it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/tune_relaxed_gate.py
+
+For each burst length the script synthesizes the cheapest realistic
+planned burst (every miss is a tmem-hit get preceded by a successful
+put — no disk I/O, so the measurement isolates replay dispatch cost
+from device-model cost), times both replay paths, and reports the
+smallest length at which the vectorized replay wins and stays winning.
+The recommended gate is that length rounded up to the next power of
+two, a stable choice across re-runs on one machine class.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.guest.kernel import AccessOutcome, RELAXED_NUMPY_MIN_MISSES
+from repro.scenarios.registry import scenario_by_name
+from repro.scenarios.runner import ScenarioRunner
+
+#: Burst lengths swept (the planned fast path only fires on bursts of at
+#: least a few pages; single-page accesses take the scalar path).
+SWEEP = (4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256)
+
+#: timeit-style repetitions per (length, path) sample.
+REPS = 2000
+
+
+def _make_kernel():
+    """A fully wired kernel from a real single-host scenario build."""
+    spec = scenario_by_name("many-vms:", scale=0.05)
+    runner = ScenarioRunner(spec, "greedy", seed=2019)
+    vm = next(iter(runner.vms.values()))
+    return vm.kernel
+
+
+def _time_replay(kernel, replay, n_miss: int) -> float:
+    """Median-of-5 seconds per call for one replay path at one length."""
+    misses = list(range(n_miss))
+    in_tmem = [True] * n_miss
+    in_swap = [False] * n_miss
+    victims = list(range(n_miss, 2 * n_miss))
+    samples = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(REPS):
+            outcome = AccessOutcome()
+            replay(misses, in_tmem, in_swap, victims, None, 0, 0.0, outcome)
+        samples.append((time.perf_counter() - start) / REPS)
+    samples.sort()
+    return samples[2]
+
+
+def sweep():
+    """Run the sweep and return ``[(n_miss, exact_s, relaxed_s)]``."""
+    kernel = _make_kernel()
+    rows = []
+    for n_miss in SWEEP:
+        exact_s = _time_replay(kernel, kernel._replay_burst, n_miss)
+        relaxed_s = _time_replay(kernel, kernel._replay_burst_relaxed, n_miss)
+        rows.append((n_miss, exact_s, relaxed_s))
+    return rows
+
+
+def crossover(rows) -> int:
+    """Smallest swept length from which the vectorized replay keeps winning."""
+    winner = rows[-1][0]
+    for n_miss, exact_s, relaxed_s in reversed(rows):
+        if relaxed_s < exact_s:
+            winner = n_miss
+        else:
+            break
+    return winner
+
+
+def main() -> None:
+    rows = sweep()
+    print(f"{'n_miss':>8} {'exact us':>10} {'numpy us':>10} {'ratio':>7}")
+    for n_miss, exact_s, relaxed_s in rows:
+        print(
+            f"{n_miss:>8} {exact_s * 1e6:>10.2f} {relaxed_s * 1e6:>10.2f} "
+            f"{exact_s / relaxed_s:>7.2f}"
+        )
+    cross = crossover(rows)
+    print(f"\nmeasured crossover: n_miss >= {cross}")
+    print(f"current gate (RELAXED_NUMPY_MIN_MISSES): {RELAXED_NUMPY_MIN_MISSES}")
+
+
+if __name__ == "__main__":
+    main()

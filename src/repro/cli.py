@@ -131,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
              "contention, failures, migrations) fall back to one exact "
              "worker",
     )
+    run_p.add_argument(
+        "--cluster-engine", choices=("exact", "epoch"), default="exact",
+        help="cluster execution engine for sharded runs: 'exact' "
+             "(default; bit-identical to the shared engine) or 'epoch' "
+             "(conservative lookahead windows — runs coupled topologies "
+             "in parallel; deterministic and shard-count invariant but "
+             "not bit-identical to 'exact')",
+    )
     run_p.add_argument("--traces", action="store_true",
                        help="also print per-VM tmem usage traces")
     run_p.add_argument("--fairness", action="store_true",
@@ -200,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
              "backend: real processes; process backend: inline within "
              "each pool worker).  Fingerprints are identical either "
              "way",
+    )
+    sweep_p.add_argument(
+        "--cluster-engine", choices=("exact", "epoch"), default="exact",
+        help="cluster engine for sharded points: 'epoch' runs coupled "
+             "topologies in lookahead windows (deterministic, "
+             "shard-count invariant, not bit-identical to 'exact')",
     )
     sweep_p.add_argument("--results-dir", type=str, default="sweep-results",
                          help="directory for per-point result JSON files "
@@ -285,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the shard setting of every cluster case (CI "
              "sweeps 2- and 4-worker configurations with this)",
     )
+    bench_p.add_argument(
+        "--cluster-engine", choices=("exact", "epoch"), default=None,
+        help="override the cluster engine of every cluster case "
+             "(CI runs the coupled suite under 'epoch' with this)",
+    )
     bench_p.add_argument("--profile", action="store_true",
                          help="run the quick suite under cProfile and print "
                               "the top-20 functions by cumulative time")
@@ -369,6 +388,7 @@ def _cmd_run(
     failures: Optional[List[str]] = None,
     migrations: Optional[List[str]] = None,
     shards: Optional[str] = None,
+    cluster_engine: str = "exact",
 ) -> int:
     spec = scenario_by_name(scenario, scale=scale)
     if nodes < 1:
@@ -429,12 +449,23 @@ def _cmd_run(
             from .cluster import ShardedClusterRunner
 
             runner = ShardedClusterRunner(
-                spec, policy, shards=shards, seed=seed
+                spec, policy, shards=shards, seed=seed,
+                cluster_engine=cluster_engine,
             )
-            if runner.coupled_reason is not None:
+            if runner.epoch_parallel:
                 print(
                     f"running {spec.name} under {policy} "
-                    f"(1 exact shard worker: {runner.coupled_reason}) ...",
+                    f"({len(runner.buckets)} epoch shard workers: "
+                    f"{runner.coupled_reason}) ...",
+                    file=sys.stderr,
+                )
+            elif runner.coupled_reason is not None:
+                reason = runner.coupled_reason
+                if cluster_engine == "epoch" and runner.epoch_fallback:
+                    reason = runner.epoch_fallback
+                print(
+                    f"running {spec.name} under {policy} "
+                    f"(1 exact shard worker: {reason}) ...",
                     file=sys.stderr,
                 )
             else:
@@ -531,6 +562,10 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
             print("--shards is not supported by the remote backend",
                   file=sys.stderr)
             return 2
+        if args.cluster_engine != "exact":
+            print("--cluster-engine is not supported by the remote backend",
+                  file=sys.stderr)
+            return 2
         backend = create_backend(
             "remote",
             num_workers=args.num_workers,
@@ -539,7 +574,10 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
         )
     else:
         backend = create_backend(
-            args.backend, max_workers=args.max_workers, shards=args.shards
+            args.backend,
+            max_workers=args.max_workers,
+            shards=args.shards,
+            cluster_engine=args.cluster_engine,
         )
     store = None if args.no_store else ResultStore(args.results_dir)
 
@@ -761,6 +799,7 @@ def _cmd_bench(args: "argparse.Namespace") -> int:
         seed=seed,
         repeats=args.repeats,
         shards=args.shards,
+        cluster_engine=args.cluster_engine,
     )
 
     baseline = None
@@ -816,6 +855,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             failures=args.failures,
             migrations=args.migrations,
             shards=args.shards,
+            cluster_engine=args.cluster_engine,
         )
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

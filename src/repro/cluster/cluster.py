@@ -45,7 +45,7 @@ from ..config import SimulationConfig
 from ..core.coordinator import ClusterPolicy, NodeTmemView, create_coordinator
 from ..errors import ClusterError
 from ..guest.vm import VirtualMachine
-from ..hypervisor.remote_tmem import RemoteTmemBackend
+from ..hypervisor.remote_tmem import EpochRemoteTmemBackend, RemoteTmemBackend
 from ..scenarios.spec import (
     ClusterTopology,
     NodeSpec,
@@ -75,6 +75,7 @@ class Cluster:
         trace: TraceRecorder,
         rng_factory: RngFactory,
         use_tmem: bool,
+        epoch: Optional["Any"] = None,
     ) -> None:
         if spec.topology is None:
             raise ClusterError(
@@ -86,6 +87,10 @@ class Cluster:
         self.config = config
         self.trace = trace
         self._use_tmem = use_tmem
+        #: Epoch-engine window context (None on exact shared-engine runs).
+        #: When set, spill ports use window-quota admission and the
+        #: coordinator moves to the epoch driver's barrier rounds.
+        self.epoch = epoch
         multi_node = len(self.topology.nodes) > 1
 
         # Shared domain ids keep "tmem_used/vm<id>" traces unique across
@@ -147,7 +152,10 @@ class Cluster:
             )
             if use_tmem and self.topology.remote_spill:
                 self._wire_remote_spill(domid_counter)
-            if use_tmem and self.topology.coordinator:
+            if use_tmem and self.topology.coordinator and epoch is None:
+                # Under the epoch engine the coordinator runs driver-side
+                # at window barriers (BarrierRebalancer), not on a local
+                # engine timer.
                 self.coordinator = create_coordinator(self.topology.coordinator)
         self._vm_by_id: Dict[int, VirtualMachine] = {
             vm.vm_id: vm
@@ -158,12 +166,21 @@ class Cluster:
     # -- wiring ---------------------------------------------------------------
     def _wire_remote_spill(self, domid_counter: "itertools.count") -> None:
         assert self.channel is not None
-        backends = {
-            node.name: RemoteTmemBackend(
-                node.name, node.hypervisor, self.channel, trace=self.trace
-            )
-            for node in self.nodes
-        }
+        if self.epoch is not None:
+            backends = {
+                node.name: EpochRemoteTmemBackend(
+                    node.name, node.hypervisor, self.channel, self.epoch,
+                    trace=self.trace,
+                )
+                for node in self.nodes
+            }
+        else:
+            backends = {
+                node.name: RemoteTmemBackend(
+                    node.name, node.hypervisor, self.channel, trace=self.trace
+                )
+                for node in self.nodes
+            }
         for node in self.nodes:
             backend = backends[node.name]
             for vm in node.vms.values():
@@ -647,6 +664,12 @@ class Cluster:
         plain uncontended clusters are byte-identical to before.
         """
         topology = self.topology
+        if self.epoch is not None:
+            # Epoch runs always carry the extra keys: whether a backend's
+            # ephemeral counters moved is visible only to the shard that
+            # owns it, so conditional keys would make the per-node
+            # sections shard-dependent.
+            return True
         if topology.contended or topology.failures or topology.migrations:
             return True
         return any(

@@ -1,0 +1,525 @@
+"""Epoch cluster engine: conservative-window parallel execution of
+*coupled* topologies.
+
+PR 7's sharded runner parallelizes decoupled multi-node scenarios
+bit-identically, but every coupled topology — remote-tmem spill, the
+capacity coordinator, a contended interconnect — falls back to the
+exact single-worker run, because spill admission and capacity decisions
+read *instantaneous* peer state.  The epoch engine trades that
+bit-identity for parallelism under an explicit, pinned contract:
+
+* Simulated time advances in **conservative windows** of width
+  :func:`epoch_window_s`, derived from the interconnect lookahead
+  (:attr:`~repro.channels.internode.InterNodeChannel.lookahead_s`):
+  every cross-node interaction pays at least one one-way latency, so a
+  window of at least that width never lets an event influence a peer
+  *within* the window it was generated in.  The practical width is
+  ``max(lookahead, rebalance_interval / 2)`` — microsecond-wide windows
+  would drown the run in barriers, and half a rebalance interval
+  guarantees at most one coordinator tick falls inside any window.
+* Inside a window each shard evolves its nodes against **snapshotted
+  peer state**: per-peer spill headroom quotas and window-start link
+  ``busy_until`` values handed out by the driver at the barrier.  All
+  cross-node effects — spill puts, remote gets, flush invalidations —
+  are recorded as explicit **messages** and exchanged at the barrier.
+* The driver absorbs every shard's messages in one **canonical order**
+  (sorted by ``(time, emitting node, per-node sequence)``), replays
+  them against its own :class:`~repro.channels.internode.LinkState`
+  copies, maintains the cluster-wide hosted-spill occupancy, and runs
+  barrier-aligned coordinator rounds
+  (:class:`~repro.core.coordinator.BarrierRebalancer`) whose capacity
+  steps are applied by the owning shards at the next window start.
+
+Because a node's in-window evolution depends only on its own state and
+the driver-provided window inputs — co-located nodes interact through
+the very same message protocol as remote ones — the merged result is
+**identical for every shard count and worker scheduling**, which is the
+contract pinned in ``tests/data/scenario_fingerprints_epoch.json``.
+Epoch results legitimately differ from the exact shared-engine run
+(spill admission is quota-based instead of instantaneous, hosted pages
+are tracked as counters rather than materialized in peer pools, and
+hosted ephemeral pages are never pressure-dropped); the exact engine
+remains the default and its 45 pins are untouched.
+
+Node failures, planned migrations, cross-node phase triggers and stop
+triggers relocate VMs or inject events *across* shards mid-window; such
+scenarios keep the exact single-worker fallback
+(:func:`epoch_fallback_reason`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..channels.internode import LinkState
+from ..config import SimulationConfig
+from ..core.coordinator import BarrierRebalancer, NodeTmemView, create_coordinator
+from ..errors import ClusterError, SimulationError
+from ..scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "EpochContext",
+    "EpochDriver",
+    "epoch_window_s",
+    "epoch_fallback_reason",
+    "resolve_cluster_engine",
+]
+
+#: Valid ``--cluster-engine`` values.
+CLUSTER_ENGINES = ("exact", "epoch")
+
+
+def resolve_cluster_engine(value: Optional[str]) -> str:
+    """Normalize a ``--cluster-engine`` value (``None`` -> ``"exact"``)."""
+    if value is None:
+        return "exact"
+    if value not in CLUSTER_ENGINES:
+        raise ClusterError(
+            f"cluster engine must be one of {', '.join(CLUSTER_ENGINES)}; "
+            f"got {value!r}"
+        )
+    return value
+
+
+def epoch_window_s(topology) -> float:
+    """Width of one conservative window for *topology*.
+
+    The correctness floor is the interconnect lookahead (one one-way
+    latency); the practical width is half the coordinator's rebalance
+    interval, so at most one rebalance tick ever falls inside a window
+    and no tick is skipped by the barrier-aligned schedule.
+    """
+    window = max(
+        float(topology.interconnect_latency_s),
+        float(topology.rebalance_interval_s) / 2.0,
+    )
+    if window <= 0.0:
+        window = 1.0
+    return window
+
+
+def epoch_fallback_reason(
+    spec: ScenarioSpec, *, use_tmem: bool = True
+) -> Optional[str]:
+    """Why a coupled scenario cannot take the parallel epoch path.
+
+    Returns ``None`` when the epoch engine can shard the scenario one
+    node per group, else a human-readable reason selecting the exact
+    single-worker fallback (which is trivially shard-invariant).
+    """
+    topology = spec.topology
+    if topology is None or len(topology.nodes) < 2:
+        return "not a multi-node topology"
+    if topology.failures:
+        return "node failures relocate VMs across shards"
+    if topology.migrations:
+        return "planned VM migrations relocate VMs across shards"
+    node_of = {
+        vm_name: node.name
+        for node in topology.nodes
+        for vm_name in node.vm_names
+    }
+    for trigger in spec.phase_triggers:
+        if trigger.start_vm and (
+            node_of.get(trigger.watch_vm) != node_of.get(trigger.start_vm)
+        ):
+            return (
+                f"phase trigger {trigger.watch_vm!r} -> "
+                f"{trigger.start_vm!r} injects events across shards"
+            )
+    if spec.stop_trigger is not None:
+        return "stop trigger halts every VM cluster-wide"
+    return None
+
+
+class EpochContext:
+    """Worker-side window state for one shard's epoch run.
+
+    One context is shared by every
+    :class:`~repro.hypervisor.remote_tmem.EpochRemoteTmemBackend` of the
+    shard's cluster replica.  It holds the driver's window inputs —
+    per-peer spill quotas and window-start link occupancy — and collects
+    the shard's outgoing cross-node messages.  All of its state is keyed
+    by the *owning* node, so two nodes co-located on one shard stay
+    exactly as blind to each other's in-window activity as nodes on
+    different shards: shard count cannot leak into the simulation.
+    """
+
+    def __init__(
+        self, *, latency_s: float, page_transfer_s: float, contended: bool
+    ) -> None:
+        self.latency_s = float(latency_s)
+        self.page_transfer_s = float(page_transfer_s)
+        self.contended = bool(contended)
+        #: Per-peer spill quota of the current window (same for every
+        #: owner; consumption is tracked per (owner, peer) pair).
+        self._quota: Dict[str, int] = {}
+        self._consumed: Dict[Tuple[str, str], int] = {}
+        #: Window-start ``busy_until`` per link name ("src->dst").
+        self._busy0: Dict[str, float] = {}
+        #: Each owner's private in-window view of link occupancy.
+        self._local_busy: Dict[Tuple[str, str, str], float] = {}
+        self._messages: List[Dict[str, Any]] = []
+        self._seq: Dict[str, int] = {}
+
+    @classmethod
+    def for_spec(
+        cls, spec: ScenarioSpec, config: SimulationConfig
+    ) -> "EpochContext":
+        topology = spec.topology
+        assert topology is not None
+        return cls(
+            latency_s=topology.interconnect_latency_s,
+            page_transfer_s=(
+                config.units.page_bytes
+                / topology.interconnect_bandwidth_bytes_s
+            ),
+            contended=topology.contended,
+        )
+
+    # -- window lifecycle ---------------------------------------------------
+    def begin_window(
+        self, quota: Dict[str, int], busy: Dict[str, float]
+    ) -> None:
+        self._quota = quota
+        self._consumed.clear()
+        self._busy0 = busy
+        self._local_busy.clear()
+        self._messages = []
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """The window's outgoing messages (cleared on read)."""
+        messages = self._messages
+        self._messages = []
+        return messages
+
+    # -- spill admission ----------------------------------------------------
+    def quota_left(self, owner: str, peer: str) -> int:
+        """Pages *owner* may still spill to *peer* this window."""
+        return self._quota.get(peer, 0) - self._consumed.get((owner, peer), 0)
+
+    def take_quota(self, owner: str, peer: str, pages: int) -> None:
+        key = (owner, peer)
+        self._consumed[key] = self._consumed.get(key, 0) + pages
+
+    # -- data-path cost -----------------------------------------------------
+    def charge(
+        self, owner: str, src: str, dst: str, pages: int, now: float
+    ) -> float:
+        """Network cost of a round trip moving *pages* over src->dst.
+
+        Uncontended: the stateless round trip, exactly like
+        :meth:`InterNodeChannel.round_trip_cost_s`.  Contended: adds the
+        queue wait computed against *owner*'s private link view, seeded
+        from the window-start snapshot — the same math as
+        :meth:`InterNodeChannel._occupy`, replayed locally.
+        """
+        cost = 2.0 * self.latency_s + pages * self.page_transfer_s
+        if not self.contended:
+            return cost
+        key = (owner, src, dst)
+        busy = self._local_busy.get(key)
+        if busy is None:
+            busy = self._busy0.get(f"{src}->{dst}", 0.0)
+        start = busy if busy > now else now
+        self._local_busy[key] = start + pages * self.page_transfer_s
+        return (start - now) + cost
+
+    # -- message log --------------------------------------------------------
+    def emit(
+        self,
+        owner: str,
+        kind: str,
+        time: float,
+        src: str,
+        dst: str,
+        pages: int,
+        *,
+        ephemeral: bool,
+        fresh: bool,
+    ) -> None:
+        """Record one cross-node effect for the barrier exchange.
+
+        ``fresh`` marks messages that change the hosted-page occupancy
+        (a new spill materializes a hosted page on *dst*; a persistent
+        fetch releases one on *src*); replace-in-place spills and
+        non-exclusive ephemeral fetches move link traffic without
+        changing occupancy.  ``seq`` is a per-owner counter, so the
+        driver's canonical sort ``(time, node, seq)`` is independent of
+        how owners are packed onto shards.
+        """
+        seq = self._seq.get(owner, 0)
+        self._seq[owner] = seq + 1
+        self._messages.append({
+            "kind": kind,
+            "time": time,
+            "src": src,
+            "dst": dst,
+            "pages": pages,
+            "ephemeral": ephemeral,
+            "fresh": fresh,
+            "node": owner,
+            "seq": seq,
+        })
+
+
+class EpochDriver:
+    """Driver-side (coordinator) state of one epoch run.
+
+    Owns everything global: the window schedule, the authoritative link
+    states, the hosted-spill occupancy counters, the barrier-aligned
+    coordinator, and the termination decision.  The sharded runner feeds
+    it the per-barrier shard reports and forwards its window commands.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        policy_spec: str,
+        config: SimulationConfig,
+        *,
+        use_tmem: bool,
+    ) -> None:
+        topology = spec.topology
+        if topology is None or len(topology.nodes) < 2:
+            raise ClusterError(
+                f"scenario {spec.name!r} is not a multi-node topology"
+            )
+        self.spec = spec
+        self.policy_spec = policy_spec
+        self.node_names: List[str] = list(topology.node_names())
+        self.window_s = epoch_window_s(topology)
+        self.deadline = min(spec.max_duration_s, config.max_simulated_time_s)
+        self.contended = topology.contended
+        self.page_transfer_s = (
+            config.units.page_bytes / topology.interconnect_bandwidth_bytes_s
+        )
+        self.use_tmem = use_tmem
+        self.spill_enabled = use_tmem and topology.remote_spill
+        #: Foreign pages each node currently hosts (counter-tracked; the
+        #: epoch engine never materializes them in the hosting pool).
+        self.hosted: Dict[str, int] = {name: 0 for name in self.node_names}
+        self._links: Dict[str, LinkState] = {}
+        self._completions: Dict[str, deque] = {}
+        self.pages_moved = 0
+        self.capacity_moves = 0
+        #: Latest authoritative per-node state from the shard reports.
+        self._nodes: Dict[str, Dict[str, Any]] = {}
+        self._last_pressure: Dict[str, Tuple[int, int, int]] = {}
+        self._pending_capacity: Dict[str, int] = {}
+        self.rebalancer: Optional[BarrierRebalancer] = None
+        if use_tmem and topology.coordinator:
+            self.rebalancer = BarrierRebalancer(
+                create_coordinator(topology.coordinator),
+                topology.rebalance_interval_s,
+            )
+        self._k = 0
+        #: Barrier time at which every node was idle (the run's
+        #: simulated duration); ``None`` while the run is live.
+        self.finished_at: Optional[float] = None
+
+    # -- schedule -----------------------------------------------------------
+    def next_barrier(self) -> float:
+        """Advance to the next window and return its barrier time."""
+        self._k += 1
+        t_next = self._k * self.window_s
+        return self.deadline if t_next >= self.deadline else t_next
+
+    # -- barrier protocol ---------------------------------------------------
+    def absorb_init(self, reports: List[Dict[str, Any]]) -> None:
+        """Record the shards' post-construction node states."""
+        for report in reports:
+            self._nodes.update(report["nodes"])
+        missing = [n for n in self.node_names if n not in self._nodes]
+        if missing:  # pragma: no cover - shard bucketing bug
+            raise ClusterError(f"no shard reported nodes {missing}")
+
+    def window_command(self, t_next: float) -> Dict[str, Any]:
+        """The broadcast command opening the window ending at *t_next*.
+
+        One identical command goes to every shard: per-peer quotas are
+        keyed by node (each owner consumes its own slice), capacity
+        steps and link snapshots are filtered by ownership worker-side.
+        """
+        quota: Dict[str, int] = {}
+        if self.spill_enabled:
+            share = max(1, len(self.node_names) - 1)
+            for name in self.node_names:
+                state = self._nodes[name]
+                headroom = state["free"] - self.hosted[name]
+                quota[name] = max(0, headroom) // share
+        busy: Dict[str, float] = {}
+        if self.contended:
+            busy = {
+                name: link.busy_until for name, link in self._links.items()
+            }
+        capacity = self._pending_capacity
+        self._pending_capacity = {}
+        return {
+            "until": t_next,
+            "quota": quota,
+            "busy": busy,
+            "capacity": capacity,
+        }
+
+    def absorb(
+        self, t_next: float, reports: List[Dict[str, Any]]
+    ) -> None:
+        """Merge one barrier's shard reports; decides termination.
+
+        Replays the merged message log in canonical order against the
+        driver's link states, updates hosted occupancy, then either
+        declares the run finished (every node idle), raises the deadline
+        error, or runs a coordinator round for the next window.
+        """
+        messages: List[Dict[str, Any]] = []
+        running: List[str] = []
+        for report in reports:
+            messages.extend(report["messages"])
+            running.extend(report["running"])
+            self._nodes.update(report["nodes"])
+        messages.sort(key=lambda m: (m["time"], m["node"], m["seq"]))
+        for message in messages:
+            kind = message["kind"]
+            pages = message["pages"]
+            if kind != "drop":
+                # Spills and fetches move payload over the interconnect;
+                # flush invalidations piggyback on control traffic and
+                # charge nothing, exactly like the exact engine.
+                self.pages_moved += pages
+                if self.contended:
+                    name = f"{message['src']}->{message['dst']}"
+                    link = self._links.get(name)
+                    if link is None:
+                        link = self._links[name] = LinkState(
+                            message["src"], message["dst"]
+                        )
+                        self._completions[name] = deque()
+                    link.replay(
+                        pages,
+                        message["time"],
+                        self.page_transfer_s,
+                        self._completions[name],
+                    )
+            if kind == "spill" and message["fresh"]:
+                self.hosted[message["dst"]] += pages
+            elif kind == "fetch" and message["fresh"]:
+                self.hosted[message["src"]] -= pages
+            elif kind == "drop":
+                self.hosted[message["dst"]] -= pages
+
+        if not running:
+            self.finished_at = t_next
+            return
+        if t_next >= self.deadline:
+            raise SimulationError(
+                f"scenario {self.spec.name!r} under {self.policy_spec!r} did "
+                f"not finish within {self.deadline:.0f} simulated seconds; "
+                f"still running: {sorted(running)}"
+            )
+        if self.rebalancer is not None:
+            desired = self.rebalancer.poll(t_next, self._views())
+            if desired:
+                self._plan_capacity(desired)
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    # -- coordinator rounds -------------------------------------------------
+    def _views(self) -> List[NodeTmemView]:
+        """Per-node views mirroring ``Cluster._node_views``.
+
+        Hosted pages are folded back in (the exact engine's pools hold
+        them physically, so its views see them as used capacity), and
+        pressure counters become per-round deltas exactly like the
+        shared-engine bookkeeping.
+        """
+        views = []
+        for name in self.node_names:
+            state = self._nodes[name]
+            hosted = self.hosted[name]
+            failed = state["failed"]
+            spilled = state["spilled"]
+            dropped = state["dropped"]
+            prev = self._last_pressure.get(name, (0, 0, 0))
+            self._last_pressure[name] = (failed, spilled, dropped)
+            free = max(0, state["free"] - hosted)
+            views.append(
+                NodeTmemView(
+                    name=name,
+                    capacity_pages=state["capacity"],
+                    used_pages=state["capacity"] - free,
+                    free_pages=free,
+                    failed_puts=failed - prev[0],
+                    spilled_puts=spilled - prev[1],
+                    vm_count=state["vm_count"],
+                    dropped_pages=dropped - prev[2],
+                )
+            )
+        return views
+
+    def _plan_capacity(self, desired: Dict[str, int]) -> None:
+        """Transactional capacity steps, mirroring ``_apply_capacities``.
+
+        Feasibility is judged on the barrier state the shards just
+        reported (the shards are blocked, so nothing can move under us);
+        the resulting signed per-node deltas are applied by the owning
+        shards at the next window start.  The driver's caches advance
+        optimistically and are overwritten by the next barrier report.
+        """
+        shrinks: List[Tuple[str, int]] = []
+        grows: List[Tuple[str, int]] = []
+        for name in self.node_names:
+            target = desired.get(name)
+            if target is None:
+                continue
+            state = self._nodes[name]
+            current = state["capacity"]
+            if target < current:
+                feasible = min(
+                    current - target,
+                    max(0, state["free"] - self.hosted[name]),
+                )
+                if feasible > 0:
+                    shrinks.append((name, feasible))
+            elif target > current:
+                feasible = min(target - current, state["unassigned"])
+                if feasible > 0:
+                    grows.append((name, feasible))
+        budget = min(
+            sum(amount for _, amount in shrinks),
+            sum(amount for _, amount in grows),
+        )
+        if budget <= 0:
+            return
+        steps: Dict[str, int] = {}
+        for moves, sign in ((shrinks, -1), (grows, 1)):
+            remaining = budget
+            for name, amount in moves:
+                if remaining <= 0:
+                    break
+                step = min(amount, remaining)
+                remaining -= step
+                steps[name] = steps.get(name, 0) + sign * step
+                self.capacity_moves += 1
+        for name, delta in steps.items():
+            state = self._nodes[name]
+            state["capacity"] += delta
+            state["free"] += delta
+            state["unassigned"] -= delta
+        self._pending_capacity = steps
+
+    # -- result extras ------------------------------------------------------
+    def describe_links(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            state.name: state.describe()
+            for state in sorted(self._links.values(), key=lambda s: s.name)
+        }
+
+    @property
+    def max_queue_depth(self) -> int:
+        if not self._links:
+            return 0
+        return max(state.max_queue_depth for state in self._links.values())

@@ -42,6 +42,19 @@ that any lock-step quantum would stale.  The fallback keeps the
 fingerprint guarantee unconditional; see PERFORMANCE.md for when
 sharding actually pays off.
 
+The opt-in **epoch** cluster engine (``cluster_engine="epoch"``) lifts
+the coupled-topology serialization by accepting exactly that staleness
+under an explicit contract: shards advance in conservative lookahead
+windows, exchange cross-node effects as canonically-ordered messages at
+window barriers, and admit spills against barrier-computed quotas (see
+:mod:`repro.cluster.epoch`).  Epoch results differ from the exact
+engine's but are deterministic and *shard-count invariant*, pinned in
+``tests/data/scenario_fingerprints_epoch.json``.  Scenarios that
+relocate VMs across shards (failures, migrations) or inject cross-shard
+events (cross-node/stop triggers) keep the exact fallback even under
+the epoch engine; decoupled topologies keep the bit-exact parallel path
+regardless of the engine selection.
+
 Workers are spawned with the ``spawn`` multiprocessing context and talk
 over pipes, crossing the process boundary as the same strict-JSON dicts
 the parallel sweep backends use (``ScenarioResult.to_dict`` /
@@ -63,10 +76,17 @@ from ..scenarios.results import ScenarioResult, VmResult
 from ..scenarios.spec import ScenarioSpec
 from ..sim.trace import TraceRecorder
 from ..units import SCENARIO_UNITS, MemoryUnits
+from .epoch import (
+    EpochDriver,
+    epoch_fallback_reason,
+    resolve_cluster_engine,
+)
 
 __all__ = [
     "ShardedClusterRunner",
     "coupling_reason",
+    "epoch_fallback_reason",
+    "resolve_cluster_engine",
     "resolve_shards",
     "run_scenario_sharded",
 ]
@@ -216,8 +236,15 @@ class _ShardTask:
         self.spec: ScenarioSpec = payload["spec"]
         self.group: Tuple[str, ...] = tuple(payload["group"])
         self.exact: bool = payload["exact"]
+        self.epoch_mode: bool = payload.get("epoch", False)
+        self.ctx = None
+        if self.epoch_mode:
+            from .epoch import EpochContext
+
+            self.ctx = EpochContext.for_spec(self.spec, payload["config"])
         self.runner = ScenarioRunner(
-            self.spec, payload["policy_spec"], config=payload["config"]
+            self.spec, payload["policy_spec"], config=payload["config"],
+            epoch=self.ctx,
         )
 
     # -- exact fallback ------------------------------------------------------
@@ -305,12 +332,105 @@ class _ShardTask:
         }
 
 
+    # -- epoch engine --------------------------------------------------------
+    def epoch_begin(self) -> Dict[str, Any]:
+        """Start the owned nodes and report their initial capacity state."""
+        runner = self.runner
+        cluster = runner.cluster
+        assert cluster is not None
+        self._nodes = [
+            node for node in cluster.nodes if node.name in self.group
+        ]
+        for node in self._nodes:
+            node.start()
+        self._vms = {
+            name: vm
+            for node in self._nodes
+            for name, vm in node.vms.items()
+        }
+        for name, vm in self._vms.items():
+            if name not in runner._trigger_started_vms:
+                vm.start()
+        return {
+            "nodes": {
+                node.name: self._epoch_node_state(node) for node in self._nodes
+            }
+        }
+
+    def _epoch_node_state(self, node) -> Dict[str, Any]:
+        """The driver-visible state of one owned node (quota + view inputs)."""
+        host = node.hypervisor.host_memory
+        backend = self.runner.cluster.remote_backends.get(node.name)
+        failed = sum(
+            account.cumul_puts_failed
+            for account in node.hypervisor.accounting.accounts()
+        )
+        spilled = backend.stats.pages_spilled if backend is not None else 0
+        dropped = (
+            backend.stats.ephemeral_dropped + backend.stats.pages_lost
+            if backend is not None
+            else 0
+        )
+        return {
+            "capacity": host.tmem_total_pages,
+            "free": host.tmem_free_pages,
+            "unassigned": host.unassigned_pages,
+            "failed": failed,
+            "spilled": spilled,
+            "dropped": dropped,
+            "vm_count": len(node.vms),
+        }
+
+    def epoch_window(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one conservative window and report its cross-shard effects."""
+        runner = self.runner
+        engine = runner.engine
+        for name, delta in command.get("capacity", {}).items():
+            for node in self._nodes:
+                if node.name != name:
+                    continue
+                host = node.hypervisor.host_memory
+                if delta < 0:
+                    host.shrink_tmem_pool(-delta)
+                else:
+                    host.grow_tmem_pool(delta)
+                runner.trace.record(
+                    f"tmem_capacity/{node.name}",
+                    engine.now,
+                    host.tmem_total_pages,
+                )
+        self.ctx.begin_window(command["quota"], command["busy"])
+        engine.run(until=command["until"])
+        return {
+            "running": [
+                node.name for node in self._nodes if not node.all_idle()
+            ],
+            "messages": self.ctx.drain(),
+            "nodes": {
+                node.name: self._epoch_node_state(node) for node in self._nodes
+            },
+        }
+
+
 def _shard_worker_main(conn) -> None:
     """Entry point of one spawned shard worker."""
     try:
         payload = conn.recv()
         task = _ShardTask(payload)
-        if task.exact:
+        if task.epoch_mode:
+            conn.send(("ready", task.epoch_begin()))
+            while True:
+                command, data = conn.recv()
+                if command == "window":
+                    conn.send(("barrier", task.epoch_window(data)))
+                elif command == "finish":
+                    conn.send(("done", task.phase2(data)))
+                    break
+                else:  # pragma: no cover - protocol breach
+                    raise ClusterError(
+                        f"shard worker received {command!r} in epoch loop"
+                    )
+        elif task.exact:
             conn.send(("done", task.run_exact()))
         else:
             conn.send(("phase1", task.phase1()))
@@ -358,6 +478,7 @@ class ShardedClusterRunner:
         units: Optional[MemoryUnits] = None,
         seed: Optional[int] = None,
         inline: bool = False,
+        cluster_engine: Optional[str] = "exact",
     ) -> None:
         from ..scenarios.runner import NO_TMEM_POLICY
 
@@ -365,9 +486,20 @@ class ShardedClusterRunner:
         self.policy_spec = policy_spec
         self.config = _resolve_config(config, units, seed)
         self.inline = inline
+        self.cluster_engine = resolve_cluster_engine(cluster_engine)
         use_tmem = policy_spec != NO_TMEM_POLICY
+        self.use_tmem = use_tmem
         self.coupled_reason = coupling_reason(spec, use_tmem=use_tmem)
-        if self.coupled_reason is None:
+        self.epoch_fallback = epoch_fallback_reason(spec, use_tmem=use_tmem)
+        #: True when this run shards a *coupled* topology under the epoch
+        #: engine's window protocol (decoupled topologies keep the
+        #: bit-exact parallel path regardless of the engine selection).
+        self.epoch_parallel = (
+            self.cluster_engine == "epoch"
+            and self.coupled_reason is not None
+            and self.epoch_fallback is None
+        )
+        if self.coupled_reason is None or self.epoch_parallel:
             assert spec.topology is not None
             groups: List[Tuple[str, ...]] = [
                 (node.name,) for node in spec.topology.nodes
@@ -384,7 +516,14 @@ class ShardedClusterRunner:
         else:
             self.buckets = _chunk(groups, self.shard_count)
         #: True when the run takes the exact shared-engine fallback.
-        self.exact = self.coupled_reason is not None or len(self.buckets) == 1
+        #: The epoch protocol runs even at one shard so that the shard
+        #: count never changes epoch results.
+        if self.epoch_parallel:
+            self.exact = False
+        else:
+            self.exact = (
+                self.coupled_reason is not None or len(self.buckets) == 1
+            )
         #: Cluster-wide engine events / guest page accesses of the last
         #: run() — summed across shards (the benchmark harness reads
         #: these; they match the shared-engine counters).
@@ -399,15 +538,22 @@ class ShardedClusterRunner:
             "config": self.config,
             "group": bucket,
             "exact": self.exact,
+            "epoch": self.epoch_parallel,
         }
 
     def run(self) -> ScenarioResult:
         wall_start = _time.perf_counter()
         if self.inline:
-            outcome = self._run_inline()
+            if self.epoch_parallel:
+                outcome = self._run_inline_epoch()
+            else:
+                outcome = self._run_inline()
         else:
             _require_shardable(self.spec, self.config)
-            outcome = self._run_processes()
+            if self.epoch_parallel:
+                outcome = self._run_processes_epoch()
+            else:
+                outcome = self._run_processes()
         outcome.wall_clock_s = _time.perf_counter() - wall_start
         return outcome
 
@@ -469,6 +615,82 @@ class ShardedClusterRunner:
                 if process.is_alive():  # pragma: no cover - hung worker
                     process.terminate()
 
+    # -- epoch engine --------------------------------------------------------
+    def _epoch_driver(self) -> EpochDriver:
+        return EpochDriver(
+            self.spec,
+            self.policy_spec,
+            self.config,
+            use_tmem=self.use_tmem,
+        )
+
+    def _run_inline_epoch(self) -> ScenarioResult:
+        tasks = [_ShardTask(self._payload(bucket)) for bucket in self.buckets]
+        driver = self._epoch_driver()
+        driver.absorb_init([task.epoch_begin() for task in tasks])
+        while not driver.finished:
+            t_next = driver.next_barrier()
+            command = driver.window_command(t_next)
+            driver.absorb(
+                t_next, [task.epoch_window(command) for task in tasks]
+            )
+        finals = [task.phase2(driver.finished_at) for task in tasks]
+        return self._assemble(driver.finished_at, finals, driver=driver)
+
+    def _run_processes_epoch(self) -> ScenarioResult:
+        context = multiprocessing.get_context("spawn")
+        workers: List[Tuple[Any, Any]] = []
+        try:
+            for bucket in self.buckets:
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker_main, args=(child_conn,), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                parent_conn.send(self._payload(bucket))
+                workers.append((process, parent_conn))
+
+            driver = self._epoch_driver()
+            reports = []
+            for _, conn in workers:
+                kind, data = self._recv(conn)
+                if kind != "ready":  # pragma: no cover - protocol breach
+                    raise ClusterError(
+                        f"shard worker sent {kind!r} before the first window"
+                    )
+                reports.append(data)
+            driver.absorb_init(reports)
+            while not driver.finished:
+                t_next = driver.next_barrier()
+                command = driver.window_command(t_next)
+                for _, conn in workers:
+                    conn.send(("window", command))
+                reports = []
+                for _, conn in workers:
+                    kind, data = self._recv(conn)
+                    if kind != "barrier":  # pragma: no cover - breach
+                        raise ClusterError(
+                            f"shard worker sent {kind!r} at a window barrier"
+                        )
+                    reports.append(data)
+                driver.absorb(t_next, reports)
+            for _, conn in workers:
+                conn.send(("finish", driver.finished_at))
+            finals = []
+            for _, conn in workers:
+                kind, data = self._recv(conn)
+                if kind != "done":  # pragma: no cover - protocol breach
+                    raise ClusterError(f"shard worker sent {kind!r} at finish")
+                finals.append(data)
+            return self._assemble(driver.finished_at, finals, driver=driver)
+        finally:
+            for process, conn in workers:
+                conn.close()
+                process.join(timeout=10.0)
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+
     def _recv(self, conn) -> Tuple[str, Dict[str, Any]]:
         try:
             kind, data = conn.recv()
@@ -499,7 +721,10 @@ class ShardedClusterRunner:
 
     # -- assembly ------------------------------------------------------------
     def _assemble(
-        self, t_star: float, finals: List[Dict[str, Any]]
+        self,
+        t_star: float,
+        finals: List[Dict[str, Any]],
+        driver: Optional[EpochDriver] = None,
     ) -> ScenarioResult:
         topology = self.spec.topology
         assert topology is not None
@@ -532,6 +757,12 @@ class ShardedClusterRunner:
             "capacity_moves": 0,
             "interconnect_pages_moved": 0,
         }
+        if driver is not None:
+            cluster_info["capacity_moves"] = driver.capacity_moves
+            cluster_info["interconnect_pages_moved"] = driver.pages_moved
+            if driver.contended:
+                cluster_info["links"] = driver.describe_links()
+                cluster_info["max_queue_depth"] = driver.max_queue_depth
         return ScenarioResult(
             scenario_name=self.spec.name,
             policy_spec=self.policy_spec,
@@ -556,6 +787,7 @@ def run_scenario_sharded(
     units: Optional[MemoryUnits] = None,
     seed: Optional[int] = None,
     inline: bool = False,
+    cluster_engine: Optional[str] = "exact",
 ) -> ScenarioResult:
     """One-call convenience wrapper around :class:`ShardedClusterRunner`."""
     return ShardedClusterRunner(
@@ -566,4 +798,5 @@ def run_scenario_sharded(
         units=units,
         seed=seed,
         inline=inline,
+        cluster_engine=cluster_engine,
     ).run()

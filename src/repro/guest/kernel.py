@@ -58,7 +58,26 @@ from .frontswap import FrontswapClient
 from .pfra import make_reclaimer
 from .swap import SwapArea
 
-__all__ = ["AccessOutcome", "GuestMemStats", "GuestKernel"]
+__all__ = [
+    "AccessOutcome",
+    "GuestMemStats",
+    "GuestKernel",
+    "RELAXED_NUMPY_MIN_MISSES",
+]
+
+#: Minimum planned-burst length (misses) at which the relaxed engine
+#: dispatches the vectorized numpy replay instead of the exact per-event
+#: walk.  The vectorized replay's fixed array-construction overhead only
+#: pays off on long bursts; short ones replay exactly (which also keeps
+#: their float latency sums bit-identical to the exact engine).  The
+#: value is chosen by the micro-bench sweep in
+#: ``benchmarks/tune_relaxed_gate.py``: on the single-core container
+#: this repo develops on, the vectorized replay does not reliably beat
+#: the exact walk until bursts of ~192 misses (numpy's fixed overhead
+#: is large relative to this interpreter's loop cost), so the gate sits
+#: at 192.  Re-run the sweep when moving to a different machine class;
+#: see PERFORMANCE.md ("Tuning the relaxed replay gate").
+RELAXED_NUMPY_MIN_MISSES = 192
 
 # Burst-plan event kinds (see GuestKernel._access_batched).
 _EV_TMEM = 0   # eviction offered to tmem (batched put; disk on failure)
@@ -502,9 +521,10 @@ class GuestKernel:
                     put_flags = None if planned is True else planned
                     # The vectorized replay's fixed array overhead only
                     # pays off on long bursts; short ones replay exactly.
+                    # Gate tuned by benchmarks/tune_relaxed_gate.py.
                     replay = (
                         self._replay_burst_relaxed
-                        if self._relaxed and n_miss >= 64
+                        if self._relaxed and n_miss >= RELAXED_NUMPY_MIN_MISSES
                         else self._replay_burst
                     )
                     replay(

@@ -73,6 +73,7 @@ class ScenarioRunner:
         config: Optional[SimulationConfig] = None,
         units: Optional[MemoryUnits] = None,
         seed: Optional[int] = None,
+        epoch: Optional[object] = None,
     ) -> None:
         self.spec = spec
         self.policy_spec = policy_spec
@@ -100,6 +101,7 @@ class ScenarioRunner:
                 trace=self.trace,
                 rng_factory=self._rng_factory,
                 use_tmem=self._use_tmem,
+                epoch=epoch,
             )
             self.nodes = self.cluster.nodes
             self.vms: Dict[str, VirtualMachine] = self.cluster.merged_vms()

@@ -17,6 +17,13 @@ Two files are written:
   end-of-run trace values, which every access engine — including the
   float-reassociating ``relaxed`` one — must reproduce exactly; the
   pin test re-runs these points under ``relaxed`` and compares.
+* ``scenario_fingerprints_epoch.json`` — the aggregate fingerprint of
+  the coupled cluster pin points run under the **epoch** cluster engine
+  (``cluster_engine="epoch"``, one inline shard).  Epoch results differ
+  from the exact engine's by design (window-quantized cross-node
+  effects), so they carry their own pins; the engine's contract makes
+  them invariant across shard counts, so recording at one shard pins
+  every shard configuration.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.cluster.sharded import run_scenario_sharded
 from repro.config import GuestConfig, SimulationConfig
 from repro.scenarios.library import PAPER_POLICIES
 from repro.scenarios.registry import scenario_by_name
@@ -36,6 +44,15 @@ SCENARIOS = (
     "scenario-2",
     "scenario-3",
     "cluster:nodes=3",
+)
+
+#: Coupled cluster pin points for the epoch engine (spill+coordinator,
+#: hot-node imbalance, contended interconnect).
+EPOCH_SCENARIOS = (
+    "cluster:nodes=3",
+    "cluster:nodes=4",
+    "hotnode:",
+    "contended:",
 )
 
 
@@ -62,6 +79,28 @@ def main() -> None:
         json.dumps(aggregate_pins, indent=2, sort_keys=True) + "\n"
     )
     print(f"wrote {len(aggregate_pins)} aggregate pins to {relaxed_path}")
+
+    epoch_pins = {}
+    for scenario in EPOCH_SCENARIOS:
+        spec = scenario_by_name(scenario, scale=0.1)
+        for policy in PAPER_POLICIES:
+            result = run_scenario_sharded(
+                spec,
+                policy,
+                shards=1,
+                config=config,
+                seed=2019,
+                inline=True,
+                cluster_engine="epoch",
+            )
+            epoch_pins[f"{scenario}|{policy}"] = (
+                result.aggregate_fingerprint()
+            )
+    epoch_path = here / "scenario_fingerprints_epoch.json"
+    epoch_path.write_text(
+        json.dumps(epoch_pins, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {len(epoch_pins)} epoch pins to {epoch_path}")
 
 
 if __name__ == "__main__":
