@@ -270,6 +270,35 @@ def test_recorded_pr8_trajectory_has_no_regression(bench_tolerance):
             )
 
 
+def test_recorded_pr9_trajectory_has_no_regression(bench_tolerance):
+    """The committed PR-9 record must not regress vs the PR-8 record.
+
+    ``benchmarks/BENCH_pr9.json`` is the perf point after the
+    fault-injection subsystem landed.  Fault handling is entirely
+    event-driven — a run without a fault plan executes byte-identical
+    code to before — so the shared cases must simply hold their ratios.
+    The new ``faulty-micro`` case (transient vault failure + rejoin +
+    failback, lossy/throttled link, flapping partition, spill retries
+    and a breaker cycle) must be present with the batched engine still
+    well ahead of scalar (recorded 3.47x; floored loosely at 2x).
+    """
+    pr9 = _assert_recorded_trajectory(
+        "BENCH_pr9.json", "BENCH_pr8.json", bench_tolerance,
+        "PYTHONPATH=src python -m repro bench --label pr9 --output benchmarks",
+    )
+    speedups = dict(pr9.get("speedups", {}))
+    assert "faulty-micro" in speedups, (
+        "BENCH_pr9.json lacks the faulty-micro case"
+    )
+    assert speedups["faulty-micro"] >= 2.0
+    for engine in ("scalar", "batched"):
+        record = next(
+            r for r in pr9["records"]
+            if r["case"] == "faulty-micro" and r["engine"] == engine
+        )
+        assert record["pages"] > 0 and record["pages_per_s"] > 0
+
+
 def test_no_regression_vs_recorded_baseline(
     quick_bench_report, bench_baseline, bench_tolerance
 ):

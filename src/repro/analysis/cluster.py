@@ -187,6 +187,35 @@ def cluster_rollup(result: ScenarioResult) -> Dict[str, Any]:
             1 for event in cluster.get("events", ())
             if event.get("kind") == "migration"
         ),
+        # Fault-injection additions; zero/empty without a fault plan.
+        "recoveries": sum(
+            1 for event in cluster.get("events", ())
+            if event.get("kind") == "recovery"
+        ),
+        "failbacks": sum(
+            1 for event in cluster.get("events", ())
+            if event.get("kind") == "migration" and event.get("failback")
+        ),
+        "breaker_trips": sum(
+            int(info.get("breaker_trips", 0))
+            for info in cluster["nodes"].values()
+        ),
+        "retry_penalty_s": float(
+            sum(
+                info.get("retry_penalty_s", 0.0)
+                for info in cluster["nodes"].values()
+            )
+        ),
+        "link_drops": sum(
+            int(link.get("drops", 0))
+            for link in cluster.get("links", {}).values()
+        ),
+        "link_stall_s": float(
+            sum(
+                link.get("stall_s", 0.0)
+                for link in cluster.get("links", {}).values()
+            )
+        ),
     }
 
 
@@ -254,4 +283,21 @@ def render_cluster_table(result: ScenarioResult, *, title: str = "") -> str:
             f"{table}\n{rollup['failures']} node failure(s), "
             f"{rollup['migrations']} planned migration(s)"
         )
+    if rollup["recoveries"] or rollup["breaker_trips"]:
+        fault_bits = [
+            f"{rollup['recoveries']} node recovery(ies)",
+            f"{rollup['failbacks']} failback(s)",
+            f"{rollup['breaker_trips']} breaker trip(s)",
+        ]
+        if rollup["retry_penalty_s"] > 0:
+            fault_bits.append(
+                f"{rollup['retry_penalty_s'] * 1e3:.1f} ms retry penalty"
+            )
+        if rollup["link_drops"]:
+            fault_bits.append(f"{rollup['link_drops']} packet drop(s)")
+        if rollup["link_stall_s"] > 0:
+            fault_bits.append(
+                f"{rollup['link_stall_s'] * 1e3:.1f} ms partition stall"
+            )
+        table = f"{table}\n" + ", ".join(fault_bits)
     return f"{title}\n{table}" if title else table

@@ -179,6 +179,17 @@ MICRO_CASES: Tuple[BenchCase, ...] = (
         shards="auto",
         cluster_engine="epoch",
     ),
+    # Fault injection end to end (the flaky variant is the superset:
+    # transient vault failure + rejoin + failback, a lossy/throttled
+    # link, a flapping partition, spill retries with backoff and a
+    # breaker cycle).  Prices the whole chaos choreography — degraded
+    # link reservations, retransmits and the recovery path — under both
+    # guest engines.
+    BenchCase(
+        name="faulty-micro",
+        scenario="flaky:nodes=3,fail_at=8,down_s=6",
+        scale=0.1,
+    ),
 )
 
 #: Reduced suite for the smoke target (``repro bench --quick``).

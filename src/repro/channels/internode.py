@@ -72,6 +72,9 @@ class LinkState:
         "pages",
         "busy_s",
         "queue_wait_s",
+        "drops",
+        "stall_s",
+        "fail_fast",
     )
 
     def __init__(self, src: str, dst: str) -> None:
@@ -88,20 +91,37 @@ class LinkState:
         self.busy_s = 0.0
         #: Accumulated time transfers spent waiting behind earlier ones.
         self.queue_wait_s = 0.0
+        #: Packets lost (and retransmitted) inside degradation windows.
+        self.drops = 0
+        #: Time synchronous transfers stalled waiting out partitions.
+        self.stall_s = 0.0
+        #: Bulk transfers that failed fast against a partition.
+        self.fail_fast = 0
 
     @property
     def name(self) -> str:
         return f"{self.src}->{self.dst}"
 
     def describe(self) -> Dict[str, Any]:
-        """JSON-safe summary for the cluster result's ``links`` section."""
-        return {
+        """JSON-safe summary for the cluster result's ``links`` section.
+
+        Degradation counters appear only when nonzero so fault-free runs
+        keep the historical (pinned) key set.
+        """
+        out = {
             "transfers": self.transfers,
             "pages": self.pages,
             "busy_s": self.busy_s,
             "queue_wait_s": self.queue_wait_s,
             "max_queue_depth": self.max_queue_depth,
         }
+        if self.drops:
+            out["drops"] = self.drops
+        if self.stall_s:
+            out["stall_s"] = self.stall_s
+        if self.fail_fast:
+            out["fail_fast"] = self.fail_fast
+        return out
 
     def replay(
         self,
@@ -191,6 +211,74 @@ class InterNodeChannel:
         self.pages_moved = 0
         self.bytes_moved = 0
         self.messages_sent = 0
+        #: True once degradation windows are installed; the undegraded
+        #: channel never touches the fault machinery.
+        self.degraded = False
+        self._degradations: Dict[Tuple[str, str], Tuple[Any, ...]] = {}
+        self._loss_rng: Dict[Tuple[str, str], Any] = {}
+
+    #: Retransmission cap inside a lossy window: the data path is modeled
+    #: as reliable-with-retries, so a draw streak longer than this is
+    #: delivered anyway after paying for the lost attempts.
+    MAX_RETRANSMITS = 8
+
+    # -- fault injection ----------------------------------------------------
+    def configure_degradations(
+        self, link_faults: Any, rng_factory: Any
+    ) -> None:
+        """Install :class:`~repro.cluster.faults.LinkDegradation` windows.
+
+        Loss draws come from one named RNG stream per directed link
+        (``fault/link/<src>-><dst>``) so adding loss to one link never
+        perturbs another link's draws or any workload stream.  Replaces
+        any previously installed configuration.
+        """
+        by_link: Dict[Tuple[str, str], list] = {}
+        for deg in link_faults:
+            by_link.setdefault((deg.src, deg.dst), []).append(deg)
+        self._degradations = {
+            key: tuple(sorted(windows, key=lambda d: d.start_s))
+            for key, windows in by_link.items()
+        }
+        self.degraded = bool(self._degradations)
+        self._loss_rng = {}
+        for (src, dst), windows in sorted(self._degradations.items()):
+            if any(w.loss_probability > 0.0 for w in windows):
+                self._loss_rng[(src, dst)] = rng_factory.stream(
+                    f"fault/link/{src}->{dst}"
+                )
+
+    def window_at(self, src: str, dst: str, now: float) -> Optional[Any]:
+        """The degradation window active on *src* -> *dst*, if any."""
+        windows = self._degradations.get((src, dst))
+        if not windows:
+            return None
+        for window in windows:
+            if window.active_at(now):
+                return window
+            if window.start_s > now:
+                break
+        return None
+
+    def partitioned(self, src: str, dst: str, now: float) -> bool:
+        """True while a partition window cuts the directed link."""
+        window = self.window_at(src, dst, now)
+        return window is not None and window.partition
+
+    def degraded_at(self, src: str, dst: str, now: float) -> bool:
+        """True while any degradation window is active on the link."""
+        return self.window_at(src, dst, now) is not None
+
+    def timeout_cost_s(self, src: str, dst: str, now: float) -> float:
+        """Cost of a data-path request that gets no answer.
+
+        A probe against a partitioned link times out after a round trip
+        at the window's (possibly inflated) latency; the spill path
+        charges this per failed attempt.
+        """
+        window = self.window_at(src, dst, now)
+        extra = window.extra_latency_s if window is not None else 0.0
+        return 2.0 * (self._latency + extra)
 
     # -- cost model ---------------------------------------------------------
     @property
@@ -270,16 +358,31 @@ class InterNodeChannel:
         state.queue_depth -= 1
         self._record_depth(state, self._engine.now)
 
-    def _occupy(self, state: LinkState, pages: int, now: float) -> float:
+    def _occupy(
+        self,
+        state: LinkState,
+        pages: int,
+        now: float,
+        service_s: Optional[float] = None,
+        start_at: Optional[float] = None,
+    ) -> float:
         """Queue *pages* on the link; returns the queue wait incurred.
 
         Advances ``busy_until``, maintains the depth counter/trace and
         schedules the completion event.  Callers add the propagation
-        latency themselves (one-way vs round-trip).
+        latency themselves (one-way vs round-trip).  *service_s*
+        overrides the nominal service time (a degradation window's
+        bandwidth throttle stretches it); *start_at* defers service to a
+        future instant (a sync transfer stalled behind a partition holds
+        its queue slot from *now* but only occupies the wire from
+        *start_at*).
         """
-        service = pages * self._page_transfer_s
-        start = state.busy_until if state.busy_until > now else now
-        wait = start - now
+        service = (
+            pages * self._page_transfer_s if service_s is None else service_s
+        )
+        issue = now if start_at is None else start_at
+        start = state.busy_until if state.busy_until > issue else issue
+        wait = start - issue
         state.busy_until = start + service
         state.transfers += 1
         state.pages += pages
@@ -290,7 +393,7 @@ class InterNodeChannel:
             state.max_queue_depth = state.queue_depth
         self._record_depth(state, now)
         self._engine.schedule_call_after(
-            wait + service,
+            (issue - now) + wait + service,
             self._complete,
             state,
             priority=EventPriority.HYPERVISOR,
@@ -311,11 +414,58 @@ class InterNodeChannel:
             raise ConfigurationError(f"pages must be >= 0, got {pages}")
         self.pages_moved += pages
         self.bytes_moved += pages * self._page_bytes
+        if self.degraded:
+            return self._reserve_degraded(src, dst, pages, now)
         if not self.contended:
             return self.round_trip_cost_s(pages)
         state = self.link(src, dst)
         wait = self._occupy(state, pages, now)
         return wait + self.round_trip_cost_s(pages)
+
+    def _reserve_degraded(
+        self, src: str, dst: str, pages: int, now: float
+    ) -> float:
+        """Degradation-aware synchronous cost (see :meth:`reserve`).
+
+        Partition windows stall the caller until the link heals, then
+        the transfer pays the (possibly still degraded) cost at heal
+        time.  Active windows inflate latency and service time; loss
+        windows add one timed-out attempt per seeded drop.  With no
+        active window the arithmetic reduces to the nominal cost, so a
+        link outside its windows is bit-identical to an undegraded one.
+        """
+        state = self.link(src, dst)
+        stall = 0.0
+        t = now
+        window = self.window_at(src, dst, t)
+        while window is not None and window.partition:
+            stall += window.end_s - t
+            state.stall_s += window.end_s - t
+            t = window.end_s
+            window = self.window_at(src, dst, t)
+        latency = self._latency
+        unit = self._page_transfer_s
+        if window is not None:
+            latency += window.extra_latency_s
+            unit /= window.bandwidth_factor
+        cost = 2.0 * latency + pages * unit
+        if window is not None and window.loss_probability > 0.0:
+            rng = self._loss_rng.get((src, dst))
+            if rng is not None:
+                drops = 0
+                while (
+                    drops < self.MAX_RETRANSMITS
+                    and rng.random() < window.loss_probability
+                ):
+                    drops += 1
+                if drops:
+                    state.drops += drops
+                    cost += drops * (2.0 * latency + pages * unit)
+        if self.contended:
+            cost += self._occupy(
+                state, pages, now, service_s=pages * unit, start_at=t
+            )
+        return stall + cost
 
     def transfer_async(
         self,
@@ -340,6 +490,41 @@ class InterNodeChannel:
             raise ConfigurationError(f"pages must be >= 0, got {pages}")
         now = self._engine.now
         state = self.link(src, dst)
+        if self.degraded:
+            window = self.window_at(src, dst, now)
+            if window is not None and window.partition:
+                # Fail fast: nothing crosses a partitioned link.  The
+                # whole transfer is rescheduled at heal time (when it
+                # re-evaluates any follow-on window).
+                state.fail_fast += 1
+                delay = window.end_s - now
+                self._engine.schedule_call_after(
+                    delay,
+                    self._retry_transfer,
+                    (src, dst, pages, on_complete, arg, priority, label),
+                    priority=priority,
+                    label=label or f"{self._name}:retry:{state.name}",
+                )
+                return delay
+            if window is not None:
+                unit = self._page_transfer_s / window.bandwidth_factor
+                wait = self._occupy(state, pages, now, service_s=pages * unit)
+                self.pages_moved += pages
+                self.bytes_moved += pages * self._page_bytes
+                cost = (
+                    wait
+                    + self._latency
+                    + window.extra_latency_s
+                    + pages * unit
+                )
+                self._engine.schedule_call_after(
+                    cost,
+                    on_complete,
+                    arg,
+                    priority=priority,
+                    label=label or f"{self._name}:copy:{state.name}",
+                )
+                return cost
         wait = self._occupy(state, pages, now)
         self.pages_moved += pages
         self.bytes_moved += pages * self._page_bytes
@@ -352,6 +537,13 @@ class InterNodeChannel:
             label=label or f"{self._name}:copy:{state.name}",
         )
         return cost
+
+    def _retry_transfer(self, request: Tuple[Any, ...]) -> None:
+        """Re-issue a bulk transfer that failed fast against a partition."""
+        src, dst, pages, on_complete, arg, priority, label = request
+        self.transfer_async(
+            src, dst, pages, on_complete, arg, priority=priority, label=label
+        )
 
     # -- accounting ---------------------------------------------------------
     def note_transfer(self, pages: int) -> None:

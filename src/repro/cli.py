@@ -54,6 +54,7 @@ same HTTP protocol, zero setup::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -65,6 +66,7 @@ from .analysis.report import render_figure_series, render_runtime_table
 from .analysis.tables import table1_statistics, table2_scenarios
 from .core.coordinator import coordinator_spec_syntax
 from .core.policy import available_policies, policy_spec_syntax
+from .errors import ClusterError
 from .scenarios.library import PAPER_POLICIES, all_scenarios, scenario_by_name
 from .scenarios.registry import paper_scenario_names, registered_scenarios
 from .scenarios.results import ScenarioResult
@@ -121,6 +123,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="VM@NODE@TIME",
         help="live-migrate a VM mid-run, e.g. --migrate n1.VM1@node2@20 "
              "(repeatable)",
+    )
+    run_p.add_argument(
+        "--fault", action="append", dest="faults", default=None,
+        metavar="NODE@T1-T2",
+        help="transiently fail a node over [T1, T2), e.g. "
+             "--fault node2@10-25 (repeatable; append :failback=1 to "
+             "migrate its VMs back on rejoin)",
+    )
+    run_p.add_argument(
+        "--degrade", action="append", dest="degradations", default=None,
+        metavar="SRC->DST@T1-T2:OPTS",
+        help="degrade a directed link over [T1, T2), e.g. --degrade "
+             "'node1->node2@10-20:bw=0.1,loss=0.05,lat=0.002' or "
+             "':partition=1' (repeatable)",
+    )
+    run_p.add_argument(
+        "--check-invariants", action="store_true",
+        help="run the inline cluster invariant checker at every "
+             "statistics tick (page/capacity conservation, "
+             "owner-holder liveness); fails loudly on violation",
     )
     run_p.add_argument(
         "--shards", type=str, default=None, metavar="N|auto",
@@ -387,6 +409,9 @@ def _cmd_run(
     contended: bool = False,
     failures: Optional[List[str]] = None,
     migrations: Optional[List[str]] = None,
+    faults: Optional[List[str]] = None,
+    degradations: Optional[List[str]] = None,
+    check_invariants: bool = False,
     shards: Optional[str] = None,
     cluster_engine: str = "exact",
 ) -> int:
@@ -402,6 +427,17 @@ def _cmd_run(
             print("--shards expects a positive integer or 'auto'",
                   file=sys.stderr)
             return 2
+    fault_plan = None
+    if faults or degradations:
+        from .cluster.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_specs(
+                faults or (), degradations or ()
+            )
+        except ClusterError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     cluster_flags = (
         coordinator is not None or contended or failures or migrations
     )
@@ -413,6 +449,27 @@ def _cmd_run(
             file=sys.stderr,
         )
         return 2
+    if fault_plan is not None and nodes <= 1 and spec.topology is None:
+        print(
+            "--fault/--degrade need a cluster: pass --nodes N (N > 1) or "
+            "use a cluster-native scenario",
+            file=sys.stderr,
+        )
+        return 2
+    if fault_plan is not None and spec.topology is not None:
+        from dataclasses import replace as _replace
+
+        try:
+            spec = _replace(
+                spec, topology=_replace(spec.topology, fault_plan=fault_plan)
+            )
+        except ClusterError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if check_invariants:
+        # Also reaches sharded/epoch worker processes via the inherited
+        # environment.
+        os.environ["SMARTMEM_CHECK_INVARIANTS"] = "1"
     if nodes > 1:
         from .cluster import clusterize
 
@@ -433,14 +490,19 @@ def _cmd_run(
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
-        spec = clusterize(
-            spec,
-            nodes,
-            coordinator=coordinator,
-            contended=contended,
-            failures=failure_events,
-            migrations=migration_events,
-        )
+        try:
+            spec = clusterize(
+                spec,
+                nodes,
+                coordinator=coordinator,
+                contended=contended,
+                failures=failure_events,
+                migrations=migration_events,
+                fault_plan=fault_plan,
+            )
+        except ClusterError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     selected = policies if policies else list(PAPER_POLICIES)
 
     results: Dict[str, ScenarioResult] = {}
@@ -474,7 +536,17 @@ def _cmd_run(
                     f"({len(runner.buckets)} shard workers) ...",
                     file=sys.stderr,
                 )
-            results[policy] = runner.run()
+            result = runner.run()
+            if cluster_engine == "epoch" and runner.epoch_fallback:
+                # One machine-greppable line, mirrored into the result
+                # so archived JSON records which engine actually ran.
+                print(
+                    f"epoch fallback: {runner.epoch_fallback}",
+                    file=sys.stderr,
+                )
+                if result.cluster is not None:
+                    result.cluster["epoch_fallback"] = runner.epoch_fallback
+            results[policy] = result
         else:
             if shards is not None:
                 print(
@@ -483,7 +555,9 @@ def _cmd_run(
                     file=sys.stderr,
                 )
             print(f"running {spec.name} under {policy} ...", file=sys.stderr)
-            results[policy] = run_scenario(spec, policy, seed=seed)
+            results[policy] = run_scenario(
+                spec, policy, seed=seed, check_invariants=check_invariants
+            )
 
     print()
     print(render_runtime_table(results, title=f"Running times — {spec.name} (scale={scale})"))
@@ -854,6 +928,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             contended=args.contended,
             failures=args.failures,
             migrations=args.migrations,
+            faults=args.faults,
+            degradations=args.degradations,
+            check_invariants=args.check_invariants,
             shards=args.shards,
             cluster_engine=args.cluster_engine,
         )

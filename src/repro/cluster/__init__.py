@@ -31,10 +31,24 @@ layers:
 
 :func:`~repro.cluster.cluster.clusterize` lifts any single-host scenario
 spec onto an N-node topology by replicating its VMs per node.
+
+:mod:`repro.cluster.faults` adds deterministic fault injection on top:
+a declarative, seeded :class:`~repro.cluster.faults.FaultPlan` (transient
+node failures with rejoin, link-degradation windows) carried by the
+topology, plus the inline
+:class:`~repro.cluster.faults.InvariantChecker`.
 """
 
 from .node import Node
 from .cluster import Cluster, clusterize
+from .faults import (
+    FaultPlan,
+    InvariantChecker,
+    LinkDegradation,
+    NodeFault,
+    parse_link_degradation,
+    parse_node_fault,
+)
 from .epoch import (
     CLUSTER_ENGINES,
     EpochDriver,
@@ -53,6 +67,12 @@ __all__ = [
     "Node",
     "Cluster",
     "clusterize",
+    "FaultPlan",
+    "InvariantChecker",
+    "LinkDegradation",
+    "NodeFault",
+    "parse_link_degradation",
+    "parse_node_fault",
     "CLUSTER_ENGINES",
     "EpochDriver",
     "ShardedClusterRunner",

@@ -57,6 +57,7 @@ from ..sim.engine import SimulationEngine
 from ..sim.events import EventPriority
 from ..sim.rng import RngFactory
 from ..sim.trace import TraceRecorder
+from .faults import FaultPlan, InvariantChecker, NodeFault
 from .node import Node
 
 __all__ = ["Cluster", "clusterize"]
@@ -133,6 +134,25 @@ class Cluster:
         self._rebalance_timer = None
         #: Failure/migration records for the result's cluster section.
         self.events: List[Dict[str, Any]] = []
+        #: Effective fault-injection plan (no-op windows dropped): a plan
+        #: of nothing but no-ops is indistinguishable from no plan, so
+        #: zero-width windows stay byte-identical to fault-free runs.
+        self.fault_plan: Optional[FaultPlan] = (
+            self.topology.fault_plan.effective()
+            if self.topology.fault_plan is not None
+            else None
+        )
+        if self.fault_plan is not None and epoch is not None:
+            # coupling_reason()/epoch_fallback_reason() route fault plans
+            # to the exact engine; this guards direct construction.
+            raise ClusterError(
+                "fault plans require the exact cluster engine "
+                "(the epoch engine never materializes hosted pages)"
+            )
+        #: Inline conservation checker; armed via
+        #: :meth:`enable_invariant_checker` before :meth:`start`.
+        self.invariant_checker: Optional[InvariantChecker] = None
+        self._checker_timer = None
         self._migrations_in_flight = 0
         #: Names of VMs whose state copy is currently in flight.  A VM
         #: can have at most one live relocation: planned migrations of
@@ -150,8 +170,17 @@ class Cluster:
                 contended=self.topology.contended,
                 trace=trace,
             )
+            if self.fault_plan is not None and self.fault_plan.link_faults:
+                self.channel.configure_degradations(
+                    self.fault_plan.link_faults, rng_factory
+                )
             if use_tmem and self.topology.remote_spill:
                 self._wire_remote_spill(domid_counter)
+            if self.fault_plan is not None:
+                for backend in self.remote_backends.values():
+                    backend.configure_faults(
+                        self.fault_plan, self.events.append
+                    )
             if use_tmem and self.topology.coordinator and epoch is None:
                 # Under the epoch engine the coordinator runs driver-side
                 # at window barriers (BarrierRebalancer), not on a local
@@ -175,9 +204,14 @@ class Cluster:
                 for node in self.nodes
             }
         else:
+            zones = {
+                node_spec.name: node_spec.zone
+                for node_spec in self.topology.nodes
+            }
             backends = {
                 node.name: RemoteTmemBackend(
-                    node.name, node.hypervisor, self.channel, trace=self.trace
+                    node.name, node.hypervisor, self.channel,
+                    trace=self.trace, zone=zones.get(node.name),
                 )
                 for node in self.nodes
             }
@@ -223,11 +257,57 @@ class Cluster:
                 priority=EventPriority.HYPERVISOR,
                 label=f"migrate:{migration.vm}",
             )
+        if self.fault_plan is not None:
+            for fault in self.fault_plan.node_faults:
+                self.engine.schedule_call_at(
+                    fault.at_s,
+                    self._fail_node,
+                    fault.node,
+                    priority=EventPriority.HYPERVISOR,
+                    label=f"fault:{fault.node}",
+                )
+                self.engine.schedule_call_at(
+                    fault.recover_at_s,
+                    self._recover_node,
+                    fault,
+                    priority=EventPriority.HYPERVISOR,
+                    label=f"recover:{fault.node}",
+                )
+        if self.invariant_checker is not None:
+            # Same cadence as the stats VIRQ: cheap, and every sweep sees
+            # the cluster at a quiescent timer boundary.
+            self._checker_timer = self.engine.schedule_recurring(
+                self.config.sampling.interval_s,
+                self.invariant_checker,
+                priority=EventPriority.TIMER,
+                label="invariant-checker",
+            )
+
+    def enable_invariant_checker(self) -> None:
+        """Arm the inline invariant checker (call before :meth:`start`).
+
+        The checker is read-only and draws no randomness, so arming it
+        cannot change a run's results — only raise
+        :class:`~repro.errors.InvariantViolation` the moment a
+        conservation law breaks.  No-op under the epoch engine, whose
+        hosted pages are intentionally virtual.
+        """
+        if self.epoch is not None:
+            return
+        if self.invariant_checker is None:
+            self.invariant_checker = InvariantChecker(self)
 
     def finalize(self) -> None:
         if self._rebalance_timer is not None:
             self._rebalance_timer.cancel()
             self._rebalance_timer = None
+        if self._checker_timer is not None:
+            self._checker_timer.cancel()
+            self._checker_timer = None
+        if self.invariant_checker is not None:
+            # One final sweep so short runs (duration < one sampling
+            # interval) are still checked at least once.
+            self.invariant_checker.check()
         for node in self.nodes:
             node.finalize()
 
@@ -308,6 +388,106 @@ class Cluster:
             target = self._pick_failover_target(survivors, vm)
             event["migrated_vms"].append(vm_name)
             self._begin_relocation(vm, node, target, reason="failover")
+
+    def _recover_node(self, fault: NodeFault) -> None:
+        """Re-admit a transiently failed node with empty tmem pools.
+
+        The machine rebooted: stale domain carcasses (evacuated VMs'
+        records, which kept their RAM reservation and dead tmem pages
+        frozen) are destroyed, the spill client is reset and rewired to
+        the alive peers, every alive peer re-adds the node to its peer
+        list, the sampler restarts, and the coordinator's next round
+        sees the node again.  With ``fault.failback`` the VMs the
+        topology placed here originally are live-migrated back.
+
+        A VM whose failover copy is still in flight *towards* this node
+        keeps its domain and spill index: its completion handler finds
+        the destination alive again and resumes it here.
+        """
+        node = self._node_by_name[fault.node]
+        if not node.failed:
+            return
+        now = self.engine.now
+        hypervisor = node.hypervisor
+        for vm_id in sorted(hypervisor.domains()):
+            vm = self._vm_by_id.get(vm_id)
+            if vm is not None and vm.name in self._relocating:
+                continue
+            hypervisor.destroy_domain(vm_id)
+        node.recover()
+
+        backend = self.remote_backends.get(fault.node)
+        if backend is not None:
+            # Mid-copy VMs already adopted by this backend keep their
+            # index entries across the pool reset (their remote copies
+            # on peers stay owned); everything else died with the node.
+            preserved = {
+                vm_id: backend.extract_vm(vm_id)
+                for vm_id in sorted(backend._home_vms)
+            }
+            peers = [
+                self.remote_backends[other.name]
+                for other in self.nodes
+                if other is not node
+                and not other.failed
+                and other.name in self.remote_backends
+            ]
+            backend.reset_after_failure(peers)
+            for vm_id, (persistent, ephemeral) in preserved.items():
+                backend.adopt_vm(vm_id, persistent, ephemeral)
+            for other in self.nodes:
+                if other is node or other.failed:
+                    continue
+                other_backend = self.remote_backends.get(other.name)
+                if other_backend is None:
+                    continue
+                other_backend.set_peers([
+                    self.remote_backends[third.name]
+                    for third in self.nodes
+                    if third is not other
+                    and not third.failed
+                    and third.name in self.remote_backends
+                ])
+                other_backend.clear_breaker(fault.node)
+
+        event: Dict[str, Any] = {
+            "kind": "recovery",
+            "node": fault.node,
+            "at_s": now,
+            "failed_back_vms": [],
+        }
+        self.events.append(event)
+
+        if fault.failback:
+            home_spec = next(
+                spec for spec in self.topology.nodes
+                if spec.name == fault.node
+            )
+            for vm_name in home_spec.vm_names:
+                if vm_name in self._relocating:
+                    continue
+                source = next(
+                    (n for n in self.nodes if vm_name in n.vms), None
+                )
+                if source is None or source is node or source.failed:
+                    continue
+                vm = source.vms[vm_name]
+                if (
+                    node.hypervisor.host_memory.unassigned_pages
+                    < vm.domain.ram_pages
+                ):
+                    continue
+                source.remove_vm(vm_name)
+                event["failed_back_vms"].append(vm_name)
+                self.events.append({
+                    "kind": "migration",
+                    "vm": vm_name,
+                    "from": source.name,
+                    "to": node.name,
+                    "at_s": now,
+                    "failback": True,
+                })
+                self._begin_relocation(vm, source, node, reason="planned")
 
     def _pick_failover_target(
         self, survivors: List[Node], vm: VirtualMachine
@@ -672,6 +852,8 @@ class Cluster:
             return True
         if topology.contended or topology.failures or topology.migrations:
             return True
+        if self.fault_plan is not None:
+            return True
         return any(
             backend.stats.ephemeral_spilled
             or backend.stats.ephemeral_dropped
@@ -708,6 +890,13 @@ class Cluster:
                 info["pages_lost"] = (
                     backend.stats.pages_lost if backend else 0
                 )
+            if self.fault_plan is not None:
+                info["retry_penalty_s"] = (
+                    backend.retry_penalty_s if backend else 0.0
+                )
+                info["breaker_trips"] = (
+                    backend.breaker_trips if backend else 0
+                )
             summary[node.name] = info
         return summary
 
@@ -721,9 +910,13 @@ class Cluster:
         if not self.realism_active:
             return {}
         extras: Dict[str, object] = {}
-        if self.channel is not None and self.channel.contended:
+        if self.channel is not None and (
+            self.channel.contended or self.channel.degraded
+        ):
             extras["links"] = self.channel.describe_links()
             extras["max_queue_depth"] = self.channel.max_queue_depth
+        if self.fault_plan is not None:
+            extras["fault_plan"] = self.fault_plan.describe()
         if self.events:
             extras["events"] = [dict(event) for event in self.events]
         return extras

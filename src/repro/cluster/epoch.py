@@ -115,6 +115,8 @@ def epoch_fallback_reason(
         return "node failures relocate VMs across shards"
     if topology.migrations:
         return "planned VM migrations relocate VMs across shards"
+    if topology.fault_plan is not None:
+        return "fault plan needs the exact cluster engine"
     node_of = {
         vm_name: node.name
         for node in topology.nodes

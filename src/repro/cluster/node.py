@@ -184,6 +184,18 @@ class Node:
         if self._use_tmem:
             self.hypervisor.stop()
 
+    def recover(self) -> None:
+        """Rejoin after a transient failure.
+
+        The cluster has already destroyed the stale domain carcasses and
+        reset the spill client (the machine rebooted: all tmem pools are
+        empty), so recovery here is just clearing the failure flag and
+        restarting the statistics sampler.
+        """
+        self.failed = False
+        if self._use_tmem:
+            self.hypervisor.start()
+
     def adopt_vm(self, vm: "VirtualMachine") -> None:
         """Take ownership of a migrated VM (already re-homed onto this
         node's hypervisor)."""

@@ -114,6 +114,8 @@ def coupling_reason(spec: ScenarioSpec, *, use_tmem: bool = True) -> Optional[st
         return "node failures fail VMs over across nodes"
     if topology.migrations:
         return "planned VM migrations cross nodes"
+    if topology.fault_plan is not None:
+        return "fault plan injects cross-node faults"
     node_of = {
         vm_name: node.name
         for node in topology.nodes

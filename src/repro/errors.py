@@ -31,6 +31,8 @@ __all__ = [
     "TransportError",
     "ProtocolError",
     "ClusterError",
+    "FaultSpecError",
+    "InvariantViolation",
 ]
 
 
@@ -135,3 +137,25 @@ class ProtocolError(ExperimentError):
 
 class ClusterError(ReproError):
     """A multi-node cluster topology is invalid or inconsistently wired."""
+
+
+class FaultSpecError(ClusterError):
+    """A fault-injection spec string or plan is malformed."""
+
+
+class InvariantViolation(ClusterError):
+    """A cluster-wide conservation invariant broke mid-simulation.
+
+    Raised by the inline invariant checker with a structured payload:
+    ``check`` names the failed invariant, ``at_s`` the simulated time it
+    was observed, and ``details`` carries the offending quantities so a
+    violation in a long chaotic run is diagnosable without a debugger.
+    """
+
+    def __init__(self, check: str, at_s: float, details: str) -> None:
+        self.check = check
+        self.at_s = at_s
+        self.details = details
+        super().__init__(
+            f"invariant {check!r} violated at t={at_s:.6f}s: {details}"
+        )

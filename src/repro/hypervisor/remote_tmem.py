@@ -69,7 +69,7 @@ and cleancache simultaneously cannot collide either.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..channels.internode import InterNodeChannel
 from ..errors import ClusterError
@@ -139,6 +139,25 @@ class RemoteTmemStats:
         )
 
 
+class _PeerBreaker:
+    """Circuit-breaker state this node keeps about one spill peer.
+
+    Closed (the default) counts consecutive timeout-class failures;
+    at the plan's threshold the breaker *opens* and the peer is skipped
+    costlessly until the cooldown expires, after which one *half-open*
+    probe is allowed — success closes the breaker, failure re-arms the
+    cooldown.
+    """
+
+    __slots__ = ("failures", "opened", "open_until", "half_open")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened = False
+        self.open_until = 0.0
+        self.half_open = False
+
+
 class RemoteTmemBackend:
     """Node-scoped remote-tmem port: spills overflow to peer nodes.
 
@@ -158,8 +177,12 @@ class RemoteTmemBackend:
         channel: InterNodeChannel,
         *,
         trace: Optional["TraceRecorder"] = None,
+        zone: Optional[str] = None,
     ) -> None:
         self.node_name = node_name
+        #: Rack/availability zone label (spill placement avoids peers in
+        #: a degraded zone first); ``None`` means zone-agnostic.
+        self.zone = zone
         self._hypervisor = hypervisor
         self._channel = channel
         self._trace = trace
@@ -186,6 +209,16 @@ class RemoteTmemBackend:
         self.last_extra_s = self.extra_latency_s
         self._contended = channel.contended
         self.stats = RemoteTmemStats()
+        #: Graceful-degradation config (a FaultPlan) — None on the
+        #: historical fault-free path, which stays byte-identical.
+        self._fault_policy = None
+        self._event_sink: Optional[Any] = None
+        self._breakers: Dict[str, "_PeerBreaker"] = {}
+        #: Accumulated backoff/timeout time charged by the degraded
+        #: spill path (reported per node, audited by tests).
+        self.retry_penalty_s = 0.0
+        #: Circuit-breaker open transitions.
+        self.breaker_trips = 0
 
     # -- wiring -------------------------------------------------------------
     def register_home_vm(self, vm_id: int) -> None:
@@ -375,6 +408,10 @@ class RemoteTmemBackend:
         """Try to place an overflow put on a peer; True when absorbed."""
         if vm_id not in self._home_vms or not self._peers:
             return False
+        if self._fault_policy is not None:
+            return self._spill_put_degraded(
+                vm_id, object_id, index, version, now, ephemeral=ephemeral
+            )
         spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
         objects = self._index_for(ephemeral).setdefault(vm_id, {})
         slots = objects.setdefault(object_id, {})
@@ -422,6 +459,208 @@ class RemoteTmemBackend:
                 account.cumul_puts_failed += 1
         if not slots:
             del objects[object_id]
+        self.stats.spill_failures += 1
+        return False
+
+    # -- graceful degradation (active only with a fault plan) -----------------
+    def configure_faults(
+        self,
+        plan: Any,
+        event_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        """Enable the degraded spill path with *plan*'s retry/breaker knobs.
+
+        *event_sink* (the cluster's event log) receives breaker
+        open/close transitions.  Without this call the backend runs the
+        historical fault-free code byte for byte.
+        """
+        self._fault_policy = plan
+        self._event_sink = event_sink
+        self._breakers = {}
+
+    def _emit_event(self, event: Dict[str, Any]) -> None:
+        if self._event_sink is not None:
+            self._event_sink(event)
+
+    def _breaker(self, peer_name: str) -> _PeerBreaker:
+        state = self._breakers.get(peer_name)
+        if state is None:
+            state = self._breakers[peer_name] = _PeerBreaker()
+        return state
+
+    def _breaker_skips(self, peer: "RemoteTmemBackend", now: float) -> bool:
+        """True while *peer*'s breaker is open (skip it costlessly)."""
+        state = self._breakers.get(peer.node_name)
+        if state is None or not state.opened:
+            return False
+        if now < state.open_until:
+            return True
+        state.half_open = True
+        return False
+
+    def _breaker_failure(self, peer: "RemoteTmemBackend", now: float) -> None:
+        plan = self._fault_policy
+        state = self._breaker(peer.node_name)
+        state.failures += 1
+        if state.opened:
+            # Failed half-open probe: re-arm the cooldown.
+            state.open_until = now + plan.breaker_cooldown_s
+            state.half_open = False
+            return
+        if state.failures >= plan.breaker_threshold:
+            state.opened = True
+            state.half_open = False
+            state.open_until = now + plan.breaker_cooldown_s
+            self.breaker_trips += 1
+            self._emit_event(
+                {
+                    "kind": "breaker",
+                    "node": self.node_name,
+                    "peer": peer.node_name,
+                    "state": "open",
+                    "at_s": now,
+                }
+            )
+
+    def _breaker_success(self, peer: "RemoteTmemBackend", now: float) -> None:
+        state = self._breakers.get(peer.node_name)
+        if state is None:
+            return
+        if state.opened:
+            self._emit_event(
+                {
+                    "kind": "breaker",
+                    "node": self.node_name,
+                    "peer": peer.node_name,
+                    "state": "closed",
+                    "at_s": now,
+                }
+            )
+        state.failures = 0
+        state.opened = False
+        state.half_open = False
+
+    def clear_breaker(self, peer_name: str) -> None:
+        """Forget breaker state about *peer_name* (it rejoined fresh)."""
+        self._breakers.pop(peer_name, None)
+
+    def _ranked_peers(self, now: float) -> List["RemoteTmemBackend"]:
+        """Peers in degraded-mode preference order.
+
+        Peers in a degraded *zone* rank last, peers behind a degraded
+        link next-to-last; within a tier the most free tmem wins and
+        ties keep wiring order — the same deterministic tie-break as the
+        fault-free max-scan.
+        """
+        peers = self._peers
+        channel = self._channel
+        link_degraded = [
+            channel.degraded_at(self.node_name, peer.node_name, now)
+            for peer in peers
+        ]
+        degraded_zones = {
+            peer.zone
+            for peer, bad in zip(peers, link_degraded)
+            if bad and peer.zone is not None
+        }
+        decorated = [
+            (
+                1 if (peer.zone is not None and peer.zone in degraded_zones)
+                else 0,
+                1 if bad else 0,
+                -peer.free_tmem_pages,
+                order,
+            )
+            for order, (peer, bad) in enumerate(zip(peers, link_degraded))
+        ]
+        decorated.sort()
+        return [peers[entry[3]] for entry in decorated]
+
+    def _spill_put_degraded(
+        self,
+        vm_id: int,
+        object_id: int,
+        index: int,
+        version: int,
+        now: float,
+        *,
+        ephemeral: bool = False,
+    ) -> bool:
+        """Spill with retry/backoff, circuit breakers and zone avoidance.
+
+        Mirrors :meth:`spill_put` but walks peers in
+        :meth:`_ranked_peers` order: an attempt against a partitioned
+        link costs one timed-out round trip and counts against that
+        peer's breaker; between attempts an exponential backoff accrues
+        until the plan's retry deadline.  The accumulated penalty is
+        charged to the guest via ``last_extra_s`` when a later attempt
+        succeeds (a failed put already falls back to the swap disk,
+        whose cost dominates).
+        """
+        plan = self._fault_policy
+        channel = self._channel
+        spill_object = vm_id * _SPILL_OBJECT_STRIDE + object_id
+        objects = self._index_for(ephemeral).setdefault(vm_id, {})
+        slots = objects.setdefault(object_id, {})
+
+        holder = slots.get(index)
+        if holder is not None:
+            # Replace-in-place is pinned to the holding peer: an open
+            # breaker or a partition simply fails the put (the page's
+            # remote copy stays valid at its old version).
+            if self._breaker_skips(holder, now):
+                return False
+            if channel.partitioned(self.node_name, holder.node_name, now):
+                self.retry_penalty_s += channel.timeout_cost_s(
+                    self.node_name, holder.node_name, now
+                )
+                self._breaker_failure(holder, now)
+                return False
+            if holder.accept_spill(
+                self, spill_object, index, version, now, ephemeral=ephemeral
+            ):
+                self._breaker_success(holder, now)
+                self._note_spill(holder, now, ephemeral)
+                return True
+            return False
+
+        penalty = 0.0
+        backoff = plan.backoff_base_s
+        attempts = 0
+        for peer in self._ranked_peers(now):
+            if attempts >= plan.retry_limit:
+                break
+            if self._breaker_skips(peer, now):
+                continue
+            if attempts:
+                penalty += backoff
+                backoff *= plan.backoff_factor
+                if penalty > plan.retry_deadline_s:
+                    break
+            attempts += 1
+            if channel.partitioned(self.node_name, peer.node_name, now):
+                penalty += channel.timeout_cost_s(
+                    self.node_name, peer.node_name, now
+                )
+                self._breaker_failure(peer, now)
+                continue
+            if peer.accept_spill(
+                self, spill_object, index, version, now, ephemeral=ephemeral
+            ):
+                slots[index] = peer
+                self._breaker_success(peer, now)
+                self._note_spill(peer, now, ephemeral)
+                # The guest pays for the timeouts/backoff that preceded
+                # the successful attempt on top of the transfer itself.
+                self.last_extra_s += penalty
+                self.retry_penalty_s += penalty
+                return True
+            # A refusal is a full peer, not a sick one: the failed put
+            # was accounted by the peer's own put machinery and does not
+            # count against its breaker.
+        if not slots:
+            del objects[object_id]
+        self.retry_penalty_s += penalty
         self.stats.spill_failures += 1
         return False
 
@@ -630,7 +869,77 @@ class RemoteTmemBackend:
             self._ephemeral_index[vm_id] = kept_ephemeral
         return repatriated
 
+    def set_peers(self, peers: List["RemoteTmemBackend"]) -> None:
+        """Rewire the live peer list (cluster membership changed)."""
+        self._peers = [peer for peer in peers if peer is not self]
+
+    def reset_after_failure(self, peers: List["RemoteTmemBackend"]) -> None:
+        """Reset a rejoining node's spill state: the machine rebooted.
+
+        The spill pools' contents died with the node (peers already
+        severed us via :meth:`detach_peer`), so both pools are destroyed
+        and recreated empty, the spill client is re-registered, every
+        index and breaker record is dropped, and the backend is rewired
+        to the currently alive *peers*.
+        """
+        assert self._spill_client_id is not None
+        # flush_vm inside destroy_vm is a no-op (the spill client never
+        # spills); this releases the stale hosted frames and zeroes the
+        # client's accounting so it can be re-registered.
+        self._hypervisor.backend.destroy_vm(self._spill_client_id)
+        self._hypervisor.accounting.unregister_vm(self._spill_client_id)
+        self._spill_index.clear()
+        self._ephemeral_index.clear()
+        self._hosted_ephemeral.clear()
+        self._breakers = {}
+        self._hypervisor.accounting.register_vm(
+            self._spill_client_id, internal=True
+        )
+        self._spill_account = self._hypervisor.accounting.account(
+            self._spill_client_id
+        )
+        pool = self._hypervisor.store.create_pool(
+            self._spill_client_id, persistent=True
+        )
+        self._spill_pool_id = pool.pool_id
+        ephemeral = self._hypervisor.store.create_pool(
+            self._spill_client_id, persistent=False
+        )
+        self._ephemeral_pool_id = ephemeral.pool_id
+        self._hypervisor.backend.remote = self
+        self.last_extra_s = self.extra_latency_s
+        self.set_peers(peers)
+
     # -- introspection -------------------------------------------------------
+    def spill_holder_counts(self, *, ephemeral: bool = False) -> Dict[str, int]:
+        """Home VMs' spilled pages counted per holding node name.
+
+        Used by the inline invariant checker to cross-audit every
+        owner's index against every host's spill-pool occupancy.
+        """
+        counts: Dict[str, int] = {}
+        for objects in self._index_for(ephemeral).values():
+            for slots in objects.values():
+                for leaf in slots.values():
+                    # Exact backends store the peer object; the epoch
+                    # engine's leaves are (peer_name, version) tuples.
+                    name = (
+                        leaf.node_name
+                        if isinstance(leaf, RemoteTmemBackend)
+                        else leaf[0]
+                    )
+                    counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def hosted_spill_pages(self, *, ephemeral: bool = False) -> int:
+        """Foreign pages currently materialized in the local spill pool."""
+        if self._spill_client_id is None:
+            return 0
+        pool = self._hypervisor.store.get_pool(
+            self._spill_client_id, self._pool_id_for(ephemeral)
+        )
+        return len(pool)
+
     def remote_pages_of(self, vm_id: int) -> int:
         """Remote persistent copies currently held for one home VM."""
         objects = self._spill_index.get(vm_id, {})
@@ -657,7 +966,7 @@ class RemoteTmemBackend:
         queue-aware cost reserved on the directed link when contended.
         """
         channel = self._channel
-        if channel.contended:
+        if channel.contended or channel.degraded:
             self.last_extra_s = channel.reserve(
                 src.node_name, dst.node_name, 1, channel.now
             )

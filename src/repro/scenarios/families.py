@@ -37,6 +37,14 @@ a modeled interconnect — see :mod:`repro.cluster`):
 * ``migrate`` — a planned live migration: the loaded VM is suspended
   mid-run, its resident state crosses the interconnect, and it resumes
   on the peer node, keeping its identity and statistics.
+* ``faulty`` — the failover vault dies *transiently*: a declarative
+  :class:`~repro.cluster.faults.FaultPlan` takes it down at ``fail_at``
+  and rejoins it ``down_s`` later with empty pools; its VM fails over,
+  then fails back when the node returns.
+* ``flaky`` — ``faulty`` plus link degradation: one link runs a lossy,
+  throttled, high-latency window and the reverse link flaps into a hard
+  partition, so the spill path retries with backoff, trips a per-peer
+  circuit breaker and routes around the sick link until it heals.
 * ``shard`` — the decoupled twin of ``cluster``: the same per-node load
   with no spill, no coordinator and no contention, so the nodes never
   interact and :class:`~repro.cluster.sharded.ShardedClusterRunner` can
@@ -72,6 +80,8 @@ __all__ = [
     "contended_scenario",
     "failover_scenario",
     "migrate_scenario",
+    "faulty_scenario",
+    "flaky_scenario",
     "shard_scenario",
 ]
 
@@ -582,6 +592,183 @@ def failover_scenario(
             interconnect_bandwidth_bytes_s=1.25e8,
             coordinator="spill-feedback:percent=15",
             failures=(NodeFailure(node="node2", at_s=fail_at),),
+        ),
+    )
+
+
+def _vault_cluster(nodes: int, ram_mb: int, scale: float):
+    """The shared VM/node layout of the transient-fault families.
+
+    Same shape as ``failover``: ``nodes - 1`` overflowing usemem nodes
+    spill into node2's large vault pool, and node2 runs a long
+    graph-analytics VM so the fault hits a busy guest.  Nodes alternate
+    between two zones so the degraded spill path's rack-aware peer
+    ranking has something to prefer.
+    """
+    vm_ram = _scaled(ram_mb, scale)
+    increment_mb = _scaled(128, scale)
+    hot_params = {
+        "start_mb": increment_mb,
+        "increment_mb": increment_mb,
+        "max_mb": max(increment_mb, _scaled(2 * ram_mb, scale)),
+    }
+    light_params = {
+        "graph_mb": _scaled(ram_mb * 0.6, scale),
+        "rank_vectors_mb": _scaled(ram_mb * 0.15, scale),
+        "iterations": 16,
+    }
+    small_tmem = _scaled(96, scale)
+    vault_tmem = _scaled(1024, scale)
+
+    vms = []
+    node_specs = []
+    for k in range(1, nodes + 1):
+        name = f"n{k}.VM1"
+        is_vault = k == 2
+        vms.append(
+            VMSpec(
+                name=name,
+                ram_mb=vm_ram,
+                vcpus=1,
+                swap_mb=_scaled(4 * ram_mb, scale),
+                jobs=(
+                    WorkloadSpec(
+                        kind="graph-analytics" if is_vault else "usemem",
+                        params=light_params if is_vault else hot_params,
+                        start_at=0.0,
+                        label="graph-analytics" if is_vault else "usemem",
+                    ),
+                ),
+            )
+        )
+        node_specs.append(
+            NodeSpec(
+                name=f"node{k}",
+                vm_names=(name,),
+                tmem_mb=vault_tmem if is_vault else small_tmem,
+                host_memory_mb=(
+                    vm_ram + vault_tmem + 256
+                    if is_vault
+                    else 2 * vm_ram + small_tmem + vault_tmem + 256
+                ),
+                zone=f"z{1 + (k % 2)}",
+            )
+        )
+    return tuple(vms), tuple(node_specs), small_tmem, vault_tmem
+
+
+@register_scenario("faulty", parameters=("nodes", "ram_mb", "fail_at", "down_s"))
+def faulty_scenario(
+    *, scale: float = 1.0, nodes: int = 3, ram_mb: int = 512,
+    fail_at: float = 10.0, down_s: float = 15.0,
+) -> ScenarioSpec:
+    """The spill vault dies transiently and rejoins with VM failback."""
+    from ..cluster.faults import FaultPlan
+
+    _check_scale(scale)
+    nodes = int(nodes)
+    fail_at = float(fail_at)
+    down_s = float(down_s)
+    if nodes < 3:
+        raise ScenarioError(f"faulty needs nodes >= 3, got {nodes}")
+    if ram_mb <= 0:
+        raise ScenarioError(f"faulty needs ram_mb > 0, got {ram_mb}")
+    if fail_at <= 0:
+        raise ScenarioError(f"faulty needs fail_at > 0, got {fail_at}")
+    if down_s <= 0:
+        raise ScenarioError(f"faulty needs down_s > 0, got {down_s}")
+    vms, node_specs, small_tmem, vault_tmem = _vault_cluster(
+        nodes, ram_mb, scale
+    )
+    plan = FaultPlan.from_specs(
+        faults=(f"node2@{fail_at:g}-{fail_at + down_s:g}:failback=1",),
+        degradations=(),
+    )
+    return ScenarioSpec(
+        name=f"faulty:nodes={nodes},ram_mb={ram_mb},fail_at={fail_at:g},"
+             f"down_s={down_s:g}",
+        description=(
+            f"{nodes - 1} overflowing nodes spill into node2's "
+            f"{vault_tmem} MB vault pool; node2 dies at t={fail_at:g}s and "
+            f"rejoins {down_s:g}s later with empty pools — its VM fails "
+            "over and then fails back to the recovered node"
+        ),
+        vms=vms,
+        tmem_mb=vault_tmem + small_tmem * (nodes - 1),
+        topology=ClusterTopology(
+            nodes=node_specs,
+            remote_spill=True,
+            contended=True,
+            interconnect_bandwidth_bytes_s=1.25e8,
+            coordinator="spill-feedback:percent=15",
+            fault_plan=plan,
+        ),
+    )
+
+
+@register_scenario("flaky", parameters=("nodes", "ram_mb", "fail_at", "down_s"))
+def flaky_scenario(
+    *, scale: float = 1.0, nodes: int = 3, ram_mb: int = 512,
+    fail_at: float = 10.0, down_s: float = 15.0,
+) -> ScenarioSpec:
+    """Transient vault failure plus lossy, flapping interconnect links."""
+    from ..cluster.faults import FaultPlan
+
+    _check_scale(scale)
+    nodes = int(nodes)
+    fail_at = float(fail_at)
+    down_s = float(down_s)
+    if nodes < 3:
+        raise ScenarioError(f"flaky needs nodes >= 3, got {nodes}")
+    if ram_mb <= 0:
+        raise ScenarioError(f"flaky needs ram_mb > 0, got {ram_mb}")
+    if fail_at <= 0:
+        raise ScenarioError(f"flaky needs fail_at > 0, got {fail_at}")
+    if down_s <= 0:
+        raise ScenarioError(f"flaky needs down_s > 0, got {down_s}")
+    vms, node_specs, small_tmem, vault_tmem = _vault_cluster(
+        nodes, ram_mb, scale
+    )
+    # The degraded window straddles the node fault; the reverse link
+    # flaps into a hard partition around the failure instant, so spill
+    # retries time out, the circuit breaker opens, and a post-heal probe
+    # closes it again.
+    degrade_start = fail_at / 2.0
+    degrade_end = fail_at + 2.0 * down_s / 3.0
+    part_start = 0.8 * fail_at
+    part_end = 1.2 * fail_at
+    # The breaker cooldown is tied to the fault window so the half-open
+    # probe fires while the vault is still down: node3's only live peer
+    # is then node1, which forces a probe and a full open -> close cycle
+    # once the partition has healed.
+    plan = FaultPlan.from_specs(
+        faults=(f"node2@{fail_at:g}-{fail_at + down_s:g}:failback=1",),
+        degradations=(
+            f"node1->node3@{degrade_start:g}-{degrade_end:g}:"
+            "bw=0.25,loss=0.05,lat=0.002",
+            f"node3->node1@{part_start:g}-{part_end:g}:partition=1",
+        ),
+        breaker_cooldown_s=max(0.5, down_s / 3.0),
+    )
+    return ScenarioSpec(
+        name=f"flaky:nodes={nodes},ram_mb={ram_mb},fail_at={fail_at:g},"
+             f"down_s={down_s:g}",
+        description=(
+            f"faulty:nodes={nodes} plus link degradation: node1->node3 "
+            f"runs lossy and throttled over [{degrade_start:g}, "
+            f"{degrade_end:g}]s, node3->node1 partitions over "
+            f"[{part_start:g}, {part_end:g}]s — the spill path retries "
+            "with backoff, trips the per-peer breaker and heals"
+        ),
+        vms=vms,
+        tmem_mb=vault_tmem + small_tmem * (nodes - 1),
+        topology=ClusterTopology(
+            nodes=node_specs,
+            remote_spill=True,
+            contended=True,
+            interconnect_bandwidth_bytes_s=1.25e8,
+            coordinator="spill-feedback:percent=15",
+            fault_plan=plan,
         ),
     )
 

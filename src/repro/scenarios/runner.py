@@ -26,6 +26,7 @@ to the swap disk.
 
 from __future__ import annotations
 
+import os
 import time as _time
 from typing import Dict, Optional
 
@@ -74,9 +75,12 @@ class ScenarioRunner:
         units: Optional[MemoryUnits] = None,
         seed: Optional[int] = None,
         epoch: Optional[object] = None,
+        check_invariants: Optional[bool] = None,
     ) -> None:
         self.spec = spec
         self.policy_spec = policy_spec
+        if check_invariants is None:
+            check_invariants = bool(os.environ.get("SMARTMEM_CHECK_INVARIANTS"))
         base_config = config if config is not None else SimulationConfig(
             units=units if units is not None else SCENARIO_UNITS
         )
@@ -105,6 +109,8 @@ class ScenarioRunner:
             )
             self.nodes = self.cluster.nodes
             self.vms: Dict[str, VirtualMachine] = self.cluster.merged_vms()
+            if check_invariants:
+                self.cluster.enable_invariant_checker()
         else:
             node = Node(
                 "node1",
@@ -264,9 +270,15 @@ def run_scenario(
     config: Optional[SimulationConfig] = None,
     units: Optional[MemoryUnits] = None,
     seed: Optional[int] = None,
+    check_invariants: Optional[bool] = None,
 ) -> ScenarioResult:
     """One-call convenience wrapper around :class:`ScenarioRunner`."""
     runner = ScenarioRunner(
-        spec, policy_spec, config=config, units=units, seed=seed
+        spec,
+        policy_spec,
+        config=config,
+        units=units,
+        seed=seed,
+        check_invariants=check_invariants,
     )
     return runner.run()

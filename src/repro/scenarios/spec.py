@@ -11,10 +11,13 @@ and users can build their own specs for new experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from ..errors import ScenarioError
+from ..errors import ClusterError, ScenarioError
 from ..units import MemoryUnits
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (cluster -> scenarios)
+    from ..cluster.faults import FaultPlan
 
 __all__ = [
     "WorkloadSpec",
@@ -100,6 +103,9 @@ class NodeSpec:
     tmem_mb: int
     #: Physical memory of the node; defaults to VM RAM + tmem + headroom.
     host_memory_mb: Optional[int] = None
+    #: Rack/availability zone label.  Remote spill placement prefers
+    #: peers outside a degraded zone; ``None`` means zone-agnostic.
+    zone: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -212,6 +218,10 @@ class ClusterTopology:
     failures: Tuple[NodeFailure, ...] = ()
     #: Scheduled planned (live) VM migrations.
     migrations: Tuple[VmMigration, ...] = ()
+    #: Transient fault-injection plan (node crash/rejoin windows, link
+    #: degradation windows, graceful-degradation knobs); ``None`` runs
+    #: fault-free.  See :class:`repro.cluster.faults.FaultPlan`.
+    fault_plan: Optional["FaultPlan"] = None
 
     def __post_init__(self) -> None:
         if not self.nodes:
@@ -266,6 +276,46 @@ class ClusterTopology:
                     f"VM {migration.vm!r} already lives on node "
                     f"{migration.to_node!r}"
                 )
+        # Time-aware schedule validation: walk the planned migrations in
+        # order and reject moves that could only misbehave at runtime —
+        # migrating a VM onto the node it would already be on, or onto a
+        # node that has already failed (permanently or during a transient
+        # fault window) at that time.
+        failed_at = {failure.node: failure.at_s for failure in self.failures}
+        location = {
+            vm_name: node.name
+            for node in self.nodes
+            for vm_name in node.vm_names
+        }
+        for migration in sorted(self.migrations, key=lambda m: m.at_s):
+            dead_at = failed_at.get(migration.to_node)
+            if dead_at is not None and dead_at <= migration.at_s:
+                raise ClusterError(
+                    f"migration of {migration.vm!r} to node "
+                    f"{migration.to_node!r} at t={migration.at_s}: the node "
+                    f"already failed at t={dead_at}"
+                )
+            if location.get(migration.vm) == migration.to_node:
+                raise ClusterError(
+                    f"migration of {migration.vm!r} at t={migration.at_s} "
+                    f"targets node {migration.to_node!r}, where it already "
+                    f"lives at that time"
+                )
+            location[migration.vm] = migration.to_node
+        if self.fault_plan is not None:
+            self.fault_plan.validate_topology(self)
+            for migration in self.migrations:
+                for fault in self.fault_plan.node_faults:
+                    if (
+                        fault.node == migration.to_node
+                        and fault.at_s <= migration.at_s < fault.recover_at_s
+                    ):
+                        raise ClusterError(
+                            f"migration of {migration.vm!r} to node "
+                            f"{migration.to_node!r} at t={migration.at_s}: "
+                            f"the node is down for a transient fault during "
+                            f"[{fault.at_s}, {fault.recover_at_s})"
+                        )
 
     def node_names(self) -> Tuple[str, ...]:
         return tuple(node.name for node in self.nodes)

@@ -55,6 +55,25 @@ EPOCH_SCENARIOS = (
     "contended:",
 )
 
+#: Fault-injection pin points (transient failure + rejoin + failback;
+#: flaky adds a lossy/throttled link and a flapping partition).  The
+#: fault windows are shortened so the whole choreography — fail, breaker
+#: open, heal, breaker close, rejoin, failback — completes within the
+#: ~22 s the scenario simulates at scale 0.1.  A policy subset keeps the
+#: recording fast; the full 9-policy sweep runs un-pinned in CI.
+FAULT_SCENARIOS = (
+    "faulty:nodes=3,fail_at=8,down_s=6",
+    "flaky:nodes=3,fail_at=8,down_s=6",
+)
+FAULT_POLICIES = (
+    "no-tmem",
+    "greedy",
+    "static-alloc",
+    "reconf-static",
+    "smart-alloc:P=2",
+    "smart-alloc:P=6",
+)
+
 
 def main() -> None:
     pins = {}
@@ -101,6 +120,18 @@ def main() -> None:
         json.dumps(epoch_pins, indent=2, sort_keys=True) + "\n"
     )
     print(f"wrote {len(epoch_pins)} epoch pins to {epoch_path}")
+
+    fault_pins = {}
+    for scenario in FAULT_SCENARIOS:
+        spec = scenario_by_name(scenario, scale=0.1)
+        for policy in FAULT_POLICIES:
+            result = run_scenario(spec, policy, config=config, seed=2019)
+            fault_pins[f"{scenario}|{policy}"] = result.fingerprint()
+    fault_path = here / "fault_fingerprints.json"
+    fault_path.write_text(
+        json.dumps(fault_pins, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {len(fault_pins)} fault pins to {fault_path}")
 
 
 if __name__ == "__main__":
