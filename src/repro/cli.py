@@ -84,17 +84,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run a scenario under one or more policies")
-    run_p.add_argument("scenario", help="scenario name (see 'smartmem list')")
+    run_p.add_argument(
+        "scenario",
+        help="scenario name (see 'smartmem list') or a .yml/.yaml "
+             "scenario-DSL document",
+    )
     run_p.add_argument(
         "--policy",
         action="append",
         dest="policies",
         default=None,
-        help="policy spec, repeatable (default: the paper's policy set)",
+        help="policy spec, repeatable (default: the paper's policy set, "
+             "or the document's policy for DSL files)",
     )
     run_p.add_argument("--scale", type=float, default=0.25,
-                       help="size scale factor (1.0 = paper sizes)")
-    run_p.add_argument("--seed", type=int, default=2019, help="simulation seed")
+                       help="size scale factor (1.0 = paper sizes; DSL "
+                            "documents set their own scale)")
+    run_p.add_argument("--seed", type=int, default=None,
+                       help="simulation seed (default 2019, or the "
+                            "document's seed for DSL files)")
     run_p.add_argument(
         "--nodes", type=int, default=1,
         help="replicate the scenario onto an N-node cluster with "
@@ -287,9 +295,73 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-request HTTP timeout in seconds "
                                "(default 10)")
 
-    sub.add_parser(
+    list_p = sub.add_parser(
         "list", help="list scenarios, registered policies and workload kinds"
     )
+    list_p.add_argument(
+        "--verbose", action="store_true",
+        help="also print the parameter table (name, type, default, units, "
+             "doc) of every scenario family and workload kind",
+    )
+
+    compile_p = sub.add_parser(
+        "compile",
+        help="compile a scenario-DSL document and print the resulting spec",
+    )
+    compile_p.add_argument("file", help="path to a .yml/.yaml DSL document")
+    compile_p.add_argument("--json", action="store_true",
+                           help="print the compiled spec as JSON")
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="validate scenario-DSL documents and report every diagnostic",
+    )
+    lint_p.add_argument("files", nargs="+",
+                        help="paths to .yml/.yaml DSL documents")
+    lint_p.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too (CI mode)")
+
+    plan_p = sub.add_parser(
+        "plan",
+        help="print the execution plan of a scenario-DSL document "
+             "without running it",
+    )
+    plan_p.add_argument("file", help="path to a .yml/.yaml DSL document")
+    plan_p.add_argument("--json", action="store_true",
+                        help="print the plan as JSON instead of text")
+
+    trace_p = sub.add_parser(
+        "trace", help="record page-access traces for the 'trace' workload"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    record_p = trace_sub.add_parser(
+        "record",
+        help="record a workload's step stream to a JSONL trace file",
+    )
+    record_p.add_argument("--out", required=True,
+                          help="output JSONL trace path")
+    record_p.add_argument(
+        "--workload", default=None,
+        help="record a synthetic workload by kind, e.g. --workload usemem",
+    )
+    record_p.add_argument(
+        "--param", action="append", dest="params", default=None,
+        metavar="KEY=VALUE",
+        help="workload constructor parameter (repeatable; with --workload)",
+    )
+    record_p.add_argument(
+        "--scenario", default=None,
+        help="record one job of a scenario VM instead (scenario name or "
+             "DSL document; reproduces the exact RNG stream of the run)",
+    )
+    record_p.add_argument("--vm", default=None,
+                          help="VM name within --scenario")
+    record_p.add_argument("--job", type=int, default=0,
+                          help="job index within the VM (default 0)")
+    record_p.add_argument("--scale", type=float, default=0.25,
+                          help="scale for --scenario (default 0.25)")
+    record_p.add_argument("--seed", type=int, default=2019,
+                          help="RNG seed (default 2019)")
 
     tables_p = sub.add_parser("tables", help="print Tables I and II")
     tables_p.add_argument("--scale", type=float, default=1.0)
@@ -333,7 +405,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
+def _print_parameter_rows(parameters) -> None:
+    """Indented name/type/default/units/doc rows under a list entry."""
+    for info in parameters:
+        units = f" [{info.units}]" if info.units else ""
+        doc = f"  {info.doc}" if info.doc else ""
+        print(
+            f"      {info.name}: {info.type} = {info.default_repr()}"
+            f"{units}{doc}"
+        )
+
+
+def _cmd_list(verbose: bool = False) -> int:
     print("Scenarios (paper, Table II):")
     for name, spec in all_scenarios(scale=1.0).items():
         print(f"  {name:18s} {spec.description}")
@@ -346,6 +429,8 @@ def _cmd_list() -> int:
             continue
         params = ", ".join(entry.parameters) if entry.parameters else "-"
         print(f"  {name:18s} params: {params:24s} {entry.summary}")
+        if verbose:
+            _print_parameter_rows(entry.parameter_info())
     print()
     print("Policies (spec syntax; parameters use name:key=value,...):")
     syntax = policy_spec_syntax()
@@ -358,8 +443,171 @@ def _cmd_list() -> int:
         print(f"  {name:18s} {spec_syntax}")
     print()
     print("Workload kinds:")
+    from .workloads.registry import WORKLOAD_REGISTRY
+
     for kind in available_workload_kinds():
         print(f"  {kind}")
+        if verbose:
+            _print_parameter_rows(WORKLOAD_REGISTRY[kind].parameter_info())
+    return 0
+
+
+def _is_dsl_path(name: str) -> bool:
+    return name.endswith((".yml", ".yaml"))
+
+
+def _load_dsl(path: str):
+    """Compile a DSL document for run/record; print diagnostics on stderr.
+
+    Returns the CompiledScenario or None after printing errors.
+    """
+    from .scenarios.dsl import DslError, compile_file
+
+    try:
+        compiled = compile_file(path)
+    except DslError as exc:
+        print(exc.render(), file=sys.stderr)
+        return None
+    for diag in compiled.warnings:
+        print(diag.format(path), file=sys.stderr)
+    return compiled
+
+
+def _cmd_compile(path: str, as_json: bool) -> int:
+    from .serialize import scenario_spec_to_dict
+
+    compiled = _load_dsl(path)
+    if compiled is None:
+        return 1
+    if as_json:
+        import json
+
+        print(json.dumps(scenario_spec_to_dict(compiled.spec), indent=2,
+                         sort_keys=True))
+    else:
+        print(compiled.spec.describe())
+    return 0
+
+
+def _cmd_lint(paths: List[str], strict: bool) -> int:
+    from .scenarios.dsl import lint_file
+
+    worst = 0
+    for path in paths:
+        diagnostics = lint_file(path)
+        for diag in diagnostics:
+            print(diag.format(path))
+            if diag.is_error:
+                worst = max(worst, 1)
+            elif strict:
+                worst = max(worst, 1)
+        if not diagnostics:
+            print(f"{path}: ok")
+    return worst
+
+
+def _cmd_plan(path: str, as_json: bool) -> int:
+    from .scenarios.dsl import format_plan, plan_dict
+
+    compiled = _load_dsl(path)
+    if compiled is None:
+        return 1
+    if as_json:
+        import json
+
+        print(json.dumps(plan_dict(compiled), indent=2, sort_keys=True))
+    else:
+        print(format_plan(compiled))
+    return 0
+
+
+def _parse_workload_param(text: str):
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise ValueError(f"--param expects KEY=VALUE, got {text!r}")
+    for convert in (int, float):
+        try:
+            return key, convert(value)
+        except ValueError:
+            continue
+    return key, value
+
+
+def _cmd_trace_record(args: "argparse.Namespace") -> int:
+    """``smartmem trace record``: dump a workload's steps to JSONL."""
+    from .sim.rng import RngFactory
+    from .units import SCENARIO_UNITS
+    from .workloads.registry import workload_class
+    from .workloads.trace import dump_trace_steps
+
+    if (args.workload is None) == (args.scenario is None):
+        print("trace record needs exactly one of --workload or --scenario",
+              file=sys.stderr)
+        return 2
+
+    units = SCENARIO_UNITS
+    factory = RngFactory(args.seed)
+    if args.workload is not None:
+        try:
+            workload_cls = workload_class(args.workload)
+        except Exception as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        params = {}
+        try:
+            for text in args.params or ():
+                key, value = _parse_workload_param(text)
+                params[key] = value
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        rng = factory.stream(f"trace-record/{args.workload}")
+        workload = workload_cls(units=units, rng=rng, **params)
+        meta = {
+            "source": "workload",
+            "kind": args.workload,
+            "params": params,
+            "seed": args.seed,
+        }
+    else:
+        if args.vm is None:
+            print("--scenario also needs --vm", file=sys.stderr)
+            return 2
+        if _is_dsl_path(args.scenario):
+            compiled = _load_dsl(args.scenario)
+            if compiled is None:
+                return 1
+            spec = compiled.spec
+        else:
+            spec = scenario_by_name(args.scenario, scale=args.scale)
+        vm_spec = spec.vm(args.vm)
+        if not 0 <= args.job < len(vm_spec.jobs):
+            print(
+                f"VM {args.vm!r} has {len(vm_spec.jobs)} job(s); "
+                f"--job {args.job} is out of range",
+                file=sys.stderr,
+            )
+            return 2
+        job = vm_spec.jobs[args.job]
+        # The exact stream name Node._workload_factory uses, so the
+        # recorded steps are the ones the simulated run would execute.
+        rng_name = f"{spec.name}/{vm_spec.name}/{job.kind}/{args.job}"
+        rng = factory.stream(rng_name)
+        workload = workload_class(job.kind)(
+            units=units, rng=rng, **dict(job.params)
+        )
+        meta = {
+            "source": "scenario",
+            "scenario": spec.name,
+            "vm": vm_spec.name,
+            "job": args.job,
+            "kind": job.kind,
+            "seed": args.seed,
+            "scale": args.scale,
+        }
+
+    count = dump_trace_steps(workload, args.out, meta=meta)
+    print(f"wrote {count} step(s) to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -401,7 +649,7 @@ def _cmd_run(
     scenario: str,
     policies: Optional[List[str]],
     scale: float,
-    seed: int,
+    seed: Optional[int],
     show_traces: bool,
     show_fairness: bool,
     nodes: int = 1,
@@ -415,7 +663,30 @@ def _cmd_run(
     shards: Optional[str] = None,
     cluster_engine: str = "exact",
 ) -> int:
-    spec = scenario_by_name(scenario, scale=scale)
+    if _is_dsl_path(scenario):
+        if (
+            nodes != 1 or coordinator is not None or contended
+            or failures or migrations or faults or degradations
+        ):
+            print(
+                "DSL documents declare their own cluster/fault layout; "
+                "--nodes/--coordinator/--contended/--fail/--migrate/"
+                "--fault/--degrade do not apply to .yml scenarios",
+                file=sys.stderr,
+            )
+            return 2
+        compiled = _load_dsl(scenario)
+        if compiled is None:
+            return 2
+        spec = compiled.spec
+        if policies is None and compiled.policy is not None:
+            policies = [compiled.policy]
+        if seed is None:
+            seed = compiled.seed
+    else:
+        spec = scenario_by_name(scenario, scale=scale)
+    if seed is None:
+        seed = 2019
     if nodes < 1:
         print("--nodes must be >= 1", file=sys.stderr)
         return 2
@@ -904,7 +1175,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(args.verbose)
+    if args.command == "compile":
+        return _cmd_compile(args.file, args.json)
+    if args.command == "lint":
+        return _cmd_lint(args.files, args.strict)
+    if args.command == "plan":
+        return _cmd_plan(args.file, args.json)
+    if args.command == "trace":
+        return _cmd_trace_record(args)
     if args.command == "tables":
         return _cmd_tables(args.scale)
     if args.command == "bench":

@@ -111,6 +111,12 @@ class Node:
     def _build_vms(self, vm_specs: Sequence[VMSpec]) -> None:
         units = self.config.units
         for vm_spec in vm_specs:
+            # Cleancache (ephemeral tmem) is enabled on any VM whose jobs
+            # include a file-backed workload; anon-only VMs keep the
+            # frontswap-only configuration of the paper's experiments.
+            wants_cleancache = any(
+                workload_class(job.kind).uses_cleancache for job in vm_spec.jobs
+            )
             vm = VirtualMachine(
                 self.hypervisor,
                 self.engine,
@@ -120,6 +126,7 @@ class Node:
                 swap_pages=vm_spec.swap_pages(units),
                 vcpus=vm_spec.vcpus,
                 use_tmem=self._use_tmem,
+                enable_cleancache=wants_cleancache and self._use_tmem,
             )
             for job_index, job in enumerate(vm_spec.jobs):
                 vm.add_job(
@@ -247,6 +254,16 @@ class Node:
             peak_tmem = 0
             if trace_name in self.trace and len(self.trace.get(trace_name)):
                 peak_tmem = int(self.trace.get(trace_name).max())
+            cleancache_stats = None
+            if vm.tkm is not None and vm.tkm.cleancache is not None:
+                cc = vm.tkm.cleancache.stats
+                cleancache_stats = {
+                    "puts": cc.puts,
+                    "failed_puts": cc.failed_puts,
+                    "hits": cc.hits,
+                    "misses": cc.misses,
+                    "invalidates": cc.invalidates,
+                }
             vm_results[name] = VmResult(
                 vm_name=name,
                 vm_id=vm.vm_id,
@@ -263,5 +280,6 @@ class Node:
                 cumul_puts_succ=account.cumul_puts_succ if account else 0,
                 cumul_puts_failed=account.cumul_puts_failed if account else 0,
                 peak_tmem_pages=peak_tmem,
+                cleancache=cleancache_stats,
             )
         return vm_results

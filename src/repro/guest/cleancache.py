@@ -68,6 +68,10 @@ class CleancacheClient:
     def pool_id(self) -> int:
         return self._pool_id
 
+    def object_of(self, file_page: int) -> int:
+        """The object (inode) id a file page's tmem key belongs to."""
+        return self._addresser.object_of(file_page)
+
     def rebind(self, pool_id: int, hypercalls: HypercallInterface) -> None:
         """Point the client at a new pool/hypercall interface (migration)."""
         self._pool_id = pool_id

@@ -54,6 +54,7 @@ from ..config import SimulationConfig
 from ..devices.disk import VirtualDisk
 from ..errors import ConfigurationError
 from ..hypervisor.tmem_backend import BATCH_GET, BATCH_PUT
+from .cleancache import CleancacheClient
 from .frontswap import FrontswapClient
 from .pfra import make_reclaimer
 from .swap import SwapArea
@@ -152,6 +153,7 @@ class GuestKernel:
         config: SimulationConfig,
         disk: VirtualDisk,
         frontswap: Optional[FrontswapClient] = None,
+        cleancache: Optional[CleancacheClient] = None,
     ) -> None:
         if ram_pages <= 0:
             raise ConfigurationError(f"ram_pages must be > 0, got {ram_pages}")
@@ -159,12 +161,17 @@ class GuestKernel:
         self._config = config
         self._disk = disk
         self._frontswap = frontswap
+        self._cleancache = cleancache
         reserved = int(ram_pages * config.guest.kernel_reserved_fraction)
         self._usable_ram = max(1, ram_pages - reserved)
         self._ram_pages = ram_pages
         self._resident = make_reclaimer(config.guest.reclaim_algorithm)
         self._swap = SwapArea(swap_pages)
         self._known_pages: set[int] = set()
+        # File (page-cache) state: only populated on clean-read bursts of
+        # cleancache-enabled VMs; empty otherwise.
+        self._file_resident = make_reclaimer(config.guest.reclaim_algorithm)
+        self._file_pages: set[int] = set()
         engine = config.guest.access_engine
         self._batched = engine != "scalar"
         self._relaxed = engine == "relaxed"
@@ -191,6 +198,15 @@ class GuestKernel:
     @property
     def frontswap(self) -> Optional[FrontswapClient]:
         return self._frontswap
+
+    @property
+    def cleancache(self) -> Optional[CleancacheClient]:
+        return self._cleancache
+
+    @property
+    def file_cache_pages(self) -> int:
+        """Clean file pages currently held in the guest page cache."""
+        return len(self._file_resident)
 
     @property
     def tmem_pages(self) -> int:
@@ -315,9 +331,12 @@ class GuestKernel:
     ) -> AccessOutcome:
         """Service a burst of page accesses issued at simulated time *now*.
 
-        ``write`` is accepted for interface completeness; the current model
-        treats all workload pages as anonymous (dirty when evicted), which
-        matches the paper's frontswap-only evaluation.
+        ``write=True`` bursts model anonymous memory (dirty when evicted,
+        preserved through frontswap or swap), which matches the paper's
+        frontswap-only evaluation.  ``write=False`` bursts on a VM with
+        cleancache enabled are clean file reads and take the page-cache
+        path of :meth:`_access_file` instead; without cleancache they are
+        treated as anonymous accesses, as earlier revisions did.
 
         The burst is atomic: it is validated up front, the resident-access
         cost is charged once for the whole burst, and eviction/fault I/O is
@@ -325,9 +344,94 @@ class GuestKernel:
         ``config.guest.access_engine``; both produce identical outcomes.
         """
         page_list = self._as_page_list(pages)
+        if not write and self._cleancache is not None:
+            return self._access_file(page_list, now)
         if self._batched:
             return self._access_batched(page_list, now)
         return self._access_scalar(page_list, now)
+
+    # -- the file (page-cache) path ----------------------------------------------
+    def _drop_file_page(self, now: float, outcome: AccessOutcome) -> None:
+        """Drop the coldest clean file page, offering it to cleancache.
+
+        Clean pages need no write-back: if cleancache declines the page
+        (or is absent) the page is simply discarded — losing it is always
+        legal, which is exactly why the ephemeral pools may be reclaimed
+        by the hypervisor at any time.
+        """
+        victim = self._file_resident.select_victim()
+        outcome.evictions += 1
+        cc = self._cleancache
+        if cc is not None:
+            stored, latency = cc.put_page(victim, now=now)
+            outcome.latency_s += latency
+            self.stats.time_in_tmem_ops_s += latency
+            if stored:
+                outcome.evictions_to_tmem += 1
+                return
+            outcome.failed_tmem_puts += 1
+
+    def _file_cache_budget(self) -> int:
+        """Frames the page cache may occupy: whatever anon memory left over.
+
+        Mirrors Linux's reclaim preference — clean page cache yields
+        before anonymous memory is swapped — lazily: anon growth shrinks
+        the file cache at the start of the next file burst.  The cache
+        always keeps at least one frame so a scan can stream through it.
+        """
+        return max(1, self._usable_ram - len(self._resident))
+
+    def _access_file(self, page_list: List[int], now: float) -> AccessOutcome:
+        """Service a clean file-read burst through the guest page cache.
+
+        A miss consults cleancache (the ephemeral tmem pool) before the
+        disk, exactly as the kernel's page-cache read path does.  This is
+        a single implementation shared by every access engine — file
+        bursts have no engine-dependent plan/replay split — so scalar,
+        batched and relaxed runs of a cleancache scenario are identical
+        by construction.
+        """
+        outcome = AccessOutcome()
+        outcome.pages_accessed = len(page_list)
+        cc = self._cleancache
+        file_resident = self._file_resident
+        budget = self._file_cache_budget()
+        while len(file_resident) > budget:
+            self._drop_file_page(now, outcome)
+        for page in page_list:
+            if page in file_resident:
+                file_resident.touch(page)
+                outcome.minor_hits += 1
+                continue
+            if page in self._resident:
+                # Also live as a dirty anonymous page: a clean read of it
+                # is an ordinary resident hit.
+                self._resident.touch(page)
+                outcome.minor_hits += 1
+                continue
+            while len(file_resident) >= budget:
+                self._drop_file_page(now, outcome)
+            outcome.major_faults += 1
+            outcome.latency_s += self._config.guest.fault_overhead_s
+            hit = False
+            if cc is not None:
+                hit, latency = cc.get_page(page)
+                outcome.latency_s += latency
+                self.stats.time_in_tmem_ops_s += latency
+            if hit:
+                outcome.faults_from_tmem += 1
+            else:
+                disk_latency = self._disk.read(
+                    now + outcome.latency_s, 1, vm_id=self.vm_id
+                )
+                outcome.latency_s += disk_latency
+                self.stats.time_in_disk_io_s += disk_latency
+                outcome.faults_from_disk += 1
+            file_resident.insert(page)
+            self._file_pages.add(page)
+        self._charge_resident_accesses(outcome)
+        self.stats.absorb(outcome)
+        return outcome
 
     # -- scalar reference engine --------------------------------------------------
     def _access_scalar(self, page_list: List[int], now: float) -> AccessOutcome:
@@ -1011,9 +1115,41 @@ class GuestKernel:
         burst ships in one batched hypercall.
         """
         page_list = self._as_page_list(pages)
+        if self._file_pages:
+            file_pages = [p for p in page_list if p in self._file_pages]
+            if file_pages:
+                latency = self._free_file(file_pages, now)
+                anon = [p for p in page_list if p not in self._file_pages]
+                if anon:
+                    if self._batched and self._frontswap is not None:
+                        latency += self._free_batched(anon, now)
+                    else:
+                        latency += self._free_scalar(anon, now)
+                return latency
         if self._batched and self._frontswap is not None:
             return self._free_batched(page_list, now)
         return self._free_scalar(page_list, now)
+
+    def _free_file(self, page_list: List[int], now: float) -> float:
+        """Release clean file pages (the file was truncated or deleted).
+
+        Drops the page-cache copies and invalidates any cleancache copy —
+        the guest must flush, or a later read of a recycled page number
+        could observe stale ephemeral data.
+        """
+        del now  # flush hypercalls carry no queueing in this model
+        latency = 0.0
+        cc = self._cleancache
+        for page in page_list:
+            self._file_pages.discard(page)
+            if page in self._file_resident:
+                self._file_resident.remove(page)
+            if cc is not None:
+                _, flush_latency = cc.invalidate_page(page)
+                latency += flush_latency
+                self.stats.time_in_tmem_ops_s += flush_latency
+            self.stats.freed_pages += 1
+        return latency
 
     def _free_scalar(self, page_list: List[int], now: float) -> float:
         latency = 0.0
@@ -1074,6 +1210,20 @@ class GuestKernel:
             self._swap.discard(page)
         self.stats.freed_pages += len(self._known_pages)
         self._known_pages.clear()
+        if self._file_pages:
+            # Unmount path: drop the page cache and flush the ephemeral
+            # pool one inode at a time (cleancache's invalidate_fs).
+            cc = self._cleancache
+            if cc is not None:
+                objects = sorted({cc.object_of(p) for p in self._file_pages})
+                for object_id in objects:
+                    _, flush_latency = cc.invalidate_inode(object_id)
+                    latency += flush_latency
+                    self.stats.time_in_tmem_ops_s += flush_latency
+            for page in list(self._file_resident.pages()):
+                self._file_resident.remove(page)
+            self.stats.freed_pages += len(self._file_pages)
+            self._file_pages.clear()
         return latency
 
     def shutdown(self, *, now: float) -> float:

@@ -120,6 +120,7 @@ class VirtualMachine:
             config=config,
             disk=hypervisor.swap_disk,
             frontswap=frontswap,
+            cleancache=self.tkm.cleancache if self.tkm is not None else None,
         )
 
         self._free_on_completion = free_memory_on_job_completion

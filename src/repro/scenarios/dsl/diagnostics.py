@@ -1,0 +1,89 @@
+"""Structured diagnostics for the scenario DSL.
+
+Every problem the loader or compiler finds — a YAML syntax error, an
+unknown key, an infeasible capacity — becomes a :class:`Diagnostic`
+that remembers *where* in the source document it was found.  The CLI
+(``smartmem lint``/``compile``) renders them ``file:line:col: severity:
+message``, the classic compiler format editors already know how to
+jump on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ...errors import ScenarioError
+
+__all__ = ["Diagnostic", "DslError", "ERROR", "WARNING"]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One positioned finding from loading or compiling a document."""
+
+    severity: str
+    message: str
+    #: Dotted path into the document, e.g. ``vms[0].jobs[1].kind``.
+    path: str = ""
+    #: 1-based source line, when the loader could attribute one.
+    line: Optional[int] = None
+    #: 1-based source column.
+    column: Optional[int] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def format(self, filename: str = "<scenario>") -> str:
+        where = filename
+        if self.line is not None:
+            where += f":{self.line}"
+            if self.column is not None:
+                where += f":{self.column}"
+        at = f" (at {self.path})" if self.path else ""
+        return f"{where}: {self.severity}: {self.message}{at}"
+
+    def to_dict(self) -> dict:
+        out: dict = {"severity": self.severity, "message": self.message}
+        if self.path:
+            out["path"] = self.path
+        if self.line is not None:
+            out["line"] = self.line
+        if self.column is not None:
+            out["column"] = self.column
+        return out
+
+
+@dataclass
+class DslError(ScenarioError):
+    """A document failed to load or compile.
+
+    Carries the full diagnostic list so callers can render every
+    problem, not just the first.
+    """
+
+    filename: str = "<scenario>"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        errors = [d for d in self.diagnostics if d.is_error]
+        count = len(errors)
+        noun = "error" if count == 1 else "errors"
+        head = errors[0].format(self.filename) if errors else self.filename
+        super().__init__(f"{count} {noun} in scenario document; first: {head}")
+
+    @property
+    def errors(self) -> Sequence[Diagnostic]:
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+    def render(self) -> str:
+        return "\n".join(d.format(self.filename) for d in self.diagnostics)
+
+
+def sort_key(diag: Diagnostic) -> Tuple[int, int, str]:
+    """Stable source-order sort: position first, then path."""
+    return (diag.line or 0, diag.column or 0, diag.path)

@@ -1,0 +1,197 @@
+"""YAML loader that remembers where every value came from.
+
+``yaml.safe_load`` discards source positions, so the DSL loads through
+:func:`yaml.compose` instead: the composed node tree carries a
+``start_mark`` per node, and the loader walks it once, building the
+plain-Python document *and* a map from dotted paths
+(``vms[0].jobs[1].kind``) to 1-based ``(line, column)`` pairs.  The
+compiler attaches those positions to its diagnostics, so a bad value in
+a 200-line scenario points at the offending line, not at "the file".
+
+Only the safe subset of YAML is accepted: scalars, sequences and
+string-keyed mappings.  Anchors/aliases are resolved by composition;
+custom tags are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import yaml
+
+from .diagnostics import ERROR, Diagnostic, DslError
+
+__all__ = ["Document", "load_document", "load_file"]
+
+Position = Tuple[int, int]
+
+
+@dataclass
+class Document:
+    """A loaded DSL document: plain data plus source positions."""
+
+    data: Any
+    filename: str = "<scenario>"
+    positions: Dict[str, Position] = field(default_factory=dict)
+
+    def position(self, path: str) -> Optional[Position]:
+        """Best position for *path*, falling back to enclosing scopes."""
+        probe = path
+        while True:
+            pos = self.positions.get(probe)
+            if pos is not None:
+                return pos
+            parent = _parent_path(probe)
+            if parent == probe:
+                return self.positions.get("")
+            probe = parent
+
+    def diagnostic(
+        self, message: str, path: str = "", severity: str = ERROR
+    ) -> Diagnostic:
+        """Build a diagnostic positioned at *path*."""
+        pos = self.position(path)
+        line, column = pos if pos is not None else (None, None)
+        return Diagnostic(
+            severity=severity, message=message, path=path, line=line, column=column
+        )
+
+
+def _parent_path(path: str) -> str:
+    if path.endswith("]"):
+        cut = path.rfind("[")
+        if cut >= 0:
+            return path[:cut]
+    cut = path.rfind(".")
+    if cut >= 0:
+        return path[:cut]
+    return ""
+
+
+def _mark_position(node: yaml.Node) -> Position:
+    mark = node.start_mark
+    return (mark.line + 1, mark.column + 1)
+
+
+_SCALAR_TAGS = {
+    "tag:yaml.org,2002:null",
+    "tag:yaml.org,2002:bool",
+    "tag:yaml.org,2002:int",
+    "tag:yaml.org,2002:float",
+    "tag:yaml.org,2002:str",
+}
+
+
+class _Walker:
+    """One pass over a composed node tree building data + positions."""
+
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.positions: Dict[str, Position] = {}
+        self.diagnostics: List[Diagnostic] = []
+        # A throwaway SafeLoader gives us YAML's scalar resolution rules
+        # (quoted "123" stays a string, plain 123 becomes an int).
+        self._constructor = yaml.SafeLoader("")
+
+    def _fail(self, message: str, node: yaml.Node, path: str) -> None:
+        line, column = _mark_position(node)
+        self.diagnostics.append(
+            Diagnostic(
+                severity=ERROR, message=message, path=path, line=line, column=column
+            )
+        )
+
+    def walk(self, node: yaml.Node, path: str) -> Any:
+        self.positions[path] = _mark_position(node)
+        if isinstance(node, yaml.MappingNode):
+            return self._walk_mapping(node, path)
+        if isinstance(node, yaml.SequenceNode):
+            return self._walk_sequence(node, path)
+        return self._walk_scalar(node, path)
+
+    def _walk_mapping(self, node: yaml.MappingNode, path: str) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for key_node, value_node in node.value:
+            if not isinstance(key_node, yaml.ScalarNode):
+                self._fail("mapping keys must be plain strings", key_node, path)
+                continue
+            key = str(key_node.value)
+            child = f"{path}.{key}" if path else key
+            if key in out:
+                self._fail(f"duplicate key {key!r}", key_node, child)
+                continue
+            # Point diagnostics about the *entry* at the key, which is
+            # where the reader's eye lands; the value (possibly a block
+            # starting on the next line) is walked underneath it.
+            self.positions[child] = _mark_position(key_node)
+            out[key] = self._walk_value(value_node, child)
+        return out
+
+    def _walk_sequence(self, node: yaml.SequenceNode, path: str) -> List[Any]:
+        return [
+            self._walk_value(item, f"{path}[{index}]")
+            for index, item in enumerate(node.value)
+        ]
+
+    def _walk_value(self, node: yaml.Node, path: str) -> Any:
+        if isinstance(node, (yaml.MappingNode, yaml.SequenceNode)):
+            return self.walk(node, path)
+        # Scalars: record the value's own position (keys already claimed
+        # the path for mapping entries, so only fill the gap).
+        self.positions.setdefault(path, _mark_position(node))
+        return self._walk_scalar(node, path)
+
+    def _walk_scalar(self, node: yaml.ScalarNode, path: str) -> Any:
+        if node.tag not in _SCALAR_TAGS:
+            self._fail(f"unsupported YAML tag {node.tag!r}", node, path)
+            return None
+        return self._constructor.construct_object(node, deep=True)
+
+
+def load_document(text: str, filename: str = "<scenario>") -> Document:
+    """Parse DSL source text into a positioned :class:`Document`.
+
+    Raises :class:`DslError` on YAML syntax errors, non-mapping roots,
+    duplicate keys, or unsupported constructs.
+    """
+    try:
+        root = yaml.compose(text, Loader=yaml.SafeLoader)
+    except yaml.MarkedYAMLError as exc:
+        mark = exc.problem_mark or exc.context_mark
+        diag = Diagnostic(
+            severity=ERROR,
+            message=f"YAML syntax error: {exc.problem or exc}",
+            line=(mark.line + 1) if mark else None,
+            column=(mark.column + 1) if mark else None,
+        )
+        raise DslError(filename=filename, diagnostics=[diag]) from exc
+    except yaml.YAMLError as exc:
+        diag = Diagnostic(severity=ERROR, message=f"YAML error: {exc}")
+        raise DslError(filename=filename, diagnostics=[diag]) from exc
+
+    if root is None:
+        diag = Diagnostic(severity=ERROR, message="document is empty")
+        raise DslError(filename=filename, diagnostics=[diag])
+    if not isinstance(root, yaml.MappingNode):
+        line, column = _mark_position(root)
+        diag = Diagnostic(
+            severity=ERROR,
+            message="top level must be a mapping of scenario keys",
+            line=line,
+            column=column,
+        )
+        raise DslError(filename=filename, diagnostics=[diag])
+
+    walker = _Walker(filename)
+    data = walker.walk(root, "")
+    if walker.diagnostics:
+        raise DslError(filename=filename, diagnostics=walker.diagnostics)
+    return Document(data=data, filename=filename, positions=walker.positions)
+
+
+def load_file(path: str) -> Document:
+    """Load a DSL document from *path* (UTF-8)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return load_document(text, filename=path)

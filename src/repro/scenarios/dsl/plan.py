@@ -1,0 +1,165 @@
+"""Execution-plan rendering for compiled scenarios.
+
+``smartmem plan`` answers "what will this document actually do?" before
+any simulation runs: which VMs exist, what each one runs and when, how
+the cluster is laid out, and which faults are scheduled.  The JSON form
+(:func:`plan_dict`) is deterministic — it is what the snapshot tests pin
+— and the text form (:func:`format_plan`) is the human rendering of the
+same data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ...serialize import scenario_spec_to_dict
+from .compiler import CompiledScenario
+
+__all__ = ["plan_dict", "format_plan"]
+
+
+def plan_dict(compiled: CompiledScenario) -> Dict[str, Any]:
+    """Deterministic JSON-able execution plan for a compiled document."""
+    spec = compiled.spec
+    out: Dict[str, Any] = {"mode": compiled.mode}
+    if compiled.mode == "family":
+        out["family"] = compiled.family
+        out["scale"] = compiled.scale
+        if compiled.family_params:
+            out["params"] = {
+                key: compiled.family_params[key]
+                for key in sorted(compiled.family_params)
+            }
+    if compiled.policy is not None:
+        out["policy"] = compiled.policy
+    if compiled.seed is not None:
+        out["seed"] = compiled.seed
+    out["spec"] = scenario_spec_to_dict(spec)
+    out["derived"] = {
+        "total_vm_ram_mb": spec.total_vm_ram_mb(),
+        "effective_host_memory_mb": spec.effective_host_memory_mb(),
+        "vm_count": len(spec.vms),
+        "job_count": sum(len(vm.jobs) for vm in spec.vms),
+    }
+    if spec.topology is not None:
+        out["derived"]["node_count"] = len(spec.topology.nodes)
+        out["derived"]["total_tmem_mb"] = spec.topology.total_tmem_mb()
+    if compiled.warnings:
+        out["warnings"] = [diag.to_dict() for diag in compiled.warnings]
+    return out
+
+
+def _format_job(job: Any) -> str:
+    bits = [job.kind]
+    if job.params:
+        rendered = ",".join(f"{k}={job.params[k]}" for k in sorted(job.params))
+        bits.append(f"({rendered})")
+    if job.start_at is not None:
+        bits.append(f"@t={job.start_at:g}s")
+    elif job.delay_after_previous:
+        bits.append(f"+{job.delay_after_previous:g}s after previous")
+    if job.label:
+        bits.append(f"as {job.label!r}")
+    return " ".join(bits)
+
+
+def format_plan(compiled: CompiledScenario) -> str:
+    """Human-readable execution plan."""
+    spec = compiled.spec
+    lines: List[str] = []
+    lines.append(f"scenario: {spec.name}")
+    if spec.description:
+        lines.append(f"  {spec.description}")
+    if compiled.mode == "family":
+        rendered = ",".join(
+            f"{k}={compiled.family_params[k]}"
+            for k in sorted(compiled.family_params)
+        )
+        suffix = f" params {rendered}" if rendered else ""
+        lines.append(
+            f"compiled from family {compiled.family!r} "
+            f"at scale {compiled.scale:g}{suffix}"
+        )
+    if compiled.policy is not None:
+        lines.append(f"policy: {compiled.policy}")
+    if compiled.seed is not None:
+        lines.append(f"seed: {compiled.seed}")
+    lines.append(
+        f"memory: {spec.total_vm_ram_mb()} MB VM RAM, {spec.tmem_mb} MB tmem, "
+        f"{spec.effective_host_memory_mb()} MB host"
+    )
+    lines.append(f"deadline: {spec.max_duration_s:g}s")
+
+    lines.append(f"vms ({len(spec.vms)}):")
+    for vm in spec.vms:
+        lines.append(
+            f"  {vm.name}: {vm.ram_mb} MB RAM, {vm.vcpus} vcpu, "
+            f"{vm.swap_mb} MB swap"
+        )
+        for job in vm.jobs:
+            lines.append(f"    - {_format_job(job)}")
+
+    for trigger in spec.phase_triggers:
+        lines.append(
+            f"trigger: start {trigger.start_vm} when {trigger.watch_vm} "
+            f"enters phase {trigger.phase_prefix!r}"
+        )
+    if spec.stop_trigger is not None:
+        stop = spec.stop_trigger
+        lines.append(
+            f"stop: when {stop.watch_vm} enters phase {stop.phase_prefix!r}"
+        )
+
+    topology = spec.topology
+    if topology is not None:
+        lines.append(f"cluster ({len(topology.nodes)} nodes):")
+        for node in topology.nodes:
+            zone = f" zone={node.zone}" if node.zone else ""
+            lines.append(
+                f"  {node.name}: {node.tmem_mb} MB tmem{zone}, "
+                f"vms [{', '.join(node.vm_names)}]"
+            )
+        spill = "on" if topology.remote_spill else "off"
+        lines.append(
+            f"  remote spill {spill}, interconnect "
+            f"{topology.interconnect_latency_s * 1e6:g}us / "
+            f"{topology.interconnect_bandwidth_bytes_s / 1e9:g} GB/s"
+        )
+        if topology.coordinator is not None:
+            lines.append(
+                f"  coordinator: {topology.coordinator} every "
+                f"{topology.rebalance_interval_s:g}s"
+            )
+        for failure in topology.failures:
+            lines.append(f"  failure: {failure.node} dies at t={failure.at_s:g}s")
+        for migration in topology.migrations:
+            lines.append(
+                f"  migration: {migration.vm} -> {migration.to_node} "
+                f"at t={migration.at_s:g}s"
+            )
+        plan = topology.fault_plan
+        if plan is not None:
+            for fault in plan.node_faults:
+                failback = " (failback)" if fault.failback else ""
+                lines.append(
+                    f"  fault: {fault.node} down "
+                    f"[{fault.at_s:g}s, {fault.recover_at_s:g}s){failback}"
+                )
+            for deg in plan.link_faults:
+                bits = []
+                if deg.partition:
+                    bits.append("partition")
+                if deg.bandwidth_factor != 1.0:
+                    bits.append(f"bw x{deg.bandwidth_factor:g}")
+                if deg.extra_latency_s:
+                    bits.append(f"+{deg.extra_latency_s * 1e3:g}ms")
+                if deg.loss_probability:
+                    bits.append(f"loss {deg.loss_probability:g}")
+                lines.append(
+                    f"  degradation: {deg.name} "
+                    f"[{deg.start_s:g}s, {deg.end_s:g}s) {', '.join(bits)}"
+                )
+
+    for diag in compiled.warnings:
+        lines.append(f"warning: {diag.message}")
+    return "\n".join(lines)

@@ -91,7 +91,14 @@ def _check_scale(scale: float) -> None:
         raise ScenarioError(f"scale must be > 0, got {scale}")
 
 
-@register_scenario("many-vms", parameters=("n", "ram_mb"))
+@register_scenario(
+    "many-vms",
+    parameters=("n", "ram_mb"),
+    param_docs={
+        "n": "number of homogeneous graph-analytics VMs",
+        "ram_mb": "RAM per VM (the pool is half the aggregate RAM)",
+    },
+)
 def many_vms_scenario(
     *, scale: float = 1.0, n: int = 6, ram_mb: int = 512
 ) -> ScenarioSpec:
@@ -136,7 +143,15 @@ def many_vms_scenario(
     )
 
 
-@register_scenario("churn", parameters=("n", "wave_s", "per_wave"))
+@register_scenario(
+    "churn",
+    parameters=("n", "wave_s", "per_wave"),
+    param_docs={
+        "n": "total number of usemem VMs",
+        "wave_s": "delay between consecutive start waves",
+        "per_wave": "VMs launched per wave",
+    },
+)
 def churn_scenario(
     *, scale: float = 1.0, n: int = 6, wave_s: float = 40.0, per_wave: int = 2
 ) -> ScenarioSpec:
@@ -187,7 +202,15 @@ def churn_scenario(
     )
 
 
-@register_scenario("bursty", parameters=("n", "spikes", "spike_mb"))
+@register_scenario(
+    "bursty",
+    parameters=("n", "spikes", "spike_mb"),
+    param_docs={
+        "n": "number of steady graph-analytics VMs",
+        "spikes": "number of phase-triggered usemem spike VMs (1..3)",
+        "spike_mb": "allocation ceiling of each spike VM",
+    },
+)
 def bursty_scenario(
     *, scale: float = 1.0, n: int = 2, spikes: int = 1, spike_mb: int = 768
 ) -> ScenarioSpec:
@@ -259,7 +282,15 @@ def bursty_scenario(
     )
 
 
-@register_scenario("cluster", parameters=("nodes", "vms_per_node", "ram_mb"))
+@register_scenario(
+    "cluster",
+    parameters=("nodes", "vms_per_node", "ram_mb"),
+    param_docs={
+        "nodes": "number of symmetric cluster nodes",
+        "vms_per_node": "graph-analytics VMs per node",
+        "ram_mb": "RAM per VM (each node's pool is half its VM RAM)",
+    },
+)
 def cluster_scenario(
     *, scale: float = 1.0, nodes: int = 2, vms_per_node: int = 2,
     ram_mb: int = 512,
@@ -331,7 +362,15 @@ def cluster_scenario(
     )
 
 
-@register_scenario("hotnode", parameters=("nodes", "ram_mb", "hot_vms"))
+@register_scenario(
+    "hotnode",
+    parameters=("nodes", "ram_mb", "hot_vms"),
+    param_docs={
+        "nodes": "total nodes (1 hot + idle peers)",
+        "ram_mb": "RAM per VM",
+        "hot_vms": "usemem VMs on the overloaded node",
+    },
+)
 def hotnode_scenario(
     *, scale: float = 1.0, nodes: int = 3, ram_mb: int = 512, hot_vms: int = 2
 ) -> ScenarioSpec:
@@ -431,7 +470,15 @@ def hotnode_scenario(
     )
 
 
-@register_scenario("contended", parameters=("nodes", "ram_mb", "hot_vms"))
+@register_scenario(
+    "contended",
+    parameters=("nodes", "ram_mb", "hot_vms"),
+    param_docs={
+        "nodes": "number of spill-heavy nodes",
+        "ram_mb": "RAM per VM",
+        "hot_vms": "over-committing usemem VMs per node",
+    },
+)
 def contended_scenario(
     *, scale: float = 1.0, nodes: int = 3, ram_mb: int = 512, hot_vms: int = 2
 ) -> ScenarioSpec:
@@ -508,7 +555,15 @@ def contended_scenario(
     )
 
 
-@register_scenario("failover", parameters=("nodes", "ram_mb", "fail_at"))
+@register_scenario(
+    "failover",
+    parameters=("nodes", "ram_mb", "fail_at"),
+    param_docs={
+        "nodes": "total nodes (node2 is the spill vault)",
+        "ram_mb": "RAM per VM",
+        "fail_at": "instant the vault node dies (permanently)",
+    },
+)
 def failover_scenario(
     *, scale: float = 1.0, nodes: int = 3, ram_mb: int = 512,
     fail_at: float = 30.0,
@@ -657,7 +712,16 @@ def _vault_cluster(nodes: int, ram_mb: int, scale: float):
     return tuple(vms), tuple(node_specs), small_tmem, vault_tmem
 
 
-@register_scenario("faulty", parameters=("nodes", "ram_mb", "fail_at", "down_s"))
+@register_scenario(
+    "faulty",
+    parameters=("nodes", "ram_mb", "fail_at", "down_s"),
+    param_docs={
+        "nodes": "total nodes (node2 is the spill vault)",
+        "ram_mb": "RAM per VM",
+        "fail_at": "instant the vault node dies",
+        "down_s": "outage duration before the vault rejoins",
+    },
+)
 def faulty_scenario(
     *, scale: float = 1.0, nodes: int = 3, ram_mb: int = 512,
     fail_at: float = 10.0, down_s: float = 15.0,
@@ -706,7 +770,16 @@ def faulty_scenario(
     )
 
 
-@register_scenario("flaky", parameters=("nodes", "ram_mb", "fail_at", "down_s"))
+@register_scenario(
+    "flaky",
+    parameters=("nodes", "ram_mb", "fail_at", "down_s"),
+    param_docs={
+        "nodes": "total nodes (node2 is the spill vault)",
+        "ram_mb": "RAM per VM",
+        "fail_at": "instant the vault node dies",
+        "down_s": "outage duration before the vault rejoins",
+    },
+)
 def flaky_scenario(
     *, scale: float = 1.0, nodes: int = 3, ram_mb: int = 512,
     fail_at: float = 10.0, down_s: float = 15.0,
@@ -773,7 +846,15 @@ def flaky_scenario(
     )
 
 
-@register_scenario("migrate", parameters=("nodes", "ram_mb", "at"))
+@register_scenario(
+    "migrate",
+    parameters=("nodes", "ram_mb", "at"),
+    param_docs={
+        "nodes": "total nodes (n1.VM1 migrates to node2)",
+        "ram_mb": "RAM per VM",
+        "at": "instant the live migration starts",
+    },
+)
 def migrate_scenario(
     *, scale: float = 1.0, nodes: int = 2, ram_mb: int = 512, at: float = 20.0
 ) -> ScenarioSpec:
@@ -862,7 +943,15 @@ def migrate_scenario(
     )
 
 
-@register_scenario("shard", parameters=("nodes", "vms_per_node", "ram_mb"))
+@register_scenario(
+    "shard",
+    parameters=("nodes", "vms_per_node", "ram_mb"),
+    param_docs={
+        "nodes": "number of decoupled nodes",
+        "vms_per_node": "graph-analytics VMs per node",
+        "ram_mb": "RAM per VM (each node's pool is half its VM RAM)",
+    },
+)
 def shard_scenario(
     *, scale: float = 1.0, nodes: int = 4, vms_per_node: int = 2,
     ram_mb: int = 512,

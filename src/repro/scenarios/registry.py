@@ -13,14 +13,22 @@ arguments in the same ``name:key=value,key=value`` syntax used for policy
 specs (e.g. ``"many-vms:n=8"``), which are forwarded to the factory as
 keyword arguments.  Parameter keys are case-insensitive (``N=8`` and
 ``n=8`` are equivalent).
+
+Each entry also carries parameter *metadata* (type, default, one-line
+doc, units) derived from the factory's signature plus the ``param_docs``
+mapping given at registration time; ``smartmem list --verbose``, the DSL
+validator and ``scripts/gen_scenario_docs.py`` all consume it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Sequence, Tuple
+import difflib
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Sequence, Tuple
 
 from ..errors import ScenarioError
+from ..params import ParameterInfo, signature_parameter_info
 from .spec import ScenarioSpec
 
 __all__ = [
@@ -47,6 +55,21 @@ class ScenarioEntry:
     paper: bool = False
     #: Names of the factory's tunable keyword parameters (documentation).
     parameters: Tuple[str, ...] = ()
+    #: One-line docs for the tunable parameters, keyed by name.
+    param_docs: Mapping[str, str] = field(default_factory=dict)
+
+    def parameter_info(self) -> Tuple[ParameterInfo, ...]:
+        """Typed metadata for every tunable factory parameter.
+
+        Types and defaults come from the factory signature (so they can
+        never drift from the code); one-line descriptions come from the
+        ``param_docs`` mapping given at registration time.
+        """
+        return signature_parameter_info(self.factory, docs=self.param_docs)
+
+    def valid_keys(self) -> Tuple[str, ...]:
+        """The keyword arguments the factory accepts (besides ``scale``)."""
+        return tuple(info.name for info in self.parameter_info())
 
 
 _REGISTRY: Dict[str, ScenarioEntry] = {}
@@ -58,11 +81,14 @@ def register_scenario(
     paper: bool = False,
     summary: str = "",
     parameters: Sequence[str] = (),
+    param_docs: Mapping[str, str] = {},
 ) -> Callable[[Callable[..., ScenarioSpec]], Callable[..., ScenarioSpec]]:
     """Decorator registering a scenario factory under *name*.
 
     The factory must accept ``scale`` plus any numeric family parameters
     as keyword arguments and return a :class:`ScenarioSpec`.
+    *param_docs* maps parameter names to one-line descriptions used in
+    generated documentation and ``smartmem list --verbose``.
     """
     if not name:
         raise ScenarioError("scenario family name must not be empty")
@@ -83,6 +109,7 @@ def register_scenario(
             summary=doc_summary,
             paper=paper,
             parameters=tuple(parameters),
+            param_docs=dict(param_docs),
         )
         return factory
 
@@ -115,15 +142,49 @@ def parse_scenario_spec(spec: str) -> Tuple[str, Dict[str, float]]:
     return name.strip(), kwargs
 
 
+def _suggest(name: str, candidates: Sequence[str]) -> str:
+    """A ``; did you mean 'x'?`` suffix, or '' when nothing is close."""
+    matches = difflib.get_close_matches(name, candidates, n=1, cutoff=0.5)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
+def _entry_or_raise(family: str) -> ScenarioEntry:
+    try:
+        return _REGISTRY[family]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {family!r}"
+            f"{_suggest(family, sorted(_REGISTRY))}"
+            f"; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _check_family_kwargs(entry: ScenarioEntry, kwargs: Mapping[str, float]) -> None:
+    """Reject unknown keyword arguments with the family's valid keys."""
+    signature = inspect.signature(entry.factory)
+    if any(
+        param.kind is inspect.Parameter.VAR_KEYWORD
+        for param in signature.parameters.values()
+    ):
+        return  # the factory accepts arbitrary keywords
+    accepted = tuple(
+        name for name in signature.parameters if name not in ("self",)
+    )
+    for key in kwargs:
+        if key not in accepted:
+            valid = entry.valid_keys()
+            raise ScenarioError(
+                f"scenario family {entry.name!r} has no parameter {key!r}"
+                f"{_suggest(key, valid)}"
+                f"; valid keys: {sorted(valid)}"
+            )
+
+
 def scenario_by_name(name: str, *, scale: float = 1.0) -> ScenarioSpec:
     """Build the scenario described by a spec string such as ``"churn:n=6"``."""
     family, kwargs = parse_scenario_spec(name)
-    try:
-        entry = _REGISTRY[family]
-    except KeyError:
-        raise ScenarioError(
-            f"unknown scenario {family!r}; available: {sorted(_REGISTRY)}"
-        ) from None
+    entry = _entry_or_raise(family)
+    _check_family_kwargs(entry, kwargs)
     try:
         return entry.factory(scale=scale, **kwargs)
     except TypeError as exc:

@@ -94,6 +94,11 @@ class VmResult:
     cumul_puts_succ: int
     cumul_puts_failed: int
     peak_tmem_pages: int
+    #: Cleancache (ephemeral tmem) counters for VMs with file-backed
+    #: workloads: puts / failed_puts / hits / misses / invalidates.
+    #: ``None`` for frontswap-only VMs, whose serialized form (and
+    #: therefore every historical fingerprint) is unchanged.
+    cleancache: Optional[Dict[str, int]] = None
 
     @property
     def total_runtime_s(self) -> float:
@@ -106,7 +111,7 @@ class VmResult:
         raise AnalysisError(f"{self.vm_name} has no run #{index}")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "vm_name": self.vm_name,
             "vm_id": self.vm_id,
             "runs": [run.to_dict() for run in self.runs],
@@ -123,6 +128,9 @@ class VmResult:
             "cumul_puts_failed": self.cumul_puts_failed,
             "peak_tmem_pages": self.peak_tmem_pages,
         }
+        if self.cleancache is not None:
+            data["cleancache"] = dict(self.cleancache)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "VmResult":
@@ -142,6 +150,7 @@ class VmResult:
             cumul_puts_succ=int(data["cumul_puts_succ"]),
             cumul_puts_failed=int(data["cumul_puts_failed"]),
             peak_tmem_pages=int(data["peak_tmem_pages"]),
+            cleancache=data.get("cleancache"),
         )
 
 
@@ -303,6 +312,10 @@ class ScenarioResult:
                 "cumul_puts_failed": vm.cumul_puts_failed,
                 "peak_tmem_pages": vm.peak_tmem_pages,
             }
+            if vm.cleancache is not None:
+                # Conditional key: frontswap-only VMs hash exactly as
+                # before the cleancache counters existed.
+                vms[name]["cleancache"] = dict(vm.cleancache)
         trace_end: Dict[str, Any] = {}
         for name in self.trace.names():
             series = self.trace.get(name)

@@ -37,6 +37,7 @@ __all__ = [
     "WIRE_FORMAT_VERSION",
     "wire_encode",
     "wire_decode",
+    "scenario_spec_to_dict",
 ]
 
 JsonFloat = Union[float, str, None]
@@ -122,3 +123,107 @@ def wire_decode(
     if expect_kind is not None and kind != expect_kind:
         raise WireError(f"expected wire message kind {expect_kind!r}, got {kind!r}")
     return kind, payload
+
+
+# --------------------------------------------------------------------------
+# Scenario specification serialization
+# --------------------------------------------------------------------------
+def scenario_spec_to_dict(spec: Any) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.scenarios.spec.ScenarioSpec` to JSON data.
+
+    Duck-typed on the spec dataclasses (this module sits below
+    :mod:`repro.scenarios` in the import graph).  Optional sections —
+    triggers, topology, fault plans — are emitted only when present, so
+    the output of a simple scenario stays small and diffable; the DSL
+    plan printer and ``smartmem compile --json`` both build on this.
+    """
+    out: Dict[str, Any] = {
+        "name": spec.name,
+        "description": spec.description,
+        "tmem_mb": spec.tmem_mb,
+        "max_duration_s": spec.max_duration_s,
+        "vms": [_vm_spec_to_dict(vm) for vm in spec.vms],
+    }
+    if spec.host_memory_mb is not None:
+        out["host_memory_mb"] = spec.host_memory_mb
+    if spec.phase_triggers:
+        out["triggers"] = [_trigger_to_dict(t) for t in spec.phase_triggers]
+    if spec.stop_trigger is not None:
+        out["stop_trigger"] = _trigger_to_dict(spec.stop_trigger)
+    if spec.topology is not None:
+        out["cluster"] = _topology_to_dict(spec.topology)
+    return out
+
+
+def _vm_spec_to_dict(vm: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "name": vm.name,
+        "ram_mb": vm.ram_mb,
+        "vcpus": vm.vcpus,
+        "swap_mb": vm.swap_mb,
+    }
+    if vm.jobs:
+        out["jobs"] = [_job_spec_to_dict(job) for job in vm.jobs]
+    return out
+
+
+def _job_spec_to_dict(job: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"kind": job.kind}
+    if job.params:
+        out["params"] = {key: job.params[key] for key in sorted(job.params)}
+    if job.start_at is not None:
+        out["start_at"] = job.start_at
+    if job.delay_after_previous:
+        out["delay_after_previous"] = job.delay_after_previous
+    if job.label:
+        out["label"] = job.label
+    return out
+
+
+def _trigger_to_dict(trigger: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "watch_vm": trigger.watch_vm,
+        "phase_prefix": trigger.phase_prefix,
+    }
+    if trigger.start_vm is not None:
+        out["start_vm"] = trigger.start_vm
+    return out
+
+
+def _node_spec_to_dict(node: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "name": node.name,
+        "vms": list(node.vm_names),
+        "tmem_mb": node.tmem_mb,
+    }
+    if node.host_memory_mb is not None:
+        out["host_memory_mb"] = node.host_memory_mb
+    if node.zone is not None:
+        out["zone"] = node.zone
+    return out
+
+
+def _topology_to_dict(topology: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "nodes": [_node_spec_to_dict(node) for node in topology.nodes],
+        "remote_spill": topology.remote_spill,
+        "interconnect_latency_s": topology.interconnect_latency_s,
+        "interconnect_bandwidth_bytes_s": topology.interconnect_bandwidth_bytes_s,
+        "rebalance_interval_s": topology.rebalance_interval_s,
+    }
+    if topology.contended:
+        out["contended"] = True
+    if topology.coordinator is not None:
+        out["coordinator"] = topology.coordinator
+    if topology.failures:
+        out["failures"] = [
+            {"node": f.node, "at_s": f.at_s} for f in topology.failures
+        ]
+    if topology.migrations:
+        out["migrations"] = [
+            {"vm": m.vm, "to_node": m.to_node, "at_s": m.at_s}
+            for m in topology.migrations
+        ]
+    if topology.fault_plan is not None:
+        out["fault_plan"] = topology.fault_plan.describe()
+    return out

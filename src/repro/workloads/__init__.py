@@ -30,6 +30,8 @@ from .access_patterns import (
 from .usemem import UsememWorkload
 from .inmemory_analytics import InMemoryAnalyticsWorkload
 from .graph_analytics import GraphAnalyticsWorkload
+from .trace import TraceWorkload, dump_trace_steps, load_trace_steps
+from .filescan import FileScanWorkload
 from .registry import (
     WORKLOAD_REGISTRY,
     available_workload_kinds,
@@ -48,6 +50,10 @@ __all__ = [
     "UsememWorkload",
     "InMemoryAnalyticsWorkload",
     "GraphAnalyticsWorkload",
+    "TraceWorkload",
+    "FileScanWorkload",
+    "load_trace_steps",
+    "dump_trace_steps",
     "WORKLOAD_REGISTRY",
     "register_workload_kind",
     "workload_class",

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, Optional, Sequence
+from typing import ClassVar, Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import WorkloadError
+from ..params import ParameterInfo, signature_parameter_info
 from ..units import MemoryUnits
 
 __all__ = ["WorkloadStep", "WorkloadPhase", "Workload"]
@@ -62,6 +63,27 @@ class Workload(ABC):
 
     #: short machine-readable name ("usemem", "in-memory-analytics", ...)
     name: str = "workload"
+
+    #: One-line docs for the constructor's tunable parameters, keyed by
+    #: name.  ``smartmem list --verbose``, the DSL validator and
+    #: ``scripts/gen_scenario_docs.py`` render these; the doc generator's
+    #: ``--check`` gate fails when a tunable parameter has no entry.
+    PARAM_DOCS: ClassVar[Mapping[str, str]] = {}
+
+    #: True for workloads whose accesses are clean file reads served via
+    #: the cleancache (ephemeral tmem) path.  The scenario runner enables
+    #: cleancache on any VM that runs such a workload.
+    uses_cleancache: ClassVar[bool] = False
+
+    @classmethod
+    def parameter_info(cls) -> Tuple[ParameterInfo, ...]:
+        """Typed metadata for every tunable constructor parameter.
+
+        Types and defaults come from ``__init__``'s signature (so they
+        can never drift from the code); one-line descriptions come from
+        the class's :attr:`PARAM_DOCS` mapping.
+        """
+        return signature_parameter_info(cls.__init__, docs=cls.PARAM_DOCS)
 
     def __init__(self, *, units: MemoryUnits, rng: np.random.Generator) -> None:
         self._units = units

@@ -38,6 +38,18 @@ class GraphAnalyticsWorkload(Workload):
 
     name = "graph-analytics"
 
+    PARAM_DOCS = {
+        "graph_mb": "size of the in-memory graph partition",
+        "rank_vectors_mb": "size of the rank/score vectors",
+        "iterations": "number of PageRank-style iterations",
+        "gather_accesses_factor": "graph accesses per iteration, as a fraction of the graph",
+        "zipf_alpha": "skew of the vertex-popularity distribution",
+        "compute_time_per_page_s": "pure CPU time modelled per accessed page",
+        "load_cost_factor": "CPU multiplier while loading the graph",
+        "burst_pages": "pages per access burst (one WorkloadStep)",
+        "page_popularity": "optional explicit per-page access weights",
+    }
+
     def __init__(
         self,
         *,

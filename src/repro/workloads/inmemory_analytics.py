@@ -40,6 +40,18 @@ class InMemoryAnalyticsWorkload(Workload):
 
     name = "in-memory-analytics"
 
+    PARAM_DOCS = {
+        "dataset_mb": "size of the cached input dataset",
+        "model_mb": "initial size of the model state",
+        "growth_per_iteration_mb": "model growth per training iteration",
+        "iterations": "number of training iterations",
+        "accesses_per_iteration_factor": "dataset accesses per iteration, as a fraction of the dataset",
+        "hot_weight": "fraction of accesses hitting the hot working set",
+        "compute_time_per_page_s": "pure CPU time modelled per accessed page",
+        "load_cost_factor": "CPU multiplier while loading the dataset",
+        "burst_pages": "pages per access burst (one WorkloadStep)",
+    }
+
     def __init__(
         self,
         *,

@@ -14,8 +14,10 @@ from typing import Dict, Sequence, Type
 
 from ..errors import ScenarioError
 from .base import Workload
+from .filescan import FileScanWorkload
 from .graph_analytics import GraphAnalyticsWorkload
 from .inmemory_analytics import InMemoryAnalyticsWorkload
+from .trace import TraceWorkload
 from .usemem import UsememWorkload
 
 __all__ = [
@@ -32,6 +34,8 @@ WORKLOAD_REGISTRY: Dict[str, Type[Workload]] = {
     "usemem": UsememWorkload,
     "in-memory-analytics": InMemoryAnalyticsWorkload,
     "graph-analytics": GraphAnalyticsWorkload,
+    "trace": TraceWorkload,
+    "filescan": FileScanWorkload,
 }
 
 

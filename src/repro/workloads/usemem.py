@@ -31,6 +31,16 @@ class UsememWorkload(Workload):
 
     name = "usemem"
 
+    PARAM_DOCS = {
+        "start_mb": "first allocation target",
+        "increment_mb": "growth per allocation phase",
+        "max_mb": "final allocation target",
+        "sweeps_per_phase": "full sweeps over the footprint per allocation phase",
+        "steady_sweeps": "extra sweeps after reaching max_mb",
+        "compute_time_per_page_s": "pure CPU time modelled per accessed page",
+        "burst_pages": "pages per access burst (one WorkloadStep)",
+    }
+
     def __init__(
         self,
         *,

@@ -1,0 +1,246 @@
+"""Scenario-DSL compiler: family twins, explicit mode and structured errors.
+
+The headline guarantee of family mode is that compilation *is* a
+registry factory call, so a DSL document and its spec-string twin
+produce byte-identical specs — and therefore byte-identical run
+fingerprints.  Explicit mode is checked structurally, and the error
+paths are checked to collect *every* problem instead of stopping at the
+first one.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.dsl import DslError, compile_file, compile_text
+from repro.scenarios.library import scenario_by_name
+from repro.scenarios.registry import paper_scenario_names
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples" / "dsl"
+
+#: (family-mode document, equivalent spec string) twins.  Three families
+#: is the floor the fingerprint-equivalence guarantee is pinned at.
+TWINS = [
+    ("family: many-vms\nscale: 0.1\nparams: {n: 2}\n", "many-vms:n=2"),
+    ("family: churn\nscale: 0.1\nparams: {n: 2}\n", "churn:n=2"),
+    ("family: bursty\nscale: 0.1\nparams: {spikes: 1}\n", "bursty:spikes=1"),
+]
+
+
+class TestFamilyMode:
+    @pytest.mark.parametrize("text,spec_string", TWINS)
+    def test_spec_equals_spec_string_twin(self, text, spec_string):
+        compiled = compile_text(text)
+        assert compiled.mode == "family"
+        assert compiled.spec == scenario_by_name(spec_string, scale=0.1)
+
+    @pytest.mark.parametrize("text,spec_string", TWINS)
+    def test_run_fingerprint_equals_spec_string_twin(self, text, spec_string):
+        compiled = compile_text(text)
+        dsl_run = run_scenario(compiled.spec, "greedy", seed=2019)
+        twin_run = run_scenario(
+            scenario_by_name(spec_string, scale=0.1), "greedy", seed=2019
+        )
+        assert dsl_run.fingerprint() == twin_run.fingerprint()
+
+    @pytest.mark.parametrize("name", sorted(paper_scenario_names()))
+    def test_every_paper_scenario_compiles(self, name):
+        compiled = compile_text(f"family: {name}\nscale: 0.25\n")
+        assert compiled.spec == scenario_by_name(name, scale=0.25)
+
+    def test_policy_and_seed_defaults(self):
+        compiled = compile_text(
+            "family: many-vms\nparams: {n: 2}\npolicy: smart-alloc:P=2\nseed: 7\n"
+        )
+        assert compiled.policy == "smart-alloc:P=2"
+        assert compiled.seed == 7
+
+    def test_committed_example_matches_the_paper_scenario(self):
+        compiled = compile_file(str(EXAMPLES / "scenario-1.yml"))
+        assert compiled.spec == scenario_by_name("scenario-1", scale=0.25)
+        assert compiled.policy == "smart-alloc"
+        assert compiled.seed == 2019
+
+
+class TestExplicitMode:
+    def test_small_document(self):
+        compiled = compile_text(
+            """
+scenario: tiny
+description: two VMs
+tmem_mb: 128
+max_duration_s: 120
+vms:
+  - name: VM1
+    ram_mb: 64
+    jobs:
+      - kind: usemem
+        params: {start_mb: 32, max_mb: 96, increment_mb: 32}
+  - name: VM2
+    ram_mb: 64
+    vcpus: 2
+    jobs:
+      - kind: usemem
+        params: {start_mb: 32, max_mb: 96, increment_mb: 32}
+        start_at: 5
+        label: late
+"""
+        )
+        spec = compiled.spec
+        assert isinstance(spec, ScenarioSpec)
+        assert compiled.mode == "explicit"
+        assert spec.name == "tiny"
+        assert spec.tmem_mb == 128
+        assert spec.max_duration_s == 120
+        assert [vm.name for vm in spec.vms] == ["VM1", "VM2"]
+        assert spec.vms[1].vcpus == 2
+        job = spec.vms[1].jobs[0]
+        assert job.start_at == 5
+        assert job.label == "late"
+        assert spec.topology is None
+
+    def test_cluster_document(self):
+        compiled = compile_file(str(EXAMPLES / "cluster-faults.yml"))
+        topology = compiled.spec.topology
+        assert topology is not None
+        assert [n.name for n in topology.nodes] == ["node1", "node2"]
+        assert topology.coordinator == "equal-share"
+        plan = topology.fault_plan
+        assert plan is not None
+        assert len(plan.node_faults) == 1
+        assert plan.node_faults[0].node == "node2"
+        assert len(plan.link_faults) == 1
+        assert plan.link_faults[0].name == "node1->node2"
+
+    def test_quoted_numeric_string_stays_a_string(self):
+        # YAML scalars keep their quoted types: a VM named "123" is a
+        # string, an unquoted ram_mb is an int.
+        compiled = compile_text(
+            """
+scenario: quoted
+tmem_mb: 64
+vms:
+  - name: "123"
+    ram_mb: 64
+    jobs: [{kind: usemem, params: {start_mb: 32, max_mb: 64}}]
+"""
+        )
+        assert compiled.spec.vms[0].name == "123"
+
+
+class TestErrors:
+    def _errors(self, text):
+        with pytest.raises(DslError) as excinfo:
+            compile_text(text)
+        return excinfo.value
+
+    def test_unknown_family_suggests(self):
+        err = self._errors("family: many-vm\n")
+        assert "many-vm" in str(err)
+        assert "did you mean 'many-vms'" in str(err)
+
+    def test_family_and_scenario_are_exclusive(self):
+        err = self._errors("family: many-vms\nscenario: also\ntmem_mb: 64\n")
+        assert "mixes family mode" in str(err)
+
+    def test_empty_document(self):
+        with pytest.raises(DslError):
+            compile_text("")
+
+    def test_unknown_workload_param_suggests(self):
+        err = self._errors(
+            """
+scenario: bad
+tmem_mb: 64
+vms:
+  - name: VM1
+    ram_mb: 64
+    jobs:
+      - kind: usemem
+        params: {start_mbb: 32}
+"""
+        )
+        assert "start_mbb" in str(err)
+        assert "did you mean 'start_mb'" in str(err)
+
+    def test_all_errors_collected(self):
+        # One compile pass reports the bad kind, the bad policy and the
+        # unknown top-level key — not just the first.
+        err = self._errors(
+            """
+scenario: multi
+tmem_mb: 64
+policy: smrt-alloc
+polarity: 3
+vms:
+  - name: VM1
+    ram_mb: 64
+    jobs: [{kind: usemen, params: {}}]
+"""
+        )
+        text = err.render()
+        assert "usemen" in text
+        assert "smrt-alloc" in text
+        assert "polarity" in text
+        assert len(err.errors) >= 3
+
+    def test_unknown_vm_reference_in_cluster(self):
+        err = self._errors(
+            """
+scenario: bad-cluster
+tmem_mb: 64
+vms:
+  - name: VM1
+    ram_mb: 64
+    jobs: [{kind: usemem, params: {start_mb: 32, max_mb: 64}}]
+cluster:
+  nodes:
+    - {name: node1, vms: [VM2], tmem_mb: 64}
+"""
+        )
+        assert "VM2" in str(err)
+        assert "did you mean 'VM1'" in str(err)
+
+    def test_bad_fault_spec_string(self):
+        err = self._errors(
+            """
+scenario: bad-fault
+tmem_mb: 64
+vms:
+  - name: VM1
+    ram_mb: 64
+    jobs: [{kind: usemem, params: {start_mb: 32, max_mb: 64}}]
+  - name: VM2
+    ram_mb: 64
+    jobs: [{kind: usemem, params: {start_mb: 32, max_mb: 64}}]
+cluster:
+  nodes:
+    - {name: node1, vms: [VM1], tmem_mb: 64}
+    - {name: node2, vms: [VM2], tmem_mb: 64}
+  faults: ["node2@30"]
+"""
+        )
+        assert "bad fault spec 'node2@30'" in err.render()
+
+    def test_infeasible_host_memory(self):
+        err = self._errors(
+            """
+scenario: too-small
+tmem_mb: 512
+host_memory_mb: 256
+vms:
+  - name: VM1
+    ram_mb: 512
+    jobs: [{kind: usemem, params: {start_mb: 32, max_mb: 64}}]
+"""
+        )
+        assert "host" in str(err).lower()
+
+    def test_diagnostics_carry_positions(self):
+        err = self._errors("family: nope\n")
+        diag = err.errors[0]
+        assert diag.line == 1
+        assert diag.column is not None

@@ -1,0 +1,173 @@
+"""Scenario-DSL lint: positioned diagnostics, suggestions and warnings.
+
+``lint_text``/``lint_file`` never raise — every problem (including YAML
+syntax errors) comes back as a :class:`Diagnostic` with a source
+position, and warnings are advisory (feasible but suspicious schedules).
+"""
+
+from pathlib import Path
+
+from repro.scenarios.dsl import Diagnostic, lint_file, lint_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples" / "dsl"
+
+
+def errors(diags):
+    return [d for d in diags if d.severity == "error"]
+
+
+def warnings(diags):
+    return [d for d in diags if d.severity == "warning"]
+
+
+class TestCleanDocuments:
+    def test_family_document_is_clean(self):
+        assert lint_text("family: many-vms\nparams: {n: 2}\n") == []
+
+    def test_every_committed_example_is_clean(self):
+        paths = sorted(EXAMPLES.glob("*.yml"))
+        assert paths, "examples/dsl/ must ship example documents"
+        for path in paths:
+            diags = lint_file(str(path))
+            assert diags == [], f"{path.name}: {[d.format(path.name) for d in diags]}"
+
+
+class TestPositions:
+    def test_diagnostic_points_at_the_offending_key(self):
+        diags = lint_text(
+            "family: many-vms\n"
+            "params: {n: 2}\n"
+            "polcy: greedy\n"
+        )
+        (diag,) = errors(diags)
+        assert diag.line == 3
+        assert diag.column == 1
+        assert diag.path == "polcy"
+        assert "did you mean 'policy'" in diag.message
+
+    def test_nested_position(self):
+        diags = lint_text(
+            """\
+scenario: pos
+tmem_mb: 64
+vms:
+  - name: VM1
+    ram_mb: 64
+    jobs:
+      - kind: usemem
+        params: {start_mbb: 32, max_mb: 64}
+"""
+        )
+        (diag,) = errors(diags)
+        assert diag.path == "vms[0].jobs[0].params.start_mbb"
+        assert diag.line == 8
+        assert "did you mean 'start_mb'" in diag.message
+
+    def test_format_renders_file_line_col(self):
+        diag = Diagnostic(
+            severity="error", message="boom", path="vms[0]", line=4, column=3
+        )
+        assert diag.format("doc.yml") == "doc.yml:4:3: error: boom (at vms[0])"
+
+
+class TestYamlAndStructure:
+    def test_yaml_syntax_error_is_a_positioned_diagnostic(self):
+        diags = lint_text("family: [unclosed\n")
+        assert len(errors(diags)) == 1
+        assert diags[0].line is not None
+
+    def test_duplicate_key(self):
+        diags = lint_text("family: many-vms\nfamily: churn\n")
+        assert any("duplicate" in d.message for d in errors(diags))
+
+    def test_non_mapping_root(self):
+        diags = lint_text("- just\n- a list\n")
+        assert len(errors(diags)) == 1
+
+    def test_missing_file_is_an_error_not_a_crash(self, tmp_path):
+        diags = lint_file(str(tmp_path / "nope.yml"))
+        assert len(errors(diags)) == 1
+
+
+class TestWarnings:
+    def test_schedule_past_deadline_warns(self):
+        diags = lint_text(
+            """\
+scenario: late
+tmem_mb: 64
+max_duration_s: 60
+vms:
+  - name: VM1
+    ram_mb: 64
+    jobs:
+      - kind: usemem
+        params: {start_mb: 32, max_mb: 64}
+        start_at: 120
+"""
+        )
+        assert errors(diags) == []
+        assert any("max_duration_s" in d.message for d in warnings(diags))
+
+    def test_fault_window_past_deadline_warns(self):
+        diags = lint_text(
+            """\
+scenario: late-fault
+tmem_mb: 64
+max_duration_s: 60
+vms:
+  - name: VM1
+    ram_mb: 64
+    jobs: [{kind: usemem, params: {start_mb: 32, max_mb: 64}}]
+  - name: VM2
+    ram_mb: 64
+    jobs: [{kind: usemem, params: {start_mb: 32, max_mb: 64}}]
+cluster:
+  nodes:
+    - {name: node1, vms: [VM1], tmem_mb: 64}
+    - {name: node2, vms: [VM2], tmem_mb: 64}
+  faults: ["node2@30-90:failback=1"]
+"""
+        )
+        assert errors(diags) == []
+        assert any(
+            "fault window" in d.message and "extends past" in d.message
+            for d in warnings(diags)
+        )
+
+    def test_missing_trace_file_warns(self, tmp_path):
+        doc = tmp_path / "trace.yml"
+        doc.write_text(
+            """\
+scenario: missing-trace
+tmem_mb: 64
+vms:
+  - name: VM1
+    ram_mb: 64
+    jobs:
+      - kind: trace
+        params: {path: does-not-exist.jsonl}
+"""
+        )
+        diags = lint_file(str(doc))
+        assert errors(diags) == []
+        assert any("does-not-exist.jsonl" in d.message for d in warnings(diags))
+
+    def test_warnings_do_not_fail_compilation(self):
+        from repro.scenarios.dsl import compile_text
+
+        compiled = compile_text(
+            """\
+scenario: late
+tmem_mb: 64
+max_duration_s: 60
+vms:
+  - name: VM1
+    ram_mb: 64
+    jobs:
+      - kind: usemem
+        params: {start_mb: 32, max_mb: 64}
+        start_at: 120
+"""
+        )
+        assert compiled.warnings

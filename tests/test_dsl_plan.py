@@ -1,0 +1,103 @@
+"""Scenario-DSL plan printer: pinned execution plans for the examples.
+
+``plan_dict`` output for every committed ``examples/dsl/*.yml`` document
+is pinned in ``tests/data/dsl_plans.json``.  A change here means the
+compiler now produces a different spec from the same document — which is
+exactly the kind of silent drift the pin exists to catch.  Re-record
+after intentional changes with::
+
+    PYTHONPATH=src python tests/test_dsl_plan.py --record
+
+Absolute paths (the trace workload resolves ``path`` against the
+document's directory) are normalized to ``<repo>`` so the pin is
+machine-independent.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.dsl import compile_file, format_plan, plan_dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples" / "dsl"
+PIN_FILE = REPO_ROOT / "tests" / "data" / "dsl_plans.json"
+
+
+def normalize(obj):
+    """Replace the absolute repo root in strings so pins are portable."""
+    if isinstance(obj, dict):
+        return {key: normalize(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [normalize(value) for value in obj]
+    if isinstance(obj, str):
+        return obj.replace(str(REPO_ROOT), "<repo>")
+    return obj
+
+
+def example_names():
+    return sorted(path.name for path in EXAMPLES.glob("*.yml"))
+
+
+def recorded_plans():
+    return {
+        name: normalize(plan_dict(compile_file(str(EXAMPLES / name))))
+        for name in example_names()
+    }
+
+
+class TestPlanPins:
+    def test_pin_file_covers_every_example(self):
+        pins = json.loads(PIN_FILE.read_text())
+        assert sorted(pins) == example_names()
+
+    @pytest.mark.parametrize("name", example_names())
+    def test_plan_matches_pin(self, name):
+        pins = json.loads(PIN_FILE.read_text())
+        actual = normalize(plan_dict(compile_file(str(EXAMPLES / name))))
+        assert actual == pins[name], (
+            f"{name}: compiled plan drifted from tests/data/dsl_plans.json; "
+            "if intentional, re-record with "
+            "`PYTHONPATH=src python tests/test_dsl_plan.py --record`"
+        )
+
+    def test_plans_are_deterministic(self):
+        name = example_names()[0]
+        first = plan_dict(compile_file(str(EXAMPLES / name)))
+        second = plan_dict(compile_file(str(EXAMPLES / name)))
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+class TestFormatPlan:
+    def test_family_plan_mentions_the_family(self):
+        compiled = compile_file(str(EXAMPLES / "scenario-1.yml"))
+        text = format_plan(compiled)
+        assert "scenario-1" in text
+        assert "family" in text
+
+    def test_cluster_plan_lists_nodes_and_faults(self):
+        compiled = compile_file(str(EXAMPLES / "cluster-faults.yml"))
+        text = format_plan(compiled)
+        assert "node1" in text and "node2" in text
+        assert "node1->node2" in text
+
+    def test_plan_dict_has_derived_section(self):
+        compiled = compile_file(str(EXAMPLES / "filescan.yml"))
+        plan = plan_dict(compiled)
+        derived = plan["derived"]
+        assert derived["vm_count"] == 2
+        assert derived["job_count"] == 2
+        assert derived["total_vm_ram_mb"] == 512
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--record" in sys.argv:
+        PIN_FILE.write_text(
+            json.dumps(recorded_plans(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"recorded {len(example_names())} plans to {PIN_FILE}")
+    else:
+        print(__doc__)
